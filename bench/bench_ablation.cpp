@@ -1,0 +1,149 @@
+// Ablations of the design choices DESIGN.md calls out:
+//  1. UVM fault lookahead on/off (Table 2 mechanism)
+//  2. UVM clustered anonymous pageout on/off (Figure 5 mechanism)
+//  3. amap implementation: array vs hash vs hybrid (§5.4 "hybrid" idea)
+//  4. BSD VM collapse on/off: anonymous-memory retention after fork churn
+//     (the swap-leak repair the collapse exists for)
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/kern/workloads.h"
+
+namespace {
+
+using bench::VmKind;
+using bench::World;
+using bench::WorldConfig;
+
+void AblateLookahead() {
+  std::printf("\n-- UVM fault lookahead (Table 2 mechanism) --\n");
+  std::printf("%-16s %12s %12s\n", "command", "lookahead", "no-lookahead");
+  for (const kern::TraceSpec& spec : kern::Table2Traces()) {
+    WorldConfig on;
+    World w1(VmKind::kUvm, on);
+    std::uint64_t with = kern::RunCommandTrace(*w1.kernel, spec);
+    WorldConfig off;
+    off.uvm.enable_lookahead = false;
+    World w2(VmKind::kUvm, off);
+    std::uint64_t without = kern::RunCommandTrace(*w2.kernel, spec);
+    std::printf("%-16s %12llu %12llu\n", spec.name, static_cast<unsigned long long>(with),
+                static_cast<unsigned long long>(without));
+  }
+}
+
+void AblateClustering() {
+  std::printf("\n-- UVM clustered anonymous pageout (Figure 5 mechanism) --\n");
+  std::printf("%10s %12s %12s %12s %12s\n", "alloc MB", "clust sec", "noclust sec", "clust ops",
+              "noclust ops");
+  for (std::size_t mb : {40, 48, 56}) {
+    double secs[2];
+    std::uint64_t ops[2];
+    for (int variant = 0; variant < 2; ++variant) {
+      WorldConfig cfg;
+      cfg.ram_pages = 8192;
+      cfg.uvm.cluster_anon_pageout = (variant == 0);
+      World w(VmKind::kUvm, cfg);
+      kern::Proc* p = w.kernel->Spawn();
+      sim::Vaddr addr = 0;
+      std::uint64_t len = mb * 1024 * 1024;
+      sim::Nanoseconds start = w.machine.clock().now();
+      int err = w.kernel->MmapAnon(p, &addr, len, kern::MapAttrs{});
+      SIM_ASSERT(err == sim::kOk);
+      for (std::uint64_t off = 0; off < len; off += sim::kPageSize) {
+        w.kernel->TouchWrite(p, addr + off, 1, std::byte{0x13});
+      }
+      secs[variant] = bench::SecondsSince(w, start);
+      ops[variant] = w.machine.stats().swap_ops;
+    }
+    std::printf("%10zu %12.3f %12.3f %12llu %12llu\n", mb, secs[0], secs[1],
+                static_cast<unsigned long long>(ops[0]), static_cast<unsigned long long>(ops[1]));
+  }
+}
+
+void AblateAmapImpl() {
+  std::printf("\n-- amap implementation: array vs hash vs hybrid (§5.4) --\n");
+  std::printf("%-8s %16s %16s   (map 256 MB sparse, touch 200 pages)\n", "impl", "virtual us",
+              "host amap slots");
+  for (auto policy : {uvm::AmapImplPolicy::kArray, uvm::AmapImplPolicy::kHash,
+                      uvm::AmapImplPolicy::kHybrid}) {
+    WorldConfig cfg;
+    cfg.uvm.amap_policy = policy;
+    World w(VmKind::kUvm, cfg);
+    kern::Proc* p = w.kernel->Spawn();
+    sim::Vaddr addr = 0;
+    const std::uint64_t len = 256ull * 1024 * 1024;
+    int err = w.kernel->MmapAnon(p, &addr, len, kern::MapAttrs{});
+    SIM_ASSERT(err == sim::kOk);
+    sim::Nanoseconds start = w.machine.clock().now();
+    for (int i = 0; i < 200; ++i) {
+      w.kernel->TouchWrite(p, addr + (static_cast<std::uint64_t>(i) * 331 + 7) * sim::kPageSize,
+                           1, std::byte{0x17});
+    }
+    const char* name = policy == uvm::AmapImplPolicy::kArray    ? "array"
+                       : policy == uvm::AmapImplPolicy::kHash   ? "hash"
+                                                                : "hybrid";
+    // The array impl reserves a slot per page of the mapping (65536 here);
+    // the hash impl only stores occupied slots.
+    std::printf("%-8s %16.1f %16s\n", name, bench::MicrosSince(w, start),
+                policy == uvm::AmapImplPolicy::kArray ? "65536" : "200");
+  }
+}
+
+void AblateCollapse() {
+  std::printf("\n-- BSD VM shadow-chain collapse on/off (swap-leak repair, §5.1) --\n");
+  std::printf("%-10s %18s %18s\n", "collapse", "anon pages held", "accessible pages");
+  for (bool enable : {true, false}) {
+    WorldConfig cfg;
+    cfg.bsd.enable_collapse = enable;
+    World w(VmKind::kBsd, cfg);
+    kern::Proc* p = w.kernel->Spawn();
+    sim::Vaddr addr = 0;
+    const std::size_t npages = 64;
+    int err = w.kernel->MmapAnon(p, &addr, npages * sim::kPageSize, kern::MapAttrs{});
+    SIM_ASSERT(err == sim::kOk);
+    w.kernel->TouchWrite(p, addr, npages * sim::kPageSize, std::byte{1});
+    // Fork churn: repeatedly fork a child that writes and exits, while the
+    // parent also writes — the chain-growing pattern of Figure 3.
+    for (int round = 0; round < 8; ++round) {
+      kern::Proc* c = w.kernel->Fork(p);
+      w.kernel->TouchWrite(c, addr, npages * sim::kPageSize / 2, std::byte{2});
+      w.kernel->Exit(c);
+      w.kernel->TouchWrite(p, addr, npages * sim::kPageSize / 2, std::byte{3});
+    }
+    auto* bsd = static_cast<bsdvm::BsdVm*>(w.vm.get());
+    std::printf("%-10s %18zu %18zu\n", enable ? "on" : "off", bsd->TotalAnonPages(), npages);
+  }
+}
+
+void CompareLockHold() {
+  std::printf("\n-- map lock hold time across unmap (§3.1 two-phase unmap) --\n");
+  std::printf("%-8s %16s %18s\n", "system", "unmap lock ns", "total unmap ns");
+  for (VmKind kind : {VmKind::kBsd, VmKind::kUvm}) {
+    World w(kind);
+    kern::Proc* p = w.kernel->Spawn();
+    sim::Vaddr a = 0;
+    int err = w.kernel->MmapAnon(p, &a, 512 * sim::kPageSize, kern::MapAttrs{});
+    SIM_ASSERT(err == sim::kOk);
+    w.kernel->TouchWrite(p, a, 512 * sim::kPageSize, std::byte{1});
+    std::uint64_t hold0 = w.machine.stats().map_lock_hold_ns;
+    sim::Nanoseconds t0 = w.machine.clock().now();
+    err = w.kernel->Munmap(p, a, 512 * sim::kPageSize);
+    SIM_ASSERT(err == sim::kOk);
+    std::printf("%-8s %16llu %18llu\n", harness::VmKindName(kind),
+                static_cast<unsigned long long>(w.machine.stats().map_lock_hold_ns - hold0),
+                static_cast<unsigned long long>(w.machine.clock().now() - t0));
+  }
+  std::printf("   (same total teardown work; UVM drops references with the map unlocked)\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablations of UVM/BSD design choices");
+  AblateLookahead();
+  AblateClustering();
+  AblateAmapImpl();
+  AblateCollapse();
+  CompareLockHold();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared helpers for the benchmark harnesses. Every bench prints the rows
+// or series of one table/figure from the paper, measured in virtual time
+// (see DESIGN.md: absolute values are arbitrary; shapes and ratios are the
+// reproduction target).
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+
+#include "src/harness/world.h"
+#include "src/sim/assert.h"
+
+namespace bench {
+
+using harness::VmKind;
+using harness::World;
+using harness::WorldConfig;
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+// Virtual time elapsed in `w` since `start_ns`, in microseconds / seconds.
+inline double MicrosSince(const World& w, sim::Nanoseconds start_ns) {
+  return static_cast<double>(w.machine.clock().now() - start_ns) * 1e-3;
+}
+inline double SecondsSince(const World& w, sim::Nanoseconds start_ns) {
+  return static_cast<double>(w.machine.clock().now() - start_ns) * 1e-9;
+}
+
+}  // namespace bench
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,64 @@
+// Figure 2: BSD VM object cache effect on file access. An Apache-like
+// server repeatedly memory-maps N 64 KB files and touches every page. With
+// more than 100 files in the working set, BSD VM's 100-entry object cache
+// evicts objects (discarding their resident pages) even though memory is
+// plentiful, so every pass goes back to disk; UVM caches file pages on the
+// vnode itself and stays flat. The y-axis is virtual seconds per pass
+// (log scale in the paper).
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using bench::VmKind;
+using bench::World;
+
+constexpr std::size_t kFilePages = 16;  // 64 KB
+
+double TimePass(World& w, kern::Proc* p, std::size_t nfiles) {
+  sim::Nanoseconds start = w.machine.clock().now();
+  for (std::size_t i = 0; i < nfiles; ++i) {
+    std::string name = "/www/file" + std::to_string(i);
+    sim::Vaddr addr = 0;
+    kern::MapAttrs attrs;
+    attrs.prot = sim::Prot::kRead;
+    int err = w.kernel->Mmap(p, &addr, kFilePages * sim::kPageSize, name, 0, attrs);
+    SIM_ASSERT(err == sim::kOk);
+    err = w.kernel->TouchRead(p, addr, kFilePages * sim::kPageSize);
+    SIM_ASSERT(err == sim::kOk);
+    err = w.kernel->Munmap(p, addr, kFilePages * sim::kPageSize);
+    SIM_ASSERT(err == sim::kOk);
+  }
+  return bench::SecondsSince(w, start);
+}
+
+double Run(VmKind kind, std::size_t nfiles) {
+  bench::WorldConfig cfg;
+  cfg.ram_pages = 24576;  // 96 MB: memory is NOT the constraint in Fig 2
+  cfg.max_vnodes = 2048;
+  World w(kind, cfg);
+  for (std::size_t i = 0; i < nfiles; ++i) {
+    w.fs.CreateFilePattern("/www/file" + std::to_string(i), kFilePages * sim::kPageSize);
+  }
+  kern::Proc* p = w.kernel->Spawn();
+  TimePass(w, p, nfiles);  // warm pass: populate caches
+  return TimePass(w, p, nfiles);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 2: object cache effect on repeated file access");
+  std::printf("%8s %14s %14s   (time to re-read N 64KB files, virtual sec)\n", "files", "BSD sec",
+              "UVM sec");
+  for (std::size_t n : {25, 50, 75, 100, 125, 150, 200, 250, 300, 400, 500}) {
+    double b = Run(VmKind::kBsd, n);
+    double u = Run(VmKind::kUvm, n);
+    std::printf("%8zu %14.4f %14.4f\n", n, b, u);
+  }
+  std::printf("\nPaper shape: both flat and equal below 100 files; BSD VM climbs ~3 orders\n"
+              "of magnitude past the 100-object cache limit while UVM stays flat.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 5: anonymous memory allocation time vs allocation size on a
+// machine with 32 MB of RAM. Once the allocation exceeds physical memory,
+// the system pages: BSD VM's swap pager writes one page per I/O operation,
+// while UVM's pagedaemon reassigns anonymous pages contiguous swap slots
+// and pushes large clusters in single operations (§6), recovering from the
+// page shortage far faster.
+#include "bench/bench_common.h"
+
+namespace {
+
+using bench::VmKind;
+using bench::World;
+
+struct Result {
+  double seconds;
+  std::uint64_t swap_ops;
+  std::uint64_t swap_pages;
+};
+
+Result Run(VmKind kind, std::size_t mbytes) {
+  bench::WorldConfig cfg;
+  cfg.ram_pages = 8192;     // 32 MB, the paper's machine
+  cfg.swap_slots = 32768;   // 128 MB swap
+  World w(kind, cfg);
+  kern::Proc* p = w.kernel->Spawn();
+  sim::Nanoseconds start = w.machine.clock().now();
+  sim::Vaddr addr = 0;
+  std::uint64_t len = mbytes * 1024 * 1024;
+  int err = w.kernel->MmapAnon(p, &addr, len, kern::MapAttrs{});
+  SIM_ASSERT(err == sim::kOk);
+  for (std::uint64_t off = 0; off < len; off += sim::kPageSize) {
+    err = w.kernel->TouchWrite(p, addr + off, 1, std::byte{0x99});
+    SIM_ASSERT(err == sim::kOk);
+  }
+  return Result{bench::SecondsSince(w, start), w.machine.stats().swap_ops,
+                w.machine.stats().swap_pages_out};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 5: anonymous memory allocation time (32 MB RAM)");
+  std::printf("%8s %12s %12s %12s %12s   (virtual sec; swap I/O ops)\n", "MB", "BSD sec",
+              "UVM sec", "BSD ops", "UVM ops");
+  for (std::size_t mb : {4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56}) {
+    Result b = Run(VmKind::kBsd, mb);
+    Result u = Run(VmKind::kUvm, mb);
+    std::printf("%8zu %12.3f %12.3f %12llu %12llu\n", mb, b.seconds, u.seconds,
+                static_cast<unsigned long long>(b.swap_ops),
+                static_cast<unsigned long long>(u.swap_ops));
+  }
+  std::printf("\nPaper shape: both near zero until ~30 MB, then linear climb with BSD VM\n"
+              "several times steeper than UVM (UVM clusters pageout I/O).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 6: process fork-and-wait overhead vs the parent's dynamically
+// allocated anonymous memory, averaged over repeated cycles, in two
+// variants: the child writes one byte to each page of the inherited data
+// and exits ("data touched"), or exits immediately. Reproduces the paper's
+// ordering: UVM below BSD VM in both variants, with the gap growing when
+// the data is touched (no shadow objects, no collapse attempts, direct
+// writes to sole-reference anons).
+#include "bench/bench_common.h"
+
+namespace {
+
+using bench::VmKind;
+using bench::World;
+
+double Run(VmKind kind, std::size_t mbytes, bool touch) {
+  bench::WorldConfig cfg;
+  cfg.ram_pages = 16384;  // 64 MB: fork overhead, not paging, is the subject
+  World w(kind, cfg);
+  kern::Proc* parent = w.kernel->Spawn();
+  sim::Vaddr addr = 0;
+  std::uint64_t len = mbytes * 1024 * 1024;
+  int err = w.kernel->MmapAnon(parent, &addr, len, kern::MapAttrs{});
+  SIM_ASSERT(err == sim::kOk);
+  for (std::uint64_t off = 0; off < len; off += sim::kPageSize) {
+    w.kernel->TouchWrite(parent, addr + off, 1, std::byte{0x31});
+  }
+
+  constexpr int kWarm = 2;
+  constexpr int kIters = 20;
+  auto cycle = [&]() {
+    kern::Proc* child = w.kernel->Fork(parent);
+    if (touch) {
+      for (std::uint64_t off = 0; off < len; off += sim::kPageSize) {
+        w.kernel->TouchWrite(child, addr + off, 1, std::byte{0x32});
+      }
+    }
+    w.kernel->Exit(child);
+  };
+  for (int i = 0; i < kWarm; ++i) {
+    cycle();
+  }
+  sim::Nanoseconds start = w.machine.clock().now();
+  for (int i = 0; i < kIters; ++i) {
+    cycle();
+  }
+  return bench::MicrosSince(w, start) / kIters;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 6: fork-and-wait time vs anonymous memory (virtual usec)");
+  std::printf("%6s %14s %14s %14s %14s\n", "MB", "BSD touched", "UVM touched", "BSD", "UVM");
+  for (std::size_t mb : {1, 2, 4, 6, 8, 10, 12, 14, 15}) {
+    double bt = Run(VmKind::kBsd, mb, true);
+    double ut = Run(VmKind::kUvm, mb, true);
+    double b = Run(VmKind::kBsd, mb, false);
+    double u = Run(VmKind::kUvm, mb, false);
+    std::printf("%6zu %14.0f %14.0f %14.0f %14.0f\n", mb, bt, ut, b, u);
+  }
+  std::printf("\nPaper shape: all four series linear in size; UVM below BSD VM in both\n"
+              "variants; the touched series well above the untouched ones.\n");
+  return 0;
+}

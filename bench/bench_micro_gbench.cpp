@@ -1,0 +1,91 @@
+// google-benchmark wall-clock microbenchmarks of the hot simulator paths
+// themselves (host time, not virtual time): fault resolution, fork, amap
+// copy, map lookup. These guard the implementation's own performance; the
+// paper-reproduction numbers live in the per-table benches.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using bench::VmKind;
+using bench::World;
+
+void BM_FaultResident(benchmark::State& state) {
+  VmKind kind = state.range(0) == 0 ? VmKind::kBsd : VmKind::kUvm;
+  World w(kind);
+  kern::Proc* p = w.kernel->Spawn();
+  sim::Vaddr addr = 0;
+  int err = w.kernel->MmapAnon(p, &addr, 64 * sim::kPageSize, kern::MapAttrs{});
+  SIM_ASSERT(err == sim::kOk);
+  w.kernel->TouchWrite(p, addr, 64 * sim::kPageSize, std::byte{1});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sim::Vaddr va = addr + (i++ % 64) * sim::kPageSize;
+    p->as->pmap().Remove(va);
+    int ferr = w.vm->Fault(*p->as, va, sim::Access::kWrite);
+    benchmark::DoNotOptimize(ferr);
+  }
+}
+BENCHMARK(BM_FaultResident)->Arg(0)->Arg(1);
+
+void BM_ForkExit(benchmark::State& state) {
+  VmKind kind = state.range(0) == 0 ? VmKind::kBsd : VmKind::kUvm;
+  World w(kind);
+  kern::Proc* p = w.kernel->Spawn();
+  sim::Vaddr addr = 0;
+  int err = w.kernel->MmapAnon(p, &addr, 256 * sim::kPageSize, kern::MapAttrs{});
+  SIM_ASSERT(err == sim::kOk);
+  w.kernel->TouchWrite(p, addr, 256 * sim::kPageSize, std::byte{1});
+  for (auto _ : state) {
+    kern::Proc* c = w.kernel->Fork(p);
+    w.kernel->Exit(c);
+  }
+}
+BENCHMARK(BM_ForkExit)->Arg(0)->Arg(1);
+
+void BM_MapUnmap(benchmark::State& state) {
+  VmKind kind = state.range(0) == 0 ? VmKind::kBsd : VmKind::kUvm;
+  World w(kind);
+  w.fs.CreateFilePattern("/f", 16 * sim::kPageSize);
+  kern::Proc* p = w.kernel->Spawn();
+  kern::MapAttrs attrs;
+  attrs.prot = sim::Prot::kRead;
+  for (auto _ : state) {
+    sim::Vaddr addr = 0;
+    int err = w.kernel->Mmap(p, &addr, 16 * sim::kPageSize, "/f", 0, attrs);
+    SIM_ASSERT(err == sim::kOk);
+    err = w.kernel->Munmap(p, addr, 16 * sim::kPageSize);
+    SIM_ASSERT(err == sim::kOk);
+  }
+}
+BENCHMARK(BM_MapUnmap)->Arg(0)->Arg(1);
+
+void BM_AmapCowFaultChain(benchmark::State& state) {
+  // Depth of COW history: BSD chains grow, UVM stays two-level.
+  VmKind kind = state.range(0) == 0 ? VmKind::kBsd : VmKind::kUvm;
+  World w(kind);
+  kern::Proc* p = w.kernel->Spawn();
+  sim::Vaddr addr = 0;
+  int err = w.kernel->MmapAnon(p, &addr, 16 * sim::kPageSize, kern::MapAttrs{});
+  SIM_ASSERT(err == sim::kOk);
+  w.kernel->TouchWrite(p, addr, 16 * sim::kPageSize, std::byte{1});
+  // Build COW history with fork churn.
+  for (int i = 0; i < 6; ++i) {
+    kern::Proc* c = w.kernel->Fork(p);
+    w.kernel->TouchWrite(c, addr, 8 * sim::kPageSize, std::byte{2});
+    w.kernel->Exit(c);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sim::Vaddr va = addr + (i++ % 16) * sim::kPageSize;
+    p->as->pmap().Remove(va);
+    int ferr = w.vm->Fault(*p->as, va, sim::Access::kRead);
+    benchmark::DoNotOptimize(ferr);
+  }
+}
+BENCHMARK(BM_AmapCowFaultChain)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

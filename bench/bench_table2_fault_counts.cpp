@@ -1,0 +1,21 @@
+// Table 2: page fault counts for sample commands (BSD VM vs UVM). UVM's
+// fault-time mapping of resident neighbour pages (4 ahead / 3 behind for
+// madvise-normal mappings, §5.4) roughly halves fault counts.
+#include "bench/bench_common.h"
+#include "src/kern/workloads.h"
+
+int main() {
+  bench::PrintHeader("Table 2: page fault counts per command");
+  std::printf("%-16s %10s %10s %12s %12s\n", "Command", "BSD", "UVM", "paper BSD", "paper UVM");
+  for (const kern::TraceSpec& spec : kern::Table2Traces()) {
+    bench::World wb(bench::VmKind::kBsd);
+    std::uint64_t b = kern::RunCommandTrace(*wb.kernel, spec);
+    bench::World wu(bench::VmKind::kUvm);
+    std::uint64_t u = kern::RunCommandTrace(*wu.kernel, spec);
+    std::printf("%-16s %10llu %10llu %12llu %12llu\n", spec.name,
+                static_cast<unsigned long long>(b), static_cast<unsigned long long>(u),
+                static_cast<unsigned long long>(spec.paper_bsd),
+                static_cast<unsigned long long>(spec.paper_uvm));
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Trace replay example: run a scripted VM workload (from a file, or a
+// built-in demo script) against both VM systems, then print each system's
+// address-space dump and statistics.
+//
+//   ./build/examples/trace_replay [trace-file]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/harness/dump.h"
+#include "src/harness/world.h"
+#include "src/kern/trace_replay.h"
+#include "src/sim/report.h"
+
+using harness::VmKind;
+using harness::World;
+
+namespace {
+
+constexpr const char* kDemoTrace = R"(# demo: COW fork over a mapped file plus anonymous scratch memory
+file /bin/tool 16
+proc main
+mmap main $text 8 ro private /bin/tool 0
+mmap main $data 4 rw private /bin/tool 8
+mmap main $heap 16 rw private
+readf main $text 0 /bin/tool 0
+write main $data 1 0x42
+write main $heap 0 0x10
+fork main worker
+write worker $heap 0 0x20
+read  main   $heap 0 0x10
+read  worker $heap 0 0x20
+read  worker $data 1 0x42
+exit worker
+mlock main $heap 4
+sysctl main $heap
+munlock main $heap 4
+)";
+
+int RunOn(VmKind kind, const std::string& trace) {
+  std::printf("\n=== %s ===\n", harness::VmKindName(kind));
+  World w(kind);
+  kern::ReplayResult res = kern::ReplayTrace(*w.kernel, trace);
+  if (res.err != sim::kOk) {
+    std::printf("FAILED at line %d: %s (%s)\n", res.line, res.message.c_str(),
+                sim::ErrorName(res.err));
+    return 1;
+  }
+  std::printf("%zu operations replayed successfully.\n\n", res.ops_executed);
+  w.kernel->ForEachProc([&](kern::Proc& p) {
+    std::printf("-- pid %d --\n", p.pid);
+    kern::DumpMap(std::cout, *w.vm, *p.as);
+  });
+  std::printf("\n");
+  sim::ReportStats(std::cout, w.machine);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace = kDemoTrace;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    trace = os.str();
+  }
+  int rc = RunOn(VmKind::kBsd, trace);
+  rc |= RunOn(VmKind::kUvm, trace);
+  return rc;
+}

@@ -1,0 +1,1188 @@
+#include "src/bsdvm/bsd_vm.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/sim/assert.h"
+
+namespace bsdvm {
+
+namespace {
+constexpr sim::Vaddr kUserMin = 0x0000'1000;
+constexpr sim::Vaddr kUserMax = 0xB000'0000;
+constexpr sim::Vaddr kKernMin = 0xC000'0000;
+constexpr sim::Vaddr kKernMax = 0x1'0000'0000;
+constexpr std::size_t kUPages = 2;       // u-area size
+constexpr std::size_t kKStackPages = 2;  // kernel stack size
+}  // namespace
+
+BsdAddressSpace::BsdAddressSpace(BsdVm& vm, bool is_kernel)
+    : map_(vm.machine(), is_kernel ? kKernMin : kUserMin, is_kernel ? kKernMax : kUserMax,
+           is_kernel ? vm.config_.kernel_map_entries : 0),
+      pmap_(
+          vm.mmu_, is_kernel,
+          // BSD VM: the i386 pmap module records each page-table page in the
+          // kernel map as well (§3.2); UVM keeps it only in the pmap.
+          is_kernel ? std::function<void(phys::Page*)>{}
+                    : [&vm, this](phys::Page* pt) {
+                        sim::Vaddr va = 0;
+                        auto& kmap = vm.kernel_as_->map_;
+                        kmap.Lock();
+                        int err = kmap.FindSpace(&va, sim::kPageSize);
+                        SIM_ASSERT(err == sim::kOk);
+                        MapEntry e;
+                        e.start = va;
+                        e.end = va + sim::kPageSize;
+                        e.prot = sim::Prot::kReadWrite;
+                        e.inherit = sim::Inherit::kNone;
+                        e.wired_count = 1;
+                        err = kmap.InsertEntry(e);
+                        SIM_ASSERT_MSG(err == sim::kOk, "kernel map entry pool exhausted");
+                        kmap.Unlock();
+                        ptpage_entries_.emplace(pt, va);
+                      },
+          is_kernel ? std::function<void(phys::Page*)>{}
+                    : [&vm, this](phys::Page* pt) {
+                        auto it = ptpage_entries_.find(pt);
+                        SIM_ASSERT(it != ptpage_entries_.end());
+                        auto& kmap = vm.kernel_as_->map_;
+                        kmap.Lock();
+                        auto eit = kmap.LookupEntry(it->second);
+                        SIM_ASSERT(eit != kmap.entries().end());
+                        kmap.EraseEntry(eit);
+                        kmap.Unlock();
+                        ptpage_entries_.erase(it);
+                      }) {}
+
+BsdVm::BsdVm(sim::Machine& machine, phys::PhysMem& pm, mmu::MmuContext& mmu,
+             vfs::VnodeCache& vnodes, swp::SwapDevice& swap, const BsdConfig& config)
+    : machine_(machine), pm_(pm), mmu_(mmu), vnodes_(vnodes), swap_(swap), config_(config) {
+  kernel_as_ = std::make_unique<BsdAddressSpace>(*this, /*is_kernel=*/true);
+}
+
+BsdVm::~BsdVm() {
+  // Release device objects and their wired frames.
+  for (auto& [dev, obj] : device_objects_) {
+    // `dev` may already be destroyed (the kernel owns DeviceMem); free the
+    // frames from the object's own page list.
+    while (!obj->pages.empty()) {
+      phys::Page* p = obj->pages.begin()->second;
+      obj->pages.erase(p->offset);
+      mmu_.PageProtect(p, sim::Prot::kNone);
+      pm_.Unwire(p);
+      pm_.Dequeue(p);
+      pm_.FreePage(p);
+    }
+    DerefObject(obj);
+  }
+  device_objects_.clear();
+  // Release kernel-map reservations (and their anonymous objects).
+  Unmap(*kernel_as_, kKernMin, kKernMax - kKernMin);
+  // Drain the object cache so vnode references are dropped.
+  while (!object_cache_.empty()) {
+    VmObject* obj = object_cache_.front();
+    CacheRemove(obj);
+    TerminateObject(obj);
+  }
+  SIM_ASSERT_MSG(all_objects_.empty(), "BsdVm destroyed with live objects");
+}
+
+kern::AddressSpace* BsdVm::CreateAddressSpace() {
+  return new BsdAddressSpace(*this, /*is_kernel=*/false);
+}
+
+void BsdVm::DestroyAddressSpace(kern::AddressSpace* as_) {
+  auto* as = static_cast<BsdAddressSpace*>(as_);
+  Unmap(*as, kUserMin, kUserMax - kUserMin);
+  delete as;
+}
+
+// ---------------------------------------------------------------------------
+// Objects
+
+VmObject* BsdVm::NewObject(std::size_t size_pages, bool internal) {
+  machine_.Charge(machine_.cost().object_alloc_ns);
+  ++machine_.stats().objects_allocated;
+  auto* obj = new VmObject(size_pages, internal);
+  all_objects_.insert(obj);
+  return obj;
+}
+
+VmObject* BsdVm::ObjectForVnode(vfs::Vnode* vn) {
+  machine_.Charge(machine_.cost().pager_hash_ns);
+  auto it = pager_hash_.find(vn);
+  if (it != pager_hash_.end()) {
+    VmObject* obj = it->second;
+    if (obj->in_cache_) {
+      ++machine_.stats().object_cache_hits;
+      CacheRemove(obj);
+    }
+    ++obj->ref_count;
+    return obj;
+  }
+  // BSD VM allocates three structures for a fresh vnode mapping: the
+  // vm_object, the vm_pager and the pager-private vn_pager, plus a pager
+  // hash-table insertion (§6, Figure 4).
+  VmObject* obj = NewObject(vn->size_pages(), /*internal=*/false);
+  obj->can_persist_ = true;
+  machine_.Charge(machine_.cost().pager_alloc_ns * 2);
+  machine_.Charge(machine_.cost().pager_hash_ns);
+  obj->pager = std::make_unique<VnodePager>(vnodes_, vn);
+  obj->ref_count = 1;
+  pager_hash_.emplace(vn, obj);
+  return obj;
+}
+
+void BsdVm::RefObject(VmObject* obj) {
+  SIM_ASSERT(!obj->in_cache_);
+  ++obj->ref_count;
+}
+
+void BsdVm::DerefObject(VmObject* obj) {
+  while (obj != nullptr) {
+    SIM_ASSERT(obj->ref_count > 0);
+    if (--obj->ref_count > 0) {
+      return;
+    }
+    if (obj->can_persist_) {
+      CacheInsert(obj);
+      return;
+    }
+    VmObject* next = obj->shadow;
+    obj->shadow = nullptr;
+    TerminateObject(obj);
+    obj = next;
+  }
+}
+
+void BsdVm::CacheInsert(VmObject* obj) {
+  SIM_ASSERT(obj->ref_count == 0 && !obj->in_cache_);
+  obj->in_cache_ = true;
+  object_cache_.push_back(obj);
+  if (object_cache_.size() > config_.object_cache_limit) {
+    VmObject* victim = object_cache_.front();
+    ++machine_.stats().object_cache_evictions;
+    CacheRemove(victim);
+    TerminateObject(victim);
+  }
+}
+
+void BsdVm::CacheRemove(VmObject* obj) {
+  SIM_ASSERT(obj->in_cache_);
+  auto it = std::find(object_cache_.begin(), object_cache_.end(), obj);
+  SIM_ASSERT(it != object_cache_.end());
+  object_cache_.erase(it);
+  obj->in_cache_ = false;
+}
+
+void BsdVm::TerminateObject(VmObject* obj) {
+  SIM_ASSERT(obj->ref_count == 0 && !obj->in_cache_);
+  // Flush dirty pages of vnode-backed objects back to the file.
+  if (!obj->internal_ && obj->pager != nullptr) {
+    for (auto& [pgi, page] : obj->pages) {
+      if (page->dirty) {
+        obj->pager->PutPage(pm_, page, pgi);
+      }
+    }
+    pager_hash_.erase(static_cast<VnodePager*>(obj->pager.get())->vnode());
+  }
+  while (!obj->pages.empty()) {
+    FreeObjectPage(obj->pages.begin()->second);
+  }
+  obj->pager.reset();  // frees swap slots / vnode reference
+  VmObject* shadow = obj->shadow;
+  all_objects_.erase(obj);
+  delete obj;
+  if (shadow != nullptr) {
+    DerefObject(shadow);
+  }
+}
+
+phys::Page* BsdVm::AllocPageInObject(VmObject* obj, std::uint64_t pgindex, bool zero) {
+  SIM_ASSERT(!obj->pages.contains(pgindex));
+  phys::Page* p = pm_.AllocPage(phys::OwnerKind::kBsdObject, obj, pgindex, zero);
+  if (p == nullptr) {
+    PageDaemon(pm_.free_target());
+    p = pm_.AllocPage(phys::OwnerKind::kBsdObject, obj, pgindex, zero);
+    if (p == nullptr) {
+      return nullptr;
+    }
+  }
+  obj->pages.emplace(pgindex, p);
+  return p;
+}
+
+void BsdVm::FreeObjectPage(phys::Page* p) {
+  SIM_ASSERT(p->owner_kind == phys::OwnerKind::kBsdObject);
+  auto* obj = static_cast<VmObject*>(p->owner);
+  mmu_.PageProtect(p, sim::Prot::kNone);
+  obj->pages.erase(p->offset);
+  pm_.FreePage(p);
+}
+
+// ---------------------------------------------------------------------------
+// Shadow chains: creation, collapse, bypass
+
+void BsdVm::ShadowEntry(MapEntry& entry) {
+  machine_.Charge(machine_.cost().object_alloc_ns);
+  ++machine_.stats().shadows_created;
+  VmObject* shadow = NewObject(entry.npages(), /*internal=*/true);
+  shadow->shadow = entry.object;  // takes over the entry's reference
+  shadow->shadow_pgoffset = entry.pgoffset;
+  shadow->ref_count = 1;
+  entry.object = shadow;
+  entry.pgoffset = 0;
+  entry.needs_copy = false;
+}
+
+bool BsdVm::CanBypass(const VmObject* o, const VmObject* s) const {
+  // s can be bypassed if it contributes no data visible through o. Scan
+  // s's resident pages (bailing on the first contribution, as Mach does);
+  // any swap-resident data is conservatively treated as a contribution.
+  if (s->pager != nullptr) {
+    return false;
+  }
+  for (const auto& [si, page] : s->pages) {
+    if (si < o->shadow_pgoffset) {
+      continue;
+    }
+    std::uint64_t i = si - o->shadow_pgoffset;
+    if (i >= o->size_pages_) {
+      continue;
+    }
+    if (!o->pages.contains(i)) {
+      return false;  // s's page is visible through o
+    }
+  }
+  return true;
+}
+
+void BsdVm::TryCollapse(VmObject* top) {
+  if (!config_.enable_collapse) {
+    return;
+  }
+  VmObject* o = top;
+  while (o != nullptr && o->internal_ && o->shadow != nullptr) {
+    VmObject* s = o->shadow;
+    ++machine_.stats().collapse_attempts;
+    machine_.Charge(machine_.cost().collapse_attempt_ns);
+    // Wired, busy, or loaned pages pin the chain: collapse must wait (the
+    // classic Mach restriction).
+    bool pinned = false;
+    for (const auto& [spgi, sp] : s->pages) {
+      if (sp->wire_count > 0 || sp->busy || sp->loan_count > 0) {
+        pinned = true;
+        break;
+      }
+    }
+    if (pinned) {
+      break;
+    }
+    if (s->ref_count == 1 && s->pager == nullptr && s->internal_) {
+      // Full collapse: absorb s's pages into o and splice it out.
+      ++machine_.stats().collapses_done;
+      for (auto it = s->pages.begin(); it != s->pages.end();) {
+        std::uint64_t spgi = it->first;
+        phys::Page* sp = it->second;
+        it = s->pages.erase(it);
+        bool visible = spgi >= o->shadow_pgoffset &&
+                       spgi - o->shadow_pgoffset < o->size_pages_ &&
+                       !o->pages.contains(spgi - o->shadow_pgoffset);
+        if (visible) {
+          sp->offset = spgi - o->shadow_pgoffset;
+          sp->owner = o;
+          o->pages.emplace(sp->offset, sp);
+        } else {
+          // Redundant copy: this is exactly the memory the collapse exists
+          // to reclaim.
+          mmu_.PageProtect(sp, sim::Prot::kNone);
+          pm_.FreePage(sp);
+        }
+      }
+      o->shadow = s->shadow;  // o inherits s's reference on s->shadow
+      o->shadow_pgoffset += s->shadow_pgoffset;
+      s->shadow = nullptr;
+      s->ref_count = 0;
+      all_objects_.erase(s);
+      delete s;
+      continue;
+    }
+    if (s->ref_count > 1 && CanBypass(o, s)) {
+      ++machine_.stats().bypasses_done;
+      o->shadow = s->shadow;
+      o->shadow_pgoffset += s->shadow_pgoffset;
+      if (s->shadow != nullptr) {
+        ++s->shadow->ref_count;
+      }
+      DerefObject(s);
+      continue;
+    }
+    // ref_count == 1 with a swap pager: 4.4BSD cannot collapse through an
+    // object that has paged to backing store — the swap-leak source (§5.1).
+    break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mapping operations
+
+int BsdVm::Map(kern::AddressSpace& as_, sim::Vaddr* addr, std::uint64_t len, vfs::Vnode* vn,
+               sim::ObjOffset off, const kern::MapAttrs& attrs) {
+  auto& as = static_cast<BsdAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  if (len == 0) {
+    return sim::kErrInval;
+  }
+  VmMap& map = as.map_;
+
+  // --- Step 1: vm_map_find() establishes the mapping with DEFAULT
+  // attributes (read-write protection, copy inheritance, normal advice).
+  map.Lock();
+  if (attrs.fixed) {
+    if (!map.RangeFree(*addr, len)) {
+      map.Unlock();
+      return sim::kErrExist;
+    }
+  } else if (int err = map.FindSpace(addr, len); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
+
+  MapEntry e;
+  e.start = *addr;
+  e.end = *addr + len;
+  e.prot = sim::Prot::kReadWrite;  // the insecure default (§3.1)
+  e.max_prot = attrs.max_prot;
+  e.advice = sim::Advice::kNormal;
+  if (vn != nullptr) {
+    e.object = ObjectForVnode(vn);
+    e.pgoffset = off >> sim::kPageShift;
+    if (!attrs.shared) {
+      e.copy_on_write = true;
+      e.needs_copy = true;
+      e.eager_shadow = true;  // BSD shadows private mappings on any fault
+    }
+    e.inherit = attrs.shared ? sim::Inherit::kShared : sim::Inherit::kCopy;
+  } else {
+    // Zero-fill: BSD VM allocates the anonymous object right away (§5.1).
+    e.object = NewObject(len >> sim::kPageShift, /*internal=*/true);
+    e.object->ref_count = 1;
+    e.pgoffset = 0;
+    e.inherit = attrs.shared ? sim::Inherit::kShared : sim::Inherit::kCopy;
+  }
+  if (int err = map.InsertEntry(e); err != sim::kOk) {
+    map.Unlock();
+    DerefObject(e.object);
+    return err;
+  }
+  map.Unlock();
+
+  // --- Step 2: every non-default attribute needs a separate relock +
+  // lookup + modify pass. Between step 1 and step 2 the mapping is live
+  // with read-write protection — the security window the paper describes.
+  if (attrs.prot != sim::Prot::kReadWrite) {
+    Protect(as, *addr, len, attrs.prot);
+  }
+  if (attrs.inherit.has_value() && *attrs.inherit != e.inherit) {
+    SetInherit(as, *addr, len, *attrs.inherit);
+  }
+  if (attrs.advice != sim::Advice::kNormal) {
+    SetAdvice(as, *addr, len, attrs.advice);
+  }
+  return sim::kOk;
+}
+
+int BsdVm::MapDevice(kern::AddressSpace& as_, sim::Vaddr* addr, kern::DeviceMem& dev,
+                     const kern::MapAttrs& attrs) {
+  auto& as = static_cast<BsdAddressSpace&>(as_);
+  auto dit = device_objects_.find(&dev);
+  if (dit == device_objects_.end()) {
+    // BSD VM: a standalone device object plus pager structures, entered in
+    // the registry with a permanent reference.
+    VmObject* obj = NewObject(dev.pages.size(), /*internal=*/false);
+    machine_.Charge(machine_.cost().pager_alloc_ns * 2);
+    obj->ref_count = 1;  // the registry's reference
+    for (std::size_t i = 0; i < dev.pages.size(); ++i) {
+      phys::Page* p = dev.pages[i];
+      p->owner_kind = phys::OwnerKind::kBsdObject;
+      p->owner = obj;
+      p->offset = i;
+      obj->pages.emplace(i, p);
+    }
+    dev.adopted_by_vm = true;
+    dit = device_objects_.emplace(&dev, obj).first;
+  }
+  VmObject* obj = dit->second;
+  std::uint64_t len = dev.pages.size() * sim::kPageSize;
+  VmMap& map = as.map_;
+  map.Lock();
+  if (attrs.fixed) {
+    if (!map.RangeFree(*addr, len)) {
+      map.Unlock();
+      return sim::kErrExist;
+    }
+  } else if (int err = map.FindSpace(addr, len); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
+  MapEntry e;
+  e.start = *addr;
+  e.end = *addr + len;
+  e.prot = sim::Prot::kReadWrite;  // the insecure two-step default again
+  e.max_prot = attrs.max_prot;
+  e.object = obj;
+  RefObject(obj);
+  e.pgoffset = 0;
+  if (!attrs.shared) {
+    e.copy_on_write = true;
+    e.needs_copy = true;
+    e.eager_shadow = true;
+  }
+  e.inherit =
+      attrs.inherit.value_or(attrs.shared ? sim::Inherit::kShared : sim::Inherit::kCopy);
+  int err = map.InsertEntry(e);
+  SIM_ASSERT(err == sim::kOk);
+  map.Unlock();
+  if (attrs.prot != sim::Prot::kReadWrite) {
+    Protect(as, *addr, len, attrs.prot);
+  }
+  return sim::kOk;
+}
+
+VmMap::iterator BsdVm::ClipStartRef(VmMap& map, VmMap::iterator it, sim::Vaddr va) {
+  auto res = map.ClipStart(it, va);
+  if (res->object != nullptr) {
+    RefObject(res->object);
+  }
+  return res;
+}
+
+void BsdVm::ClipEndRef(VmMap& map, VmMap::iterator it, sim::Vaddr va) {
+  map.ClipEnd(it, va);
+  if (it->object != nullptr) {
+    RefObject(it->object);
+  }
+}
+
+void BsdVm::UnmapRangeLocked(BsdAddressSpace& as, sim::Vaddr start, sim::Vaddr end,
+                             std::vector<VmObject*>* drop) {
+  VmMap& map = as.map_;
+  auto it = map.entries().begin();
+  while (it != map.entries().end()) {
+    if (it->end <= start) {
+      ++it;
+      continue;
+    }
+    if (it->start >= end) {
+      break;
+    }
+    if (it->start < start) {
+      it = ClipStartRef(map, it, start);
+    }
+    if (it->end > end) {
+      ClipEndRef(map, it, end);
+    }
+    // Entry now fully inside [start, end).
+    if (it->wired_count > 0) {
+      for (sim::Vaddr va = it->start; va < it->end; va += sim::kPageSize) {
+        auto pte = as.pmap_.Extract(va);
+        if (pte.has_value() && pte->wired) {
+          pm_.Unwire(pm_.PageAt(pte->pfn));
+          as.pmap_.ChangeWiring(va, false);
+        }
+      }
+    }
+    as.pmap_.RemoveRange(it->start, it->end);
+    if (it->object != nullptr) {
+      drop->push_back(it->object);
+    }
+    auto victim = it++;
+    map.EraseEntry(victim);
+  }
+}
+
+int BsdVm::Unmap(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
+  auto& as = static_cast<BsdAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  std::vector<VmObject*> drop;
+  VmMap& map = as.map_;
+  // BSD VM holds the map lock across the whole operation, including the
+  // object dereferences that can trigger lengthy I/O (§3.1).
+  map.Lock();
+  UnmapRangeLocked(as, addr, addr + len, &drop);
+  for (VmObject* obj : drop) {
+    DerefObject(obj);
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int BsdVm::Protect(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len, sim::Prot prot) {
+  auto& as = static_cast<BsdAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  sim::Vaddr end = addr + len;
+  VmMap& map = as.map_;
+  map.Lock();
+  auto it = map.LookupEntry(addr);
+  while (it != map.entries().end() && it->start < end) {
+    if (!sim::ProtIncludes(it->max_prot, prot)) {
+      map.Unlock();
+      return sim::kErrProt;
+    }
+    if (it->start < addr) {
+      it = ClipStartRef(map, it, addr);
+    }
+    if (it->end > end) {
+      ClipEndRef(map, it, end);
+    }
+    it->prot = prot;
+    as.pmap_.IntersectProtRange(it->start, it->end, prot);
+    ++it;
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int BsdVm::SetInherit(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len,
+                      sim::Inherit inherit) {
+  auto& as = static_cast<BsdAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  sim::Vaddr end = addr + len;
+  VmMap& map = as.map_;
+  map.Lock();
+  auto it = map.LookupEntry(addr);
+  while (it != map.entries().end() && it->start < end) {
+    if (it->start < addr) {
+      it = ClipStartRef(map, it, addr);
+    }
+    if (it->end > end) {
+      ClipEndRef(map, it, end);
+    }
+    it->inherit = inherit;
+    ++it;
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int BsdVm::SetAdvice(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len,
+                     sim::Advice advice) {
+  auto& as = static_cast<BsdAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  sim::Vaddr end = addr + len;
+  VmMap& map = as.map_;
+  map.Lock();
+  auto it = map.LookupEntry(addr);
+  while (it != map.entries().end() && it->start < end) {
+    if (it->start < addr) {
+      it = ClipStartRef(map, it, addr);
+    }
+    if (it->end > end) {
+      ClipEndRef(map, it, end);
+    }
+    it->advice = advice;
+    ++it;
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int BsdVm::Msync(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
+  auto& as = static_cast<BsdAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  sim::Vaddr end = addr + len;
+  VmMap& map = as.map_;
+  map.Lock();
+  for (auto& e : map.entries()) {
+    if (e.end <= addr || e.start >= end) {
+      continue;
+    }
+    // Walk the chain to the vnode object, flushing its dirty pages in the
+    // affected index range — one page per I/O operation.
+    VmObject* obj = e.object;
+    std::uint64_t pgoff = e.pgoffset;
+    while (obj != nullptr && obj->internal_) {
+      pgoff += obj->shadow_pgoffset;
+      obj = obj->shadow;
+    }
+    if (obj == nullptr || obj->pager == nullptr) {
+      continue;
+    }
+    sim::Vaddr lo = std::max(e.start, addr);
+    sim::Vaddr hi = std::min(e.end, end);
+    for (sim::Vaddr va = lo; va < hi; va += sim::kPageSize) {
+      std::uint64_t pgi = pgoff + ((va - e.start) >> sim::kPageShift);
+      phys::Page* p = obj->LookupPage(pgi);
+      if (p != nullptr && p->dirty) {
+        obj->pager->PutPage(pm_, p, pgi);
+      }
+    }
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int BsdVm::MadvFree(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
+  auto& as = static_cast<BsdAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  sim::Vaddr end = addr + len;
+  VmMap& map = as.map_;
+  map.Lock();
+  for (MapEntry& e : map.entries()) {
+    if (e.end <= addr || e.start >= end) {
+      continue;
+    }
+    // Only a privately held, chain-less anonymous object can be discarded
+    // safely (anything deeper would "reveal" stale chain data).
+    VmObject* obj = e.object;
+    if (obj == nullptr || !obj->internal_ || obj->ref_count != 1 || obj->shadow != nullptr) {
+      continue;
+    }
+    sim::Vaddr lo = std::max(e.start, addr);
+    sim::Vaddr hi = std::min(e.end, end);
+    for (sim::Vaddr va = lo; va < hi; va += sim::kPageSize) {
+      std::uint64_t pgi = e.PageIndexOf(va);
+      phys::Page* p = obj->LookupPage(pgi);
+      if (p != nullptr && p->wire_count == 0 && p->loan_count == 0 && !p->busy) {
+        FreeObjectPage(p);
+      }
+      if (obj->pager != nullptr) {
+        static_cast<SwapPager*>(obj->pager.get())->Invalidate(pgi);
+      }
+    }
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int BsdVm::Mincore(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len,
+                   std::vector<bool>* out) {
+  auto& as = static_cast<BsdAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  out->clear();
+  VmMap& map = as.map_;
+  map.Lock();
+  for (sim::Vaddr va = sim::PageTrunc(addr); va < addr + len; va += sim::kPageSize) {
+    auto it = map.LookupEntry(va);
+    if (it == map.entries().end()) {
+      map.Unlock();
+      return sim::kErrFault;
+    }
+    bool resident = false;
+    VmObject* obj = it->object;
+    std::uint64_t pgi = it->PageIndexOf(va);
+    while (obj != nullptr) {
+      if (obj->LookupPage(pgi) != nullptr) {
+        resident = true;
+        break;
+      }
+      pgi += obj->shadow_pgoffset;
+      obj = obj->shadow;
+    }
+    out->push_back(resident);
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Wiring (§3.2): everything goes through the map, fragmenting entries.
+
+int BsdVm::WireRange(BsdAddressSpace& as, sim::Vaddr addr, std::uint64_t len) {
+  sim::Vaddr end = sim::PageRound(addr + len);
+  addr = sim::PageTrunc(addr);
+  VmMap& map = as.map_;
+  map.Lock();
+  auto it = map.LookupEntry(addr);
+  if (it == map.entries().end()) {
+    map.Unlock();
+    return sim::kErrFault;
+  }
+  while (it != map.entries().end() && it->start < end) {
+    if (it->start < addr) {
+      it = ClipStartRef(map, it, addr);
+    }
+    if (it->end > end) {
+      ClipEndRef(map, it, end);
+    }
+    ++it->wired_count;
+    if (it->wired_count == 1) {
+      sim::Vaddr estart = it->start;
+      sim::Vaddr eend = it->end;
+      sim::Access acc = sim::CanWrite(it->prot) ? sim::Access::kWrite : sim::Access::kRead;
+      for (sim::Vaddr va = estart; va < eend; va += sim::kPageSize) {
+        auto pte = as.pmap_.Extract(va);
+        if (!pte.has_value()) {
+          // The entry is already marked wired, so the fault wires the page.
+          int err = Fault(as, va, acc);
+          if (err != sim::kOk) {
+            map.Unlock();
+            return err;
+          }
+          pte = as.pmap_.Extract(va);
+          SIM_ASSERT(pte.has_value() && pte->wired);
+        } else if (!pte->wired) {
+          pm_.Wire(pm_.PageAt(pte->pfn));
+          as.pmap_.ChangeWiring(va, true);
+        }
+      }
+      // Faulting may invalidate iterators (clips by nested ops do not occur
+      // here, but be conservative): re-find our entry.
+      it = map.LookupEntry(estart);
+      SIM_ASSERT(it != map.entries().end());
+    }
+    ++it;
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int BsdVm::UnwireRange(BsdAddressSpace& as, sim::Vaddr addr, std::uint64_t len) {
+  sim::Vaddr end = sim::PageRound(addr + len);
+  addr = sim::PageTrunc(addr);
+  VmMap& map = as.map_;
+  map.Lock();
+  auto it = map.LookupEntry(addr);
+  while (it != map.entries().end() && it->start < end) {
+    if (it->start < addr) {
+      it = ClipStartRef(map, it, addr);
+    }
+    if (it->end > end) {
+      ClipEndRef(map, it, end);
+    }
+    if (it->wired_count > 0) {
+      --it->wired_count;
+      if (it->wired_count == 0) {
+        for (sim::Vaddr va = it->start; va < it->end; va += sim::kPageSize) {
+          auto pte = as.pmap_.Extract(va);
+          if (pte.has_value() && pte->wired) {
+            pm_.Unwire(pm_.PageAt(pte->pfn));
+            as.pmap_.ChangeWiring(va, false);
+          }
+        }
+      }
+    }
+    ++it;
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int BsdVm::Wire(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len) {
+  return WireRange(static_cast<BsdAddressSpace&>(as), addr, len);
+}
+
+int BsdVm::Unwire(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len) {
+  return UnwireRange(static_cast<BsdAddressSpace&>(as), addr, len);
+}
+
+int BsdVm::WireTransient(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len,
+                         kern::TransientWiring* out) {
+  // BSD vslock(): identical to mlock — wires through the map, permanently
+  // fragmenting the entries (§3.2).
+  out->va = addr;
+  out->len = len;
+  return WireRange(static_cast<BsdAddressSpace&>(as), addr, len);
+}
+
+void BsdVm::UnwireTransient(kern::AddressSpace& as, kern::TransientWiring& tw) {
+  UnwireRange(static_cast<BsdAddressSpace&>(as), tw.va, tw.len);
+}
+
+int BsdVm::AllocProcResources(kern::ProcKernelResources* out) {
+  // BSD: the u-area and kernel stack are wired allocations in the kernel
+  // map — two kernel map entries per process (§3.2).
+  VmMap& kmap = kernel_as_->map_;
+  for (std::size_t npages : {kUPages, kKStackPages}) {
+    kmap.Lock();
+    sim::Vaddr va = kernel_alloc_hint_;
+    if (int err = kmap.FindSpace(&va, npages * sim::kPageSize); err != sim::kOk) {
+      kmap.Unlock();
+      return err;
+    }
+    MapEntry e;
+    e.start = va;
+    e.end = va + npages * sim::kPageSize;
+    e.prot = sim::Prot::kReadWrite;
+    e.inherit = sim::Inherit::kNone;
+    e.wired_count = 1;
+    if (int err = kmap.InsertEntry(e); err != sim::kOk) {
+      kmap.Unlock();
+      return err;
+    }
+    kmap.Unlock();
+    out->kernel_ranges.emplace_back(va, npages * sim::kPageSize);
+    for (std::size_t i = 0; i < npages; ++i) {
+      phys::Page* p = pm_.AllocPage(phys::OwnerKind::kKernel, this, 0, /*zero=*/true);
+      if (p == nullptr) {
+        PageDaemon(pm_.free_target());
+        p = pm_.AllocPage(phys::OwnerKind::kKernel, this, 0, /*zero=*/true);
+      }
+      if (p == nullptr) {
+        return sim::kErrNoMem;
+      }
+      pm_.Wire(p);
+      out->wired_pages.push_back(p);
+    }
+  }
+  return sim::kOk;
+}
+
+void BsdVm::SwapOutProcResources(kern::ProcKernelResources& res) {
+  // BSD VM: the wired state lives in the kernel map, so swapping a process
+  // out means relocking the kernel map and editing its entries (§3.2).
+  VmMap& kmap = kernel_as_->map_;
+  for (auto [va, len] : res.kernel_ranges) {
+    kmap.Lock();
+    auto it = kmap.LookupEntry(va);
+    SIM_ASSERT(it != kmap.entries().end());
+    it->wired_count = 0;
+    kmap.Unlock();
+  }
+  for (phys::Page* p : res.wired_pages) {
+    pm_.Unwire(p);
+  }
+}
+
+void BsdVm::SwapInProcResources(kern::ProcKernelResources& res) {
+  VmMap& kmap = kernel_as_->map_;
+  for (auto [va, len] : res.kernel_ranges) {
+    kmap.Lock();
+    auto it = kmap.LookupEntry(va);
+    SIM_ASSERT(it != kmap.entries().end());
+    it->wired_count = 1;
+    kmap.Unlock();
+  }
+  for (phys::Page* p : res.wired_pages) {
+    pm_.Wire(p);
+  }
+}
+
+void BsdVm::FreeProcResources(kern::ProcKernelResources& res) {
+  VmMap& kmap = kernel_as_->map_;
+  for (auto [va, len] : res.kernel_ranges) {
+    kmap.Lock();
+    auto it = kmap.LookupEntry(va);
+    if (it != kmap.entries().end()) {
+      kmap.EraseEntry(it);
+    }
+    kmap.Unlock();
+  }
+  res.kernel_ranges.clear();
+  for (phys::Page* p : res.wired_pages) {
+    pm_.Unwire(p);
+    pm_.Dequeue(p);
+    pm_.FreePage(p);
+  }
+  res.wired_pages.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Fork
+
+kern::AddressSpace* BsdVm::Fork(kern::AddressSpace& parent_) {
+  auto& parent = static_cast<BsdAddressSpace&>(parent_);
+  auto* child = new BsdAddressSpace(*this, /*is_kernel=*/false);
+  VmMap& pmapp = parent.map_;
+  pmapp.Lock();
+  for (MapEntry& e : pmapp.entries()) {
+    switch (e.inherit) {
+      case sim::Inherit::kNone:
+        break;
+      case sim::Inherit::kShared: {
+        MapEntry ce = e;
+        ce.wired_count = 0;
+        if (ce.object != nullptr) {
+          RefObject(ce.object);
+        }
+        int err = child->map_.InsertEntry(ce);
+        SIM_ASSERT(err == sim::kOk);
+        break;
+      }
+      case sim::Inherit::kCopy: {
+        MapEntry ce = e;
+        ce.wired_count = 0;
+        if (e.object != nullptr) {
+          // Both sides get needs-copy COW; the parent's resident pages are
+          // write-protected to trigger the copy faults (§5.1).
+          e.copy_on_write = true;
+          e.needs_copy = true;
+          e.eager_shadow = false;
+          ce.copy_on_write = true;
+          ce.needs_copy = true;
+          ce.eager_shadow = false;
+          RefObject(e.object);
+          // vm_object_copy: per-resident-page copy-on-write marking at the
+          // object layer, on top of the pmap write-protect both systems do.
+          machine_.Charge(machine_.cost().bsd_fork_page_ns * e.object->pages.size());
+          parent.pmap_.IntersectProtRange(e.start, e.end, sim::Prot::kReadExec);
+        }
+        int err = child->map_.InsertEntry(ce);
+        SIM_ASSERT(err == sim::kOk);
+        break;
+      }
+    }
+  }
+  pmapp.Unlock();
+  return child;
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling (§5.1): chain walk, COW promotion, collapse attempts.
+
+int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
+  auto& as = static_cast<BsdAddressSpace&>(as_);
+  machine_.Charge(machine_.cost().fault_entry_ns);
+  ++machine_.stats().faults;
+  va = sim::PageTrunc(va);
+
+  VmMap& map = as.map_;
+  map.Lock();
+  auto it = map.LookupEntry(va);
+  if (it == map.entries().end()) {
+    map.Unlock();
+    return sim::kErrFault;
+  }
+  MapEntry& e = *it;
+  bool write = access == sim::Access::kWrite;
+  sim::Prot need = write ? sim::Prot::kWrite : sim::Prot::kRead;
+  if (!sim::ProtIncludes(e.prot, need)) {
+    map.Unlock();
+    return sim::kErrProt;
+  }
+  if (e.object == nullptr) {
+    map.Unlock();
+    return sim::kErrFault;  // kernel reservation, not faultable
+  }
+  // Captured up front: later steps (COW copies, loan breaks) may replace or
+  // remove the existing translation, and the wire transfer needs the
+  // original.
+  const auto old_pte = as.pmap_.Extract(va);
+
+  // BSD clears needs-copy by allocating a shadow object on a write fault —
+  // or on any fault at all for mmap'd private mappings (Table 3's
+  // "read/private" penalty).
+  if (e.needs_copy && (write || e.eager_shadow)) {
+    ShadowEntry(e);
+  }
+
+  VmObject* first = e.object;
+  const std::uint64_t first_pgi = e.PageIndexOf(va);
+
+  // Walk the shadow chain looking for the page.
+  VmObject* obj = first;
+  std::uint64_t pgi = first_pgi;
+  phys::Page* page = nullptr;
+  VmObject* found_in = nullptr;
+  for (;;) {
+    // Each object in the chain has its own lock that must be taken and
+    // dropped while searching (§5.3).
+    machine_.Charge(machine_.cost().object_chain_hop_ns + machine_.cost().object_lock_ns);
+    page = obj->LookupPage(pgi);
+    if (page != nullptr) {
+      found_in = obj;
+      break;
+    }
+    if (obj->pager != nullptr && obj->pager->HasPage(pgi)) {
+      page = AllocPageInObject(obj, pgi, /*zero=*/false);
+      if (page == nullptr) {
+        map.Unlock();
+        return sim::kErrNoMem;
+      }
+      obj->pager->GetPage(pm_, page, pgi);
+      found_in = obj;
+      break;
+    }
+    if (obj->shadow == nullptr) {
+      break;
+    }
+    pgi += obj->shadow_pgoffset;
+    obj = obj->shadow;
+  }
+
+  if (found_in == nullptr) {
+    // Nothing anywhere in the chain: zero-fill in the first object.
+    page = AllocPageInObject(first, first_pgi, /*zero=*/true);
+    if (page == nullptr) {
+      map.Unlock();
+      return sim::kErrNoMem;
+    }
+    found_in = first;
+    if (write) {
+      page->dirty = true;
+    }
+  }
+
+  sim::Prot enter_prot = e.prot;
+  if (found_in != first) {
+    if (write) {
+      // Copy-on-write promotion: copy the backing page into the first
+      // object. The backing page stays where it is — possibly never again
+      // accessible (the leak the collapse tries to repair).
+      SIM_ASSERT(e.copy_on_write);
+      phys::Page* np = AllocPageInObject(first, first_pgi, /*zero=*/false);
+      if (np == nullptr) {
+        map.Unlock();
+        return sim::kErrNoMem;
+      }
+      pm_.CopyPage(page, np);
+      np->dirty = true;
+      pm_.Activate(page);
+      page = np;
+      found_in = first;
+    } else if (e.copy_on_write) {
+      enter_prot = enter_prot & sim::Prot::kReadExec;  // map RO, copy later
+    }
+  } else if (write) {
+    page->dirty = true;
+  }
+  if (e.needs_copy) {
+    enter_prot = enter_prot & sim::Prot::kReadExec;
+  }
+
+  // BSD VM attempts an object collapse on every copy-on-write fault (§5.3).
+  if (e.copy_on_write && first->internal_) {
+    TryCollapse(first);
+  }
+
+  bool wire = e.wired_count > 0;
+  if (wire) {
+    // A fault in a wired entry may replace the mapped page (e.g. a COW
+    // copy); the physical wire must follow the new page.
+    bool same = old_pte.has_value() && old_pte->wired && old_pte->pfn == page->pfn;
+    if (old_pte.has_value() && old_pte->wired && old_pte->pfn != page->pfn) {
+      pm_.Unwire(pm_.PageAt(old_pte->pfn));
+    }
+    if (!same) {
+      pm_.Wire(page);
+    }
+  }
+  as.pmap_.Enter(va, page, enter_prot, wire);
+  page->referenced = true;
+  if (page->wire_count == 0) {
+    pm_.Activate(page);
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Pageout: one page per I/O operation (§6).
+
+std::size_t BsdVm::PageDaemon(std::size_t target_free) {
+  std::size_t freed = 0;
+  std::size_t guard = pm_.total_pages() * 4 + 64;
+  while (pm_.free_pages() < target_free && guard-- > 0) {
+    if (pm_.inactive_queue().empty()) {
+      // Refill the inactive queue from the head of the active queue.
+      std::size_t want = (target_free - pm_.free_pages()) * 2 + 4;
+      while (want-- > 0 && !pm_.active_queue().empty()) {
+        phys::Page* ap = pm_.active_queue().head();
+        ap->referenced = false;
+        pm_.Deactivate(ap);
+      }
+      if (pm_.inactive_queue().empty()) {
+        break;  // nothing reclaimable
+      }
+    }
+    phys::Page* p = pm_.inactive_queue().head();
+    if (p->referenced) {
+      p->referenced = false;
+      pm_.Activate(p);
+      continue;
+    }
+    if (p->wire_count > 0 || p->busy || p->loan_count > 0 ||
+        p->owner_kind != phys::OwnerKind::kBsdObject) {
+      pm_.Dequeue(p);
+      continue;
+    }
+    auto* obj = static_cast<VmObject*>(p->owner);
+    mmu_.PageProtect(p, sim::Prot::kNone);
+    if (p->dirty) {
+      if (obj->pager == nullptr) {
+        SIM_ASSERT(obj->internal_);
+        machine_.Charge(machine_.cost().pager_alloc_ns);
+        obj->pager = std::make_unique<SwapPager>(swap_);
+      }
+      if (obj->pager->PutPage(pm_, p, p->offset) != sim::kOk) {
+        pm_.Activate(p);  // swap full; keep the page
+        continue;
+      }
+      // First pageout to swap is one of BSD VM's collapse triggers (§5.1).
+      TryCollapse(obj);
+      // The collapse may have freed or moved `p`; re-check before freeing.
+      if (p->owner_kind != phys::OwnerKind::kBsdObject || p->queue == phys::PageQueue::kFree) {
+        ++freed;
+        continue;
+      }
+      obj = static_cast<VmObject*>(p->owner);
+    }
+    obj->pages.erase(p->offset);
+    pm_.FreePage(p);
+    ++freed;
+  }
+  return freed;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+std::size_t BsdVm::ResidentPages(kern::AddressSpace& as_) const {
+  auto& as = static_cast<BsdAddressSpace&>(as_);
+  return as.pmap_.resident_count();
+}
+
+std::size_t BsdVm::TotalAnonPages() const {
+  std::size_t total = 0;
+  for (VmObject* obj : all_objects_) {
+    if (!obj->internal_) {
+      continue;
+    }
+    std::set<std::uint64_t> logical;
+    for (const auto& [pgi, page] : obj->pages) {
+      logical.insert(pgi);
+    }
+    if (obj->pager != nullptr) {
+      auto* sp = static_cast<SwapPager*>(obj->pager.get());
+      for (std::uint64_t i = 0; i < obj->size_pages_; ++i) {
+        if (sp->HasPage(i)) {
+          logical.insert(i);
+        }
+      }
+    }
+    total += logical.size();
+  }
+  return total;
+}
+
+std::size_t BsdVm::MaxChainDepth(kern::AddressSpace& as_) const {
+  auto& as = static_cast<BsdAddressSpace&>(as_);
+  std::size_t deepest = 0;
+  for (const MapEntry& e : const_cast<VmMap&>(as.map_).entries()) {
+    std::size_t depth = 0;
+    for (VmObject* o = e.object; o != nullptr; o = o->shadow) {
+      ++depth;
+    }
+    deepest = std::max(deepest, depth);
+  }
+  return deepest;
+}
+
+void BsdVm::CheckInvariants() {
+  for (VmObject* obj : all_objects_) {
+    SIM_ASSERT_MSG(obj->ref_count > 0 || obj->in_cache_, "unreferenced live object");
+    SIM_ASSERT_MSG(!obj->in_cache_ || obj->ref_count == 0, "cached object with references");
+    SIM_ASSERT_MSG(!obj->in_cache_ || obj->can_persist_, "cached non-persistent object");
+    for (const auto& [pgi, page] : obj->pages) {
+      SIM_ASSERT_MSG(page->owner == obj, "page owner mismatch");
+      SIM_ASSERT_MSG(page->offset == pgi, "page offset mismatch");
+      SIM_ASSERT_MSG(page->owner_kind == phys::OwnerKind::kBsdObject, "page owner kind mismatch");
+    }
+    if (obj->shadow != nullptr) {
+      SIM_ASSERT_MSG(all_objects_.contains(obj->shadow), "dangling shadow pointer");
+    }
+  }
+  SIM_ASSERT(object_cache_.size() <= config_.object_cache_limit);
+}
+
+}  // namespace bsdvm

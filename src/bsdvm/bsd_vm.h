@@ -1,0 +1,164 @@
+// The BSD VM baseline system: the Mach-derived 4.4BSD virtual memory design
+// the paper replaces. Implements kern::VmSystem with shadow-object chains,
+// the collapse operation, the 100-entry object cache, two-step mapping
+// (establish with default attributes, then modify), single-lock unmap, map
+// fragmentation on every wiring, and one-page-at-a-time pageout I/O.
+#ifndef SRC_BSDVM_BSD_VM_H_
+#define SRC_BSDVM_BSD_VM_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/bsdvm/pagers.h"
+#include "src/bsdvm/vm_map.h"
+#include "src/bsdvm/vm_object.h"
+#include "src/kern/vm_iface.h"
+#include "src/mmu/pmap.h"
+#include "src/phys/phys_mem.h"
+#include "src/sim/machine.h"
+#include "src/swap/swap_device.h"
+#include "src/vfs/vnode.h"
+
+namespace bsdvm {
+
+class BsdVm;
+
+class BsdAddressSpace : public kern::AddressSpace {
+ public:
+  BsdAddressSpace(BsdVm& vm, bool is_kernel);
+
+  mmu::Pmap& pmap() override { return pmap_; }
+  std::size_t EntryCount() const override { return map_.entry_count(); }
+
+  VmMap& map() { return map_; }
+
+ private:
+  friend class BsdVm;
+  VmMap map_;
+  // BSD VM mirrors each page-table page into the kernel map (§3.2); this
+  // records which kernel-map entry belongs to which PT page for teardown.
+  std::unordered_map<phys::Page*, sim::Vaddr> ptpage_entries_;
+  mmu::Pmap pmap_;
+};
+
+struct BsdConfig {
+  std::size_t object_cache_limit = 100;  // §4: the one-hundred-file limit
+  std::size_t kernel_map_entries = 4096;  // fixed kernel entry pool
+  bool enable_collapse = true;            // ablation switch
+};
+
+class BsdVm : public kern::VmSystem {
+ public:
+  BsdVm(sim::Machine& machine, phys::PhysMem& pm, mmu::MmuContext& mmu, vfs::VnodeCache& vnodes,
+        swp::SwapDevice& swap, const BsdConfig& config = BsdConfig{});
+  ~BsdVm() override;
+
+  const char* name() const override { return "bsdvm"; }
+
+  kern::AddressSpace* CreateAddressSpace() override;
+  void DestroyAddressSpace(kern::AddressSpace* as) override;
+  kern::AddressSpace* Fork(kern::AddressSpace& parent) override;
+  kern::AddressSpace& kernel_as() override { return *kernel_as_; }
+
+  int Map(kern::AddressSpace& as, sim::Vaddr* addr, std::uint64_t len, vfs::Vnode* vn,
+          sim::ObjOffset off, const kern::MapAttrs& attrs) override;
+  int MapDevice(kern::AddressSpace& as, sim::Vaddr* addr, kern::DeviceMem& dev,
+                const kern::MapAttrs& attrs) override;
+  int Unmap(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len) override;
+  int Protect(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len,
+              sim::Prot prot) override;
+  int SetInherit(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len,
+                 sim::Inherit inherit) override;
+  int SetAdvice(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len,
+                sim::Advice advice) override;
+  int Msync(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len) override;
+  int MadvFree(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len) override;
+  int Mincore(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len,
+              std::vector<bool>* out) override;
+
+  int Wire(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len) override;
+  int Unwire(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len) override;
+  int WireTransient(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len,
+                    kern::TransientWiring* out) override;
+  void UnwireTransient(kern::AddressSpace& as, kern::TransientWiring& tw) override;
+
+  int AllocProcResources(kern::ProcKernelResources* out) override;
+  void FreeProcResources(kern::ProcKernelResources& res) override;
+  void SwapOutProcResources(kern::ProcKernelResources& res) override;
+  void SwapInProcResources(kern::ProcKernelResources& res) override;
+
+  int Fault(kern::AddressSpace& as, sim::Vaddr addr, sim::Access access) override;
+
+  std::size_t PageDaemon(std::size_t target_free) override;
+
+  std::size_t KernelMapEntries() const override { return kernel_as_->EntryCount(); }
+  std::size_t ResidentPages(kern::AddressSpace& as) const override;
+  void CheckInvariants() override;
+
+  // --- BSD-specific introspection used by tests and benches ---
+  std::size_t object_cache_size() const { return object_cache_.size(); }
+  std::size_t live_objects() const { return all_objects_.size(); }
+  // Total anonymous pages held (resident + swapped) across all internal
+  // objects. The swap-leak test compares this against the number of
+  // distinct accessible pages.
+  std::size_t TotalAnonPages() const;
+  // Longest shadow chain below any entry of `as`.
+  std::size_t MaxChainDepth(kern::AddressSpace& as) const;
+
+  sim::Machine& machine() { return machine_; }
+
+ private:
+  friend class BsdAddressSpace;
+
+  VmObject* NewObject(std::size_t size_pages, bool internal);
+  VmObject* ObjectForVnode(vfs::Vnode* vn);
+  void RefObject(VmObject* obj);
+  void DerefObject(VmObject* obj);
+  void TerminateObject(VmObject* obj);
+  void CacheInsert(VmObject* obj);
+  void CacheRemove(VmObject* obj);
+
+  // Give `entry` a fresh shadow object, clearing needs-copy.
+  void ShadowEntry(MapEntry& entry);
+  void TryCollapse(VmObject* top);
+  bool CanBypass(const VmObject* o, const VmObject* s) const;
+
+  phys::Page* AllocPageInObject(VmObject* obj, std::uint64_t pgindex, bool zero);
+  // Remove a page from its object and free the frame (mappings removed).
+  void FreeObjectPage(phys::Page* p);
+
+  // Wiring guts shared by Wire()/WireTransient().
+  int WireRange(BsdAddressSpace& as, sim::Vaddr addr, std::uint64_t len);
+  int UnwireRange(BsdAddressSpace& as, sim::Vaddr addr, std::uint64_t len);
+
+  // Clip helpers that maintain object reference counts.
+  VmMap::iterator ClipStartRef(VmMap& map, VmMap::iterator it, sim::Vaddr va);
+  void ClipEndRef(VmMap& map, VmMap::iterator it, sim::Vaddr va);
+
+  void UnmapRangeLocked(BsdAddressSpace& as, sim::Vaddr start, sim::Vaddr end,
+                        std::vector<VmObject*>* drop);
+
+  sim::Machine& machine_;
+  phys::PhysMem& pm_;
+  mmu::MmuContext& mmu_;
+  vfs::VnodeCache& vnodes_;
+  swp::SwapDevice& swap_;
+  BsdConfig config_;
+
+  std::unique_ptr<BsdAddressSpace> kernel_as_;
+  std::set<VmObject*> all_objects_;
+  std::unordered_map<vfs::Vnode*, VmObject*> pager_hash_;
+  std::list<VmObject*> object_cache_;  // front = least recently cached
+  // Device objects: one per mapped device, permanently referenced by this
+  // registry (BSD's device pager kept the pages for the device lifetime).
+  std::unordered_map<kern::DeviceMem*, VmObject*> device_objects_;
+  sim::Vaddr kernel_alloc_hint_ = 0;
+};
+
+}  // namespace bsdvm
+
+#endif  // SRC_BSDVM_BSD_VM_H_

@@ -1,0 +1,113 @@
+#include "src/bsdvm/pagers.h"
+
+#include "src/sim/assert.h"
+
+namespace bsdvm {
+
+VnodePager::VnodePager(vfs::VnodeCache& cache, vfs::Vnode* vn) : cache_(cache), vn_(vn) {
+  cache_.Ref(vn_);
+}
+
+VnodePager::~VnodePager() { cache_.Unref(vn_); }
+
+bool VnodePager::HasPage(std::uint64_t pgindex) const {
+  return pgindex * sim::kPageSize < vn_->size();
+}
+
+void VnodePager::GetPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) {
+  vn_->ReadPages(pgindex * sim::kPageSize, 1, pm.Data(p));
+  p->dirty = false;
+}
+
+int VnodePager::PutPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) {
+  vn_->WritePages(pgindex * sim::kPageSize, 1, pm.Data(p));
+  p->dirty = false;
+  return sim::kOk;
+}
+
+SwapPager::~SwapPager() {
+  for (auto& [bi, blk] : blocks_) {
+    for (std::uint64_t i = 0; i < kBlockPages; ++i) {
+      if (blk.slots[i] != swp::kNoSlot) {
+        sd_.FreeSlot(blk.slots[i]);
+      }
+    }
+  }
+}
+
+SwapPager::SwapBlock* SwapPager::FindBlock(std::uint64_t pgindex) {
+  auto it = blocks_.find(pgindex / kBlockPages);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+const SwapPager::SwapBlock* SwapPager::FindBlock(std::uint64_t pgindex) const {
+  auto it = blocks_.find(pgindex / kBlockPages);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+bool SwapPager::HasPage(std::uint64_t pgindex) const {
+  const SwapBlock* blk = FindBlock(pgindex);
+  return blk != nullptr && blk->valid[pgindex % kBlockPages];
+}
+
+void SwapPager::GetPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) {
+  SwapBlock* blk = FindBlock(pgindex);
+  SIM_ASSERT_MSG(blk != nullptr, "swap pager GetPage without data");
+  std::uint64_t i = pgindex % kBlockPages;
+  SIM_ASSERT(blk->valid[i] && blk->slots[i] != swp::kNoSlot);
+  sd_.ReadSlot(blk->slots[i], pm.Data(p));
+  p->dirty = false;
+}
+
+int SwapPager::PutPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) {
+  std::uint64_t bi = pgindex / kBlockPages;
+  std::uint64_t i = pgindex % kBlockPages;
+  auto it = blocks_.find(bi);
+  if (it == blocks_.end()) {
+    // First pageout into this 64 KB chunk: try to reserve a whole
+    // contiguous swap block for it; under fragmentation fall back to
+    // allocating slots one at a time.
+    SwapBlock blk;
+    std::int32_t base = sd_.AllocContig(kBlockPages);
+    for (std::uint64_t k = 0; k < kBlockPages; ++k) {
+      blk.slots[k] = base == swp::kNoSlot ? swp::kNoSlot : base + static_cast<std::int32_t>(k);
+    }
+    it = blocks_.emplace(bi, blk).first;
+  }
+  SwapBlock& blk = it->second;
+  if (blk.slots[i] == swp::kNoSlot) {
+    blk.slots[i] = sd_.AllocSlot();
+    if (blk.slots[i] == swp::kNoSlot) {
+      return sim::kErrNoSwap;
+    }
+  }
+  sd_.WriteSlot(blk.slots[i], pm.Data(p));
+  blk.valid[i] = true;
+  p->dirty = false;
+  return sim::kOk;
+}
+
+void SwapPager::Invalidate(std::uint64_t pgindex) {
+  SwapBlock* blk = FindBlock(pgindex);
+  if (blk == nullptr) {
+    return;
+  }
+  std::uint64_t i = pgindex % kBlockPages;
+  if (blk->slots[i] != swp::kNoSlot) {
+    sd_.FreeSlot(blk->slots[i]);
+    blk->slots[i] = swp::kNoSlot;
+  }
+  blk->valid[i] = false;
+}
+
+std::size_t SwapPager::ValidSlotCount() const {
+  std::size_t n = 0;
+  for (const auto& [bi, blk] : blocks_) {
+    for (bool v : blk.valid) {
+      n += v ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+}  // namespace bsdvm

@@ -1,0 +1,141 @@
+#include "src/bsdvm/vm_map.h"
+
+#include "src/sim/assert.h"
+
+namespace bsdvm {
+
+VmMap::VmMap(sim::Machine& machine, sim::Vaddr min_addr, sim::Vaddr max_addr,
+             std::size_t max_entries)
+    : machine_(machine), min_addr_(min_addr), max_addr_(max_addr), max_entries_(max_entries) {}
+
+void VmMap::Lock() {
+  if (lock_depth_ == 0) {
+    machine_.Charge(machine_.cost().map_lock_ns);
+    ++machine_.stats().map_lock_acquisitions;
+    lock_start_ = machine_.clock().now();
+  }
+  ++lock_depth_;
+}
+
+void VmMap::Unlock() {
+  SIM_ASSERT(lock_depth_ > 0);
+  --lock_depth_;
+  if (lock_depth_ == 0) {
+    machine_.stats().map_lock_hold_ns += machine_.clock().now() - lock_start_;
+  }
+}
+
+VmMap::iterator VmMap::LookupEntry(sim::Vaddr va) {
+  std::size_t scanned = 0;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    ++scanned;
+    if (va >= it->start && va < it->end) {
+      machine_.Charge(machine_.cost().map_entry_scan_ns * scanned);
+      return it;
+    }
+    if (it->start > va) {
+      break;
+    }
+  }
+  machine_.Charge(machine_.cost().map_entry_scan_ns * (scanned + 1));
+  return entries_.end();
+}
+
+bool VmMap::RangeFree(sim::Vaddr start, std::uint64_t len) const {
+  sim::Vaddr end = start + len;
+  if (start < min_addr_ || end > max_addr_ || end <= start) {
+    return false;
+  }
+  for (const MapEntry& e : entries_) {
+    if (e.start < end && e.end > start) {
+      return false;
+    }
+    if (e.start >= end) {
+      break;
+    }
+  }
+  return true;
+}
+
+int VmMap::FindSpace(sim::Vaddr* addr, std::uint64_t len) const {
+  sim::Vaddr at = *addr < min_addr_ ? min_addr_ : sim::PageRound(*addr);
+  for (const MapEntry& e : entries_) {
+    if (e.end <= at) {
+      continue;
+    }
+    if (e.start >= at + len) {
+      break;
+    }
+    at = e.end;
+  }
+  if (at + len > max_addr_) {
+    return sim::kErrNoMem;
+  }
+  *addr = at;
+  return sim::kOk;
+}
+
+int VmMap::ChargeAlloc() {
+  if (max_entries_ != 0 && entries_.size() >= max_entries_) {
+    return sim::kErrMapEntryPool;
+  }
+  machine_.Charge(machine_.cost().map_entry_alloc_ns);
+  ++machine_.stats().map_entries_allocated;
+  return sim::kOk;
+}
+
+int VmMap::InsertEntry(const MapEntry& e, iterator* out) {
+  SIM_ASSERT(e.start < e.end);
+  SIM_ASSERT((e.start & sim::kPageMask) == 0 && (e.end & sim::kPageMask) == 0);
+  if (int err = ChargeAlloc(); err != sim::kOk) {
+    return err;
+  }
+  auto it = entries_.begin();
+  while (it != entries_.end() && it->start < e.start) {
+    ++it;
+  }
+  if (it != entries_.end()) {
+    SIM_ASSERT_MSG(e.end <= it->start, "map entry overlap on insert");
+  }
+  auto ins = entries_.insert(it, e);
+  if (out != nullptr) {
+    *out = ins;
+  }
+  return sim::kOk;
+}
+
+VmMap::iterator VmMap::ClipStart(iterator it, sim::Vaddr va) {
+  SIM_ASSERT(va > it->start && va < it->end);
+  SIM_ASSERT((va & sim::kPageMask) == 0);
+  // The front half is a new entry inserted before `it`; `it` keeps the tail.
+  int err = ChargeAlloc();
+  SIM_ASSERT_MSG(err == sim::kOk, "map entry pool exhausted during clip");
+  ++machine_.stats().map_entry_fragmentations;
+  MapEntry front = *it;
+  front.end = va;
+  it->pgoffset += (va - it->start) >> sim::kPageShift;
+  it->start = va;
+  entries_.insert(it, front);
+  return it;
+}
+
+void VmMap::ClipEnd(iterator it, sim::Vaddr va) {
+  SIM_ASSERT(va > it->start && va < it->end);
+  SIM_ASSERT((va & sim::kPageMask) == 0);
+  int err = ChargeAlloc();
+  SIM_ASSERT_MSG(err == sim::kOk, "map entry pool exhausted during clip");
+  ++machine_.stats().map_entry_fragmentations;
+  MapEntry back = *it;
+  back.pgoffset += (va - it->start) >> sim::kPageShift;
+  back.start = va;
+  it->end = va;
+  auto next = std::next(it);
+  entries_.insert(next, back);
+}
+
+void VmMap::EraseEntry(iterator it) {
+  machine_.Charge(machine_.cost().map_entry_free_ns);
+  entries_.erase(it);
+}
+
+}  // namespace bsdvm

@@ -1,0 +1,1565 @@
+#include "src/core/uvm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/sim/assert.h"
+
+namespace uvm {
+
+namespace {
+constexpr sim::Vaddr kUserMin = 0x0000'1000;
+constexpr sim::Vaddr kUserMax = 0xB000'0000;
+constexpr sim::Vaddr kKernMin = 0xC000'0000;
+constexpr sim::Vaddr kKernMax = 0x1'0000'0000;
+constexpr std::size_t kUPages = 2;
+constexpr std::size_t kKStackPages = 2;
+}  // namespace
+
+UvmAddressSpace::UvmAddressSpace(Uvm& vm, bool is_kernel)
+    : map_(vm.machine(), is_kernel ? kKernMin : kUserMin, is_kernel ? kKernMax : kUserMax,
+           is_kernel ? vm.config().kernel_map_entries : 0),
+      // UVM: the wired state of page-table pages lives only in the pmap
+      // (§3.2) — no kernel-map hooks.
+      pmap_(vm.mmu_, is_kernel) {}
+
+Uvm::Uvm(sim::Machine& machine, phys::PhysMem& pm, mmu::MmuContext& mmu, vfs::VnodeCache& vnodes,
+         swp::SwapDevice& swap, const UvmConfig& config)
+    : machine_(machine), pm_(pm), mmu_(mmu), vnodes_(vnodes), swap_(swap), config_(config) {
+  kernel_as_ = std::make_unique<UvmAddressSpace>(*this, /*is_kernel=*/true);
+}
+
+Uvm::~Uvm() {
+  // Release kernel-map reservations.
+  Unmap(*kernel_as_, kKernMin, kKernMax - kKernMin);
+  // Detach our per-vnode state before the vnode cache outlives us.
+  for (vfs::Vnode* vn : attached_vnodes_) {
+    if (vn->attachment() != nullptr) {
+      vn->attachment()->Terminate(*vn);
+      vn->set_attachment(nullptr);
+    }
+  }
+  attached_vnodes_.clear();
+  for (auto& [dev, udev] : devices_) {
+    // `dev` may already be destroyed (the kernel owns DeviceMem); free the
+    // frames from our own object's page list.
+    while (!udev->uobj.pages.empty()) {
+      phys::Page* p = udev->uobj.pages.begin()->second;
+      udev->uobj.pages.erase(p->offset);
+      mmu_.PageProtect(p, sim::Prot::kNone);
+      pm_.Unwire(p);
+      pm_.Dequeue(p);
+      pm_.FreePage(p);
+    }
+  }
+  devices_.clear();
+  SIM_ASSERT_MSG(all_anons_.empty(), "Uvm destroyed with live anons");
+  SIM_ASSERT_MSG(all_amaps_.empty(), "Uvm destroyed with live amaps");
+}
+
+kern::AddressSpace* Uvm::CreateAddressSpace() {
+  return new UvmAddressSpace(*this, /*is_kernel=*/false);
+}
+
+void Uvm::DestroyAddressSpace(kern::AddressSpace* as_) {
+  auto* as = static_cast<UvmAddressSpace*>(as_);
+  Unmap(*as, kUserMin, kUserMax - kUserMin);
+  delete as;
+}
+
+// ---------------------------------------------------------------------------
+// anon / amap management
+
+Anon* Uvm::NewAnon() {
+  machine_.Charge(machine_.cost().anon_alloc_ns);
+  ++machine_.stats().anons_allocated;
+  auto* a = new Anon();
+  all_anons_.insert(a);
+  return a;
+}
+
+void Uvm::DerefAnon(Anon* a) {
+  SIM_ASSERT(a->ref_count > 0);
+  if (--a->ref_count > 0) {
+    return;
+  }
+  if (a->page != nullptr) {
+    phys::Page* p = a->page;
+    if (p->loan_count > 0) {
+      // The kernel still holds a loan on this page: orphan it; the final
+      // Unloan() frees it.
+      mmu_.PageProtect(p, sim::Prot::kNone);
+      p->owner_kind = phys::OwnerKind::kKernel;
+      p->owner = nullptr;
+    } else {
+      mmu_.PageProtect(p, sim::Prot::kNone);
+      pm_.FreePage(p);
+    }
+    a->page = nullptr;
+  }
+  if (a->swap_slot != swp::kNoSlot) {
+    swap_.FreeSlot(a->swap_slot);
+    a->swap_slot = swp::kNoSlot;
+  }
+  all_anons_.erase(a);
+  delete a;
+}
+
+Amap* Uvm::NewAmap(std::uint64_t nslots) {
+  machine_.Charge(machine_.cost().amap_alloc_per_slot_ns * nslots);
+  ++machine_.stats().amaps_allocated;
+  auto* am = new Amap(MakeAmapImpl(config_.amap_policy, nslots));
+  all_amaps_.insert(am);
+  return am;
+}
+
+void Uvm::DerefAmap(Amap* am) {
+  SIM_ASSERT(am->ref_count > 0);
+  if (--am->ref_count > 0) {
+    return;
+  }
+  am->impl->ForEach([this](std::uint64_t, Anon* a) { DerefAnon(a); });
+  all_amaps_.erase(am);
+  delete am;
+}
+
+void Uvm::EnsureAmap(UvmMapEntry& e) {
+  if (e.amap != nullptr) {
+    return;
+  }
+  e.amap = NewAmap(e.npages());
+  e.amap_slotoff = 0;
+}
+
+void Uvm::AmapCopy(UvmMapEntry& e) {
+  SIM_ASSERT(e.needs_copy);
+  if (e.amap == nullptr) {
+    // Nothing to copy; a fresh empty amap clears needs-copy.
+    e.amap = NewAmap(e.npages());
+    e.amap_slotoff = 0;
+    e.needs_copy = false;
+    return;
+  }
+  if (e.amap->ref_count == 1 && !e.amap->shared) {
+    // We hold the only reference (e.g. the child faulting after the parent
+    // already copied, Figure 3): just clear the flag and reuse the amap.
+    e.needs_copy = false;
+    return;
+  }
+  std::uint64_t n = e.npages();
+  Amap* na = NewAmap(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Anon* a = e.amap->Get(e.amap_slotoff + i);
+    if (a != nullptr) {
+      RefAnon(a);
+      na->Set(i, a);
+    }
+  }
+  DerefAmap(e.amap);
+  e.amap = na;
+  e.amap_slotoff = 0;
+  e.needs_copy = false;
+}
+
+// ---------------------------------------------------------------------------
+// object management
+
+UvmObject* Uvm::GetVnodeObject(vfs::Vnode* vn) {
+  auto* uvn = static_cast<UvmVnode*>(vn->attachment());
+  if (uvn == nullptr) {
+    // The uvm_vnode is embedded in the vnode; creating it is part of vnode
+    // setup, not a separate VM allocation (§4, Figure 4).
+    auto owned = std::make_unique<UvmVnode>(*this, vn);
+    uvn = owned.get();
+    vn->set_attachment(std::move(owned));
+    attached_vnodes_.insert(vn);
+  }
+  uvn->uobj.pgops->Reference(*this, uvn->uobj);
+  return &uvn->uobj;
+}
+
+void Uvm::DetachObject(UvmObject* obj) { obj->pgops->Detach(*this, *obj); }
+
+void Uvm::ReleaseObjectPage(phys::Page* p) {
+  SIM_ASSERT(p->owner_kind == phys::OwnerKind::kUvmObject);
+  auto* obj = static_cast<UvmObject*>(p->owner);
+  mmu_.PageProtect(p, sim::Prot::kNone);
+  obj->pages.erase(p->offset);
+  if (p->loan_count > 0) {
+    p->owner_kind = phys::OwnerKind::kKernel;
+    p->owner = nullptr;
+    return;
+  }
+  pm_.FreePage(p);
+}
+
+phys::Page* Uvm::AllocPageOrReclaim(phys::OwnerKind kind, void* owner, sim::ObjOffset offset,
+                                    bool zero) {
+  phys::Page* p = pm_.AllocPage(kind, owner, offset, zero);
+  if (p == nullptr) {
+    PageDaemon(pm_.free_target());
+    p = pm_.AllocPage(kind, owner, offset, zero);
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Mapping operations (§3.1): one locked pass applies every attribute.
+
+int Uvm::Map(kern::AddressSpace& as_, sim::Vaddr* addr, std::uint64_t len, vfs::Vnode* vn,
+             sim::ObjOffset off, const kern::MapAttrs& attrs) {
+  auto& as = static_cast<UvmAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  if (len == 0) {
+    return sim::kErrInval;
+  }
+  UvmMap& map = as.map_;
+  map.Lock();
+  if (attrs.fixed) {
+    if (!map.RangeFree(*addr, len)) {
+      map.Unlock();
+      return sim::kErrExist;
+    }
+  } else if (int err = map.FindSpace(addr, len); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
+
+  UvmMapEntry e;
+  e.start = *addr;
+  e.end = *addr + len;
+  e.prot = attrs.prot;
+  e.max_prot = attrs.max_prot;
+  e.advice = attrs.advice;
+  if (vn != nullptr) {
+    e.uobj = GetVnodeObject(vn);
+    e.uobj_pgoffset = off >> sim::kPageShift;
+    e.copy_on_write = !attrs.shared;
+    e.inherit = attrs.inherit.value_or(attrs.shared ? sim::Inherit::kShared
+                                                    : sim::Inherit::kCopy);
+  } else {
+    // Zero-fill: both layers start empty; anons are allocated at fault
+    // time (§5.1/§5.2). A shared anonymous mapping needs its amap up front
+    // so that fork can share it.
+    e.copy_on_write = !attrs.shared;
+    e.inherit = attrs.inherit.value_or(attrs.shared ? sim::Inherit::kShared
+                                                    : sim::Inherit::kCopy);
+    if (attrs.shared) {
+      e.amap = NewAmap(len >> sim::kPageShift);
+      e.amap->shared = true;
+    }
+  }
+  UvmMap::iterator ins;
+  if (int err = map.InsertEntry(e, &ins); err != sim::kOk) {
+    map.Unlock();
+    if (e.uobj != nullptr) {
+      DetachObject(e.uobj);
+    }
+    if (e.amap != nullptr) {
+      DerefAmap(e.amap);
+    }
+    return err;
+  }
+  TryMergeEntry(map, ins);
+  map.Unlock();
+  return sim::kOk;
+}
+
+int Uvm::MapDevice(kern::AddressSpace& as_, sim::Vaddr* addr, kern::DeviceMem& dev,
+                   const kern::MapAttrs& attrs) {
+  auto& as = static_cast<UvmAddressSpace&>(as_);
+  auto it = devices_.find(&dev);
+  if (it == devices_.end()) {
+    // Embed a uvm_object around the device's frames — §4's "any kernel
+    // abstraction" in action; no separate pager structures exist.
+    it = devices_.emplace(&dev, std::make_unique<UvmDevice>(*this, &dev)).first;
+  }
+  UvmObject& uobj = it->second->uobj;
+  std::uint64_t len = dev.pages.size() * sim::kPageSize;
+  UvmMap& map = as.map_;
+  map.Lock();
+  if (attrs.fixed) {
+    if (!map.RangeFree(*addr, len)) {
+      map.Unlock();
+      return sim::kErrExist;
+    }
+  } else if (int err = map.FindSpace(addr, len); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
+  UvmMapEntry e;
+  e.start = *addr;
+  e.end = *addr + len;
+  e.prot = attrs.prot;
+  e.max_prot = attrs.max_prot;
+  e.advice = attrs.advice;
+  e.uobj = &uobj;
+  e.uobj_pgoffset = 0;
+  e.copy_on_write = !attrs.shared;
+  e.inherit =
+      attrs.inherit.value_or(attrs.shared ? sim::Inherit::kShared : sim::Inherit::kCopy);
+  uobj.pgops->Reference(*this, uobj);
+  int err = map.InsertEntry(e);
+  SIM_ASSERT(err == sim::kOk);
+  map.Unlock();
+  return sim::kOk;
+}
+
+UvmMap::iterator Uvm::ClipStartRef(UvmMap& map, UvmMap::iterator it, sim::Vaddr va) {
+  auto res = map.ClipStart(it, va);
+  if (res->uobj != nullptr) {
+    res->uobj->pgops->Reference(*this, *res->uobj);
+  }
+  if (res->amap != nullptr) {
+    RefAmap(res->amap);
+  }
+  return res;
+}
+
+void Uvm::ClipEndRef(UvmMap& map, UvmMap::iterator it, sim::Vaddr va) {
+  map.ClipEnd(it, va);
+  if (it->uobj != nullptr) {
+    it->uobj->pgops->Reference(*this, *it->uobj);
+  }
+  if (it->amap != nullptr) {
+    RefAmap(it->amap);
+  }
+}
+
+void Uvm::DropEntryRefs(UvmMapEntry& e) {
+  if (e.amap != nullptr) {
+    DerefAmap(e.amap);
+    e.amap = nullptr;
+  }
+  if (e.uobj != nullptr) {
+    DetachObject(e.uobj);
+    e.uobj = nullptr;
+  }
+}
+
+int Uvm::Unmap(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
+  auto& as = static_cast<UvmAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  sim::Vaddr end = addr + len;
+  UvmMap& map = as.map_;
+
+  // Phase 1 (map locked): detach the entries from the map and the pmap.
+  std::vector<UvmMapEntry> removed;
+  map.Lock();
+  auto it = map.entries().begin();
+  while (it != map.entries().end()) {
+    if (it->end <= addr) {
+      ++it;
+      continue;
+    }
+    if (it->start >= end) {
+      break;
+    }
+    // amap_unadd: when this entry holds the only reference to its amap, the
+    // anons of the removed subrange are freed immediately rather than
+    // lingering until every clipped sibling dies. (BSD VM cannot do this —
+    // pages of a partially unmapped object stay until the object dies.)
+    bool partial = it->start < addr || it->end > end;
+    if (partial && it->amap != nullptr && it->amap->ref_count == 1 && !it->amap->shared) {
+      sim::Vaddr lo = std::max(it->start, addr);
+      sim::Vaddr hi = std::min(it->end, end);
+      for (sim::Vaddr va = lo; va < hi; va += sim::kPageSize) {
+        std::uint64_t slot = it->SlotOf(va);
+        Anon* a = it->amap->Get(slot);
+        if (a != nullptr) {
+          it->amap->Set(slot, nullptr);
+          auto pte = as.pmap_.Extract(va);
+          if (pte.has_value() && pte->wired) {
+            pm_.Unwire(pm_.PageAt(pte->pfn));
+          }
+          as.pmap_.Remove(va);
+          DerefAnon(a);
+        }
+      }
+    }
+    if (it->start < addr) {
+      it = ClipStartRef(map, it, addr);
+    }
+    if (it->end > end) {
+      ClipEndRef(map, it, end);
+    }
+    if (it->wired_count > 0) {
+      for (sim::Vaddr va = it->start; va < it->end; va += sim::kPageSize) {
+        auto pte = as.pmap_.Extract(va);
+        if (pte.has_value() && pte->wired) {
+          pm_.Unwire(pm_.PageAt(pte->pfn));
+          as.pmap_.ChangeWiring(va, false);
+        }
+      }
+    }
+    as.pmap_.RemoveRange(it->start, it->end);
+    removed.push_back(*it);
+    auto victim = it++;
+    map.EraseEntry(victim);
+  }
+  map.Unlock();
+
+  // Phase 2 (map unlocked): drop the object and amap references; this is
+  // where lengthy teardown I/O happens, and no one is blocked on the map.
+  for (UvmMapEntry& e : removed) {
+    DropEntryRefs(e);
+  }
+  return sim::kOk;
+}
+
+int Uvm::Protect(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len, sim::Prot prot) {
+  auto& as = static_cast<UvmAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  sim::Vaddr end = addr + len;
+  UvmMap& map = as.map_;
+  map.Lock();
+  auto it = map.LookupEntry(addr);
+  while (it != map.entries().end() && it->start < end) {
+    if (!sim::ProtIncludes(it->max_prot, prot)) {
+      map.Unlock();
+      return sim::kErrProt;
+    }
+    if (it->start < addr) {
+      it = ClipStartRef(map, it, addr);
+    }
+    if (it->end > end) {
+      ClipEndRef(map, it, end);
+    }
+    it->prot = prot;
+    as.pmap_.IntersectProtRange(it->start, it->end, prot);
+    ++it;
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int Uvm::SetInherit(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len,
+                    sim::Inherit inherit) {
+  auto& as = static_cast<UvmAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  sim::Vaddr end = addr + len;
+  UvmMap& map = as.map_;
+  map.Lock();
+  auto it = map.LookupEntry(addr);
+  while (it != map.entries().end() && it->start < end) {
+    if (it->start < addr) {
+      it = ClipStartRef(map, it, addr);
+    }
+    if (it->end > end) {
+      ClipEndRef(map, it, end);
+    }
+    it->inherit = inherit;
+    ++it;
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int Uvm::SetAdvice(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len,
+                   sim::Advice advice) {
+  auto& as = static_cast<UvmAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  sim::Vaddr end = addr + len;
+  UvmMap& map = as.map_;
+  map.Lock();
+  auto it = map.LookupEntry(addr);
+  while (it != map.entries().end() && it->start < end) {
+    if (it->start < addr) {
+      it = ClipStartRef(map, it, addr);
+    }
+    if (it->end > end) {
+      ClipEndRef(map, it, end);
+    }
+    it->advice = advice;
+    ++it;
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int Uvm::Msync(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
+  auto& as = static_cast<UvmAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  sim::Vaddr end = addr + len;
+  UvmMap& map = as.map_;
+  map.Lock();
+  for (UvmMapEntry& e : map.entries()) {
+    if (e.end <= addr || e.start >= end || e.uobj == nullptr) {
+      continue;
+    }
+    // Flush dirty object pages in clustered contiguous runs.
+    sim::Vaddr lo = std::max(e.start, addr);
+    sim::Vaddr hi = std::min(e.end, end);
+    std::vector<phys::Page*> run;
+    std::uint64_t prev = 0;
+    for (sim::Vaddr va = lo; va < hi; va += sim::kPageSize) {
+      std::uint64_t pgi = e.ObjIndexOf(va);
+      phys::Page* p = e.uobj->LookupPage(pgi);
+      if (p != nullptr && p->dirty) {
+        if (!run.empty() && pgi != prev + 1) {
+          e.uobj->pgops->Put(*this, *e.uobj, run);
+          run.clear();
+        }
+        run.push_back(p);
+        prev = pgi;
+      }
+    }
+    if (!run.empty()) {
+      e.uobj->pgops->Put(*this, *e.uobj, run);
+    }
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int Uvm::MadvFree(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
+  auto& as = static_cast<UvmAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  sim::Vaddr end = addr + len;
+  UvmMap& map = as.map_;
+  map.Lock();
+  for (UvmMapEntry& e : map.entries()) {
+    if (e.end <= addr || e.start >= end) {
+      continue;
+    }
+    // Only a privately held anonymous layer can be discarded safely: a
+    // shared or needs-copy amap is visible to other entries.
+    if (e.amap == nullptr || e.amap->ref_count != 1 || e.amap->shared || e.needs_copy) {
+      continue;
+    }
+    sim::Vaddr lo = std::max(e.start, addr);
+    sim::Vaddr hi = std::min(e.end, end);
+    for (sim::Vaddr va = lo; va < hi; va += sim::kPageSize) {
+      std::uint64_t slot = e.SlotOf(va);
+      Anon* a = e.amap->Get(slot);
+      if (a == nullptr) {
+        continue;
+      }
+      if (a->page != nullptr && a->page->wire_count > 0) {
+        continue;  // wired pages cannot be discarded
+      }
+      e.amap->Set(slot, nullptr);
+      as.pmap_.Remove(va);
+      DerefAnon(a);
+    }
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int Uvm::Mincore(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len,
+                 std::vector<bool>* out) {
+  auto& as = static_cast<UvmAddressSpace&>(as_);
+  len = sim::PageRound(len);
+  out->clear();
+  UvmMap& map = as.map_;
+  map.Lock();
+  for (sim::Vaddr va = sim::PageTrunc(addr); va < addr + len; va += sim::kPageSize) {
+    auto it = map.LookupEntry(va);
+    if (it == map.entries().end()) {
+      map.Unlock();
+      return sim::kErrFault;
+    }
+    bool resident = false;
+    if (it->amap != nullptr) {
+      Anon* a = it->amap->Get(it->SlotOf(va));
+      if (a != nullptr) {
+        resident = a->page != nullptr;
+      } else if (it->uobj != nullptr) {
+        resident = it->uobj->LookupPage(it->ObjIndexOf(va)) != nullptr;
+      }
+    } else if (it->uobj != nullptr) {
+      resident = it->uobj->LookupPage(it->ObjIndexOf(va)) != nullptr;
+    }
+    out->push_back(resident);
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Wiring (§3.2)
+
+int Uvm::WireRange(UvmAddressSpace& as, sim::Vaddr addr, std::uint64_t len) {
+  sim::Vaddr end = sim::PageRound(addr + len);
+  addr = sim::PageTrunc(addr);
+  UvmMap& map = as.map_;
+  map.Lock();
+  auto it = map.LookupEntry(addr);
+  if (it == map.entries().end()) {
+    map.Unlock();
+    return sim::kErrFault;
+  }
+  while (it != map.entries().end() && it->start < end) {
+    if (it->start < addr) {
+      it = ClipStartRef(map, it, addr);
+    }
+    if (it->end > end) {
+      ClipEndRef(map, it, end);
+    }
+    ++it->wired_count;
+    if (it->wired_count == 1) {
+      sim::Vaddr estart = it->start;
+      sim::Vaddr eend = it->end;
+      sim::Access acc = sim::CanWrite(it->prot) ? sim::Access::kWrite : sim::Access::kRead;
+      for (sim::Vaddr va = estart; va < eend; va += sim::kPageSize) {
+        auto pte = as.pmap_.Extract(va);
+        if (!pte.has_value()) {
+          // The entry is already marked wired, so the fault wires the page.
+          int err = Fault(as, va, acc);
+          if (err != sim::kOk) {
+            map.Unlock();
+            return err;
+          }
+          pte = as.pmap_.Extract(va);
+          SIM_ASSERT(pte.has_value() && pte->wired);
+        } else if (!pte->wired) {
+          pm_.Wire(pm_.PageAt(pte->pfn));
+          as.pmap_.ChangeWiring(va, true);
+        }
+      }
+      it = map.LookupEntry(estart);
+      SIM_ASSERT(it != map.entries().end());
+    }
+    ++it;
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int Uvm::UnwireRange(UvmAddressSpace& as, sim::Vaddr addr, std::uint64_t len) {
+  sim::Vaddr end = sim::PageRound(addr + len);
+  addr = sim::PageTrunc(addr);
+  UvmMap& map = as.map_;
+  map.Lock();
+  auto it = map.LookupEntry(addr);
+  while (it != map.entries().end() && it->start < end) {
+    if (it->start < addr) {
+      it = ClipStartRef(map, it, addr);
+    }
+    if (it->end > end) {
+      ClipEndRef(map, it, end);
+    }
+    if (it->wired_count > 0) {
+      --it->wired_count;
+      if (it->wired_count == 0) {
+        for (sim::Vaddr va = it->start; va < it->end; va += sim::kPageSize) {
+          auto pte = as.pmap_.Extract(va);
+          if (pte.has_value() && pte->wired) {
+            pm_.Unwire(pm_.PageAt(pte->pfn));
+            as.pmap_.ChangeWiring(va, false);
+          }
+        }
+      }
+    }
+    ++it;
+  }
+  map.Unlock();
+  return sim::kOk;
+}
+
+int Uvm::Wire(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len) {
+  // mlock(2): the one wiring case that must live in the map (§3.2).
+  return WireRange(static_cast<UvmAddressSpace&>(as), addr, len);
+}
+
+int Uvm::Unwire(kern::AddressSpace& as, sim::Vaddr addr, std::uint64_t len) {
+  return UnwireRange(static_cast<UvmAddressSpace&>(as), addr, len);
+}
+
+int Uvm::WireTransient(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len,
+                       kern::TransientWiring* out) {
+  // uvm_vslock(): sysctl/physio buffers are wired by faulting the pages in
+  // and raising the frame wire counts. The wired state is recorded in `out`
+  // — conceptually on the caller's kernel stack — and the map is never
+  // touched, so no fragmentation occurs (§3.2).
+  auto& as = static_cast<UvmAddressSpace&>(as_);
+  out->va = addr;
+  out->len = len;
+  sim::Vaddr end = sim::PageRound(addr + len);
+  for (sim::Vaddr va = sim::PageTrunc(addr); va < end; va += sim::kPageSize) {
+    auto pte = as.pmap_.Extract(va);
+    if (!pte.has_value()) {
+      int err = Fault(as, va, sim::Access::kWrite);
+      if (err != sim::kOk) {
+        err = Fault(as, va, sim::Access::kRead);
+        if (err != sim::kOk) {
+          UnwireTransient(as, *out);
+          return err;
+        }
+      }
+      pte = as.pmap_.Extract(va);
+      SIM_ASSERT(pte.has_value());
+    }
+    phys::Page* p = pm_.PageAt(pte->pfn);
+    pm_.Wire(p);
+    out->pages.push_back(p);
+  }
+  return sim::kOk;
+}
+
+void Uvm::UnwireTransient(kern::AddressSpace& /*as*/, kern::TransientWiring& tw) {
+  for (phys::Page* p : tw.pages) {
+    pm_.Unwire(p);
+  }
+  tw.pages.clear();
+}
+
+int Uvm::AllocProcResources(kern::ProcKernelResources* out) {
+  // UVM: the u-area and kernel stack are wired frames whose wired state is
+  // recorded in the proc structure — zero kernel map entries (§3.2).
+  for (std::size_t i = 0; i < kUPages + kKStackPages; ++i) {
+    phys::Page* p = AllocPageOrReclaim(phys::OwnerKind::kKernel, this, 0, /*zero=*/true);
+    if (p == nullptr) {
+      return sim::kErrNoMem;
+    }
+    pm_.Wire(p);
+    out->wired_pages.push_back(p);
+  }
+  return sim::kOk;
+}
+
+void Uvm::SwapOutProcResources(kern::ProcKernelResources& res) {
+  // The wired state is recorded right here in the proc's resource struct;
+  // no map is consulted or modified (§3.2).
+  for (phys::Page* p : res.wired_pages) {
+    pm_.Unwire(p);
+  }
+}
+
+void Uvm::SwapInProcResources(kern::ProcKernelResources& res) {
+  for (phys::Page* p : res.wired_pages) {
+    pm_.Wire(p);
+  }
+}
+
+void Uvm::FreeProcResources(kern::ProcKernelResources& res) {
+  for (phys::Page* p : res.wired_pages) {
+    pm_.Unwire(p);
+    pm_.Dequeue(p);
+    pm_.FreePage(p);
+  }
+  res.wired_pages.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Fork (§5.2)
+
+kern::AddressSpace* Uvm::Fork(kern::AddressSpace& parent_) {
+  auto& parent = static_cast<UvmAddressSpace&>(parent_);
+  auto* child = new UvmAddressSpace(*this, /*is_kernel=*/false);
+  UvmMap& pmap_map = parent.map_;
+  pmap_map.Lock();
+  for (UvmMapEntry& e : pmap_map.entries()) {
+    switch (e.inherit) {
+      case sim::Inherit::kNone:
+        break;
+      case sim::Inherit::kShared: {
+        // Genuine sharing. A needs-copy entry cannot be shared as-is: the
+        // amap must be resolved first (amap_cow_now).
+        if (e.needs_copy) {
+          AmapCopy(e);
+        }
+        UvmMapEntry ce = e;
+        ce.wired_count = 0;
+        if (ce.amap == nullptr) {
+          // Sharing anonymous memory requires a concrete amap both sides
+          // reference.
+          EnsureAmap(e);
+          ce.amap = e.amap;
+          ce.amap_slotoff = e.amap_slotoff;
+        }
+        e.amap->shared = true;
+        RefAmap(ce.amap);
+        if (ce.uobj != nullptr) {
+          ce.uobj->pgops->Reference(*this, *ce.uobj);
+        }
+        int err = child->map_.InsertEntry(ce);
+        SIM_ASSERT(err == sim::kOk);
+        break;
+      }
+      case sim::Inherit::kCopy: {
+        UvmMapEntry ce = e;
+        ce.wired_count = 0;
+        ce.copy_on_write = true;
+        if (e.amap != nullptr || e.copy_on_write) {
+          // Defer the amap copy with needs-copy on both sides and
+          // write-protect the parent's resident pages (Figure 3).
+          e.needs_copy = true;
+          ce.needs_copy = true;
+          if (e.amap != nullptr) {
+            RefAmap(e.amap);
+            ce.amap = e.amap;
+            ce.amap_slotoff = e.amap_slotoff;
+          }
+          parent.pmap_.IntersectProtRange(e.start, e.end, sim::Prot::kReadExec);
+        } else {
+          // Pure shared file mapping inherited copy: the child gets a COW
+          // layer over the object; the parent is untouched.
+          ce.needs_copy = false;
+          ce.amap = nullptr;
+        }
+        if (ce.uobj != nullptr) {
+          ce.uobj->pgops->Reference(*this, *ce.uobj);
+        }
+        int err = child->map_.InsertEntry(ce);
+        SIM_ASSERT(err == sim::kOk);
+        break;
+      }
+    }
+  }
+  pmap_map.Unlock();
+  return child;
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling (§5.2, §5.4)
+
+int Uvm::AnonPageIn(Anon* anon) {
+  SIM_ASSERT(anon->page == nullptr);
+  if (anon->swap_slot == swp::kNoSlot) {
+    // A clean zero-fill page that was reclaimed: its contents were all
+    // zero, so re-materialize it as a fresh zero page.
+    phys::Page* p = AllocPageOrReclaim(phys::OwnerKind::kUvmAnon, anon, 0, /*zero=*/true);
+    if (p == nullptr) {
+      return sim::kErrNoMem;
+    }
+    anon->page = p;
+    return sim::kOk;
+  }
+  phys::Page* p = AllocPageOrReclaim(phys::OwnerKind::kUvmAnon, anon, 0, /*zero=*/false);
+  if (p == nullptr) {
+    return sim::kErrNoMem;
+  }
+  swap_.ReadSlot(anon->swap_slot, pm_.Data(p));
+  p->dirty = false;  // the swap slot stays valid while the page is clean
+  anon->page = p;
+  return sim::kOk;
+}
+
+int Uvm::AnonPageInCluster(UvmMapEntry& e, sim::Vaddr va, Anon* anon) {
+  if (!config_.cluster_swap_in || anon->swap_slot == swp::kNoSlot || e.amap == nullptr) {
+    return AnonPageIn(anon);
+  }
+  // Collect a forward run of neighbouring anons whose swap slots are
+  // contiguous with ours — likely, since the pagedaemon wrote them out as
+  // one cluster (§6).
+  std::vector<Anon*> run{anon};
+  for (std::uint64_t i = 1; run.size() < config_.vnode_read_cluster; ++i) {
+    sim::Vaddr nva = va + i * sim::kPageSize;
+    if (nva >= e.end) {
+      break;
+    }
+    Anon* n = e.amap->Get(e.SlotOf(nva));
+    if (n == nullptr || n->page != nullptr ||
+        n->swap_slot != anon->swap_slot + static_cast<std::int32_t>(i)) {
+      break;
+    }
+    run.push_back(n);
+  }
+  // Allocate frames for the whole run; on any failure fall back to a
+  // single-page read.
+  std::vector<phys::Page*> pages;
+  for (Anon* a : run) {
+    phys::Page* p = AllocPageOrReclaim(phys::OwnerKind::kUvmAnon, a, 0, /*zero=*/false);
+    if (p == nullptr) {
+      for (phys::Page* q : pages) {
+        pm_.FreePage(q);
+      }
+      return AnonPageIn(anon);
+    }
+    pages.push_back(p);
+  }
+  std::vector<std::span<std::byte, sim::kPageSize>> datas;
+  datas.reserve(pages.size());
+  for (phys::Page* p : pages) {
+    datas.push_back(pm_.Data(p));
+  }
+  swap_.ReadRun(anon->swap_slot, datas);
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    pages[i]->dirty = false;
+    run[i]->page = pages[i];
+    if (i > 0) {
+      pm_.Activate(pages[i]);
+    }
+  }
+  return sim::kOk;
+}
+
+void Uvm::TryMergeEntry(UvmMap& map, UvmMap::iterator it) {
+  if (!config_.merge_map_entries) {
+    return;
+  }
+  auto mergeable = [](const UvmMapEntry& a, const UvmMapEntry& b) {
+    return a.end == b.start && a.amap == nullptr && b.amap == nullptr && a.uobj == nullptr &&
+           b.uobj == nullptr && a.prot == b.prot && a.max_prot == b.max_prot &&
+           a.inherit == b.inherit && a.advice == b.advice &&
+           a.copy_on_write == b.copy_on_write && a.needs_copy == b.needs_copy &&
+           a.wired_count == 0 && b.wired_count == 0;
+  };
+  if (it != map.entries().begin()) {
+    auto prev = std::prev(it);
+    if (mergeable(*prev, *it)) {
+      prev->end = it->end;
+      map.EraseEntry(it);
+      ++machine_.stats().map_entries_merged;
+      it = prev;
+    }
+  }
+  auto next = std::next(it);
+  if (next != map.entries().end() && mergeable(*it, *next)) {
+    it->end = next->end;
+    map.EraseEntry(next);
+    ++machine_.stats().map_entries_merged;
+  }
+}
+
+phys::Page* Uvm::BreakLoan(phys::Page* old_page, phys::OwnerKind kind, void* owner,
+                           sim::ObjOffset offset) {
+  phys::Page* np = AllocPageOrReclaim(kind, owner, offset, /*zero=*/false);
+  if (np == nullptr) {
+    return nullptr;
+  }
+  pm_.CopyPage(old_page, np);
+  np->dirty = old_page->dirty;
+  // The old page is disowned; it lives on until the last loan is returned.
+  mmu_.PageProtect(old_page, sim::Prot::kNone);
+  old_page->owner_kind = phys::OwnerKind::kKernel;
+  old_page->owner = nullptr;
+  return np;
+}
+
+int Uvm::FaultLocked(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr va, bool write) {
+  // Captured up front: later steps (COW copies, loan breaks) may replace or
+  // remove the existing translation, and the wire transfer needs the
+  // original.
+  const auto old_pte = as.pmap_.Extract(va);
+  // Clear needs-copy on the way to a write (§5.2).
+  if (e.needs_copy && write) {
+    AmapCopy(e);
+  }
+
+  phys::Page* page = nullptr;
+  sim::Prot enter_prot = e.prot;
+
+  // --- Upper layer: the amap ---
+  Anon* anon = nullptr;
+  if (e.amap != nullptr) {
+    machine_.Charge(machine_.cost().amap_lookup_ns);
+    anon = e.amap->Get(e.SlotOf(va));
+  }
+  if (anon != nullptr) {
+    if (anon->page == nullptr) {
+      if (int err = AnonPageInCluster(e, va, anon); err != sim::kOk) {
+        return err;
+      }
+    }
+    page = anon->page;
+    if (write) {
+      SIM_ASSERT_MSG(!e.needs_copy, "write fault with needs-copy uncleared");
+      if (anon->ref_count > 1) {
+        // COW anon copy (Figure 3, third column).
+        Anon* na = NewAnon();
+        na->page = AllocPageOrReclaim(phys::OwnerKind::kUvmAnon, na, 0, /*zero=*/false);
+        if (na->page == nullptr) {
+          DerefAnon(na);
+          return sim::kErrNoMem;
+        }
+        pm_.CopyPage(page, na->page);
+        na->page->dirty = true;
+        pm_.Activate(na->page);
+        e.amap->Set(e.SlotOf(va), na);
+        DerefAnon(anon);
+        anon = na;
+        page = na->page;
+      } else if (page->loan_count > 0) {
+        phys::Page* np = BreakLoan(page, phys::OwnerKind::kUvmAnon, anon, 0);
+        if (np == nullptr) {
+          return sim::kErrNoMem;
+        }
+        anon->page = np;
+        page = np;
+        // The swap copy no longer matches a page we are about to dirty.
+        page->dirty = true;
+      } else {
+        // Sole reference: write in place — no copy, the §5.3 optimization.
+        page->dirty = true;
+      }
+    } else if (anon->ref_count > 1 || page->loan_count > 0 || e.needs_copy) {
+      enter_prot = enter_prot & sim::Prot::kReadExec;
+    }
+  } else if (e.uobj != nullptr) {
+    // --- Lower layer: the backing object ---
+    std::uint64_t pgi = e.ObjIndexOf(va);
+    page = e.uobj->LookupPage(pgi);
+    if (page == nullptr) {
+      std::size_t max_cluster = e.advice == sim::Advice::kRandom ? 1 : config_.vnode_read_cluster;
+      int err = e.uobj->pgops->Get(*this, *e.uobj, pgi, max_cluster, &page);
+      if (err != sim::kOk) {
+        return err;
+      }
+    }
+    if (write && e.copy_on_write) {
+      // Promote the object page into a fresh anon (§5.2).
+      SIM_ASSERT_MSG(!e.needs_copy, "write fault with needs-copy uncleared");
+      EnsureAmap(e);
+      Anon* na = NewAnon();
+      na->page = AllocPageOrReclaim(phys::OwnerKind::kUvmAnon, na, 0, /*zero=*/false);
+      if (na->page == nullptr) {
+        DerefAnon(na);
+        return sim::kErrNoMem;
+      }
+      pm_.CopyPage(page, na->page);
+      na->page->dirty = true;
+      pm_.Activate(page);
+      e.amap->Set(e.SlotOf(va), na);
+      page = na->page;
+    } else if (write) {
+      if (page->loan_count > 0) {
+        phys::Page* np = BreakLoan(page, phys::OwnerKind::kUvmObject, e.uobj, pgi);
+        if (np == nullptr) {
+          return sim::kErrNoMem;
+        }
+        e.uobj->pages[pgi] = np;
+        page = np;
+      }
+      page->dirty = true;
+    } else if (e.copy_on_write || e.needs_copy) {
+      enter_prot = enter_prot & sim::Prot::kReadExec;
+    }
+  } else {
+    // --- Zero-fill: both layers empty (§5.1) ---
+    if (e.needs_copy) {
+      // Read fault on a needs-copy zero-fill entry: resolve the amap now;
+      // it is free (no anons to copy through a zero-fill-only entry chain
+      // means the shared amap holds the data — AmapCopy handles both).
+      AmapCopy(e);
+    }
+    EnsureAmap(e);
+    Anon* na = NewAnon();
+    na->page = AllocPageOrReclaim(phys::OwnerKind::kUvmAnon, na, 0, /*zero=*/true);
+    if (na->page == nullptr) {
+      DerefAnon(na);
+      return sim::kErrNoMem;
+    }
+    if (write) {
+      na->page->dirty = true;
+    }
+    e.amap->Set(e.SlotOf(va), na);
+    page = na->page;
+  }
+
+  bool wire = e.wired_count > 0;
+  if (wire) {
+    // A fault in a wired entry may replace the mapped page (e.g. a COW
+    // copy); the physical wire must follow the new page.
+    bool same = old_pte.has_value() && old_pte->wired && old_pte->pfn == page->pfn;
+    if (old_pte.has_value() && old_pte->wired && old_pte->pfn != page->pfn) {
+      pm_.Unwire(pm_.PageAt(old_pte->pfn));
+    }
+    if (!same) {
+      pm_.Wire(page);
+    }
+  }
+  as.pmap_.Enter(va, page, enter_prot, wire);
+  page->referenced = true;
+  if (page->wire_count == 0) {
+    pm_.Activate(page);
+  }
+  return sim::kOk;
+}
+
+void Uvm::MapNeighbors(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr fault_va) {
+  if (!config_.enable_lookahead) {
+    return;
+  }
+  int fwd = config_.lookahead_fwd;
+  int back = config_.lookahead_back;
+  switch (e.advice) {
+    case sim::Advice::kNormal:
+      break;
+    case sim::Advice::kRandom:
+      return;  // no locality expected
+    case sim::Advice::kSequential:
+      fwd = fwd + back;  // all lookahead forward
+      back = 0;
+      break;
+  }
+  for (int d = -back; d <= fwd; ++d) {
+    if (d == 0) {
+      continue;
+    }
+    sim::Vaddr va = fault_va + static_cast<sim::Vaddr>(static_cast<std::int64_t>(d) *
+                                                       static_cast<std::int64_t>(sim::kPageSize));
+    if (va < e.start || va >= e.end) {
+      continue;
+    }
+    if (as.pmap_.Extract(va).has_value()) {
+      continue;
+    }
+    // Only *resident* pages are mapped in (§5.4) — never start I/O here.
+    phys::Page* page = nullptr;
+    if (e.amap != nullptr) {
+      Anon* a = e.amap->Get(e.SlotOf(va));
+      if (a != nullptr && a->page != nullptr && !a->page->busy) {
+        page = a->page;
+      }
+    }
+    if (page == nullptr && e.uobj != nullptr) {
+      // The amap may hold a COW copy; only fall through when it does not.
+      bool amap_covers = e.amap != nullptr && e.amap->Get(e.SlotOf(va)) != nullptr;
+      if (!amap_covers) {
+        phys::Page* op = e.uobj->LookupPage(e.ObjIndexOf(va));
+        if (op != nullptr && !op->busy) {
+          page = op;
+        }
+      }
+    }
+    if (page == nullptr) {
+      continue;
+    }
+    // Mapped read-only: a later write takes a (cheap, resident) fault that
+    // runs the COW/dirty bookkeeping.
+    as.pmap_.Enter(va, page, e.prot & sim::Prot::kReadExec, e.wired_count > 0);
+    page->referenced = true;
+    if (page->wire_count == 0) {
+      pm_.Activate(page);
+    }
+    ++machine_.stats().fault_neighbor_maps;
+  }
+}
+
+int Uvm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
+  auto& as = static_cast<UvmAddressSpace&>(as_);
+  machine_.Charge(machine_.cost().fault_entry_ns);
+  ++machine_.stats().faults;
+  va = sim::PageTrunc(va);
+
+  UvmMap& map = as.map_;
+  map.Lock();
+  auto it = map.LookupEntry(va);
+  if (it == map.entries().end()) {
+    map.Unlock();
+    return sim::kErrFault;
+  }
+  bool write = access == sim::Access::kWrite;
+  sim::Prot need = write ? sim::Prot::kWrite : sim::Prot::kRead;
+  if (!sim::ProtIncludes(it->prot, need)) {
+    map.Unlock();
+    return sim::kErrProt;
+  }
+  int err = FaultLocked(as, *it, va, write);
+  if (err == sim::kOk) {
+    MapNeighbors(as, *it, va);
+  }
+  map.Unlock();
+  return err;
+}
+
+// ---------------------------------------------------------------------------
+// Pagedaemon (§6): aggressive clustering of anonymous pageout.
+
+std::size_t Uvm::PageOutAnonCluster(phys::Page* first) {
+  // Gather up to pageout_cluster dirty anonymous pages from the inactive
+  // queue, starting with `first`.
+  std::vector<phys::Page*> cluster;
+  cluster.push_back(first);
+  if (config_.cluster_anon_pageout) {
+    phys::Page* p = first->q_next;
+    while (p != nullptr && cluster.size() < config_.pageout_cluster) {
+      phys::Page* next = p->q_next;
+      if (p->owner_kind == phys::OwnerKind::kUvmAnon && p->dirty && !p->referenced &&
+          p->wire_count == 0 && !p->busy && p->loan_count == 0) {
+        cluster.push_back(p);
+      }
+      p = next;
+    }
+  }
+  // Reassign every page's swap location so the cluster is one contiguous
+  // run on the swap device — the key §6 trick.
+  std::int32_t base = swap_.AllocContig(cluster.size());
+  if (base == swp::kNoSlot && cluster.size() > 1) {
+    cluster.resize(1);
+    base = swap_.AllocContig(1);
+  }
+  if (base == swp::kNoSlot) {
+    return 0;  // swap exhausted
+  }
+  std::vector<std::span<std::byte, sim::kPageSize>> datas;
+  datas.reserve(cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    phys::Page* p = cluster[i];
+    auto* anon = static_cast<Anon*>(p->owner);
+    mmu_.PageProtect(p, sim::Prot::kNone);
+    if (anon->swap_slot != swp::kNoSlot) {
+      swap_.FreeSlot(anon->swap_slot);
+    }
+    anon->swap_slot = base + static_cast<std::int32_t>(i);
+    datas.push_back(pm_.Data(p));
+  }
+  swap_.WriteRun(base, datas);
+  for (phys::Page* p : cluster) {
+    auto* anon = static_cast<Anon*>(p->owner);
+    anon->page = nullptr;
+    p->dirty = false;
+    pm_.FreePage(p);
+  }
+  return cluster.size();
+}
+
+std::size_t Uvm::PageOutObjectRun(phys::Page* first) {
+  auto* obj = static_cast<UvmObject*>(first->owner);
+  // Cluster with resident dirty neighbours at contiguous object offsets.
+  std::vector<phys::Page*> run;
+  run.push_back(first);
+  if (config_.cluster_vnode_io) {
+    std::uint64_t idx = first->offset;
+    while (run.size() < config_.vnode_read_cluster) {
+      phys::Page* p = obj->LookupPage(idx + 1);
+      if (p == nullptr || !p->dirty || p->wire_count > 0 || p->busy || p->loan_count > 0) {
+        break;
+      }
+      run.push_back(p);
+      ++idx;
+    }
+  }
+  for (phys::Page* p : run) {
+    mmu_.PageProtect(p, sim::Prot::kNone);
+  }
+  obj->pgops->Put(*this, *obj, run);
+  for (phys::Page* p : run) {
+    obj->pages.erase(p->offset);
+    pm_.FreePage(p);
+  }
+  return run.size();
+}
+
+std::size_t Uvm::PageDaemon(std::size_t target_free) {
+  std::size_t freed = 0;
+  std::size_t guard = pm_.total_pages() * 4 + 64;
+  while (pm_.free_pages() < target_free && guard-- > 0) {
+    if (pm_.inactive_queue().empty()) {
+      std::size_t want = (target_free - pm_.free_pages()) * 2 + 4;
+      while (want-- > 0 && !pm_.active_queue().empty()) {
+        phys::Page* ap = pm_.active_queue().head();
+        ap->referenced = false;
+        pm_.Deactivate(ap);
+      }
+      if (pm_.inactive_queue().empty()) {
+        break;
+      }
+    }
+    phys::Page* p = pm_.inactive_queue().head();
+    if (p->referenced) {
+      p->referenced = false;
+      pm_.Activate(p);
+      continue;
+    }
+    if (p->wire_count > 0 || p->busy || p->loan_count > 0) {
+      pm_.Dequeue(p);
+      continue;
+    }
+    switch (p->owner_kind) {
+      case phys::OwnerKind::kUvmAnon: {
+        auto* anon = static_cast<Anon*>(p->owner);
+        if (!p->dirty) {
+          // A clean anon page either has a valid swap copy or was never
+          // written (zero-fill); both refault correctly.
+          mmu_.PageProtect(p, sim::Prot::kNone);
+          anon->page = nullptr;
+          pm_.FreePage(p);
+          ++freed;
+        } else {
+          std::size_t n = PageOutAnonCluster(p);
+          if (n == 0) {
+            pm_.Activate(p);  // swap full; retry once space frees up
+          }
+          freed += n;
+        }
+        break;
+      }
+      case phys::OwnerKind::kUvmObject: {
+        if (!p->dirty) {
+          ReleaseObjectPage(p);
+          ++freed;
+        } else {
+          freed += PageOutObjectRun(p);
+        }
+        break;
+      }
+      default:
+        pm_.Dequeue(p);
+        break;
+    }
+  }
+  return freed;
+}
+
+// ---------------------------------------------------------------------------
+// Data movement (§7)
+
+phys::Page* Uvm::ResidentPageAt(UvmMapEntry& e, sim::Vaddr va) const {
+  if (e.amap != nullptr) {
+    Anon* a = e.amap->Get(e.SlotOf(va));
+    if (a != nullptr) {
+      return a->page;
+    }
+  }
+  if (e.uobj != nullptr) {
+    return e.uobj->LookupPage(e.ObjIndexOf(va));
+  }
+  return nullptr;
+}
+
+int Uvm::Loan(kern::AddressSpace& as_, sim::Vaddr va, std::size_t npages,
+              std::vector<phys::Page*>* out) {
+  auto& as = static_cast<UvmAddressSpace&>(as_);
+  va = sim::PageTrunc(va);
+  std::size_t done = 0;
+  for (std::size_t i = 0; i < npages; ++i) {
+    sim::Vaddr pva = va + i * sim::kPageSize;
+    UvmMap& map = as.map_;
+    map.Lock();
+    auto it = map.LookupEntry(pva);
+    if (it == map.entries().end()) {
+      map.Unlock();
+      break;
+    }
+    phys::Page* page = ResidentPageAt(*it, pva);
+    if (page == nullptr) {
+      map.Unlock();
+      if (Fault(as, pva, sim::Access::kRead) != sim::kOk) {
+        break;
+      }
+      map.Lock();
+      it = map.LookupEntry(pva);
+      SIM_ASSERT(it != map.entries().end());
+      page = ResidentPageAt(*it, pva);
+      SIM_ASSERT(page != nullptr);
+    }
+    // Loan the page to the kernel: wired, read-only everywhere, COW
+    // preserved by write-protecting the owner's mappings so a later write
+    // breaks the loan instead of mutating in-flight data.
+    ++page->loan_count;
+    pm_.Wire(page);
+    mmu_.PageProtect(page, sim::Prot::kReadExec);
+    machine_.Charge(machine_.cost().loan_page_ns);
+    out->push_back(page);
+    ++done;
+    map.Unlock();
+  }
+  if (done != npages) {
+    // Roll back the partial loan.
+    Unloan(std::span<phys::Page*>(out->data() + out->size() - done, done));
+    out->resize(out->size() - done);
+    return sim::kErrFault;
+  }
+  return sim::kOk;
+}
+
+void Uvm::Unloan(std::span<phys::Page*> pages) {
+  for (phys::Page* p : pages) {
+    SIM_ASSERT(p->loan_count > 0);
+    --p->loan_count;
+    pm_.Unwire(p);
+    if (p->loan_count == 0 && p->owner_kind == phys::OwnerKind::kKernel &&
+        p->owner == nullptr) {
+      // Orphaned while loaned (the owner broke the loan or died).
+      pm_.Dequeue(p);
+      pm_.FreePage(p);
+    }
+  }
+}
+
+int Uvm::Transfer(kern::AddressSpace& dst_, sim::Vaddr* addr, std::span<phys::Page*> pages) {
+  auto& dst = static_cast<UvmAddressSpace&>(dst_);
+  std::uint64_t len = pages.size() * sim::kPageSize;
+  UvmMap& map = dst.map_;
+  map.Lock();
+  if (int err = map.FindSpace(addr, len); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
+  UvmMapEntry e;
+  e.start = *addr;
+  e.end = *addr + len;
+  e.prot = sim::Prot::kReadWrite;
+  e.copy_on_write = true;
+  e.inherit = sim::Inherit::kCopy;
+  e.amap = NewAmap(pages.size());
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    phys::Page* p = pages[i];
+    Anon* a = nullptr;
+    if (p->owner_kind == phys::OwnerKind::kUvmAnon) {
+      // A page loaned from another address space: share its anon
+      // copy-on-write — no data copy (§7).
+      a = static_cast<Anon*>(p->owner);
+      RefAnon(a);
+    } else if (p->owner_kind == phys::OwnerKind::kUvmObject) {
+      // A loaned file/device page: the object keeps its page; the receiver
+      // gets an anon holding a copy (one copy — still half the cost of the
+      // classic copyin/copyout path).
+      a = NewAnon();
+      a->page = AllocPageOrReclaim(phys::OwnerKind::kUvmAnon, a, 0, /*zero=*/false);
+      if (a->page == nullptr) {
+        DerefAnon(a);
+        DerefAmap(e.amap);
+        map.Unlock();
+        return sim::kErrNoMem;
+      }
+      pm_.CopyPage(p, a->page);
+      a->page->dirty = true;
+      pm_.Activate(a->page);
+    } else {
+      // A kernel-produced page becomes anonymous memory, indistinguishable
+      // from any other anon (§7).
+      SIM_ASSERT(p->owner_kind == phys::OwnerKind::kKernel);
+      a = NewAnon();
+      a->page = p;
+      p->owner_kind = phys::OwnerKind::kUvmAnon;
+      p->owner = a;
+      p->offset = 0;
+      p->dirty = true;
+      if (p->wire_count == 0) {
+        pm_.Activate(p);
+      }
+    }
+    e.amap->Set(i, a);
+  }
+  int err = map.InsertEntry(e);
+  SIM_ASSERT(err == sim::kOk);
+  map.Unlock();
+  return sim::kOk;
+}
+
+int Uvm::Extract(kern::AddressSpace& src_, sim::Vaddr src_va, std::uint64_t len,
+                 kern::AddressSpace& dst_, sim::Vaddr* dst_va, kern::ExtractMode mode) {
+  auto& src = static_cast<UvmAddressSpace&>(src_);
+  auto& dst = static_cast<UvmAddressSpace&>(dst_);
+  len = sim::PageRound(len);
+  sim::Vaddr src_end = src_va + len;
+
+  UvmMap& smap = src.map_;
+  UvmMap& dmap = dst.map_;
+  smap.Lock();
+  // Verify the whole source range is mapped before touching anything.
+  for (sim::Vaddr va = src_va; va < src_end;) {
+    auto it = smap.LookupEntry(va);
+    if (it == smap.entries().end()) {
+      smap.Unlock();
+      return sim::kErrFault;
+    }
+    va = it->end;
+  }
+  dmap.Lock();
+  if (int err = dmap.FindSpace(dst_va, len); err != sim::kOk) {
+    dmap.Unlock();
+    smap.Unlock();
+    return err;
+  }
+
+  auto it = smap.LookupEntry(src_va);
+  while (it != smap.entries().end() && it->start < src_end) {
+    if (it->start < src_va) {
+      it = ClipStartRef(smap, it, src_va);
+    }
+    if (it->end > src_end) {
+      ClipEndRef(smap, it, src_end);
+    }
+    UvmMapEntry ce = *it;
+    ce.wired_count = 0;
+    sim::Vaddr rel = it->start - src_va;
+    ce.start = *dst_va + rel;
+    ce.end = ce.start + (it->end - it->start);
+    switch (mode) {
+      case kern::ExtractMode::kShare:
+        if (it->needs_copy) {
+          AmapCopy(*it);
+          ce.amap = it->amap;
+          ce.amap_slotoff = it->amap_slotoff;
+          ce.needs_copy = false;
+        }
+        if (ce.amap == nullptr) {
+          EnsureAmap(*it);
+          ce.amap = it->amap;
+          ce.amap_slotoff = it->amap_slotoff;
+        }
+        it->amap->shared = true;
+        RefAmap(ce.amap);
+        if (ce.uobj != nullptr) {
+          ce.uobj->pgops->Reference(*this, *ce.uobj);
+        }
+        ++it;
+        break;
+      case kern::ExtractMode::kCopy:
+        ce.copy_on_write = true;
+        if (it->amap != nullptr || it->copy_on_write) {
+          it->needs_copy = true;
+          ce.needs_copy = true;
+          if (it->amap != nullptr) {
+            RefAmap(it->amap);
+          }
+          src.pmap_.IntersectProtRange(it->start, it->end, sim::Prot::kReadExec);
+        } else {
+          ce.needs_copy = false;
+        }
+        if (ce.uobj != nullptr) {
+          ce.uobj->pgops->Reference(*this, *ce.uobj);
+        }
+        ++it;
+        break;
+      case kern::ExtractMode::kMove: {
+        // The entry changes address space wholesale; references move with
+        // it. Wired pages are unwired on the way out.
+        if (it->wired_count > 0) {
+          for (sim::Vaddr va = it->start; va < it->end; va += sim::kPageSize) {
+            auto pte = src.pmap_.Extract(va);
+            if (pte.has_value() && pte->wired) {
+              pm_.Unwire(pm_.PageAt(pte->pfn));
+            }
+          }
+        }
+        src.pmap_.RemoveRange(it->start, it->end);
+        auto victim = it++;
+        smap.EraseEntry(victim);
+        break;
+      }
+    }
+    int err = dmap.InsertEntry(ce);
+    SIM_ASSERT(err == sim::kOk);
+  }
+  dmap.Unlock();
+  smap.Unlock();
+  return sim::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+std::size_t Uvm::ResidentPages(kern::AddressSpace& as_) const {
+  auto& as = static_cast<UvmAddressSpace&>(as_);
+  return as.pmap_.resident_count();
+}
+
+void Uvm::CheckInvariants() {
+  for (Anon* a : all_anons_) {
+    SIM_ASSERT_MSG(a->ref_count > 0, "live anon with zero refs");
+    // Note: an anon may legitimately hold neither a page nor a swap slot —
+    // a clean zero-fill page reclaimed by the pagedaemon refaults as zeros.
+    if (a->page != nullptr) {
+      SIM_ASSERT_MSG(a->page->owner_kind == phys::OwnerKind::kUvmAnon, "anon page owner kind");
+      SIM_ASSERT_MSG(a->page->owner == a, "anon page owner pointer");
+    }
+    if (a->swap_slot != swp::kNoSlot) {
+      SIM_ASSERT_MSG(swap_.IsUsed(a->swap_slot), "anon swap slot not allocated");
+    }
+  }
+  for (Amap* am : all_amaps_) {
+    SIM_ASSERT_MSG(am->ref_count > 0, "live amap with zero refs");
+    am->impl->ForEach([this](std::uint64_t, Anon* a) {
+      SIM_ASSERT_MSG(all_anons_.contains(a), "amap references dead anon");
+    });
+  }
+}
+
+}  // namespace uvm

@@ -1,0 +1,94 @@
+// UVM memory maps (§3). Entries carry the two-level amap/object pair: an
+// optional anonymous layer (amap + slot offset) over an optional backing
+// uvm_object. uvm_map() establishes a mapping with all of its attributes in
+// a single locked pass, and unmap runs in two phases so that object
+// references are dropped with the map unlocked.
+#ifndef SRC_CORE_UVM_MAP_H_
+#define SRC_CORE_UVM_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+
+#include "src/core/amap.h"
+#include "src/sim/machine.h"
+#include "src/sim/types.h"
+
+namespace uvm {
+
+class UvmObject;
+
+struct UvmMapEntry {
+  sim::Vaddr start = 0;
+  sim::Vaddr end = 0;
+
+  // Lower layer: backing object (file or other mappable kernel structure).
+  UvmObject* uobj = nullptr;
+  std::uint64_t uobj_pgoffset = 0;  // page index in uobj corresponding to start
+
+  // Upper layer: anonymous memory. Allocated lazily (needs-copy / first
+  // write); amap_slotoff maps `start` to a slot in the amap.
+  Amap* amap = nullptr;
+  std::uint64_t amap_slotoff = 0;
+
+  sim::Prot prot = sim::Prot::kReadWrite;
+  sim::Prot max_prot = sim::Prot::kAll;
+  sim::Inherit inherit = sim::Inherit::kCopy;
+  sim::Advice advice = sim::Advice::kNormal;
+  bool copy_on_write = false;
+  bool needs_copy = false;
+  int wired_count = 0;
+
+  std::uint64_t EntryIndexOf(sim::Vaddr va) const { return (va - start) >> sim::kPageShift; }
+  std::uint64_t SlotOf(sim::Vaddr va) const { return amap_slotoff + EntryIndexOf(va); }
+  std::uint64_t ObjIndexOf(sim::Vaddr va) const { return uobj_pgoffset + EntryIndexOf(va); }
+  std::size_t npages() const { return (end - start) >> sim::kPageShift; }
+};
+
+class UvmMap {
+ public:
+  using EntryList = std::list<UvmMapEntry>;
+  using iterator = EntryList::iterator;
+
+  UvmMap(sim::Machine& machine, sim::Vaddr min_addr, sim::Vaddr max_addr,
+         std::size_t max_entries);
+
+  UvmMap(const UvmMap&) = delete;
+  UvmMap& operator=(const UvmMap&) = delete;
+
+  void Lock();
+  void Unlock();
+  bool IsLocked() const { return lock_depth_ > 0; }
+
+  iterator LookupEntry(sim::Vaddr va);
+  int FindSpace(sim::Vaddr* addr, std::uint64_t len) const;
+  bool RangeFree(sim::Vaddr start, std::uint64_t len) const;
+  int InsertEntry(const UvmMapEntry& e, iterator* out = nullptr);
+
+  // Clipping. Both halves share the amap (caller handles the reference
+  // bump) with adjusted slot offsets.
+  iterator ClipStart(iterator it, sim::Vaddr va);
+  void ClipEnd(iterator it, sim::Vaddr va);
+
+  void EraseEntry(iterator it);
+
+  EntryList& entries() { return entries_; }
+  std::size_t entry_count() const { return entries_.size(); }
+  sim::Vaddr min_addr() const { return min_addr_; }
+  sim::Vaddr max_addr() const { return max_addr_; }
+
+ private:
+  int ChargeAlloc();
+
+  sim::Machine& machine_;
+  sim::Vaddr min_addr_;
+  sim::Vaddr max_addr_;
+  std::size_t max_entries_;
+  EntryList entries_;
+  int lock_depth_ = 0;
+  sim::Nanoseconds lock_start_ = 0;
+};
+
+}  // namespace uvm
+
+#endif  // SRC_CORE_UVM_MAP_H_

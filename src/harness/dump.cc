@@ -1,0 +1,106 @@
+#include "src/harness/dump.h"
+
+#include <cstring>
+#include <iomanip>
+
+#include "src/bsdvm/bsd_vm.h"
+#include "src/core/uvm.h"
+
+namespace kern {
+
+namespace {
+
+const char* ProtName(sim::Prot p) {
+  switch (p) {
+    case sim::Prot::kNone:
+      return "---";
+    case sim::Prot::kRead:
+      return "r--";
+    case sim::Prot::kWrite:
+      return "-w-";
+    case sim::Prot::kReadWrite:
+      return "rw-";
+    case sim::Prot::kExec:
+      return "--x";
+    case sim::Prot::kReadExec:
+      return "r-x";
+    case sim::Prot::kAll:
+      return "rwx";
+    default:
+      return "rw?";
+  }
+}
+
+const char* InheritName(sim::Inherit i) {
+  switch (i) {
+    case sim::Inherit::kNone:
+      return "none";
+    case sim::Inherit::kShared:
+      return "share";
+    case sim::Inherit::kCopy:
+      return "copy";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void DumpBsdMap(std::ostream& os, bsdvm::BsdVm& vm, AddressSpace& as_) {
+  (void)vm;
+  auto& as = static_cast<bsdvm::BsdAddressSpace&>(as_);
+  os << "bsdvm map: " << as.map().entry_count() << " entries, resident "
+     << as.pmap().resident_count() << " pages, wired " << as.pmap().wired_count() << "\n";
+  for (const bsdvm::MapEntry& e : as.map().entries()) {
+    os << "  [" << std::hex << std::setw(10) << e.start << "," << std::setw(10) << e.end << ")"
+       << std::dec << " " << ProtName(e.prot) << " inh=" << InheritName(e.inherit)
+       << (e.copy_on_write ? " cow" : "") << (e.needs_copy ? " needs-copy" : "")
+       << (e.wired_count > 0 ? " wired" : "");
+    std::size_t depth = 0;
+    std::size_t resident = 0;
+    for (bsdvm::VmObject* o = e.object; o != nullptr; o = o->shadow) {
+      ++depth;
+      resident += o->pages.size();
+    }
+    os << " chain-depth=" << depth << " chain-resident=" << resident << "\n";
+  }
+}
+
+void DumpUvmMap(std::ostream& os, uvm::Uvm& vm, AddressSpace& as_) {
+  (void)vm;
+  auto& as = static_cast<uvm::UvmAddressSpace&>(as_);
+  os << "uvm map: " << as.map().entry_count() << " entries, resident "
+     << as.pmap().resident_count() << " pages, wired " << as.pmap().wired_count() << "\n";
+  for (const uvm::UvmMapEntry& e : as.map().entries()) {
+    os << "  [" << std::hex << std::setw(10) << e.start << "," << std::setw(10) << e.end << ")"
+       << std::dec << " " << ProtName(e.prot) << " inh=" << InheritName(e.inherit)
+       << (e.copy_on_write ? " cow" : "") << (e.needs_copy ? " needs-copy" : "")
+       << (e.wired_count > 0 ? " wired" : "");
+    if (e.amap != nullptr) {
+      std::size_t anons = 0;
+      std::size_t resident = 0;
+      for (std::uint64_t i = 0; i < e.npages(); ++i) {
+        uvm::Anon* a = e.amap->Get(e.amap_slotoff + i);
+        if (a != nullptr) {
+          ++anons;
+          resident += a->page != nullptr ? 1 : 0;
+        }
+      }
+      os << " amap[" << e.amap->impl->kind() << " ref=" << e.amap->ref_count
+         << " anons=" << anons << " resident=" << resident << "]";
+    }
+    if (e.uobj != nullptr) {
+      os << " uobj[ref=" << e.uobj->ref_count << " pages=" << e.uobj->pages.size() << "]";
+    }
+    os << "\n";
+  }
+}
+
+void DumpMap(std::ostream& os, VmSystem& vm, AddressSpace& as) {
+  if (std::strcmp(vm.name(), "uvm") == 0) {
+    DumpUvmMap(os, static_cast<uvm::Uvm&>(vm), as);
+  } else {
+    DumpBsdMap(os, static_cast<bsdvm::BsdVm&>(vm), as);
+  }
+}
+
+}  // namespace kern

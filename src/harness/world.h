@@ -1,0 +1,59 @@
+// Test/bench fixture: assembles a complete simulated machine (physical
+// memory, MMU, filesystem, swap) plus one of the two VM systems and the
+// kernel facade. Most tests are parameterized over both systems.
+#ifndef SRC_HARNESS_WORLD_H_
+#define SRC_HARNESS_WORLD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/bsdvm/bsd_vm.h"
+#include "src/core/uvm.h"
+#include "src/kern/kernel.h"
+#include "src/mmu/pmap.h"
+#include "src/phys/phys_mem.h"
+#include "src/sim/machine.h"
+#include "src/swap/swap_device.h"
+#include "src/vfs/filesystem.h"
+
+namespace harness {
+
+enum class VmKind { kBsd, kUvm };
+
+inline const char* VmKindName(VmKind k) { return k == VmKind::kBsd ? "bsdvm" : "uvm"; }
+
+struct WorldConfig {
+  std::size_t ram_pages = 8192;        // 32 MB, the paper's machine
+  std::size_t swap_slots = 32768;      // 128 MB swap
+  std::size_t max_vnodes = 2048;
+  bsdvm::BsdConfig bsd;
+  uvm::UvmConfig uvm;
+};
+
+class World {
+ public:
+  explicit World(VmKind kind, const WorldConfig& config = WorldConfig{})
+      : pm(machine, config.ram_pages),
+        mmu(pm),
+        fs(machine, config.max_vnodes),
+        swap(machine, config.swap_slots) {
+    if (kind == VmKind::kBsd) {
+      vm = std::make_unique<bsdvm::BsdVm>(machine, pm, mmu, fs.cache(), swap, config.bsd);
+    } else {
+      vm = std::make_unique<uvm::Uvm>(machine, pm, mmu, fs.cache(), swap, config.uvm);
+    }
+    kernel = std::make_unique<kern::Kernel>(machine, pm, fs, *vm);
+  }
+
+  sim::Machine machine;
+  phys::PhysMem pm;
+  mmu::MmuContext mmu;
+  vfs::Filesystem fs;
+  swp::SwapDevice swap;
+  std::unique_ptr<kern::VmSystem> vm;
+  std::unique_ptr<kern::Kernel> kernel;
+};
+
+}  // namespace harness
+
+#endif  // SRC_HARNESS_WORLD_H_

@@ -1,0 +1,432 @@
+#include "src/kern/kernel.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/sim/assert.h"
+
+namespace kern {
+
+Kernel::Kernel(sim::Machine& machine, phys::PhysMem& pm, vfs::Filesystem& fs, VmSystem& vm)
+    : machine_(machine), pm_(pm), fs_(fs), vm_(vm) {}
+
+Kernel::~Kernel() {
+  while (!procs_.empty()) {
+    Exit(procs_.begin()->second.get());
+  }
+  if (shm_keeper_ != nullptr) {
+    vm_.DestroyAddressSpace(shm_keeper_);
+    shm_keeper_ = nullptr;
+  }
+  // Devices that were never mapped still own their frames; adopted ones
+  // are torn down by the VM system.
+  for (auto& [name, dev] : devices_) {
+    if (!dev->adopted_by_vm) {
+      for (phys::Page* p : dev->pages) {
+        pm_.Unwire(p);
+        pm_.Dequeue(p);
+        pm_.FreePage(p);
+      }
+      dev->pages.clear();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Processes
+
+Proc* Kernel::Spawn() {
+  auto proc = std::make_unique<Proc>();
+  proc->pid = next_pid_++;
+  proc->as = vm_.CreateAddressSpace();
+  int err = vm_.AllocProcResources(&proc->kres);
+  SIM_ASSERT_MSG(err == sim::kOk, "out of memory spawning process");
+  Proc* raw = proc.get();
+  procs_.emplace(raw->pid, std::move(proc));
+  return raw;
+}
+
+Proc* Kernel::Fork(Proc* parent) {
+  auto proc = std::make_unique<Proc>();
+  proc->pid = next_pid_++;
+  proc->as = vm_.Fork(*parent->as);
+  int err = vm_.AllocProcResources(&proc->kres);
+  SIM_ASSERT_MSG(err == sim::kOk, "out of memory forking process");
+  Proc* raw = proc.get();
+  procs_.emplace(raw->pid, std::move(proc));
+  return raw;
+}
+
+Proc* Kernel::Vfork(Proc* parent) {
+  auto proc = std::make_unique<Proc>();
+  proc->pid = next_pid_++;
+  proc->as = parent->as;  // borrowed, not copied
+  proc->shares_as = true;
+  int err = vm_.AllocProcResources(&proc->kres);
+  SIM_ASSERT_MSG(err == sim::kOk, "out of memory vforking process");
+  Proc* raw = proc.get();
+  procs_.emplace(raw->pid, std::move(proc));
+  return raw;
+}
+
+void Kernel::SwapOutProc(Proc* p) {
+  SIM_ASSERT(!p->swapped_out);
+  vm_.SwapOutProcResources(p->kres);
+  p->swapped_out = true;
+}
+
+void Kernel::SwapInProc(Proc* p) {
+  SIM_ASSERT(p->swapped_out);
+  vm_.SwapInProcResources(p->kres);
+  p->swapped_out = false;
+}
+
+void Kernel::Exit(Proc* p) {
+  SIM_ASSERT(p->alive);
+  for (TransientWiring& tw : p->kernel_stack_wirings) {
+    vm_.UnwireTransient(*p->as, tw);
+  }
+  p->kernel_stack_wirings.clear();
+  if (!p->shares_as) {
+    vm_.DestroyAddressSpace(p->as);
+  }
+  if (p->swapped_out) {
+    vm_.SwapInProcResources(p->kres);
+    p->swapped_out = false;
+  }
+  vm_.FreeProcResources(p->kres);
+  p->alive = false;
+  procs_.erase(p->pid);
+}
+
+// ---------------------------------------------------------------------------
+// Mapping syscalls
+
+int Kernel::Mmap(Proc* p, sim::Vaddr* addr, std::uint64_t len, const std::string& file,
+                 sim::ObjOffset off, const MapAttrs& attrs) {
+  vfs::Vnode* vn = fs_.Open(file);
+  if (vn == nullptr) {
+    return sim::kErrNoEnt;
+  }
+  int err = vm_.Map(*p->as, addr, len, vn, off, attrs);
+  // mmap keeps its own reference through the VM object; the open reference
+  // is dropped as if the file descriptor were closed.
+  fs_.Close(vn);
+  return err;
+}
+
+int Kernel::MmapAnon(Proc* p, sim::Vaddr* addr, std::uint64_t len, const MapAttrs& attrs) {
+  return vm_.Map(*p->as, addr, len, nullptr, 0, attrs);
+}
+
+int Kernel::Munmap(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  return vm_.Unmap(*p->as, addr, len);
+}
+
+int Kernel::Mprotect(Proc* p, sim::Vaddr addr, std::uint64_t len, sim::Prot prot) {
+  return vm_.Protect(*p->as, addr, len, prot);
+}
+
+int Kernel::Minherit(Proc* p, sim::Vaddr addr, std::uint64_t len, sim::Inherit inherit) {
+  return vm_.SetInherit(*p->as, addr, len, inherit);
+}
+
+int Kernel::Madvise(Proc* p, sim::Vaddr addr, std::uint64_t len, sim::Advice advice) {
+  return vm_.SetAdvice(*p->as, addr, len, advice);
+}
+
+int Kernel::Msync(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  return vm_.Msync(*p->as, addr, len);
+}
+
+int Kernel::Mlock(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  return vm_.Wire(*p->as, addr, len);
+}
+
+int Kernel::Munlock(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  return vm_.Unwire(*p->as, addr, len);
+}
+
+int Kernel::MadvFree(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  return vm_.MadvFree(*p->as, addr, len);
+}
+
+int Kernel::Mincore(Proc* p, sim::Vaddr addr, std::uint64_t len, std::vector<bool>* out) {
+  return vm_.Mincore(*p->as, addr, len, out);
+}
+
+// ---------------------------------------------------------------------------
+// User memory access
+
+int Kernel::Access(Proc* p, sim::Vaddr va, std::uint64_t len, bool write, std::byte* buf,
+                   std::byte fill, bool use_fill) {
+  mmu::Pmap& pmap = p->as->pmap();
+  std::uint64_t done = 0;
+  while (done < len) {
+    sim::Vaddr cur = va + done;
+    sim::Vaddr page_va = sim::PageTrunc(cur);
+    std::uint64_t in_page = sim::kPageSize - (cur - page_va);
+    std::uint64_t n = std::min<std::uint64_t>(in_page, len - done);
+
+    sim::Prot need = write ? sim::Prot::kWrite : sim::Prot::kRead;
+    auto pte = pmap.Extract(cur);
+    if (!pte.has_value() || !sim::ProtIncludes(pte->prot, need)) {
+      int err = vm_.Fault(*p->as, cur, write ? sim::Access::kWrite : sim::Access::kRead);
+      if (err != sim::kOk) {
+        return err;
+      }
+      pte = pmap.Extract(cur);
+      SIM_ASSERT_MSG(pte.has_value() && sim::ProtIncludes(pte->prot, need),
+                     "fault resolved without required mapping");
+    }
+    phys::Page* page = pm_.PageAt(pte->pfn);
+    page->referenced = true;
+    // Keep the active queue in true recency order (the simulator's stand-in
+    // for reference-bit sampling by the clock hands). This also rescues
+    // pages parked off-queue by a failed pageout.
+    if (page->wire_count == 0 && !page->busy) {
+      pm_.Activate(page);
+    }
+    auto data = pm_.Data(page);
+    std::uint64_t poff = cur - page_va;
+    if (write) {
+      if (use_fill) {
+        std::memset(data.data() + poff, static_cast<int>(fill), n);
+      } else {
+        std::memcpy(data.data() + poff, buf + done, n);
+      }
+      page->dirty = true;
+    } else if (buf != nullptr) {
+      std::memcpy(buf + done, data.data() + poff, n);
+    }
+    done += n;
+  }
+  return sim::kOk;
+}
+
+int Kernel::ReadMem(Proc* p, sim::Vaddr va, std::span<std::byte> out) {
+  return Access(p, va, out.size(), /*write=*/false, out.data(), std::byte{0}, false);
+}
+
+int Kernel::WriteMem(Proc* p, sim::Vaddr va, std::span<const std::byte> in) {
+  return Access(p, va, in.size(), /*write=*/true, const_cast<std::byte*>(in.data()),
+                std::byte{0}, false);
+}
+
+int Kernel::TouchRead(Proc* p, sim::Vaddr va, std::uint64_t len) {
+  for (sim::Vaddr cur = sim::PageTrunc(va); cur < va + len; cur += sim::kPageSize) {
+    std::byte b;
+    if (int err = Access(p, cur, 1, false, &b, std::byte{0}, false); err != sim::kOk) {
+      return err;
+    }
+  }
+  return sim::kOk;
+}
+
+int Kernel::TouchWrite(Proc* p, sim::Vaddr va, std::uint64_t len, std::byte fill) {
+  for (sim::Vaddr cur = sim::PageTrunc(va); cur < va + len; cur += sim::kPageSize) {
+    if (int err = Access(p, cur, 1, true, nullptr, fill, true); err != sim::kOk) {
+      return err;
+    }
+  }
+  return sim::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Transient-wiring services (§3.2)
+
+int Kernel::Sysctl(Proc* p, sim::Vaddr buf, std::uint64_t len) {
+  TransientWiring tw;
+  int err = vm_.WireTransient(*p->as, buf, len, &tw);
+  if (err != sim::kOk) {
+    return err;
+  }
+  p->kernel_stack_wirings.push_back(std::move(tw));
+  // Copy the "result" of the query into the wired buffer.
+  std::vector<std::byte> result(len, std::byte{0x5c});
+  err = WriteMem(p, buf, result);
+  TransientWiring back = std::move(p->kernel_stack_wirings.back());
+  p->kernel_stack_wirings.pop_back();
+  vm_.UnwireTransient(*p->as, back);
+  return err;
+}
+
+int Kernel::Physio(Proc* p, sim::Vaddr buf, std::uint64_t len, bool is_write) {
+  TransientWiring tw;
+  int err = vm_.WireTransient(*p->as, buf, len, &tw);
+  if (err != sim::kOk) {
+    return err;
+  }
+  p->kernel_stack_wirings.push_back(std::move(tw));
+  std::size_t npages = sim::BytesToPages(len);
+  if (is_write) {
+    // Raw write: the device reads straight out of the wired user pages.
+    std::vector<std::byte> sink(len);
+    err = ReadMem(p, buf, sink);
+    fs_.disk().WriteOp(npages);
+  } else {
+    // Raw read: device DMA lands directly in user memory.
+    fs_.disk().ReadOp(npages);
+    std::vector<std::byte> payload(len, std::byte{0xd1});
+    err = WriteMem(p, buf, payload);
+  }
+  TransientWiring back = std::move(p->kernel_stack_wirings.back());
+  p->kernel_stack_wirings.pop_back();
+  vm_.UnwireTransient(*p->as, back);
+  return err;
+}
+
+// ---------------------------------------------------------------------------
+// Data movement (§7)
+
+int Kernel::SocketSendCopy(Proc* p, sim::Vaddr va, std::uint64_t len) {
+  machine_.Charge(machine_.cost().socket_setup_ns);
+  std::size_t npages = sim::BytesToPages(len);
+  // Bulk copy user data into kernel mbufs, then protocol processing.
+  std::vector<std::byte> mbuf(len);
+  if (int err = ReadMem(p, va, mbuf); err != sim::kOk) {
+    return err;
+  }
+  machine_.Charge(machine_.cost().page_copy_ns * npages);
+  machine_.stats().pages_copied += npages;
+  machine_.Charge(machine_.cost().socket_per_page_ns * npages);
+  return sim::kOk;
+}
+
+int Kernel::SocketSendLoan(Proc* p, sim::Vaddr va, std::uint64_t len) {
+  machine_.Charge(machine_.cost().socket_setup_ns);
+  std::size_t npages = sim::BytesToPages(len);
+  std::vector<phys::Page*> loaned;
+  int err = vm_.Loan(*p->as, va, npages, &loaned);
+  if (err != sim::kOk) {
+    return err;  // kErrNotSup under BSD VM
+  }
+  // The socket layer transmits straight out of the loaned wired pages;
+  // loan_page_ns covers the per-page mbuf-external setup and the (cheaper)
+  // gather-style protocol processing.
+  vm_.Unloan(loaned);
+  return sim::kOk;
+}
+
+int Kernel::PageTransfer(Proc* src, sim::Vaddr va, std::uint64_t len, Proc* dst,
+                         sim::Vaddr* out) {
+  std::size_t npages = sim::BytesToPages(len);
+  std::vector<phys::Page*> loaned;
+  int err = vm_.Loan(*src->as, va, npages, &loaned);
+  if (err != sim::kOk) {
+    return err;
+  }
+  *out = 0;
+  err = vm_.Transfer(*dst->as, out, loaned);
+  vm_.Unloan(loaned);
+  return err;
+}
+
+int Kernel::ExtractRange(Proc* src, sim::Vaddr va, std::uint64_t len, Proc* dst, sim::Vaddr* out,
+                         ExtractMode mode) {
+  *out = 0;
+  return vm_.Extract(*src->as, va, len, *dst->as, out, mode);
+}
+
+// ---------------------------------------------------------------------------
+// Mappable devices
+
+kern::DeviceMem* Kernel::RegisterDevice(const std::string& name, std::size_t npages) {
+  auto it = devices_.find(name);
+  if (it != devices_.end()) {
+    return it->second.get();
+  }
+  auto dev = std::make_unique<DeviceMem>();
+  dev->name = name;
+  for (std::size_t i = 0; i < npages; ++i) {
+    phys::Page* p = pm_.AllocPage(phys::OwnerKind::kKernel, dev.get(), i, /*zero=*/true);
+    SIM_ASSERT_MSG(p != nullptr, "out of memory registering device");
+    pm_.Wire(p);
+    auto data = pm_.Data(p);
+    for (std::size_t b = 0; b < sim::kPageSize; ++b) {
+      data[b] = vfs::Filesystem::PatternByte(name, i * sim::kPageSize + b);
+    }
+    dev->pages.push_back(p);
+  }
+  DeviceMem* raw = dev.get();
+  devices_.emplace(name, std::move(dev));
+  return raw;
+}
+
+int Kernel::MmapDevice(Proc* p, sim::Vaddr* addr, DeviceMem* dev, const MapAttrs& attrs) {
+  return vm_.MapDevice(*p->as, addr, *dev, attrs);
+}
+
+// ---------------------------------------------------------------------------
+// System V shared memory (§7 map-entry passing under the hood)
+
+int Kernel::ShmCreate(std::size_t npages, int* shmid) {
+  if (shm_keeper_ == nullptr) {
+    shm_keeper_ = vm_.CreateAddressSpace();
+  }
+  sim::Vaddr va = 0;
+  MapAttrs attrs;
+  attrs.shared = true;  // eager shared amap: the segment's identity
+  int err = vm_.Map(*shm_keeper_, &va, npages * sim::kPageSize, nullptr, 0, attrs);
+  if (err != sim::kOk) {
+    return err;
+  }
+  *shmid = next_shmid_++;
+  shm_segments_[*shmid] = ShmSegment{va, npages};
+  return sim::kOk;
+}
+
+int Kernel::ShmAttach(Proc* p, int shmid, sim::Vaddr* addr) {
+  auto it = shm_segments_.find(shmid);
+  if (it == shm_segments_.end()) {
+    return sim::kErrInval;
+  }
+  *addr = 0;
+  // Genuine sharing via map-entry passing. BSD VM cannot do this (§1.1):
+  // the call reports kErrNotSup.
+  return vm_.Extract(*shm_keeper_, it->second.keeper_va,
+                     it->second.npages * sim::kPageSize, *p->as, addr,
+                     ExtractMode::kShare);
+}
+
+int Kernel::ShmDetach(Proc* p, int shmid, sim::Vaddr addr) {
+  auto it = shm_segments_.find(shmid);
+  if (it == shm_segments_.end()) {
+    return sim::kErrInval;
+  }
+  return vm_.Unmap(*p->as, addr, it->second.npages * sim::kPageSize);
+}
+
+int Kernel::ShmRemove(int shmid) {
+  auto it = shm_segments_.find(shmid);
+  if (it == shm_segments_.end()) {
+    return sim::kErrInval;
+  }
+  int err = vm_.Unmap(*shm_keeper_, it->second.keeper_va,
+                      it->second.npages * sim::kPageSize);
+  shm_segments_.erase(it);
+  return err;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+std::size_t Kernel::TotalMapEntries() const {
+  std::size_t total = vm_.KernelMapEntries();
+  for (const auto& [pid, proc] : procs_) {
+    total += proc->as->EntryCount();
+  }
+  return total;
+}
+
+void Kernel::ReserveKernelBootEntries(std::size_t n) {
+  MapAttrs attrs;
+  attrs.inherit = sim::Inherit::kNone;
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::Vaddr addr = 0;
+    int err = vm_.Map(vm_.kernel_as(), &addr, sim::kPageSize, nullptr, 0, attrs);
+    SIM_ASSERT(err == sim::kOk);
+  }
+}
+
+}  // namespace kern

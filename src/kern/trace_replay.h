@@ -1,0 +1,47 @@
+// Trace replay: a small text format for scripting VM workloads against the
+// kernel facade, so experiments can be written as data instead of C++.
+// Used by the trace_replay example and handy for regression capture.
+//
+// Format: one operation per line; '#' starts a comment. Addresses and
+// lengths are in hex or decimal; $N names a register holding an address
+// (set by the ops that return addresses). Process names are identifiers.
+//
+//   proc   P                    # spawn process P
+//   fork   P C                  # fork P -> C
+//   exit   P
+//   file   /name <pages>        # create a pattern file
+//   mmap   P $r <pages> [ro|rw] [shared|private] [/file [offpages]]
+//   munmap P $r <pages>
+//   write  P $r <offpages> <byte>
+//   read   P $r <offpages> <byte>   # verify: read must equal <byte>
+//   readf  P $r <offpages> /file <filepage>  # verify against file pattern
+//   mlock  P $r <pages>   / munlock P $r <pages>
+//   sysctl P $r
+//   daemon <target-free-pages>
+//   msync  P $r <pages>
+//
+// Replay() returns kOk, or the error of the first failing op with a
+// diagnostic in *error.
+#ifndef SRC_KERN_TRACE_REPLAY_H_
+#define SRC_KERN_TRACE_REPLAY_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/kern/kernel.h"
+
+namespace kern {
+
+struct ReplayResult {
+  int err = sim::kOk;
+  int line = 0;           // 1-based line of the failure, 0 if none
+  std::string message;    // human-readable diagnostic
+  std::size_t ops_executed = 0;
+};
+
+// Execute `trace` against `kernel`. Stops at the first failure.
+ReplayResult ReplayTrace(Kernel& kernel, std::string_view trace);
+
+}  // namespace kern
+
+#endif  // SRC_KERN_TRACE_REPLAY_H_

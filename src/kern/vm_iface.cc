@@ -1,0 +1,25 @@
+#include "src/kern/vm_iface.h"
+
+namespace kern {
+
+// Data-movement defaults: the baseline BSD VM has no VM-based data movement
+// (§1.1); only UVM overrides these.
+
+int VmSystem::Loan(AddressSpace& /*as*/, sim::Vaddr /*va*/, std::size_t /*npages*/,
+                   std::vector<phys::Page*>* /*out*/) {
+  return sim::kErrNotSup;
+}
+
+void VmSystem::Unloan(std::span<phys::Page*> /*pages*/) {}
+
+int VmSystem::Transfer(AddressSpace& /*dst*/, sim::Vaddr* /*addr*/,
+                       std::span<phys::Page*> /*pages*/) {
+  return sim::kErrNotSup;
+}
+
+int VmSystem::Extract(AddressSpace& /*src*/, sim::Vaddr /*src_va*/, std::uint64_t /*len*/,
+                      AddressSpace& /*dst*/, sim::Vaddr* /*dst_va*/, ExtractMode /*mode*/) {
+  return sim::kErrNotSup;
+}
+
+}  // namespace kern

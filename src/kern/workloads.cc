@@ -1,0 +1,294 @@
+#include "src/kern/workloads.h"
+
+#include "src/sim/assert.h"
+
+namespace kern {
+
+namespace {
+
+constexpr sim::Vaddr kTextBase = 0x0000'1000;
+constexpr sim::Vaddr kLibBase = 0x4000'0000;
+constexpr sim::Vaddr kLibStride = 0x0010'0000;  // 1 MB between libraries
+constexpr sim::Vaddr kTopOfUser = 0xB000'0000;
+
+void EnsureFile(Kernel& k, const std::string& name, std::size_t pages) {
+  if (!k.fs().Exists(name)) {
+    k.fs().CreateFilePattern(name, pages * sim::kPageSize);
+  }
+}
+
+int MmapFixed(Kernel& k, Proc* p, sim::Vaddr addr, std::uint64_t len, const std::string& file,
+              sim::ObjOffset off, sim::Prot prot) {
+  MapAttrs attrs;
+  attrs.prot = prot;
+  attrs.fixed = true;
+  attrs.shared = false;
+  return k.Mmap(p, &addr, len, file, off, attrs);
+}
+
+int MmapAnonFixed(Kernel& k, Proc* p, sim::Vaddr addr, std::uint64_t len, sim::Prot prot) {
+  MapAttrs attrs;
+  attrs.prot = prot;
+  attrs.fixed = true;
+  return k.MmapAnon(p, &addr, len, attrs);
+}
+
+}  // namespace
+
+ExecLayout Exec(Kernel& k, Proc* p, const ProgramImage& img) {
+  ExecLayout l;
+  const std::uint64_t ps = sim::kPageSize;
+
+  // Program file holds text followed by initialized data.
+  EnsureFile(k, img.file, img.text_pages + img.data_pages);
+  l.text = kTextBase;
+  int err = MmapFixed(k, p, l.text, img.text_pages * ps, img.file, 0, sim::Prot::kReadExec);
+  SIM_ASSERT(err == sim::kOk);
+  l.data = l.text + img.text_pages * ps;
+  err = MmapFixed(k, p, l.data, img.data_pages * ps, img.file, img.text_pages * ps,
+                  sim::Prot::kReadWrite);
+  SIM_ASSERT(err == sim::kOk);
+  l.bss = l.data + img.data_pages * ps;
+  err = MmapAnonFixed(k, p, l.bss, img.bss_pages * ps, sim::Prot::kReadWrite);
+  SIM_ASSERT(err == sim::kOk);
+
+  // Top of the address space: ps_strings page, signal trampoline, stack.
+  l.ps_strings = kTopOfUser - ps;
+  err = MmapAnonFixed(k, p, l.ps_strings, ps, sim::Prot::kReadWrite);
+  SIM_ASSERT(err == sim::kOk);
+  l.sigtramp = l.ps_strings - ps;
+  err = MmapAnonFixed(k, p, l.sigtramp, ps, sim::Prot::kReadExec);
+  SIM_ASSERT(err == sim::kOk);
+  l.stack_end = l.sigtramp;
+  l.stack = l.stack_end - img.stack_pages * ps;
+  err = MmapAnonFixed(k, p, l.stack, img.stack_pages * ps, sim::Prot::kReadWrite);
+  SIM_ASSERT(err == sim::kOk);
+
+  // Shared libraries: text/data/bss triple each.
+  for (std::size_t i = 0; i < img.libs.size(); ++i) {
+    const LibImage& lib = img.libs[i];
+    EnsureFile(k, lib.file, lib.text_pages + lib.data_pages);
+    sim::Vaddr base = kLibBase + i * kLibStride;
+    l.lib_bases.push_back(base);
+    err = MmapFixed(k, p, base, lib.text_pages * ps, lib.file, 0, sim::Prot::kReadExec);
+    SIM_ASSERT(err == sim::kOk);
+    err = MmapFixed(k, p, base + lib.text_pages * ps, lib.data_pages * ps, lib.file,
+                    lib.text_pages * ps, sim::Prot::kReadWrite);
+    SIM_ASSERT(err == sim::kOk);
+    err = MmapAnonFixed(k, p, base + (lib.text_pages + lib.data_pages) * ps, lib.bss_pages * ps,
+                        sim::Prot::kReadWrite);
+    SIM_ASSERT(err == sim::kOk);
+  }
+
+  // Program start: entry point, initial data/bss references, stack frame.
+  // These first touches are what allocate page-table pages.
+  k.TouchRead(p, l.text, ps);
+  k.TouchWrite(p, l.data, ps, std::byte{0x11});
+  k.TouchWrite(p, l.bss, ps, std::byte{0x22});
+  k.TouchWrite(p, l.stack_end - ps, ps, std::byte{0x33});
+  for (sim::Vaddr lib_base : l.lib_bases) {
+    k.TouchRead(p, lib_base, ps);
+  }
+
+  // Startup sysctl(2) calls (crt0 / ld.so querying the kernel); each one
+  // transiently wires a one-page result buffer on the stack.
+  std::size_t mid_calls = 0;
+  for (SysctlSpot spot : img.startup_sysctls) {
+    sim::Vaddr buf;
+    if (spot == SysctlSpot::kStackEdge) {
+      buf = l.stack_end - ps;
+    } else {
+      // Distinct interior stack pages, two pages apart so each call
+      // fragments a fresh spot under BSD VM.
+      buf = l.stack + (img.stack_pages / 2) * ps - mid_calls * 2 * ps;
+      ++mid_calls;
+      SIM_ASSERT_MSG(buf > l.stack, "stack too small for sysctl spots");
+    }
+    int serr = k.Sysctl(p, buf, ps);
+    SIM_ASSERT(serr == sim::kOk);
+  }
+  return l;
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 images. The shapes (segment sizes, library counts, sysctl
+// behaviour) model the real commands; see workloads.h for methodology.
+
+ProgramImage CatImage() {
+  ProgramImage img;
+  img.file = "/bin/cat";
+  img.text_pages = 10;
+  img.data_pages = 1;
+  img.bss_pages = 1;
+  img.stack_pages = 8;
+  img.startup_sysctls = {SysctlSpot::kStackEdge};
+  return img;
+}
+
+ProgramImage OdImage() {
+  ProgramImage img;
+  img.file = "/usr/bin/od";
+  img.text_pages = 6;
+  img.data_pages = 1;
+  img.bss_pages = 1;
+  img.stack_pages = 12;
+  img.libs = {
+      {"/usr/libexec/ld.elf_so", 8, 1, 1},
+      {"/usr/lib/libc.so", 32, 2, 4},
+  };
+  // ld.so startup makes additional sysctl queries.
+  img.startup_sysctls = {SysctlSpot::kStackMid, SysctlSpot::kStackMid};
+  return img;
+}
+
+ProgramImage InitImage() {
+  ProgramImage img;
+  img.file = "/sbin/init";
+  img.text_pages = 12;
+  img.data_pages = 2;
+  img.bss_pages = 2;
+  img.stack_pages = 16;
+  img.startup_sysctls = {SysctlSpot::kStackMid, SysctlSpot::kStackMid, SysctlSpot::kStackMid,
+                         SysctlSpot::kStackMid};
+  return img;
+}
+
+ProgramImage ShImage() {
+  ProgramImage img;
+  img.file = "/bin/sh";
+  img.text_pages = 24;
+  img.data_pages = 2;
+  img.bss_pages = 4;
+  img.stack_pages = 16;
+  img.startup_sysctls = {SysctlSpot::kStackMid, SysctlSpot::kStackMid, SysctlSpot::kStackMid,
+                         SysctlSpot::kStackMid};
+  return img;
+}
+
+ProgramImage DaemonImage(const std::string& name, bool dynamic, std::size_t sysctls) {
+  ProgramImage img;
+  img.file = "/usr/sbin/" + name;
+  img.text_pages = 16;
+  img.data_pages = 2;
+  img.bss_pages = 2;
+  img.stack_pages = 16;
+  if (dynamic) {
+    img.libs = {
+        {"/usr/libexec/ld.elf_so", 8, 1, 1},
+        {"/usr/lib/libc.so", 32, 2, 4},
+    };
+  }
+  for (std::size_t i = 0; i < sysctls; ++i) {
+    img.startup_sysctls.push_back(dynamic ? SysctlSpot::kStackMid : SysctlSpot::kStackEdge);
+  }
+  return img;
+}
+
+ProgramImage XServerImage() {
+  ProgramImage img;
+  img.file = "/usr/X11R6/bin/XF86_SVGA";
+  img.text_pages = 48;
+  img.data_pages = 8;
+  img.bss_pages = 8;
+  img.stack_pages = 24;
+  for (int i = 0; i < 10; ++i) {
+    img.libs.push_back({"/usr/X11R6/lib/libXsrv" + std::to_string(i) + ".so", 12, 1, 1});
+  }
+  img.startup_sysctls.assign(6, SysctlSpot::kStackMid);
+  return img;
+}
+
+ProgramImage XClientImage(const std::string& name, std::size_t nlibs, std::size_t sysctls) {
+  ProgramImage img;
+  img.file = "/usr/X11R6/bin/" + name;
+  img.text_pages = 12;
+  img.data_pages = 2;
+  img.bss_pages = 2;
+  img.stack_pages = 16;
+  for (std::size_t i = 0; i < nlibs; ++i) {
+    img.libs.push_back({"/usr/X11R6/lib/libX" + std::to_string(i) + ".so", 10, 1, 1});
+  }
+  img.startup_sysctls.assign(sysctls, SysctlSpot::kStackMid);
+  return img;
+}
+
+void BootSingleUser(Kernel& k) {
+  k.ReserveKernelBootEntries(kKernelBootEntries);
+  Proc* init = k.Spawn();
+  Exec(k, init, InitImage());
+  Proc* sh = k.Spawn();
+  Exec(k, sh, ShImage());
+}
+
+void BootMultiUser(Kernel& k) {
+  BootSingleUser(k);
+  // 16 dynamically linked daemons (one chattier about sysctl) and 4 small
+  // statically linked ones.
+  for (int i = 0; i < 16; ++i) {
+    Proc* d = k.Spawn();
+    Exec(k, d, DaemonImage("daemon" + std::to_string(i), /*dynamic=*/true, i == 0 ? 2 : 1));
+  }
+  for (int i = 0; i < 4; ++i) {
+    Proc* d = k.Spawn();
+    Exec(k, d, DaemonImage("staticd" + std::to_string(i), /*dynamic=*/false, 1));
+  }
+}
+
+void StartX11(Kernel& k) {
+  Proc* server = k.Spawn();
+  Exec(k, server, XServerImage());
+  for (int i = 0; i < 6; ++i) {
+    Proc* c = k.Spawn();
+    Exec(k, c, XClientImage("xclient" + std::to_string(i), 4, 2));
+  }
+  for (int i = 0; i < 2; ++i) {
+    Proc* c = k.Spawn();
+    Exec(k, c, XClientImage("xterm" + std::to_string(i), 5, 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 traces. seq + rand always equals the paper's BSD VM count (each
+// first touch is exactly one fault under BSD VM); the sequential/random mix
+// models each command's access locality.
+
+const std::vector<TraceSpec>& Table2Traces() {
+  static const std::vector<TraceSpec> traces = {
+      {"ls /", 35, 24, 59, 33},
+      {"finger chuck", 72, 56, 128, 74},
+      {"cc hello.c", 661, 425, 1086, 590},
+      {"man csh", 67, 47, 114, 64},
+      {"newaliases", 136, 93, 229, 127},
+  };
+  return traces;
+}
+
+std::uint64_t RunCommandTrace(Kernel& k, const TraceSpec& spec) {
+  Proc* p = k.Spawn();
+  const std::uint64_t ps = sim::kPageSize;
+  // One large private file mapping stands in for the command's text,
+  // libraries, and data files combined.
+  std::size_t file_pages = spec.seq_pages + 16 + spec.rand_pages * 9 + 16;
+  std::string file = std::string("/trace/") + spec.name;
+  EnsureFile(k, file, file_pages);
+  sim::Vaddr base = 0;
+  MapAttrs attrs;
+  attrs.prot = sim::Prot::kRead;
+  int err = k.Mmap(p, &base, file_pages * ps, file, 0, attrs);
+  SIM_ASSERT(err == sim::kOk);
+
+  std::uint64_t before = k.machine().stats().faults;
+  // Sequential sweep (instruction-stream-like locality).
+  k.TouchRead(p, base, spec.seq_pages * ps);
+  // Isolated touches, at least a pagein cluster apart so neither system
+  // gets adjacency for free.
+  sim::Vaddr rand_base = base + (spec.seq_pages + 16) * ps;
+  for (std::size_t i = 0; i < spec.rand_pages; ++i) {
+    k.TouchRead(p, rand_base + i * 9 * ps, 1);
+  }
+  std::uint64_t faults = k.machine().stats().faults - before;
+  k.Exit(p);
+  return faults;
+}
+
+}  // namespace kern

@@ -1,0 +1,101 @@
+// Synthetic workloads replaying the VM behaviour of the commands and boot
+// sequences the paper measures (Tables 1 and 2). A real NetBSD userland
+// cannot run inside the simulator, so each command is modelled as a scripted
+// sequence of the VM operations it performs: exec-time segment mappings
+// (text/data/bss/stack/signal-trampoline/ps_strings, plus per-shared-library
+// triples), startup sysctl calls that transiently wire user buffers, and a
+// page-touch trace with a calibrated sequential/random mix. The *BSD VM*
+// numbers are anchored to the paper by construction (entry counts and fault
+// counts are deterministic under BSD VM's one-fault-per-page behaviour);
+// the UVM numbers then emerge from UVM's mechanisms and are compared against
+// the paper in EXPERIMENTS.md.
+#ifndef SRC_KERN_WORKLOADS_H_
+#define SRC_KERN_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kern/kernel.h"
+#include "src/sim/types.h"
+
+namespace kern {
+
+struct LibImage {
+  std::string file;
+  std::size_t text_pages;
+  std::size_t data_pages;
+  std::size_t bss_pages;
+};
+
+// Where a startup sysctl points its result buffer, which controls how much
+// map fragmentation it causes under BSD VM (§3.2).
+enum class SysctlSpot : std::uint8_t {
+  kStackEdge,  // last page of the stack entry: one extra entry under BSD
+  kStackMid,   // middle of the stack entry: two extra entries under BSD
+};
+
+struct ProgramImage {
+  std::string file;
+  std::size_t text_pages = 8;
+  std::size_t data_pages = 2;
+  std::size_t bss_pages = 2;
+  std::size_t stack_pages = 8;
+  std::vector<LibImage> libs;
+  std::vector<SysctlSpot> startup_sysctls;
+};
+
+struct ExecLayout {
+  sim::Vaddr text = 0;
+  sim::Vaddr data = 0;
+  sim::Vaddr bss = 0;
+  sim::Vaddr stack = 0;        // lowest stack address
+  sim::Vaddr stack_end = 0;    // one past the stack (below sigtramp)
+  sim::Vaddr sigtramp = 0;
+  sim::Vaddr ps_strings = 0;
+  std::vector<sim::Vaddr> lib_bases;
+};
+
+// Build the process address space for `img` (creating the program files in
+// the filesystem on demand), touch the pages a program start touches, and
+// run the startup sysctls.
+ExecLayout Exec(Kernel& k, Proc* p, const ProgramImage& img);
+
+// Canned images matching the Table 1 rows.
+ProgramImage CatImage();          // statically linked
+ProgramImage OdImage();           // dynamically linked (ld.so + libc)
+ProgramImage InitImage();
+ProgramImage ShImage();
+ProgramImage DaemonImage(const std::string& name, bool dynamic, std::size_t sysctls);
+ProgramImage XServerImage();
+ProgramImage XClientImage(const std::string& name, std::size_t nlibs, std::size_t sysctls);
+
+// Boot scripts (Table 1 rows 3–5). Processes are left running so entry
+// counts can be read afterwards via Kernel::TotalMapEntries().
+void BootSingleUser(Kernel& k);
+void BootMultiUser(Kernel& k);
+void StartX11(Kernel& k);
+
+// Number of kernel-map entries for boot-time static kernel allocations
+// (identical under both systems); used by the boot scripts.
+inline constexpr std::size_t kKernelBootEntries = 14;
+
+// --- Table 2 command traces ---
+struct TraceSpec {
+  const char* name;
+  std::size_t seq_pages;   // pages touched in one sequential sweep
+  std::size_t rand_pages;  // isolated page touches (>= 8 pages apart)
+  std::uint64_t paper_bsd;
+  std::uint64_t paper_uvm;
+};
+
+// The five commands of Table 2 with their calibrated touch mixes.
+const std::vector<TraceSpec>& Table2Traces();
+
+// Run one command trace; returns the number of page faults it generated
+// under the kernel's VM system. The process is created and exited inside.
+std::uint64_t RunCommandTrace(Kernel& k, const TraceSpec& spec);
+
+}  // namespace kern
+
+#endif  // SRC_KERN_WORKLOADS_H_

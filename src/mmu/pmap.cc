@@ -1,0 +1,198 @@
+#include "src/mmu/pmap.h"
+
+#include <algorithm>
+
+#include "src/sim/assert.h"
+
+namespace mmu {
+
+namespace {
+constexpr std::uint64_t kPtShift = 22;  // i386: one page-table page maps 4 MB
+}  // namespace
+
+void MmuContext::PvAdd(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va) {
+  pv_[pfn].push_back(PvEntry{pmap, va});
+}
+
+void MmuContext::PvRemove(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va) {
+  auto& list = pv_[pfn];
+  auto it = std::find_if(list.begin(), list.end(),
+                         [&](const PvEntry& e) { return e.pmap == pmap && e.va == va; });
+  SIM_ASSERT_MSG(it != list.end(), "pv entry missing on remove");
+  list.erase(it);
+}
+
+std::size_t MmuContext::PageProtect(phys::Page* page, sim::Prot prot) {
+  auto& list = pv_[page->pfn];
+  std::size_t n = list.size();
+  machine().Charge(machine().cost().pmap_page_protect_ns * (n == 0 ? 1 : n));
+  if (prot == sim::Prot::kNone) {
+    // Remove all mappings. Iterate over a copy: RemoveLocked edits pv_.
+    std::vector<PvEntry> copy = list;
+    for (const PvEntry& e : copy) {
+      e.pmap->RemoveLocked(e.va);
+    }
+    SIM_ASSERT(list.empty());
+  } else {
+    for (PvEntry& e : list) {
+      auto it = e.pmap->ptes_.find(e.va);
+      SIM_ASSERT(it != e.pmap->ptes_.end());
+      it->second.prot = it->second.prot & prot;
+    }
+  }
+  return n;
+}
+
+Pmap::Pmap(MmuContext& ctx, bool is_kernel, std::function<void(phys::Page*)> on_ptpage_alloc,
+           std::function<void(phys::Page*)> on_ptpage_free)
+    : ctx_(ctx),
+      is_kernel_(is_kernel),
+      on_ptpage_alloc_(std::move(on_ptpage_alloc)),
+      on_ptpage_free_(std::move(on_ptpage_free)) {}
+
+Pmap::~Pmap() {
+  RemoveAll();
+  for (auto& [idx, page] : ptpages_) {
+    if (on_ptpage_free_) {
+      on_ptpage_free_(page);
+    }
+    ctx_.phys().Unwire(page);
+    ctx_.phys().Dequeue(page);
+    ctx_.phys().FreePage(page);
+  }
+  ptpages_.clear();
+}
+
+void Pmap::EnsurePtPage(sim::Vaddr va) {
+  if (is_kernel_) {
+    return;
+  }
+  std::uint64_t idx = va >> kPtShift;
+  if (ptpages_.contains(idx)) {
+    return;
+  }
+  phys::Page* pt = ctx_.phys().AllocPage(phys::OwnerKind::kKernel, this, idx, /*zero=*/true);
+  SIM_ASSERT_MSG(pt != nullptr, "out of memory allocating page-table page");
+  ctx_.phys().Wire(pt);
+  ctx_.machine().Charge(ctx_.machine().cost().ptpage_alloc_ns);
+  ptpages_.emplace(idx, pt);
+  if (on_ptpage_alloc_) {
+    on_ptpage_alloc_(pt);
+  }
+}
+
+void Pmap::Enter(sim::Vaddr va, phys::Page* page, sim::Prot prot, bool wired) {
+  va = sim::PageTrunc(va);
+  EnsurePtPage(va);
+  ctx_.machine().Charge(ctx_.machine().cost().pmap_enter_ns);
+  auto it = ptes_.find(va);
+  if (it != ptes_.end()) {
+    // Replacing an existing mapping.
+    if (it->second.pfn == page->pfn) {
+      if (it->second.wired && !wired) {
+        --wired_count_;
+      } else if (!it->second.wired && wired) {
+        ++wired_count_;
+      }
+      it->second.prot = prot;
+      it->second.wired = wired;
+      return;
+    }
+    RemoveLocked(va);
+  }
+  ptes_[va] = Pte{page->pfn, prot, wired};
+  if (wired) {
+    ++wired_count_;
+  }
+  ctx_.PvAdd(page->pfn, this, va);
+}
+
+void Pmap::RemoveLocked(sim::Vaddr va_page) {
+  auto it = ptes_.find(va_page);
+  if (it == ptes_.end()) {
+    return;
+  }
+  if (it->second.wired) {
+    --wired_count_;
+  }
+  ctx_.PvRemove(it->second.pfn, this, va_page);
+  ptes_.erase(it);
+}
+
+void Pmap::Remove(sim::Vaddr va) {
+  ctx_.machine().Charge(ctx_.machine().cost().pmap_remove_ns);
+  RemoveLocked(sim::PageTrunc(va));
+}
+
+void Pmap::RemoveRange(sim::Vaddr start, sim::Vaddr end) {
+  for (sim::Vaddr va = sim::PageTrunc(start); va < end; va += sim::kPageSize) {
+    if (ptes_.contains(va)) {
+      ctx_.machine().Charge(ctx_.machine().cost().pmap_remove_ns);
+      RemoveLocked(va);
+    }
+  }
+}
+
+void Pmap::RemoveAll() {
+  while (!ptes_.empty()) {
+    ctx_.machine().Charge(ctx_.machine().cost().pmap_remove_ns);
+    RemoveLocked(ptes_.begin()->first);
+  }
+}
+
+void Pmap::Protect(sim::Vaddr va, sim::Prot prot) {
+  auto it = ptes_.find(sim::PageTrunc(va));
+  if (it == ptes_.end()) {
+    return;
+  }
+  ctx_.machine().Charge(ctx_.machine().cost().pmap_protect_ns);
+  if (prot == sim::Prot::kNone) {
+    RemoveLocked(sim::PageTrunc(va));
+  } else {
+    it->second.prot = prot;
+  }
+}
+
+void Pmap::ProtectRange(sim::Vaddr start, sim::Vaddr end, sim::Prot prot) {
+  for (sim::Vaddr va = sim::PageTrunc(start); va < end; va += sim::kPageSize) {
+    Protect(va, prot);
+  }
+}
+
+void Pmap::IntersectProtRange(sim::Vaddr start, sim::Vaddr end, sim::Prot prot) {
+  for (sim::Vaddr va = sim::PageTrunc(start); va < end; va += sim::kPageSize) {
+    auto it = ptes_.find(va);
+    if (it == ptes_.end()) {
+      continue;
+    }
+    ctx_.machine().Charge(ctx_.machine().cost().pmap_protect_ns);
+    sim::Prot np = it->second.prot & prot;
+    if (np == sim::Prot::kNone && !it->second.wired) {
+      RemoveLocked(va);
+    } else {
+      it->second.prot = np;
+    }
+  }
+}
+
+void Pmap::ChangeWiring(sim::Vaddr va, bool wired) {
+  auto it = ptes_.find(sim::PageTrunc(va));
+  if (it == ptes_.end()) {
+    return;
+  }
+  if (it->second.wired != wired) {
+    it->second.wired = wired;
+    wired_count_ += wired ? 1 : -1;
+  }
+}
+
+std::optional<Pte> Pmap::Extract(sim::Vaddr va) const {
+  ctx_.machine().Charge(ctx_.machine().cost().pmap_extract_ns);
+  auto it = ptes_.find(sim::PageTrunc(va));
+  if (it == ptes_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace mmu

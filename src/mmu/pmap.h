@@ -1,0 +1,132 @@
+// The machine-dependent pmap layer (§2 of the paper). Both BSD VM and UVM
+// sit on top of this identical interface, exactly as the paper's systems
+// share pmap modules. The simulated MMU keeps per-address-space page tables
+// (va -> pfn + protection + wired bit) and a pv-entry reverse map so that
+// operations by physical page (pmap_page_protect, used for COW fork and
+// pageout) find every mapping of a frame.
+//
+// i386 modelling: each 4 MB region of mapped virtual address space requires
+// one wired page-table page. Under UVM, the wired state of page-table pages
+// lives only inside the pmap; under BSD VM, the machine-dependent code also
+// enters each page-table page into the kernel map, costing a kernel map
+// entry (§3.2). The hook `on_ptpage_alloc` lets the BSD layer model that.
+#ifndef SRC_MMU_PMAP_H_
+#define SRC_MMU_PMAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/phys/phys_mem.h"
+#include "src/sim/types.h"
+
+namespace mmu {
+
+struct Pte {
+  sim::Pfn pfn = sim::kInvalidPfn;
+  sim::Prot prot = sim::Prot::kNone;
+  bool wired = false;
+};
+
+class Pmap;
+
+// Shared MMU state: the pv table mapping each frame to the set of virtual
+// mappings of it. One MmuContext exists per Machine.
+class MmuContext {
+ public:
+  explicit MmuContext(phys::PhysMem& pm) : pm_(pm), pv_(pm.total_pages()) {}
+
+  MmuContext(const MmuContext&) = delete;
+  MmuContext& operator=(const MmuContext&) = delete;
+
+  phys::PhysMem& phys() { return pm_; }
+  sim::Machine& machine() { return pm_.machine(); }
+
+  // Lower the protection of every mapping of `page` to `prot`; kNone removes
+  // the mappings entirely. Returns the number of mappings affected.
+  std::size_t PageProtect(phys::Page* page, sim::Prot prot);
+
+  // Number of pmaps currently mapping this frame.
+  std::size_t MappingCount(const phys::Page* page) const { return pv_[page->pfn].size(); }
+
+ private:
+  friend class Pmap;
+  struct PvEntry {
+    Pmap* pmap;
+    sim::Vaddr va;
+  };
+
+  void PvAdd(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va);
+  void PvRemove(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va);
+
+  phys::PhysMem& pm_;
+  std::vector<std::vector<PvEntry>> pv_;
+};
+
+class Pmap {
+ public:
+  // `is_kernel`: the kernel pmap does not consume page-table pages (its page
+  // tables are part of the statically wired kernel image).
+  // `on_ptpage_alloc` / `on_ptpage_free`: invoked as page-table pages come
+  // and go (BSD VM uses these to mirror PT pages into the kernel map).
+  Pmap(MmuContext& ctx, bool is_kernel,
+       std::function<void(phys::Page*)> on_ptpage_alloc = nullptr,
+       std::function<void(phys::Page*)> on_ptpage_free = nullptr);
+  ~Pmap();
+
+  Pmap(const Pmap&) = delete;
+  Pmap& operator=(const Pmap&) = delete;
+
+  // Establish (or replace) a mapping of `page` at `va`.
+  void Enter(sim::Vaddr va, phys::Page* page, sim::Prot prot, bool wired);
+
+  // Remove any mapping at `va`.
+  void Remove(sim::Vaddr va);
+  // Remove every mapping in [start, end).
+  void RemoveRange(sim::Vaddr start, sim::Vaddr end);
+  // Remove every mapping in the pmap.
+  void RemoveAll();
+
+  // Change the protection of the mapping at `va`, if any.
+  void Protect(sim::Vaddr va, sim::Prot prot);
+  void ProtectRange(sim::Vaddr start, sim::Vaddr end, sim::Prot prot);
+
+  // Lower existing mappings in [start, end) to the intersection of their
+  // current protection and `prot`. A mapping whose intersection is empty is
+  // removed unless it is wired (wired mappings are kept with no access so
+  // the wiring bookkeeping survives; the next access faults).
+  void IntersectProtRange(sim::Vaddr start, sim::Vaddr end, sim::Prot prot);
+
+  // Change only the wired attribute of an existing mapping.
+  void ChangeWiring(sim::Vaddr va, bool wired);
+
+  // Query the translation for `va`.
+  std::optional<Pte> Extract(sim::Vaddr va) const;
+
+  std::size_t resident_count() const { return ptes_.size(); }
+  std::size_t wired_count() const { return wired_count_; }
+  std::size_t ptpage_count() const { return ptpages_.size(); }
+
+  bool is_kernel() const { return is_kernel_; }
+
+ private:
+  friend class MmuContext;
+
+  void EnsurePtPage(sim::Vaddr va);
+  void RemoveLocked(sim::Vaddr va_page);
+
+  MmuContext& ctx_;
+  bool is_kernel_;
+  std::function<void(phys::Page*)> on_ptpage_alloc_;
+  std::function<void(phys::Page*)> on_ptpage_free_;
+  std::unordered_map<sim::Vaddr, Pte> ptes_;  // keyed by page-aligned va
+  std::unordered_map<std::uint64_t, phys::Page*> ptpages_;  // keyed by va >> 22
+  std::size_t wired_count_ = 0;
+};
+
+}  // namespace mmu
+
+#endif  // SRC_MMU_PMAP_H_

@@ -1,0 +1,58 @@
+// The vm_page analogue: one Page struct per frame of simulated physical
+// memory. Pages carry real byte contents (stored in PhysMem's backing
+// buffer), ownership tags linking them back to the memory object or anon
+// they belong to, and intrusive queue linkage for the paging queues.
+#ifndef SRC_PHYS_PAGE_H_
+#define SRC_PHYS_PAGE_H_
+
+#include <cstdint>
+
+#include "src/sim/types.h"
+
+namespace phys {
+
+// Which paging queue a page currently sits on.
+enum class PageQueue : std::uint8_t {
+  kNone,      // wired or busy, off all queues
+  kFree,
+  kActive,
+  kInactive,
+};
+
+// Identifies the higher-level structure that owns a page. The VM systems
+// store a pointer whose meaning depends on the tag; the physical layer never
+// dereferences it, it only hands it back to the pagedaemon.
+enum class OwnerKind : std::uint8_t {
+  kNone,
+  kBsdObject,   // bsdvm::VmObject
+  kUvmObject,   // uvm::UvmObject
+  kUvmAnon,     // uvm::Anon
+  kKernel,      // kernel wired allocation (page tables, u-areas, ...)
+};
+
+struct Page {
+  sim::Pfn pfn = sim::kInvalidPfn;
+
+  // Ownership
+  OwnerKind owner_kind = OwnerKind::kNone;
+  void* owner = nullptr;
+  sim::ObjOffset offset = 0;  // page *index* within the owning object
+
+  // State
+  std::uint16_t wire_count = 0;
+  std::uint16_t loan_count = 0;  // UVM page loanout (§7)
+  bool dirty = false;
+  bool referenced = false;
+  bool busy = false;  // I/O in progress
+
+  // Intrusive queue linkage (managed by PhysMem only)
+  PageQueue queue = PageQueue::kNone;
+  Page* q_next = nullptr;
+  Page* q_prev = nullptr;
+
+  bool IsManaged() const { return owner_kind != OwnerKind::kNone; }
+};
+
+}  // namespace phys
+
+#endif  // SRC_PHYS_PAGE_H_

@@ -1,0 +1,164 @@
+#include "src/phys/phys_mem.h"
+
+#include <cstring>
+
+#include "src/sim/assert.h"
+
+namespace phys {
+
+void PageList::PushTail(Page* p) {
+  SIM_ASSERT(p->q_next == nullptr && p->q_prev == nullptr);
+  p->q_prev = tail_;
+  if (tail_ != nullptr) {
+    tail_->q_next = p;
+  } else {
+    head_ = p;
+  }
+  tail_ = p;
+  ++size_;
+}
+
+void PageList::Remove(Page* p) {
+  if (p->q_prev != nullptr) {
+    p->q_prev->q_next = p->q_next;
+  } else {
+    SIM_ASSERT(head_ == p);
+    head_ = p->q_next;
+  }
+  if (p->q_next != nullptr) {
+    p->q_next->q_prev = p->q_prev;
+  } else {
+    SIM_ASSERT(tail_ == p);
+    tail_ = p->q_prev;
+  }
+  p->q_next = nullptr;
+  p->q_prev = nullptr;
+  SIM_ASSERT(size_ > 0);
+  --size_;
+}
+
+PhysMem::PhysMem(sim::Machine& machine, std::size_t num_pages)
+    : machine_(machine), pages_(num_pages), bytes_(num_pages * sim::kPageSize) {
+  for (std::size_t i = 0; i < num_pages; ++i) {
+    pages_[i].pfn = static_cast<sim::Pfn>(i);
+    pages_[i].queue = PageQueue::kFree;
+    free_.PushTail(&pages_[i]);
+  }
+  // Default free target: 5% of memory, matching the classic BSD pagedaemon
+  // "free_min" style threshold.
+  free_target_ = num_pages / 20 + 4;
+}
+
+Page* PhysMem::AllocPage(OwnerKind kind, void* owner, sim::ObjOffset offset, bool zero) {
+  Page* p = free_.head();
+  if (p == nullptr) {
+    return nullptr;
+  }
+  free_.Remove(p);
+  p->queue = PageQueue::kNone;
+  p->owner_kind = kind;
+  p->owner = owner;
+  p->offset = offset;
+  p->wire_count = 0;
+  p->loan_count = 0;
+  p->dirty = false;
+  p->referenced = false;
+  p->busy = false;
+  if (zero) {
+    ZeroPage(p);
+  }
+  return p;
+}
+
+void PhysMem::FreePage(Page* p) {
+  SIM_ASSERT_MSG(p->wire_count == 0, "freeing wired page");
+  SIM_ASSERT_MSG(p->loan_count == 0, "freeing loaned page");
+  if (p->queue != PageQueue::kNone) {
+    if (p->queue == PageQueue::kActive) {
+      active_.Remove(p);
+    } else if (p->queue == PageQueue::kInactive) {
+      inactive_.Remove(p);
+    } else {
+      SIM_PANIC("freeing a free page");
+    }
+  }
+  p->owner_kind = OwnerKind::kNone;
+  p->owner = nullptr;
+  p->offset = 0;
+  p->dirty = false;
+  p->busy = false;
+  p->queue = PageQueue::kFree;
+  free_.PushTail(p);
+}
+
+void PhysMem::Activate(Page* p) {
+  Dequeue(p);
+  p->queue = PageQueue::kActive;
+  active_.PushTail(p);
+}
+
+void PhysMem::Deactivate(Page* p) {
+  Dequeue(p);
+  p->queue = PageQueue::kInactive;
+  inactive_.PushTail(p);
+}
+
+void PhysMem::Dequeue(Page* p) {
+  switch (p->queue) {
+    case PageQueue::kNone:
+      return;
+    case PageQueue::kActive:
+      active_.Remove(p);
+      break;
+    case PageQueue::kInactive:
+      inactive_.Remove(p);
+      break;
+    case PageQueue::kFree:
+      SIM_PANIC("dequeue of free page");
+  }
+  p->queue = PageQueue::kNone;
+}
+
+void PhysMem::Wire(Page* p) {
+  if (p->wire_count == 0) {
+    Dequeue(p);
+  }
+  ++p->wire_count;
+}
+
+void PhysMem::Unwire(Page* p) {
+  SIM_ASSERT(p->wire_count > 0);
+  --p->wire_count;
+  if (p->wire_count == 0) {
+    Activate(p);
+  }
+}
+
+std::span<std::byte, sim::kPageSize> PhysMem::Data(Page* p) {
+  return std::span<std::byte, sim::kPageSize>(&bytes_[p->pfn * sim::kPageSize], sim::kPageSize);
+}
+
+std::span<const std::byte, sim::kPageSize> PhysMem::Data(const Page* p) const {
+  return std::span<const std::byte, sim::kPageSize>(&bytes_[p->pfn * sim::kPageSize],
+                                                    sim::kPageSize);
+}
+
+void PhysMem::CopyPage(const Page* src, Page* dst) {
+  std::memcpy(&bytes_[dst->pfn * sim::kPageSize], &bytes_[src->pfn * sim::kPageSize],
+              sim::kPageSize);
+  machine_.Charge(machine_.cost().page_copy_ns);
+  ++machine_.stats().pages_copied;
+}
+
+void PhysMem::ZeroPage(Page* p) {
+  std::memset(&bytes_[p->pfn * sim::kPageSize], 0, sim::kPageSize);
+  machine_.Charge(machine_.cost().page_zero_ns);
+  ++machine_.stats().pages_zeroed;
+}
+
+Page* PhysMem::PageAt(sim::Pfn pfn) {
+  SIM_ASSERT(pfn < pages_.size());
+  return &pages_[pfn];
+}
+
+}  // namespace phys

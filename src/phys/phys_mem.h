@@ -1,0 +1,96 @@
+// Simulated physical memory: a fixed array of page frames with real byte
+// contents, a free list, and the active/inactive paging queues shared by
+// both VM systems' pagedaemons.
+#ifndef SRC_PHYS_PHYS_MEM_H_
+#define SRC_PHYS_PHYS_MEM_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/phys/page.h"
+#include "src/sim/machine.h"
+#include "src/sim/types.h"
+
+namespace phys {
+
+// An intrusive FIFO queue of pages. Enqueue at tail, scan/dequeue from head,
+// so the head is the least recently enqueued page (LRU order for the
+// inactive queue).
+class PageList {
+ public:
+  void PushTail(Page* p);
+  void Remove(Page* p);
+  Page* head() const { return head_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  Page* head_ = nullptr;
+  Page* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class PhysMem {
+ public:
+  PhysMem(sim::Machine& machine, std::size_t num_pages);
+
+  PhysMem(const PhysMem&) = delete;
+  PhysMem& operator=(const PhysMem&) = delete;
+
+  std::size_t total_pages() const { return pages_.size(); }
+  std::size_t free_pages() const { return free_.size(); }
+  std::size_t active_pages() const { return active_.size(); }
+  std::size_t inactive_pages() const { return inactive_.size(); }
+
+  // Number of free pages below which callers should run the pagedaemon.
+  std::size_t free_target() const { return free_target_; }
+  void set_free_target(std::size_t n) { free_target_ = n; }
+  bool NeedsPageDaemon() const { return free_.size() < free_target_; }
+
+  // Allocate a frame for `owner`; returns nullptr when no free frame exists
+  // (the caller must reclaim memory and retry). If `zero` is set the frame
+  // contents are cleared and the zero cost is charged.
+  Page* AllocPage(OwnerKind kind, void* owner, sim::ObjOffset offset, bool zero);
+
+  // Release a frame back to the free list. The page must be unwired and off
+  // the paging queues or on one (it is removed).
+  void FreePage(Page* p);
+
+  // Queue management.
+  void Activate(Page* p);    // move to tail of active queue
+  void Deactivate(Page* p);  // move to tail of inactive queue
+  void Dequeue(Page* p);     // remove from any queue (e.g. while busy)
+
+  // Wiring. A wired page is removed from the paging queues; unwiring a page
+  // back to wire_count zero re-activates it.
+  void Wire(Page* p);
+  void Unwire(Page* p);
+
+  // Contents access.
+  std::span<std::byte, sim::kPageSize> Data(Page* p);
+  std::span<const std::byte, sim::kPageSize> Data(const Page* p) const;
+
+  // Copy / zero helpers that charge the cost model and maintain stats.
+  void CopyPage(const Page* src, Page* dst);
+  void ZeroPage(Page* p);
+
+  Page* PageAt(sim::Pfn pfn);
+  PageList& inactive_queue() { return inactive_; }
+  PageList& active_queue() { return active_; }
+
+  sim::Machine& machine() { return machine_; }
+
+ private:
+  sim::Machine& machine_;
+  std::vector<Page> pages_;
+  std::vector<std::byte> bytes_;
+  PageList free_;
+  PageList active_;
+  PageList inactive_;
+  std::size_t free_target_ = 0;
+};
+
+}  // namespace phys
+
+#endif  // SRC_PHYS_PHYS_MEM_H_

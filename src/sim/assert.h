@@ -1,0 +1,35 @@
+// Fatal invariant checking for the simulator. These fire on internal VM bugs
+// (the equivalent of a kernel panic) and are always on, including in release
+// builds: the test suite's property tests rely on them.
+#ifndef SRC_SIM_ASSERT_H_
+#define SRC_SIM_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sim {
+
+[[noreturn]] inline void PanicAt(const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+  std::abort();
+}
+
+}  // namespace sim
+
+#define SIM_PANIC(msg) ::sim::PanicAt(__FILE__, __LINE__, (msg))
+
+#define SIM_ASSERT(cond)                                 \
+  do {                                                   \
+    if (!(cond)) {                                       \
+      ::sim::PanicAt(__FILE__, __LINE__, "assertion failed: " #cond); \
+    }                                                    \
+  } while (false)
+
+#define SIM_ASSERT_MSG(cond, msg)                        \
+  do {                                                   \
+    if (!(cond)) {                                       \
+      ::sim::PanicAt(__FILE__, __LINE__, (msg));         \
+    }                                                    \
+  } while (false)
+
+#endif  // SRC_SIM_ASSERT_H_

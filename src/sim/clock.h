@@ -1,0 +1,42 @@
+// Deterministic virtual clock. Every simulated activity (disk I/O, page
+// copies, lock round-trips, pmap updates) advances this clock by an amount
+// taken from the CostModel. Benchmarks report virtual time, which is what
+// makes the paper's performance shapes reproducible on any host machine.
+#ifndef SRC_SIM_CLOCK_H_
+#define SRC_SIM_CLOCK_H_
+
+#include <cstdint>
+
+#include "src/sim/types.h"
+
+namespace sim {
+
+class Clock {
+ public:
+  Clock() = default;
+
+  Nanoseconds now() const { return now_ns_; }
+  void Advance(Nanoseconds ns) { now_ns_ += ns; }
+  void Reset() { now_ns_ = 0; }
+
+  double now_seconds() const { return static_cast<double>(now_ns_) * 1e-9; }
+  double now_micros() const { return static_cast<double>(now_ns_) * 1e-3; }
+
+ private:
+  Nanoseconds now_ns_ = 0;
+};
+
+// RAII helper measuring elapsed virtual time across a scope.
+class ClockSpan {
+ public:
+  explicit ClockSpan(const Clock& clock) : clock_(clock), start_(clock.now()) {}
+  Nanoseconds elapsed() const { return clock_.now() - start_; }
+
+ private:
+  const Clock& clock_;
+  Nanoseconds start_;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_CLOCK_H_

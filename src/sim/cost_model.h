@@ -1,0 +1,69 @@
+// Virtual-time cost model. The constants below are calibrated so that the
+// relative costs match a late-1990s machine of the kind the paper evaluates
+// on (333 MHz Pentium-II, ~10ms disk): a disk operation is ~3 orders of
+// magnitude more expensive than a page copy, which is itself ~1 order more
+// expensive than a lock round-trip. Absolute values are arbitrary; every
+// result we report is a ratio or a curve shape.
+#ifndef SRC_SIM_COST_MODEL_H_
+#define SRC_SIM_COST_MODEL_H_
+
+#include "src/sim/types.h"
+
+namespace sim {
+
+struct CostModel {
+  // --- Disk (applies to both the filesystem disk and the swap device) ---
+  // Fixed per-I/O-operation cost: seek + rotational latency + command setup.
+  Nanoseconds disk_op_ns = 2'500'000;  // 2.5 ms
+  // Per-page transfer cost once the head is positioned.
+  Nanoseconds disk_page_ns = 1'200'000;  // 1.2 ms (≈3.4 MB/s sustained)
+
+  // --- Memory ---
+  Nanoseconds page_copy_ns = 12'000;  // copy 4 KB
+  Nanoseconds page_zero_ns = 6'000;   // zero 4 KB
+
+  // --- pmap (MMU) ---
+  Nanoseconds pmap_enter_ns = 800;
+  Nanoseconds pmap_remove_ns = 500;
+  Nanoseconds pmap_protect_ns = 400;        // per page
+  Nanoseconds pmap_page_protect_ns = 600;   // per pv entry
+  Nanoseconds pmap_extract_ns = 150;
+  Nanoseconds ptpage_alloc_ns = 2'000;      // allocate + wire a page-table page
+
+  // --- Maps and locking ---
+  Nanoseconds map_lock_ns = 500;             // acquire + release one lock
+  Nanoseconds map_entry_scan_ns = 60;        // examine one entry during lookup
+  Nanoseconds map_entry_alloc_ns = 700;      // allocate + initialize an entry
+  Nanoseconds map_entry_free_ns = 250;
+
+  // --- Objects / anonymous structures ---
+  Nanoseconds object_alloc_ns = 1'200;     // BSD vm_object or shadow object
+  Nanoseconds pager_alloc_ns = 900;        // BSD vm_pager + vn_pager allocation
+  Nanoseconds pager_hash_ns = 350;         // BSD pager hash table lookup/insert
+  Nanoseconds object_chain_hop_ns = 300;   // search one object in a shadow chain
+  Nanoseconds object_lock_ns = 500;        // Mach: every chain object has its own lock
+  Nanoseconds collapse_attempt_ns = 4'000; // one vm_object_collapse scan + lock juggling
+  Nanoseconds amap_alloc_per_slot_ns = 25; // allocate + init one amap slot
+  Nanoseconds amap_lookup_ns = 120;        // amap slot lookup
+  Nanoseconds anon_alloc_ns = 350;
+
+  // --- Fault path ---
+  Nanoseconds fault_entry_ns = 1'500;      // trap + fault-routine entry/exit
+
+  // --- Fork ---
+  // Mach-style vm_object_copy marks every resident page of a
+  // copied-on-write object at the object layer; UVM's amap scheme has no
+  // per-page fork work beyond the pmap write-protect (§5.3).
+  Nanoseconds bsd_fork_page_ns = 300;
+
+  // --- Data movement (§7) ---
+  // Per-page software overhead of setting up a loan (mbuf external storage,
+  // wiring, write-protect) — what replaces the data copy on the loan path.
+  Nanoseconds loan_page_ns = 2'100;
+  Nanoseconds socket_per_page_ns = 3'000;  // protocol processing per page
+  Nanoseconds socket_setup_ns = 30'000;    // per-send syscall + socket setup
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_COST_MODEL_H_

@@ -1,0 +1,38 @@
+// Aggregates the simulated hardware context shared by every subsystem:
+// virtual clock, cost model, and global statistics counters. A Machine is
+// created once per experiment and passed by reference; there are no globals.
+#ifndef SRC_SIM_MACHINE_H_
+#define SRC_SIM_MACHINE_H_
+
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/stats.h"
+
+namespace sim {
+
+class Machine {
+ public:
+  Machine() = default;
+  explicit Machine(const CostModel& cost) : cost_(cost) {}
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  Clock& clock() { return clock_; }
+  const Clock& clock() const { return clock_; }
+  const CostModel& cost() const { return cost_; }
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+
+  // Convenience: advance the clock by a cost-model amount.
+  void Charge(Nanoseconds ns) { clock_.Advance(ns); }
+
+ private:
+  Clock clock_;
+  CostModel cost_;
+  Stats stats_;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_MACHINE_H_

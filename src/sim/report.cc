@@ -1,0 +1,37 @@
+#include "src/sim/report.h"
+
+namespace sim {
+
+void ReportStats(std::ostream& os, const Machine& machine) {
+  const Stats& s = machine.stats();
+  os << "virtual time: " << machine.clock().now_seconds() << " s\n"
+     << "faults:       " << s.faults << " (+" << s.fault_neighbor_maps
+     << " neighbour pages mapped)\n"
+     << "disk:         " << s.disk_ops << " ops, " << s.disk_pages_read << " pages in, "
+     << s.disk_pages_written << " pages out\n"
+     << "swap:         " << s.swap_ops << " ops, " << s.swap_pages_in << " pages in, "
+     << s.swap_pages_out << " pages out\n"
+     << "memory:       " << s.pages_copied << " pages copied, " << s.pages_zeroed
+     << " pages zeroed\n"
+     << "map entries:  " << s.map_entries_allocated << " allocated, "
+     << s.map_entry_fragmentations << " fragmentations, " << s.map_entries_merged
+     << " merged\n"
+     << "objects:      " << s.objects_allocated << " allocated, " << s.shadows_created
+     << " shadows, " << s.collapse_attempts << " collapse attempts ("
+     << s.collapses_done << " collapses, " << s.bypasses_done << " bypasses)\n"
+     << "anon layer:   " << s.amaps_allocated << " amaps, " << s.anons_allocated
+     << " anons\n"
+     << "caches:       " << s.object_cache_hits << " object-cache hits, "
+     << s.object_cache_evictions << " evictions; " << s.vnode_cache_hits
+     << " vnode hits, " << s.vnode_recycles << " recycles\n"
+     << "locks:        " << s.map_lock_acquisitions << " map-lock acquisitions, "
+     << s.map_lock_hold_ns << " ns held\n";
+}
+
+void ReportIoLine(std::ostream& os, const Machine& machine) {
+  const Stats& s = machine.stats();
+  os << "faults=" << s.faults << " disk_ops=" << s.disk_ops << " swap_ops=" << s.swap_ops
+     << " copied=" << s.pages_copied << " t=" << machine.clock().now_seconds() << "s";
+}
+
+}  // namespace sim

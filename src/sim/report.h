@@ -1,0 +1,21 @@
+// Human-readable reporting of a machine's statistics counters — the
+// simulator's equivalent of vmstat(1). Used by examples and benches and
+// handy when debugging a failing scenario.
+#ifndef SRC_SIM_REPORT_H_
+#define SRC_SIM_REPORT_H_
+
+#include <ostream>
+
+#include "src/sim/machine.h"
+
+namespace sim {
+
+// Write a multi-line counter summary to `os`.
+void ReportStats(std::ostream& os, const Machine& machine);
+
+// One-line I/O summary ("faults=... disk_ops=... swap_ops=...").
+void ReportIoLine(std::ostream& os, const Machine& machine);
+
+}  // namespace sim
+
+#endif  // SRC_SIM_REPORT_H_

@@ -1,0 +1,60 @@
+// Global event counters. Reset between experiment runs; benches and tests
+// read these to report the paper's tables (fault counts, map-entry counts,
+// I/O operation counts, leak accounting).
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <cstdint>
+
+namespace sim {
+
+struct Stats {
+  // Fault path
+  std::uint64_t faults = 0;             // page faults taken
+  std::uint64_t fault_neighbor_maps = 0;  // pages mapped by UVM fault lookahead
+
+  // I/O
+  std::uint64_t disk_ops = 0;       // distinct I/O operations (seeks)
+  std::uint64_t disk_pages_read = 0;
+  std::uint64_t disk_pages_written = 0;
+  std::uint64_t swap_ops = 0;
+  std::uint64_t swap_pages_in = 0;
+  std::uint64_t swap_pages_out = 0;
+
+  // Memory traffic
+  std::uint64_t pages_copied = 0;
+  std::uint64_t pages_zeroed = 0;
+
+  // Map bookkeeping
+  std::uint64_t map_entries_allocated = 0;  // cumulative allocations
+  std::uint64_t map_entry_fragmentations = 0;
+  std::uint64_t map_entries_merged = 0;  // UVM optional coalescing
+
+  // Object layer
+  std::uint64_t objects_allocated = 0;   // BSD vm_objects (incl. shadows)
+  std::uint64_t shadows_created = 0;
+  std::uint64_t collapse_attempts = 0;
+  std::uint64_t collapses_done = 0;
+  std::uint64_t bypasses_done = 0;
+  std::uint64_t amaps_allocated = 0;
+  std::uint64_t anons_allocated = 0;
+
+  // Cache behaviour
+  std::uint64_t object_cache_hits = 0;
+  std::uint64_t object_cache_evictions = 0;
+  std::uint64_t vnode_cache_hits = 0;
+  std::uint64_t vnode_recycles = 0;
+
+  // Lock metering (§3.1: BSD holds the map lock across object teardown)
+  std::uint64_t map_lock_acquisitions = 0;
+  std::uint64_t map_lock_hold_ns = 0;
+
+  // Pathology accounting
+  std::uint64_t leaked_pages_detected = 0;  // inaccessible pages found in chains
+
+  void Reset() { *this = Stats{}; }
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_STATS_H_

@@ -1,0 +1,32 @@
+#include "src/sim/types.h"
+
+namespace sim {
+
+const char* ErrorName(int err) {
+  switch (err) {
+    case kOk:
+      return "OK";
+    case kErrFault:
+      return "EFAULT";
+    case kErrProt:
+      return "EACCES";
+    case kErrNoMem:
+      return "ENOMEM";
+    case kErrNoSwap:
+      return "ENOSWAP";
+    case kErrExist:
+      return "EEXIST";
+    case kErrInval:
+      return "EINVAL";
+    case kErrNoEnt:
+      return "ENOENT";
+    case kErrNotSup:
+      return "ENOTSUP";
+    case kErrMapEntryPool:
+      return "EMAPENTRYPOOL";
+    default:
+      return "E???";
+  }
+}
+
+}  // namespace sim

@@ -1,0 +1,89 @@
+#include "src/swap/swap_device.h"
+
+#include <cstring>
+
+#include "src/sim/assert.h"
+
+namespace swp {
+
+std::int32_t SwapDevice::AllocSlot() {
+  const std::size_t n = used_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t i = (next_hint_ + k) % n;
+    if (!used_[i]) {
+      used_[i] = true;
+      ++used_count_;
+      next_hint_ = (i + 1) % n;
+      return static_cast<std::int32_t>(i);
+    }
+  }
+  return kNoSlot;
+}
+
+std::int32_t SwapDevice::AllocContig(std::size_t want) {
+  if (want == 0 || want > used_.size()) {
+    return kNoSlot;
+  }
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < used_.size(); ++i) {
+    run = used_[i] ? 0 : run + 1;
+    if (run == want) {
+      std::size_t first = i + 1 - want;
+      for (std::size_t j = first; j <= i; ++j) {
+        used_[j] = true;
+      }
+      used_count_ += want;
+      return static_cast<std::int32_t>(first);
+    }
+  }
+  return kNoSlot;
+}
+
+void SwapDevice::FreeSlot(std::int32_t slot) {
+  auto i = static_cast<std::size_t>(slot);
+  SIM_ASSERT(slot >= 0 && i < used_.size());
+  SIM_ASSERT_MSG(used_[i], "double free of swap slot");
+  used_[i] = false;
+  SIM_ASSERT(used_count_ > 0);
+  --used_count_;
+}
+
+void SwapDevice::FreeRange(std::int32_t first, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    FreeSlot(first + static_cast<std::int32_t>(i));
+  }
+}
+
+void SwapDevice::WriteRun(std::int32_t first,
+                          std::span<std::span<std::byte, sim::kPageSize>> pages) {
+  disk_.WriteOp(pages.size());
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    std::int32_t slot = first + static_cast<std::int32_t>(i);
+    SIM_ASSERT(IsUsed(slot));
+    std::memcpy(SlotData(slot), pages[i].data(), sim::kPageSize);
+  }
+}
+
+void SwapDevice::ReadRun(std::int32_t first,
+                         std::span<std::span<std::byte, sim::kPageSize>> pages) {
+  disk_.ReadOp(pages.size());
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    std::int32_t slot = first + static_cast<std::int32_t>(i);
+    SIM_ASSERT(IsUsed(slot));
+    std::memcpy(pages[i].data(), SlotData(slot), sim::kPageSize);
+  }
+}
+
+void SwapDevice::WriteSlot(std::int32_t slot, std::span<const std::byte, sim::kPageSize> src) {
+  SIM_ASSERT(IsUsed(slot));
+  disk_.WriteOp(1);
+  std::memcpy(SlotData(slot), src.data(), sim::kPageSize);
+}
+
+void SwapDevice::ReadSlot(std::int32_t slot, std::span<std::byte, sim::kPageSize> dst) {
+  SIM_ASSERT(IsUsed(slot));
+  disk_.ReadOp(1);
+  std::memcpy(dst.data(), SlotData(slot), sim::kPageSize);
+}
+
+}  // namespace swp

@@ -1,0 +1,69 @@
+// Simulated swap partition: an array of page-sized slots with a bitmap
+// allocator that supports contiguous-run allocation. Contiguous runs are
+// what UVM's aggressive pageout clustering (§6) needs: the pagedaemon
+// reassigns dirty anonymous pages to a fresh contiguous run and pushes them
+// out in one I/O operation, while BSD VM's swap pager does one I/O per page
+// within its fixed per-object swap blocks.
+#ifndef SRC_SWAP_SWAP_DEVICE_H_
+#define SRC_SWAP_SWAP_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/sim/machine.h"
+#include "src/sim/types.h"
+#include "src/vfs/disk.h"
+
+namespace swp {
+
+inline constexpr std::int32_t kNoSlot = -1;
+
+class SwapDevice {
+ public:
+  SwapDevice(sim::Machine& machine, std::size_t num_slots)
+      : disk_(machine, vfs::Disk::Kind::kSwap),
+        used_(num_slots, false),
+        bytes_(num_slots * sim::kPageSize) {}
+
+  SwapDevice(const SwapDevice&) = delete;
+  SwapDevice& operator=(const SwapDevice&) = delete;
+
+  std::size_t total_slots() const { return used_.size(); }
+  std::size_t used_slots() const { return used_count_; }
+  std::size_t free_slots() const { return used_.size() - used_count_; }
+
+  // Allocate a single slot; kNoSlot when full.
+  std::int32_t AllocSlot();
+  // Allocate `n` contiguous slots; kNoSlot when no run is available.
+  std::int32_t AllocContig(std::size_t n);
+  void FreeSlot(std::int32_t slot);
+  void FreeRange(std::int32_t first, std::size_t n);
+
+  // One I/O operation transferring `n` contiguous slots starting at `first`.
+  // Each element of `pages` is the host memory of one frame.
+  void WriteRun(std::int32_t first, std::span<std::span<std::byte, sim::kPageSize>> pages);
+  void ReadRun(std::int32_t first, std::span<std::span<std::byte, sim::kPageSize>> pages);
+
+  // Single-slot convenience wrappers (one I/O operation each).
+  void WriteSlot(std::int32_t slot, std::span<const std::byte, sim::kPageSize> src);
+  void ReadSlot(std::int32_t slot, std::span<std::byte, sim::kPageSize> dst);
+
+  bool IsUsed(std::int32_t slot) const { return used_[static_cast<std::size_t>(slot)]; }
+
+ private:
+  std::byte* SlotData(std::int32_t slot) {
+    return &bytes_[static_cast<std::size_t>(slot) * sim::kPageSize];
+  }
+
+  vfs::Disk disk_;
+  std::vector<bool> used_;
+  std::vector<std::byte> bytes_;
+  std::size_t used_count_ = 0;
+  std::size_t next_hint_ = 0;
+};
+
+}  // namespace swp
+
+#endif  // SRC_SWAP_SWAP_DEVICE_H_

@@ -1,0 +1,34 @@
+#include "src/vfs/disk.h"
+
+namespace vfs {
+
+void Disk::Charge(std::size_t npages) {
+  const sim::CostModel& c = machine_.cost();
+  machine_.Charge(c.disk_op_ns + c.disk_page_ns * npages);
+}
+
+void Disk::ReadOp(std::size_t npages) {
+  Charge(npages);
+  sim::Stats& s = machine_.stats();
+  if (kind_ == Kind::kSwap) {
+    ++s.swap_ops;
+    s.swap_pages_in += npages;
+  } else {
+    ++s.disk_ops;
+    s.disk_pages_read += npages;
+  }
+}
+
+void Disk::WriteOp(std::size_t npages) {
+  Charge(npages);
+  sim::Stats& s = machine_.stats();
+  if (kind_ == Kind::kSwap) {
+    ++s.swap_ops;
+    s.swap_pages_out += npages;
+  } else {
+    ++s.disk_ops;
+    s.disk_pages_written += npages;
+  }
+}
+
+}  // namespace vfs

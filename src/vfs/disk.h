@@ -1,0 +1,41 @@
+// Simulated disk device. A disk does no data storage itself (file contents
+// live in the Filesystem, swap contents in the SwapDevice); it exists to
+// charge virtual time and count I/O operations. The central property the
+// paper's figures depend on is preserved: one I/O *operation* has a large
+// fixed cost (seek + rotation), so transferring N pages in one contiguous
+// operation is far cheaper than N single-page operations.
+#ifndef SRC_VFS_DISK_H_
+#define SRC_VFS_DISK_H_
+
+#include <cstddef>
+
+#include "src/sim/machine.h"
+
+namespace vfs {
+
+class Disk {
+ public:
+  enum class Kind { kFilesystem, kSwap };
+
+  Disk(sim::Machine& machine, Kind kind) : machine_(machine), kind_(kind) {}
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  // Charge one read operation transferring `npages` contiguous pages.
+  void ReadOp(std::size_t npages);
+  // Charge one write operation transferring `npages` contiguous pages.
+  void WriteOp(std::size_t npages);
+
+  sim::Machine& machine() { return machine_; }
+
+ private:
+  void Charge(std::size_t npages);
+
+  sim::Machine& machine_;
+  Kind kind_;
+};
+
+}  // namespace vfs
+
+#endif  // SRC_VFS_DISK_H_

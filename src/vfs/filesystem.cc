@@ -1,0 +1,33 @@
+#include "src/vfs/filesystem.h"
+
+#include "src/sim/assert.h"
+
+namespace vfs {
+
+void Filesystem::CreateFile(const std::string& name, std::vector<std::byte> contents) {
+  SIM_ASSERT_MSG(cache_.Peek(name) == nullptr, "recreate of open file");
+  files_[name] = std::move(contents);
+}
+
+std::byte Filesystem::PatternByte(const std::string& name, std::size_t off) {
+  std::size_t h = std::hash<std::string>{}(name);
+  return static_cast<std::byte>((h * 31 + off * 2654435761u) >> 16);
+}
+
+void Filesystem::CreateFilePattern(const std::string& name, std::size_t size) {
+  std::vector<std::byte> data(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = PatternByte(name, i);
+  }
+  CreateFile(name, std::move(data));
+}
+
+Vnode* Filesystem::Open(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return nullptr;
+  }
+  return cache_.Get(name, &it->second);
+}
+
+}  // namespace vfs

@@ -1,0 +1,119 @@
+#include "src/vfs/vnode.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/sim/assert.h"
+
+namespace vfs {
+
+std::size_t Vnode::ReadPages(sim::ObjOffset off, std::size_t npages, std::span<std::byte> dst) {
+  SIM_ASSERT(off % sim::kPageSize == 0);
+  SIM_ASSERT(dst.size() >= npages * sim::kPageSize);
+  disk_.ReadOp(npages);
+  std::size_t valid_pages = 0;
+  for (std::size_t i = 0; i < npages; ++i) {
+    sim::ObjOffset page_off = off + i * sim::kPageSize;
+    std::byte* out = dst.data() + i * sim::kPageSize;
+    if (page_off >= file_data_->size()) {
+      std::memset(out, 0, sim::kPageSize);
+      continue;
+    }
+    std::size_t n = std::min<std::size_t>(sim::kPageSize, file_data_->size() - page_off);
+    std::memcpy(out, file_data_->data() + page_off, n);
+    if (n < sim::kPageSize) {
+      std::memset(out + n, 0, sim::kPageSize - n);
+    }
+    ++valid_pages;
+  }
+  return valid_pages;
+}
+
+void Vnode::WritePages(sim::ObjOffset off, std::size_t npages, std::span<const std::byte> src) {
+  SIM_ASSERT(off % sim::kPageSize == 0);
+  SIM_ASSERT(src.size() >= npages * sim::kPageSize);
+  disk_.WriteOp(npages);
+  for (std::size_t i = 0; i < npages; ++i) {
+    sim::ObjOffset page_off = off + i * sim::kPageSize;
+    if (page_off >= file_data_->size()) {
+      break;  // writes past EOF are dropped (no file extension on pageout)
+    }
+    std::size_t n = std::min<std::size_t>(sim::kPageSize, file_data_->size() - page_off);
+    std::memcpy(file_data_->data() + page_off, src.data() + i * sim::kPageSize, n);
+  }
+}
+
+VnodeCache::~VnodeCache() {
+  for (auto& [name, vn] : vnodes_) {
+    if (vn->attachment() != nullptr) {
+      vn->attachment()->Terminate(*vn);
+      vn->set_attachment(nullptr);
+    }
+  }
+}
+
+Vnode* VnodeCache::Get(const std::string& name, std::vector<std::byte>* file_data) {
+  auto it = vnodes_.find(name);
+  if (it != vnodes_.end()) {
+    Vnode* vn = it->second.get();
+    if (vn->on_lru_) {
+      ++machine_.stats().vnode_cache_hits;
+      lru_.erase(vn->lru_pos_);
+      vn->on_lru_ = false;
+    }
+    ++vn->usecount_;
+    return vn;
+  }
+  if (file_data == nullptr) {
+    return nullptr;
+  }
+  if (vnodes_.size() >= max_vnodes_) {
+    if (lru_.empty()) {
+      return nullptr;  // every vnode is referenced; table exhausted
+    }
+    Recycle(lru_.front());
+  }
+  auto vn = std::make_unique<Vnode>(name, file_data, disk_);
+  Vnode* raw = vn.get();
+  raw->usecount_ = 1;
+  vnodes_.emplace(name, std::move(vn));
+  return raw;
+}
+
+void VnodeCache::Ref(Vnode* vn) {
+  if (vn->on_lru_) {
+    lru_.erase(vn->lru_pos_);
+    vn->on_lru_ = false;
+  }
+  ++vn->usecount_;
+}
+
+void VnodeCache::Unref(Vnode* vn) {
+  SIM_ASSERT(vn->usecount_ > 0);
+  --vn->usecount_;
+  if (vn->usecount_ == 0) {
+    SIM_ASSERT(!vn->on_lru_);
+    lru_.push_back(vn);
+    vn->lru_pos_ = std::prev(lru_.end());
+    vn->on_lru_ = true;
+  }
+}
+
+void VnodeCache::Recycle(Vnode* vn) {
+  SIM_ASSERT(vn->usecount_ == 0 && vn->on_lru_);
+  ++machine_.stats().vnode_recycles;
+  if (vn->attachment() != nullptr) {
+    vn->attachment()->Terminate(*vn);
+    vn->set_attachment(nullptr);
+  }
+  lru_.erase(vn->lru_pos_);
+  vn->on_lru_ = false;
+  vnodes_.erase(vn->name());
+}
+
+Vnode* VnodeCache::Peek(const std::string& name) {
+  auto it = vnodes_.find(name);
+  return it == vnodes_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace vfs

@@ -1,0 +1,116 @@
+// Vnodes and the vnode cache. A vnode is the kernel-side handle for a file.
+// Unreferenced vnodes are cached on an LRU list and recycled when the vnode
+// table fills (§4 of the paper). The cache calls back into the VM layer via
+// the VnodeAttachment hook when recycling a vnode — this is UVM's
+// uvm_vnp_terminate() integration point. BSD VM instead keeps its own object
+// cache *on top of* this one (see src/bsdvm/object_cache.h), with the
+// pathologies the paper describes.
+#ifndef SRC_VFS_VNODE_H_
+#define SRC_VFS_VNODE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/types.h"
+#include "src/vfs/disk.h"
+
+namespace vfs {
+
+class Vnode;
+
+// VM-layer state embedded in (UVM) or associated with (BSD VM) a vnode.
+// The vnode cache owns the lifetime: Terminate() is invoked exactly once,
+// just before the vnode is recycled, and must release any pages and
+// references the VM layer holds on behalf of this vnode.
+class VnodeAttachment {
+ public:
+  virtual ~VnodeAttachment() = default;
+  virtual void Terminate(Vnode& vn) = 0;
+};
+
+class Vnode {
+ public:
+  Vnode(std::string name, std::vector<std::byte>* file_data, Disk& disk)
+      : name_(std::move(name)), file_data_(file_data), disk_(disk) {}
+
+  Vnode(const Vnode&) = delete;
+  Vnode& operator=(const Vnode&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::uint64_t size() const { return file_data_->size(); }
+  std::uint64_t size_pages() const { return sim::BytesToPages(size()); }
+
+  int usecount() const { return usecount_; }
+
+  // Transfer `npages` pages starting at page-aligned `off` from "disk" into
+  // `dst` in a single I/O operation. Returns number of pages with any valid
+  // data (the rest are zero-filled).
+  std::size_t ReadPages(sim::ObjOffset off, std::size_t npages, std::span<std::byte> dst);
+  // Transfer pages back to "disk" in a single I/O operation.
+  void WritePages(sim::ObjOffset off, std::size_t npages, std::span<const std::byte> src);
+
+  VnodeAttachment* attachment() { return attachment_.get(); }
+  void set_attachment(std::unique_ptr<VnodeAttachment> a) { attachment_ = std::move(a); }
+
+  Disk& disk() { return disk_; }
+
+ private:
+  friend class VnodeCache;
+
+  std::string name_;
+  std::vector<std::byte>* file_data_;  // owned by the Filesystem ("on disk")
+  Disk& disk_;
+  int usecount_ = 0;
+  std::unique_ptr<VnodeAttachment> attachment_;
+  // Position on the cache's LRU list while usecount_ == 0.
+  std::list<Vnode*>::iterator lru_pos_{};
+  bool on_lru_ = false;
+};
+
+// Fixed-size vnode table with LRU recycling of unreferenced vnodes.
+class VnodeCache {
+ public:
+  VnodeCache(sim::Machine& machine, Disk& disk, std::size_t max_vnodes)
+      : machine_(machine), disk_(disk), max_vnodes_(max_vnodes) {}
+
+  ~VnodeCache();
+
+  VnodeCache(const VnodeCache&) = delete;
+  VnodeCache& operator=(const VnodeCache&) = delete;
+
+  // Get a referenced vnode for `name`, reusing a cached one when possible
+  // and recycling the LRU unreferenced vnode when the table is full.
+  // Returns nullptr if the file does not exist or all vnodes are in use.
+  Vnode* Get(const std::string& name, std::vector<std::byte>* file_data);
+
+  // Add a reference to an already-obtained vnode (vref).
+  void Ref(Vnode* vn);
+  // Drop a reference (vrele); at zero the vnode is cached on the LRU list.
+  void Unref(Vnode* vn);
+
+  std::size_t live_vnodes() const { return vnodes_.size(); }
+  std::size_t cached_vnodes() const { return lru_.size(); }
+  std::size_t max_vnodes() const { return max_vnodes_; }
+
+  // Look up without referencing (for tests).
+  Vnode* Peek(const std::string& name);
+
+ private:
+  void Recycle(Vnode* vn);
+
+  sim::Machine& machine_;
+  Disk& disk_;
+  std::size_t max_vnodes_;
+  std::unordered_map<std::string, std::unique_ptr<Vnode>> vnodes_;
+  std::list<Vnode*> lru_;  // front = least recently unreferenced
+};
+
+}  // namespace vfs
+
+#endif  // SRC_VFS_VNODE_H_

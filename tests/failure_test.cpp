@@ -1,0 +1,195 @@
+// Failure injection: swap exhaustion, physical memory exhaustion via
+// wiring, kernel map-entry pool exhaustion (the §3.2 panic scenario,
+// surfaced as an error here), and teardown with resources outstanding.
+#include <gtest/gtest.h>
+
+#include "src/harness/world.h"
+
+namespace {
+
+using harness::VmKind;
+using harness::World;
+using harness::WorldConfig;
+
+class FailureTest : public ::testing::TestWithParam<VmKind> {};
+
+TEST_P(FailureTest, SwapExhaustionSurfacesAsNoMem) {
+  WorldConfig cfg;
+  cfg.ram_pages = 64;
+  cfg.swap_slots = 32;  // tiny swap: total backing < working set
+  World w(GetParam(), cfg);
+  kern::Proc* p = w.kernel->Spawn();
+  sim::Vaddr a = 0;
+  const std::size_t npages = 256;
+  ASSERT_EQ(sim::kOk, w.kernel->MmapAnon(p, &a, npages * sim::kPageSize, kern::MapAttrs{}));
+  int err = sim::kOk;
+  std::size_t written = 0;
+  for (; written < npages; ++written) {
+    err = w.kernel->TouchWrite(p, a + written * sim::kPageSize, 1, std::byte{1});
+    if (err != sim::kOk) {
+      break;
+    }
+  }
+  EXPECT_EQ(sim::kErrNoMem, err);
+  EXPECT_LT(written, npages);
+  EXPECT_GT(written, 32u);  // got past RAM before running out
+  // With both RAM and swap full the system genuinely cannot make progress;
+  // free a chunk, after which the remaining data must be intact.
+  ASSERT_EQ(sim::kOk, w.kernel->Munmap(p, a, 32 * sim::kPageSize));
+  std::vector<std::byte> b(1);
+  for (std::size_t i = 32; i + 1 < written; i += 3) {
+    ASSERT_EQ(sim::kOk, w.kernel->ReadMem(p, a + i * sim::kPageSize, b)) << i;
+    EXPECT_EQ(std::byte{1}, b[0]);
+  }
+  w.vm->CheckInvariants();
+}
+
+TEST_P(FailureTest, WiringEverythingEventuallyFails) {
+  WorldConfig cfg;
+  cfg.ram_pages = 64;
+  cfg.swap_slots = 64;
+  World w(GetParam(), cfg);
+  kern::Proc* p = w.kernel->Spawn();
+  int err = sim::kOk;
+  int wired_regions = 0;
+  for (int i = 0; i < 16; ++i) {
+    sim::Vaddr a = 0;
+    ASSERT_EQ(sim::kOk, w.kernel->MmapAnon(p, &a, 8 * sim::kPageSize, kern::MapAttrs{}));
+    err = w.kernel->Mlock(p, a, 8 * sim::kPageSize);
+    if (err != sim::kOk) {
+      break;
+    }
+    ++wired_regions;
+  }
+  EXPECT_EQ(sim::kErrNoMem, err);
+  EXPECT_GT(wired_regions, 2);
+  w.vm->CheckInvariants();
+}
+
+TEST_P(FailureTest, KernelMapEntryPoolExhaustion) {
+  WorldConfig cfg;
+  cfg.bsd.kernel_map_entries = 8;
+  cfg.uvm.kernel_map_entries = 8;
+  World w(GetParam(), cfg);
+  kern::MapAttrs attrs;
+  int err = sim::kOk;
+  int mapped = 0;
+  for (int i = 0; i < 32; ++i) {
+    sim::Vaddr addr = 0;
+    err = w.vm->Map(w.vm->kernel_as(), &addr, sim::kPageSize, nullptr, 0, attrs);
+    if (err != sim::kOk) {
+      break;
+    }
+    ++mapped;
+  }
+  EXPECT_EQ(sim::kErrMapEntryPool, err);
+  EXPECT_EQ(8, mapped);
+}
+
+TEST_P(FailureTest, FaultOutsideAnyMappingFails) {
+  World w(GetParam());
+  kern::Proc* p = w.kernel->Spawn();
+  EXPECT_EQ(sim::kErrFault, w.vm->Fault(*p->as, 0x6666'0000, sim::Access::kRead));
+}
+
+TEST_P(FailureTest, WriteFaultOnReadOnlyFails) {
+  World w(GetParam());
+  kern::Proc* p = w.kernel->Spawn();
+  sim::Vaddr a = 0;
+  kern::MapAttrs ro;
+  ro.prot = sim::Prot::kRead;
+  ASSERT_EQ(sim::kOk, w.kernel->MmapAnon(p, &a, sim::kPageSize, ro));
+  EXPECT_EQ(sim::kErrProt, w.vm->Fault(*p->as, a, sim::Access::kWrite));
+  EXPECT_EQ(sim::kOk, w.vm->Fault(*p->as, a, sim::Access::kRead));
+}
+
+TEST_P(FailureTest, ExitWithEverythingOutstandingCleansUp) {
+  WorldConfig cfg;
+  cfg.ram_pages = 256;
+  World w(GetParam(), cfg);
+  std::size_t free_at_start = w.pm.free_pages();
+  {
+    kern::Proc* p = w.kernel->Spawn();
+    sim::Vaddr a = 0;
+    ASSERT_EQ(sim::kOk, w.kernel->MmapAnon(p, &a, 32 * sim::kPageSize, kern::MapAttrs{}));
+    w.kernel->TouchWrite(p, a, 32 * sim::kPageSize, std::byte{1});
+    ASSERT_EQ(sim::kOk, w.kernel->Mlock(p, a + sim::kPageSize, 4 * sim::kPageSize));
+    w.fs.CreateFilePattern("/f", 8 * sim::kPageSize);
+    sim::Vaddr fa = 0;
+    ASSERT_EQ(sim::kOk, w.kernel->Mmap(p, &fa, 8 * sim::kPageSize, "/f", 0, kern::MapAttrs{}));
+    w.kernel->TouchWrite(p, fa, 8 * sim::kPageSize, std::byte{2});
+    kern::Proc* c = w.kernel->Fork(p);
+    w.kernel->TouchWrite(c, a, 8 * sim::kPageSize, std::byte{3});
+    w.kernel->Exit(c);
+    w.kernel->Exit(p);
+  }
+  // All anonymous memory returned. (File pages may legitimately stay
+  // cached — BSD VM in its object cache, UVM on the vnode.)
+  std::size_t cached_file_pages = 8;
+  EXPECT_GE(w.pm.free_pages() + cached_file_pages, free_at_start);
+  EXPECT_EQ(0u, w.swap.used_slots());
+  w.vm->CheckInvariants();
+}
+
+TEST_P(FailureTest, SwapFullThenFreedRecovers) {
+  WorldConfig cfg;
+  cfg.ram_pages = 64;
+  cfg.swap_slots = 64;
+  World w(GetParam(), cfg);
+  kern::Proc* p = w.kernel->Spawn();
+  sim::Vaddr a = 0;
+  ASSERT_EQ(sim::kOk, w.kernel->MmapAnon(p, &a, 200 * sim::kPageSize, kern::MapAttrs{}));
+  std::size_t written = 0;
+  while (written < 200 &&
+         w.kernel->TouchWrite(p, a + written * sim::kPageSize, 1, std::byte{1}) == sim::kOk) {
+    ++written;
+  }
+  ASSERT_LT(written, 200u);  // hit the wall
+  // Free the whole mapping (releasing its frames and swap slots)...
+  ASSERT_EQ(sim::kOk, w.kernel->Munmap(p, a, 200 * sim::kPageSize));
+  // ...and the system can make progress again.
+  sim::Vaddr b = 0;
+  ASSERT_EQ(sim::kOk, w.kernel->MmapAnon(p, &b, 16 * sim::kPageSize, kern::MapAttrs{}));
+  EXPECT_EQ(sim::kOk, w.kernel->TouchWrite(p, b, 16 * sim::kPageSize, std::byte{2}));
+  w.vm->CheckInvariants();
+}
+
+TEST(PartialUnmapTest, UvmFreesAnonsOnPartialUnmapBsdCannot) {
+  // Real UVM's amap_unadd releases the anons of a partially unmapped range
+  // at once; real BSD VM keeps the pages inside the (still referenced)
+  // anonymous object until the whole object dies. Both behaviours are
+  // reproduced faithfully.
+  {
+    World w(VmKind::kUvm);
+    auto* vm = static_cast<uvm::Uvm*>(w.vm.get());
+    kern::Proc* p = w.kernel->Spawn();
+    sim::Vaddr a = 0;
+    ASSERT_EQ(sim::kOk, w.kernel->MmapAnon(p, &a, 16 * sim::kPageSize, kern::MapAttrs{}));
+    w.kernel->TouchWrite(p, a, 16 * sim::kPageSize, std::byte{1});
+    ASSERT_EQ(16u, vm->LiveAnons());
+    ASSERT_EQ(sim::kOk, w.kernel->Munmap(p, a + 4 * sim::kPageSize, 8 * sim::kPageSize));
+    EXPECT_EQ(8u, vm->LiveAnons());
+    w.vm->CheckInvariants();
+  }
+  {
+    World w(VmKind::kBsd);
+    auto* vm = static_cast<bsdvm::BsdVm*>(w.vm.get());
+    kern::Proc* p = w.kernel->Spawn();
+    sim::Vaddr a = 0;
+    ASSERT_EQ(sim::kOk, w.kernel->MmapAnon(p, &a, 16 * sim::kPageSize, kern::MapAttrs{}));
+    w.kernel->TouchWrite(p, a, 16 * sim::kPageSize, std::byte{1});
+    ASSERT_EQ(sim::kOk, w.kernel->Munmap(p, a + 4 * sim::kPageSize, 8 * sim::kPageSize));
+    EXPECT_EQ(16u, vm->TotalAnonPages());  // the object still holds them all
+    // Only full teardown releases them.
+    ASSERT_EQ(sim::kOk, w.kernel->Munmap(p, a, 16 * sim::kPageSize));
+    EXPECT_EQ(0u, vm->TotalAnonPages());
+    w.vm->CheckInvariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVms, FailureTest, ::testing::Values(VmKind::kBsd, VmKind::kUvm),
+                         [](const ::testing::TestParamInfo<VmKind>& info) {
+                           return harness::VmKindName(info.param);
+                         });
+
+}  // namespace

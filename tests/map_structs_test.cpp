@@ -1,0 +1,217 @@
+// Direct unit tests of the two map structures (bsdvm::VmMap and
+// uvm::UvmMap): sorted insertion, lookup, space search, clip arithmetic
+// (including amap slot offsets), lock metering, and the fixed entry pool.
+#include <gtest/gtest.h>
+
+#include "src/bsdvm/vm_map.h"
+#include "src/core/uvm_map.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+constexpr sim::Vaddr kMin = 0x1000;
+constexpr sim::Vaddr kMax = 0x100000;
+
+// --- bsdvm::VmMap ---
+
+class BsdMapStructTest : public ::testing::Test {
+ protected:
+  sim::Machine machine;
+  bsdvm::VmMap map{machine, kMin, kMax, 0};
+
+  bsdvm::MapEntry Entry(sim::Vaddr start, sim::Vaddr end) {
+    bsdvm::MapEntry e;
+    e.start = start;
+    e.end = end;
+    return e;
+  }
+};
+
+TEST_F(BsdMapStructTest, InsertKeepsSortedOrder) {
+  ASSERT_EQ(sim::kOk, map.InsertEntry(Entry(0x5000, 0x6000)));
+  ASSERT_EQ(sim::kOk, map.InsertEntry(Entry(0x2000, 0x3000)));
+  ASSERT_EQ(sim::kOk, map.InsertEntry(Entry(0x8000, 0x9000)));
+  sim::Vaddr prev = 0;
+  for (const auto& e : map.entries()) {
+    EXPECT_GT(e.start, prev);
+    prev = e.start;
+  }
+  EXPECT_EQ(3u, map.entry_count());
+}
+
+TEST_F(BsdMapStructTest, LookupFindsContainingEntry) {
+  ASSERT_EQ(sim::kOk, map.InsertEntry(Entry(0x2000, 0x4000)));
+  auto it = map.LookupEntry(0x3abc);
+  ASSERT_NE(map.entries().end(), it);
+  EXPECT_EQ(0x2000u, it->start);
+  EXPECT_EQ(map.entries().end(), map.LookupEntry(0x4000));  // end is exclusive
+  EXPECT_EQ(map.entries().end(), map.LookupEntry(0x1fff));
+}
+
+TEST_F(BsdMapStructTest, FindSpaceSkipsEntriesAndHonorsBounds) {
+  ASSERT_EQ(sim::kOk, map.InsertEntry(Entry(kMin, kMin + 0x3000)));
+  sim::Vaddr addr = 0;
+  ASSERT_EQ(sim::kOk, map.FindSpace(&addr, 0x1000));
+  EXPECT_EQ(kMin + 0x3000, addr);
+  // A request larger than the remaining space fails.
+  sim::Vaddr big = 0;
+  EXPECT_EQ(sim::kErrNoMem, map.FindSpace(&big, kMax));
+}
+
+TEST_F(BsdMapStructTest, FindSpaceFillsGapBetweenEntries) {
+  ASSERT_EQ(sim::kOk, map.InsertEntry(Entry(0x2000, 0x3000)));
+  ASSERT_EQ(sim::kOk, map.InsertEntry(Entry(0x5000, 0x6000)));
+  sim::Vaddr addr = 0x2000;
+  ASSERT_EQ(sim::kOk, map.FindSpace(&addr, 0x2000));
+  EXPECT_EQ(0x3000u, addr);  // the 2-page gap fits
+}
+
+TEST_F(BsdMapStructTest, ClipStartSplitsAndAdjustsOffsets) {
+  bsdvm::MapEntry e = Entry(0x2000, 0x6000);
+  e.pgoffset = 10;
+  ASSERT_EQ(sim::kOk, map.InsertEntry(e));
+  auto it = map.LookupEntry(0x2000);
+  auto tail = map.ClipStart(it, 0x4000);
+  EXPECT_EQ(2u, map.entry_count());
+  EXPECT_EQ(0x4000u, tail->start);
+  EXPECT_EQ(0x6000u, tail->end);
+  EXPECT_EQ(12u, tail->pgoffset);  // 2 pages in
+  auto head = map.LookupEntry(0x2000);
+  EXPECT_EQ(0x4000u, head->end);
+  EXPECT_EQ(10u, head->pgoffset);
+}
+
+TEST_F(BsdMapStructTest, ClipEndSplitsAndAdjustsOffsets) {
+  bsdvm::MapEntry e = Entry(0x2000, 0x6000);
+  e.pgoffset = 4;
+  ASSERT_EQ(sim::kOk, map.InsertEntry(e));
+  auto it = map.LookupEntry(0x2000);
+  map.ClipEnd(it, 0x3000);
+  EXPECT_EQ(2u, map.entry_count());
+  EXPECT_EQ(0x3000u, it->end);
+  auto back = map.LookupEntry(0x3000);
+  ASSERT_NE(map.entries().end(), back);
+  EXPECT_EQ(5u, back->pgoffset);
+  EXPECT_EQ(0x6000u, back->end);
+}
+
+TEST_F(BsdMapStructTest, EntryPoolLimitEnforced) {
+  bsdvm::VmMap limited(machine, kMin, kMax, 2);
+  ASSERT_EQ(sim::kOk, limited.InsertEntry(Entry(0x2000, 0x3000)));
+  ASSERT_EQ(sim::kOk, limited.InsertEntry(Entry(0x4000, 0x5000)));
+  EXPECT_EQ(sim::kErrMapEntryPool, limited.InsertEntry(Entry(0x6000, 0x7000)));
+}
+
+TEST_F(BsdMapStructTest, LockMeteringAccumulatesHoldTime) {
+  std::uint64_t acq = machine.stats().map_lock_acquisitions;
+  map.Lock();
+  machine.Charge(1000);
+  map.Unlock();
+  EXPECT_EQ(acq + 1, machine.stats().map_lock_acquisitions);
+  EXPECT_GE(machine.stats().map_lock_hold_ns, 1000u);
+}
+
+TEST_F(BsdMapStructTest, NestedLockCountsOnce) {
+  std::uint64_t acq = machine.stats().map_lock_acquisitions;
+  map.Lock();
+  map.Lock();
+  EXPECT_TRUE(map.IsLocked());
+  map.Unlock();
+  EXPECT_TRUE(map.IsLocked());
+  map.Unlock();
+  EXPECT_FALSE(map.IsLocked());
+  EXPECT_EQ(acq + 1, machine.stats().map_lock_acquisitions);
+}
+
+TEST_F(BsdMapStructTest, RangeFreeChecksOverlapAndBounds) {
+  ASSERT_EQ(sim::kOk, map.InsertEntry(Entry(0x4000, 0x6000)));
+  EXPECT_TRUE(map.RangeFree(0x2000, 0x2000));
+  EXPECT_FALSE(map.RangeFree(0x3000, 0x2000));  // overlaps head
+  EXPECT_FALSE(map.RangeFree(0x5000, 0x1000));  // inside
+  EXPECT_TRUE(map.RangeFree(0x6000, 0x1000));   // adjacent after
+  EXPECT_FALSE(map.RangeFree(0x0, 0x1000));     // below min
+  EXPECT_FALSE(map.RangeFree(kMax, 0x1000));    // above max
+}
+
+TEST_F(BsdMapStructTest, LookupChargesPerEntryScanned) {
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(sim::kOk,
+              map.InsertEntry(Entry(0x2000 + i * 0x2000, 0x3000 + i * 0x2000)));
+  }
+  sim::Nanoseconds t0 = machine.clock().now();
+  map.LookupEntry(0x2000);
+  sim::Nanoseconds first = machine.clock().now() - t0;
+  t0 = machine.clock().now();
+  map.LookupEntry(0x2000 + 7 * 0x2000);
+  sim::Nanoseconds last = machine.clock().now() - t0;
+  EXPECT_GT(last, first);  // deeper entries cost more to find (§3.2)
+}
+
+// --- uvm::UvmMap ---
+
+class UvmMapStructTest : public ::testing::Test {
+ protected:
+  sim::Machine machine;
+  uvm::UvmMap map{machine, kMin, kMax, 0};
+
+  uvm::UvmMapEntry Entry(sim::Vaddr start, sim::Vaddr end) {
+    uvm::UvmMapEntry e;
+    e.start = start;
+    e.end = end;
+    return e;
+  }
+};
+
+TEST_F(UvmMapStructTest, ClipAdjustsBothLayerOffsets) {
+  uvm::UvmMapEntry e = Entry(0x2000, 0x8000);
+  e.uobj_pgoffset = 100;
+  e.amap_slotoff = 7;
+  ASSERT_EQ(sim::kOk, map.InsertEntry(e));
+  auto it = map.LookupEntry(0x2000);
+  auto tail = map.ClipStart(it, 0x5000);
+  EXPECT_EQ(103u, tail->uobj_pgoffset);
+  EXPECT_EQ(10u, tail->amap_slotoff);
+  map.ClipEnd(tail, 0x6000);
+  auto last = map.LookupEntry(0x6000);
+  ASSERT_NE(map.entries().end(), last);
+  EXPECT_EQ(104u, last->uobj_pgoffset);
+  EXPECT_EQ(11u, last->amap_slotoff);
+  EXPECT_EQ(3u, map.entry_count());
+}
+
+TEST_F(UvmMapStructTest, SlotAndIndexHelpers) {
+  uvm::UvmMapEntry e = Entry(0x4000, 0x8000);
+  e.amap_slotoff = 3;
+  e.uobj_pgoffset = 20;
+  EXPECT_EQ(0u, e.EntryIndexOf(0x4000));
+  EXPECT_EQ(2u, e.EntryIndexOf(0x6000));
+  EXPECT_EQ(5u, e.SlotOf(0x6000));
+  EXPECT_EQ(22u, e.ObjIndexOf(0x6000));
+  EXPECT_EQ(4u, e.npages());
+}
+
+TEST_F(UvmMapStructTest, InsertRejectsOverlapViaAssertionFreePath) {
+  ASSERT_EQ(sim::kOk, map.InsertEntry(Entry(0x4000, 0x6000)));
+  EXPECT_FALSE(map.RangeFree(0x5000, 0x2000));
+  sim::Vaddr addr = 0x4000;
+  ASSERT_EQ(sim::kOk, map.FindSpace(&addr, 0x1000));
+  EXPECT_EQ(0x6000u, addr);
+}
+
+TEST_F(UvmMapStructTest, EraseReleasesEntries) {
+  ASSERT_EQ(sim::kOk, map.InsertEntry(Entry(0x2000, 0x3000)));
+  ASSERT_EQ(sim::kOk, map.InsertEntry(Entry(0x3000, 0x4000)));
+  auto it = map.LookupEntry(0x2000);
+  map.EraseEntry(it);
+  EXPECT_EQ(1u, map.entry_count());
+  EXPECT_EQ(map.entries().end(), map.LookupEntry(0x2000));
+  EXPECT_NE(map.entries().end(), map.LookupEntry(0x3000));
+}
+
+TEST_F(UvmMapStructTest, EntryPoolLimitEnforced) {
+  uvm::UvmMap limited(machine, kMin, kMax, 1);
+  ASSERT_EQ(sim::kOk, limited.InsertEntry(Entry(0x2000, 0x3000)));
+  EXPECT_EQ(sim::kErrMapEntryPool, limited.InsertEntry(Entry(0x4000, 0x5000)));
+}
+
+}  // namespace

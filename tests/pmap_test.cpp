@@ -1,0 +1,202 @@
+// Unit tests for the pmap (simulated MMU) layer: translations, protection,
+// pv-entry reverse maps, wiring counts, and i386 page-table-page modelling.
+#include <gtest/gtest.h>
+
+#include "src/mmu/pmap.h"
+#include "src/phys/phys_mem.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+class PmapTest : public ::testing::Test {
+ protected:
+  phys::Page* NewPage(sim::ObjOffset off = 0) {
+    phys::Page* p = pm.AllocPage(phys::OwnerKind::kKernel, this, off, false);
+    EXPECT_NE(nullptr, p);
+    return p;
+  }
+
+  sim::Machine machine;
+  phys::PhysMem pm{machine, 128};
+  mmu::MmuContext ctx{pm};
+};
+
+TEST_F(PmapTest, EnterExtractRoundTrip) {
+  mmu::Pmap pmap(ctx, /*is_kernel=*/true);
+  phys::Page* p = NewPage();
+  pmap.Enter(0x1000, p, sim::Prot::kReadWrite, /*wired=*/false);
+  auto pte = pmap.Extract(0x1000);
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(p->pfn, pte->pfn);
+  EXPECT_EQ(sim::Prot::kReadWrite, pte->prot);
+  EXPECT_FALSE(pte->wired);
+  EXPECT_FALSE(pmap.Extract(0x2000).has_value());
+  EXPECT_EQ(1u, pmap.resident_count());
+}
+
+TEST_F(PmapTest, ExtractTruncatesToPageBoundary) {
+  mmu::Pmap pmap(ctx, true);
+  phys::Page* p = NewPage();
+  pmap.Enter(0x1000, p, sim::Prot::kRead, false);
+  EXPECT_TRUE(pmap.Extract(0x1abc).has_value());
+}
+
+TEST_F(PmapTest, ReplaceMappingUpdatesPvEntries) {
+  mmu::Pmap pmap(ctx, true);
+  phys::Page* a = NewPage();
+  phys::Page* b = NewPage();
+  pmap.Enter(0x1000, a, sim::Prot::kRead, false);
+  EXPECT_EQ(1u, ctx.MappingCount(a));
+  pmap.Enter(0x1000, b, sim::Prot::kRead, false);
+  EXPECT_EQ(0u, ctx.MappingCount(a));
+  EXPECT_EQ(1u, ctx.MappingCount(b));
+  EXPECT_EQ(1u, pmap.resident_count());
+}
+
+TEST_F(PmapTest, ReenterSamePageChangesProtInPlace) {
+  mmu::Pmap pmap(ctx, true);
+  phys::Page* p = NewPage();
+  pmap.Enter(0x1000, p, sim::Prot::kRead, false);
+  pmap.Enter(0x1000, p, sim::Prot::kReadWrite, false);
+  EXPECT_EQ(sim::Prot::kReadWrite, pmap.Extract(0x1000)->prot);
+  EXPECT_EQ(1u, ctx.MappingCount(p));
+}
+
+TEST_F(PmapTest, RemoveDropsTranslationAndPv) {
+  mmu::Pmap pmap(ctx, true);
+  phys::Page* p = NewPage();
+  pmap.Enter(0x1000, p, sim::Prot::kRead, false);
+  pmap.Remove(0x1000);
+  EXPECT_FALSE(pmap.Extract(0x1000).has_value());
+  EXPECT_EQ(0u, ctx.MappingCount(p));
+}
+
+TEST_F(PmapTest, RemoveRangeOnlyTouchesRange) {
+  mmu::Pmap pmap(ctx, true);
+  for (int i = 0; i < 8; ++i) {
+    pmap.Enter(0x1000 + i * sim::kPageSize, NewPage(i), sim::Prot::kRead, false);
+  }
+  pmap.RemoveRange(0x3000, 0x5000);
+  EXPECT_TRUE(pmap.Extract(0x1000).has_value());
+  EXPECT_TRUE(pmap.Extract(0x2000).has_value());
+  EXPECT_FALSE(pmap.Extract(0x3000).has_value());
+  EXPECT_FALSE(pmap.Extract(0x4000).has_value());
+  EXPECT_TRUE(pmap.Extract(0x5000).has_value());
+  EXPECT_EQ(6u, pmap.resident_count());
+}
+
+TEST_F(PmapTest, PageProtectLowersEveryMapping) {
+  mmu::Pmap p1(ctx, true);
+  mmu::Pmap p2(ctx, true);
+  phys::Page* p = NewPage();
+  p1.Enter(0x1000, p, sim::Prot::kReadWrite, false);
+  p2.Enter(0x8000, p, sim::Prot::kReadWrite, false);
+  EXPECT_EQ(2u, ctx.MappingCount(p));
+  ctx.PageProtect(p, sim::Prot::kReadExec);
+  EXPECT_EQ(sim::Prot::kRead, p1.Extract(0x1000)->prot);  // RW ∧ RX = R
+  EXPECT_EQ(sim::Prot::kRead, p2.Extract(0x8000)->prot);
+}
+
+TEST_F(PmapTest, PageProtectNoneRemovesEveryMapping) {
+  mmu::Pmap p1(ctx, true);
+  mmu::Pmap p2(ctx, true);
+  phys::Page* p = NewPage();
+  p1.Enter(0x1000, p, sim::Prot::kRead, false);
+  p2.Enter(0x9000, p, sim::Prot::kRead, false);
+  std::size_t n = ctx.PageProtect(p, sim::Prot::kNone);
+  EXPECT_EQ(2u, n);
+  EXPECT_FALSE(p1.Extract(0x1000).has_value());
+  EXPECT_FALSE(p2.Extract(0x9000).has_value());
+  EXPECT_EQ(0u, ctx.MappingCount(p));
+}
+
+TEST_F(PmapTest, WiringCountsTracked) {
+  mmu::Pmap pmap(ctx, true);
+  phys::Page* a = NewPage();
+  phys::Page* b = NewPage();
+  pmap.Enter(0x1000, a, sim::Prot::kRead, /*wired=*/true);
+  pmap.Enter(0x2000, b, sim::Prot::kRead, /*wired=*/false);
+  EXPECT_EQ(1u, pmap.wired_count());
+  pmap.ChangeWiring(0x2000, true);
+  EXPECT_EQ(2u, pmap.wired_count());
+  pmap.ChangeWiring(0x1000, false);
+  EXPECT_EQ(1u, pmap.wired_count());
+  pmap.Remove(0x2000);
+  EXPECT_EQ(0u, pmap.wired_count());
+}
+
+TEST_F(PmapTest, IntersectProtRangeKeepsWiredMappingsAlive) {
+  mmu::Pmap pmap(ctx, true);
+  phys::Page* a = NewPage();
+  phys::Page* b = NewPage();
+  pmap.Enter(0x1000, a, sim::Prot::kWrite, /*wired=*/true);
+  pmap.Enter(0x2000, b, sim::Prot::kWrite, /*wired=*/false);
+  // Intersection with kRead is empty for both; the wired one must survive.
+  pmap.IntersectProtRange(0x1000, 0x3000, sim::Prot::kRead);
+  ASSERT_TRUE(pmap.Extract(0x1000).has_value());
+  EXPECT_EQ(sim::Prot::kNone, pmap.Extract(0x1000)->prot);
+  EXPECT_FALSE(pmap.Extract(0x2000).has_value());
+}
+
+TEST_F(PmapTest, UserPmapAllocatesPtPagesPerRegion) {
+  mmu::Pmap pmap(ctx, /*is_kernel=*/false);
+  std::size_t free_before = pm.free_pages();
+  phys::Page* p = NewPage();
+  pmap.Enter(0x1000, p, sim::Prot::kRead, false);
+  EXPECT_EQ(1u, pmap.ptpage_count());
+  // Same 4 MB region: no new PT page.
+  phys::Page* q = NewPage();
+  pmap.Enter(0x2000, q, sim::Prot::kRead, false);
+  EXPECT_EQ(1u, pmap.ptpage_count());
+  // Different region.
+  phys::Page* r = NewPage();
+  pmap.Enter(0x0100'0000, r, sim::Prot::kRead, false);
+  EXPECT_EQ(2u, pmap.ptpage_count());
+  // 3 user pages + 2 PT pages consumed.
+  EXPECT_EQ(free_before - 5, pm.free_pages());
+}
+
+TEST_F(PmapTest, KernelPmapNeedsNoPtPages) {
+  mmu::Pmap pmap(ctx, /*is_kernel=*/true);
+  pmap.Enter(0xC000'0000, NewPage(), sim::Prot::kReadWrite, true);
+  EXPECT_EQ(0u, pmap.ptpage_count());
+}
+
+TEST_F(PmapTest, PtPageHooksFire) {
+  int allocs = 0;
+  int frees = 0;
+  {
+    mmu::Pmap pmap(
+        ctx, false, [&](phys::Page*) { ++allocs; }, [&](phys::Page*) { ++frees; });
+    pmap.Enter(0x1000, NewPage(), sim::Prot::kRead, false);
+    pmap.Enter(0x0100'0000, NewPage(), sim::Prot::kRead, false);
+    EXPECT_EQ(2, allocs);
+    EXPECT_EQ(0, frees);
+  }
+  EXPECT_EQ(2, frees);
+}
+
+TEST_F(PmapTest, DestructorReleasesEverything) {
+  std::size_t free_before = pm.free_pages();
+  phys::Page* p = NewPage();
+  {
+    mmu::Pmap pmap(ctx, false);
+    pmap.Enter(0x1000, p, sim::Prot::kRead, false);
+    EXPECT_EQ(1u, ctx.MappingCount(p));
+  }
+  EXPECT_EQ(0u, ctx.MappingCount(p));
+  // Only the user page itself remains allocated; PT page returned.
+  EXPECT_EQ(free_before - 1, pm.free_pages());
+  pm.FreePage(p);
+}
+
+TEST_F(PmapTest, ProtectRangeAdjustsExistingOnly) {
+  mmu::Pmap pmap(ctx, true);
+  phys::Page* p = NewPage();
+  pmap.Enter(0x4000, p, sim::Prot::kReadWrite, false);
+  pmap.ProtectRange(0x1000, 0x8000, sim::Prot::kRead);
+  EXPECT_EQ(sim::Prot::kRead, pmap.Extract(0x4000)->prot);
+  EXPECT_EQ(1u, pmap.resident_count());
+}
+
+}  // namespace

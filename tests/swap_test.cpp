@@ -1,0 +1,155 @@
+// Unit tests for the swap device: slot allocation, contiguous-run
+// allocation under fragmentation, data round trips, and I/O accounting.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "src/sim/machine.h"
+#include "src/swap/swap_device.h"
+
+namespace {
+
+class SwapTest : public ::testing::Test {
+ protected:
+  sim::Machine machine;
+  swp::SwapDevice sd{machine, 32};
+
+  std::array<std::byte, sim::kPageSize> MakePage(std::byte fill) {
+    std::array<std::byte, sim::kPageSize> a;
+    a.fill(fill);
+    return a;
+  }
+};
+
+TEST_F(SwapTest, AllocFreeAccounting) {
+  EXPECT_EQ(32u, sd.free_slots());
+  std::int32_t s = sd.AllocSlot();
+  ASSERT_NE(swp::kNoSlot, s);
+  EXPECT_TRUE(sd.IsUsed(s));
+  EXPECT_EQ(31u, sd.free_slots());
+  sd.FreeSlot(s);
+  EXPECT_FALSE(sd.IsUsed(s));
+  EXPECT_EQ(32u, sd.free_slots());
+}
+
+TEST_F(SwapTest, ExhaustionReturnsNoSlot) {
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_NE(swp::kNoSlot, sd.AllocSlot());
+  }
+  EXPECT_EQ(swp::kNoSlot, sd.AllocSlot());
+  EXPECT_EQ(swp::kNoSlot, sd.AllocContig(1));
+}
+
+TEST_F(SwapTest, ContigAllocatesARun) {
+  std::int32_t first = sd.AllocContig(8);
+  ASSERT_NE(swp::kNoSlot, first);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(sd.IsUsed(first + i));
+  }
+  EXPECT_EQ(24u, sd.free_slots());
+  sd.FreeRange(first, 8);
+  EXPECT_EQ(32u, sd.free_slots());
+}
+
+TEST_F(SwapTest, ContigRespectsFragmentation) {
+  // Occupy every even slot: no run of 2 exists.
+  std::vector<std::int32_t> held;
+  for (int i = 0; i < 32; i += 2) {
+    std::int32_t s = sd.AllocContig(1);
+    ASSERT_EQ(i, s);
+    held.push_back(s);
+    if (i + 1 < 32) {
+      std::int32_t odd = sd.AllocContig(1);
+      held.push_back(odd);
+    }
+  }
+  // Free only odd slots -> max contiguous run is 1.
+  for (std::int32_t s : held) {
+    if (s % 2 == 1) {
+      sd.FreeSlot(s);
+    }
+  }
+  EXPECT_EQ(swp::kNoSlot, sd.AllocContig(2));
+  EXPECT_NE(swp::kNoSlot, sd.AllocContig(1));
+}
+
+TEST_F(SwapTest, ContigOversizeFails) {
+  EXPECT_EQ(swp::kNoSlot, sd.AllocContig(33));
+  EXPECT_EQ(swp::kNoSlot, sd.AllocContig(0));
+}
+
+TEST_F(SwapTest, SingleSlotRoundTrip) {
+  std::int32_t s = sd.AllocSlot();
+  auto page = MakePage(std::byte{0x3c});
+  sd.WriteSlot(s, page);
+  auto back = MakePage(std::byte{0});
+  sd.ReadSlot(s, back);
+  EXPECT_EQ(page, back);
+  EXPECT_EQ(2u, machine.stats().swap_ops);
+  EXPECT_EQ(1u, machine.stats().swap_pages_out);
+  EXPECT_EQ(1u, machine.stats().swap_pages_in);
+}
+
+TEST_F(SwapTest, RunRoundTripIsOneOperation) {
+  std::int32_t first = sd.AllocContig(4);
+  std::array<std::array<std::byte, sim::kPageSize>, 4> pages;
+  std::vector<std::span<std::byte, sim::kPageSize>> spans;
+  for (int i = 0; i < 4; ++i) {
+    pages[i].fill(std::byte(0x10 + i));
+    spans.emplace_back(pages[i]);
+  }
+  sim::Nanoseconds before = machine.clock().now();
+  sd.WriteRun(first, spans);
+  EXPECT_EQ(machine.cost().disk_op_ns + 4 * machine.cost().disk_page_ns,
+            machine.clock().now() - before);
+  EXPECT_EQ(1u, machine.stats().swap_ops);
+
+  std::array<std::array<std::byte, sim::kPageSize>, 4> back;
+  std::vector<std::span<std::byte, sim::kPageSize>> back_spans;
+  for (int i = 0; i < 4; ++i) {
+    back[i].fill(std::byte{0});
+    back_spans.emplace_back(back[i]);
+  }
+  sd.ReadRun(first, back_spans);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(pages[i], back[i]) << i;
+  }
+  EXPECT_EQ(2u, machine.stats().swap_ops);
+}
+
+TEST_F(SwapTest, ClusteredWriteIsCheaperThanSingles) {
+  // The core Figure 5 property: N single-page writes cost N fixed
+  // operation charges; one N-page run costs a single one.
+  std::int32_t run = sd.AllocContig(8);
+  auto page = MakePage(std::byte{1});
+  sim::Nanoseconds t0 = machine.clock().now();
+  for (int i = 0; i < 8; ++i) {
+    sd.WriteSlot(run + i, page);
+  }
+  sim::Nanoseconds singles = machine.clock().now() - t0;
+
+  std::vector<std::array<std::byte, sim::kPageSize>> storage(8);
+  std::vector<std::span<std::byte, sim::kPageSize>> spans;
+  for (auto& s : storage) {
+    s.fill(std::byte{2});
+    spans.emplace_back(s);
+  }
+  t0 = machine.clock().now();
+  sd.WriteRun(run, spans);
+  sim::Nanoseconds clustered = machine.clock().now() - t0;
+  EXPECT_GT(singles, 2 * clustered);
+}
+
+TEST_F(SwapTest, AllocAfterFreeReusesSlots) {
+  std::vector<std::int32_t> all;
+  for (int i = 0; i < 32; ++i) {
+    all.push_back(sd.AllocSlot());
+  }
+  sd.FreeSlot(all[10]);
+  sd.FreeSlot(all[20]);
+  EXPECT_NE(swp::kNoSlot, sd.AllocSlot());
+  EXPECT_NE(swp::kNoSlot, sd.AllocSlot());
+  EXPECT_EQ(swp::kNoSlot, sd.AllocSlot());
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Regression locks on the paper reproduction itself: Table 1 and Table 2
+// must match the paper exactly; the figures' qualitative claims (cache
+// cliff, clustering advantage, fork ordering, loanout savings) must hold.
+// If a refactor changes any mechanism these guard, these tests fail.
+#include <gtest/gtest.h>
+
+#include "src/harness/world.h"
+#include "src/kern/workloads.h"
+#include "src/sim/assert.h"
+
+namespace {
+
+using harness::VmKind;
+using harness::World;
+using harness::WorldConfig;
+
+TEST(Table1Test, CatMatchesPaper) {
+  for (auto [kind, expect] : {std::pair(VmKind::kBsd, 11u), std::pair(VmKind::kUvm, 6u)}) {
+    World w(kind);
+    kern::Proc* p = w.kernel->Spawn();
+    kern::Exec(*w.kernel, p, kern::CatImage());
+    EXPECT_EQ(expect, w.kernel->TotalMapEntries()) << harness::VmKindName(kind);
+  }
+}
+
+TEST(Table1Test, OdMatchesPaper) {
+  for (auto [kind, expect] : {std::pair(VmKind::kBsd, 21u), std::pair(VmKind::kUvm, 12u)}) {
+    World w(kind);
+    kern::Proc* p = w.kernel->Spawn();
+    kern::Exec(*w.kernel, p, kern::OdImage());
+    EXPECT_EQ(expect, w.kernel->TotalMapEntries()) << harness::VmKindName(kind);
+  }
+}
+
+TEST(Table1Test, SingleUserBootMatchesPaper) {
+  for (auto [kind, expect] : {std::pair(VmKind::kBsd, 50u), std::pair(VmKind::kUvm, 26u)}) {
+    World w(kind);
+    kern::BootSingleUser(*w.kernel);
+    EXPECT_EQ(expect, w.kernel->TotalMapEntries()) << harness::VmKindName(kind);
+  }
+}
+
+TEST(Table1Test, MultiUserBootMatchesPaper) {
+  for (auto [kind, expect] : {std::pair(VmKind::kBsd, 400u), std::pair(VmKind::kUvm, 242u)}) {
+    World w(kind);
+    kern::BootMultiUser(*w.kernel);
+    EXPECT_EQ(expect, w.kernel->TotalMapEntries()) << harness::VmKindName(kind);
+  }
+}
+
+TEST(Table1Test, X11MatchesPaper) {
+  for (auto [kind, expect] : {std::pair(VmKind::kBsd, 275u), std::pair(VmKind::kUvm, 186u)}) {
+    World w(kind);
+    kern::BootMultiUser(*w.kernel);
+    std::size_t before = w.kernel->TotalMapEntries();
+    kern::StartX11(*w.kernel);
+    EXPECT_EQ(expect, w.kernel->TotalMapEntries() - before) << harness::VmKindName(kind);
+  }
+}
+
+TEST(Table2Test, AllCommandsMatchPaper) {
+  for (const kern::TraceSpec& spec : kern::Table2Traces()) {
+    World wb(VmKind::kBsd);
+    EXPECT_EQ(spec.paper_bsd, kern::RunCommandTrace(*wb.kernel, spec)) << spec.name;
+    World wu(VmKind::kUvm);
+    EXPECT_EQ(spec.paper_uvm, kern::RunCommandTrace(*wu.kernel, spec)) << spec.name;
+  }
+}
+
+double Fig2PassSeconds(VmKind kind, std::size_t nfiles) {
+  WorldConfig cfg;
+  cfg.ram_pages = 24576;
+  World w(kind, cfg);
+  for (std::size_t i = 0; i < nfiles; ++i) {
+    w.fs.CreateFilePattern("/www/f" + std::to_string(i), 16 * sim::kPageSize);
+  }
+  kern::Proc* p = w.kernel->Spawn();
+  auto pass = [&]() {
+    for (std::size_t i = 0; i < nfiles; ++i) {
+      sim::Vaddr a = 0;
+      kern::MapAttrs ro;
+      ro.prot = sim::Prot::kRead;
+      int err = w.kernel->Mmap(p, &a, 16 * sim::kPageSize, "/www/f" + std::to_string(i), 0, ro);
+      SIM_ASSERT(err == sim::kOk);
+      w.kernel->TouchRead(p, a, 16 * sim::kPageSize);
+      w.kernel->Munmap(p, a, 16 * sim::kPageSize);
+    }
+  };
+  pass();
+  sim::Nanoseconds start = w.machine.clock().now();
+  pass();
+  return static_cast<double>(w.machine.clock().now() - start) * 1e-9;
+}
+
+TEST(Fig2Test, BsdCliffAtObjectCacheLimitUvmFlat) {
+  double bsd_under = Fig2PassSeconds(VmKind::kBsd, 80);
+  double bsd_over = Fig2PassSeconds(VmKind::kBsd, 120);
+  double uvm_under = Fig2PassSeconds(VmKind::kUvm, 80);
+  double uvm_over = Fig2PassSeconds(VmKind::kUvm, 120);
+  // BSD: ~3 orders of magnitude cliff past 100 files.
+  EXPECT_GT(bsd_over, 100 * bsd_under);
+  // UVM: stays linear in the number of files (no cliff).
+  EXPECT_LT(uvm_over, 3 * uvm_under);
+  // Below the limit the two systems are comparable.
+  EXPECT_LT(bsd_under, 10 * uvm_under);
+}
+
+TEST(Fig5Test, UvmPagesOutSeveralTimesFaster) {
+  auto run = [](VmKind kind) {
+    WorldConfig cfg;
+    cfg.ram_pages = 8192;
+    World w(kind, cfg);
+    kern::Proc* p = w.kernel->Spawn();
+    sim::Vaddr a = 0;
+    std::uint64_t len = 44ull * 1024 * 1024;
+    sim::Nanoseconds start = w.machine.clock().now();
+    int err = w.kernel->MmapAnon(p, &a, len, kern::MapAttrs{});
+    SIM_ASSERT(err == sim::kOk);
+    for (std::uint64_t off = 0; off < len; off += sim::kPageSize) {
+      w.kernel->TouchWrite(p, a + off, 1, std::byte{1});
+    }
+    return std::pair(static_cast<double>(w.machine.clock().now() - start),
+                     w.machine.stats().swap_ops);
+  };
+  auto [bsd_t, bsd_ops] = run(VmKind::kBsd);
+  auto [uvm_t, uvm_ops] = run(VmKind::kUvm);
+  EXPECT_GT(bsd_t, 2.0 * uvm_t);
+  EXPECT_GT(bsd_ops, 5 * uvm_ops);
+}
+
+TEST(Fig6Test, UvmForkIsFasterInBothVariants) {
+  auto run = [](VmKind kind, bool touch) {
+    WorldConfig cfg;
+    cfg.ram_pages = 16384;
+    World w(kind, cfg);
+    kern::Proc* p = w.kernel->Spawn();
+    sim::Vaddr a = 0;
+    std::uint64_t len = 8ull * 1024 * 1024;
+    int err = w.kernel->MmapAnon(p, &a, len, kern::MapAttrs{});
+    SIM_ASSERT(err == sim::kOk);
+    for (std::uint64_t off = 0; off < len; off += sim::kPageSize) {
+      w.kernel->TouchWrite(p, a + off, 1, std::byte{1});
+    }
+    sim::Nanoseconds start = w.machine.clock().now();
+    for (int i = 0; i < 5; ++i) {
+      kern::Proc* c = w.kernel->Fork(p);
+      if (touch) {
+        for (std::uint64_t off = 0; off < len; off += sim::kPageSize) {
+          w.kernel->TouchWrite(c, a + off, 1, std::byte{2});
+        }
+      }
+      w.kernel->Exit(c);
+    }
+    return static_cast<double>(w.machine.clock().now() - start);
+  };
+  EXPECT_GT(run(VmKind::kBsd, true), run(VmKind::kUvm, true));
+  EXPECT_GT(run(VmKind::kBsd, false), 1.5 * run(VmKind::kUvm, false));
+}
+
+TEST(Sec7Test, LoanoutSavingsMatchPaperEndpoints) {
+  auto saving_for = [](std::size_t npages) {
+    World w(VmKind::kUvm);
+    kern::Proc* p = w.kernel->Spawn();
+    sim::Vaddr a = 0;
+    std::uint64_t len = npages * sim::kPageSize;
+    int err = w.kernel->MmapAnon(p, &a, len, kern::MapAttrs{});
+    SIM_ASSERT(err == sim::kOk);
+    w.kernel->TouchWrite(p, a, len, std::byte{1});
+    sim::Nanoseconds t0 = w.machine.clock().now();
+    for (int i = 0; i < 50; ++i) {
+      w.kernel->SocketSendCopy(p, a, len);
+    }
+    double copy_t = static_cast<double>(w.machine.clock().now() - t0);
+    t0 = w.machine.clock().now();
+    for (int i = 0; i < 50; ++i) {
+      w.kernel->SocketSendLoan(p, a, len);
+    }
+    double loan_t = static_cast<double>(w.machine.clock().now() - t0);
+    return 1.0 - loan_t / copy_t;
+  };
+  // Paper: 26% at one page, 78% at 256 pages.
+  double one = saving_for(1);
+  EXPECT_GT(one, 0.15);
+  EXPECT_LT(one, 0.40);
+  double many = saving_for(256);
+  EXPECT_GT(many, 0.65);
+  EXPECT_LT(many, 0.90);
+}
+
+}  // namespace

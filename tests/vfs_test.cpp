@@ -1,0 +1,164 @@
+// Unit tests for the vnode layer: filesystem namespace, page-granular file
+// I/O with cost accounting, vnode cache LRU recycling, and the attachment
+// (uvm_vnp_terminate) hook.
+#include <gtest/gtest.h>
+
+#include "src/sim/machine.h"
+#include "src/vfs/filesystem.h"
+
+namespace {
+
+class VfsTest : public ::testing::Test {
+ protected:
+  sim::Machine machine;
+  vfs::Filesystem fs{machine, /*max_vnodes=*/4};
+};
+
+TEST_F(VfsTest, OpenMissingFileFails) { EXPECT_EQ(nullptr, fs.Open("/nope")); }
+
+TEST_F(VfsTest, CreateAndOpen) {
+  fs.CreateFilePattern("/a", 2 * sim::kPageSize);
+  ASSERT_TRUE(fs.Exists("/a"));
+  vfs::Vnode* vn = fs.Open("/a");
+  ASSERT_NE(nullptr, vn);
+  EXPECT_EQ("/a", vn->name());
+  EXPECT_EQ(2 * sim::kPageSize, vn->size());
+  EXPECT_EQ(2u, vn->size_pages());
+  EXPECT_EQ(1, vn->usecount());
+  fs.Close(vn);
+  EXPECT_EQ(0, vn->usecount());
+}
+
+TEST_F(VfsTest, ReadPagesReturnsPatternAndCharges) {
+  fs.CreateFilePattern("/a", 3 * sim::kPageSize);
+  vfs::Vnode* vn = fs.Open("/a");
+  std::vector<std::byte> buf(2 * sim::kPageSize);
+  sim::Nanoseconds before = machine.clock().now();
+  std::size_t valid = vn->ReadPages(sim::kPageSize, 2, buf);
+  EXPECT_EQ(2u, valid);
+  EXPECT_EQ(machine.cost().disk_op_ns + 2 * machine.cost().disk_page_ns,
+            machine.clock().now() - before);
+  EXPECT_EQ(1u, machine.stats().disk_ops);
+  EXPECT_EQ(2u, machine.stats().disk_pages_read);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(vfs::Filesystem::PatternByte("/a", sim::kPageSize + i), buf[i]) << i;
+  }
+  fs.Close(vn);
+}
+
+TEST_F(VfsTest, ReadBeyondEofZeroFills) {
+  fs.CreateFilePattern("/a", sim::kPageSize + 100);
+  vfs::Vnode* vn = fs.Open("/a");
+  std::vector<std::byte> buf(2 * sim::kPageSize, std::byte{0xff});
+  std::size_t valid = vn->ReadPages(sim::kPageSize, 2, buf);
+  EXPECT_EQ(1u, valid);  // second page entirely past EOF
+  // Partial page: 100 bytes of data then zeros.
+  EXPECT_EQ(vfs::Filesystem::PatternByte("/a", sim::kPageSize + 99), buf[99]);
+  EXPECT_EQ(std::byte{0}, buf[100]);
+  EXPECT_EQ(std::byte{0}, buf[sim::kPageSize]);
+  fs.Close(vn);
+}
+
+TEST_F(VfsTest, WritePagesPersistToFileData) {
+  fs.CreateFilePattern("/a", 2 * sim::kPageSize);
+  vfs::Vnode* vn = fs.Open("/a");
+  std::vector<std::byte> out(sim::kPageSize, std::byte{0x66});
+  vn->WritePages(sim::kPageSize, 1, out);
+  EXPECT_EQ(1u, machine.stats().disk_pages_written);
+  std::vector<std::byte> back(sim::kPageSize);
+  vn->ReadPages(sim::kPageSize, 1, back);
+  EXPECT_EQ(std::byte{0x66}, back[0]);
+  EXPECT_EQ(std::byte{0x66}, back[sim::kPageSize - 1]);
+  fs.Close(vn);
+}
+
+TEST_F(VfsTest, ReopenWhileCachedHitsCache) {
+  fs.CreateFilePattern("/a", sim::kPageSize);
+  vfs::Vnode* vn = fs.Open("/a");
+  fs.Close(vn);
+  EXPECT_EQ(1u, fs.cache().cached_vnodes());
+  vfs::Vnode* again = fs.Open("/a");
+  EXPECT_EQ(vn, again);  // same vnode identity
+  EXPECT_EQ(1u, machine.stats().vnode_cache_hits);
+  EXPECT_EQ(0u, fs.cache().cached_vnodes());
+  fs.Close(again);
+}
+
+TEST_F(VfsTest, LruRecyclesOldestUnreferenced) {
+  for (int i = 0; i < 4; ++i) {
+    fs.CreateFilePattern("/f" + std::to_string(i), sim::kPageSize);
+    fs.Close(fs.Open("/f" + std::to_string(i)));
+  }
+  EXPECT_EQ(4u, fs.cache().live_vnodes());
+  // Table is full; opening a fifth recycles /f0 (the LRU).
+  fs.CreateFilePattern("/f4", sim::kPageSize);
+  vfs::Vnode* v4 = fs.Open("/f4");
+  ASSERT_NE(nullptr, v4);
+  EXPECT_EQ(1u, machine.stats().vnode_recycles);
+  EXPECT_EQ(nullptr, fs.cache().Peek("/f0"));
+  EXPECT_NE(nullptr, fs.cache().Peek("/f1"));
+  fs.Close(v4);
+}
+
+TEST_F(VfsTest, ReferencedVnodesAreNeverRecycled) {
+  std::vector<vfs::Vnode*> held;
+  for (int i = 0; i < 4; ++i) {
+    fs.CreateFilePattern("/f" + std::to_string(i), sim::kPageSize);
+    held.push_back(fs.Open("/f" + std::to_string(i)));
+  }
+  fs.CreateFilePattern("/f4", sim::kPageSize);
+  EXPECT_EQ(nullptr, fs.Open("/f4"));  // all vnodes pinned
+  for (vfs::Vnode* vn : held) {
+    fs.Close(vn);
+  }
+  EXPECT_NE(nullptr, fs.Open("/f4"));
+}
+
+class CountingAttachment : public vfs::VnodeAttachment {
+ public:
+  explicit CountingAttachment(int* counter) : counter_(counter) {}
+  void Terminate(vfs::Vnode&) override { ++*counter_; }
+
+ private:
+  int* counter_;
+};
+
+TEST_F(VfsTest, RecycleInvokesTerminateHookOnce) {
+  int terminated = 0;
+  fs.CreateFilePattern("/a", sim::kPageSize);
+  vfs::Vnode* vn = fs.Open("/a");
+  vn->set_attachment(std::make_unique<CountingAttachment>(&terminated));
+  fs.Close(vn);
+  // Force recycling by filling the table.
+  for (int i = 0; i < 4; ++i) {
+    fs.CreateFilePattern("/g" + std::to_string(i), sim::kPageSize);
+    fs.Close(fs.Open("/g" + std::to_string(i)));
+  }
+  EXPECT_EQ(1, terminated);
+}
+
+TEST_F(VfsTest, RefUnrefNest) {
+  fs.CreateFilePattern("/a", sim::kPageSize);
+  vfs::Vnode* vn = fs.Open("/a");
+  fs.cache().Ref(vn);
+  EXPECT_EQ(2, vn->usecount());
+  fs.cache().Unref(vn);
+  EXPECT_EQ(1, vn->usecount());
+  EXPECT_EQ(0u, fs.cache().cached_vnodes());
+  fs.Close(vn);
+  EXPECT_EQ(1u, fs.cache().cached_vnodes());
+}
+
+TEST_F(VfsTest, PatternByteIsDeterministicPerFile) {
+  EXPECT_EQ(vfs::Filesystem::PatternByte("/x", 5), vfs::Filesystem::PatternByte("/x", 5));
+  // Different files have different patterns (hash-based, overwhelmingly).
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (vfs::Filesystem::PatternByte("/x", i) != vfs::Filesystem::PatternByte("/y", i)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
