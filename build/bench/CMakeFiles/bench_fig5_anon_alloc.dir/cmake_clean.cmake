@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_anon_alloc.dir/bench_fig5_anon_alloc.cpp.o"
+  "CMakeFiles/bench_fig5_anon_alloc.dir/bench_fig5_anon_alloc.cpp.o.d"
+  "bench_fig5_anon_alloc"
+  "bench_fig5_anon_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_anon_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

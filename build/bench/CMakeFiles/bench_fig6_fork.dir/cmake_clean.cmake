@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fork.dir/bench_fig6_fork.cpp.o"
+  "CMakeFiles/bench_fig6_fork.dir/bench_fig6_fork.cpp.o.d"
+  "bench_fig6_fork"
+  "bench_fig6_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_loanout.dir/bench_sec7_loanout.cpp.o"
+  "CMakeFiles/bench_sec7_loanout.dir/bench_sec7_loanout.cpp.o.d"
+  "bench_sec7_loanout"
+  "bench_sec7_loanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_loanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

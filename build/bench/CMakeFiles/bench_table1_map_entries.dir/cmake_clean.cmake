@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_map_entries.dir/bench_table1_map_entries.cpp.o"
+  "CMakeFiles/bench_table1_map_entries.dir/bench_table1_map_entries.cpp.o.d"
+  "bench_table1_map_entries"
+  "bench_table1_map_entries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_map_entries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fault_counts.dir/bench_table2_fault_counts.cpp.o"
+  "CMakeFiles/bench_table2_fault_counts.dir/bench_table2_fault_counts.cpp.o.d"
+  "bench_table2_fault_counts"
+  "bench_table2_fault_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fault_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

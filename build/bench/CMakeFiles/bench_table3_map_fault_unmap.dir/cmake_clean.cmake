@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_map_fault_unmap.dir/bench_table3_map_fault_unmap.cpp.o"
+  "CMakeFiles/bench_table3_map_fault_unmap.dir/bench_table3_map_fault_unmap.cpp.o.d"
+  "bench_table3_map_fault_unmap"
+  "bench_table3_map_fault_unmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_map_fault_unmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fork_farm.dir/fork_farm.cpp.o"
+  "CMakeFiles/fork_farm.dir/fork_farm.cpp.o.d"
+  "fork_farm"
+  "fork_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fork_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_copy_pipeline.dir/zero_copy_pipeline.cpp.o"
+  "CMakeFiles/zero_copy_pipeline.dir/zero_copy_pipeline.cpp.o.d"
+  "zero_copy_pipeline"
+  "zero_copy_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_copy_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bsdvm/bsd_vm.cc" "src/bsdvm/CMakeFiles/bsdvm.dir/bsd_vm.cc.o" "gcc" "src/bsdvm/CMakeFiles/bsdvm.dir/bsd_vm.cc.o.d"
+  "/root/repo/src/bsdvm/pagers.cc" "src/bsdvm/CMakeFiles/bsdvm.dir/pagers.cc.o" "gcc" "src/bsdvm/CMakeFiles/bsdvm.dir/pagers.cc.o.d"
+  "/root/repo/src/bsdvm/vm_map.cc" "src/bsdvm/CMakeFiles/bsdvm.dir/vm_map.cc.o" "gcc" "src/bsdvm/CMakeFiles/bsdvm.dir/vm_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kern/CMakeFiles/kern_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/swap/CMakeFiles/swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

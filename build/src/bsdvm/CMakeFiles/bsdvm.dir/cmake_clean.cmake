@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsdvm.dir/bsd_vm.cc.o"
+  "CMakeFiles/bsdvm.dir/bsd_vm.cc.o.d"
+  "CMakeFiles/bsdvm.dir/pagers.cc.o"
+  "CMakeFiles/bsdvm.dir/pagers.cc.o.d"
+  "CMakeFiles/bsdvm.dir/vm_map.cc.o"
+  "CMakeFiles/bsdvm.dir/vm_map.cc.o.d"
+  "libbsdvm.a"
+  "libbsdvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsdvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvm.dir/amap.cc.o"
+  "CMakeFiles/uvm.dir/amap.cc.o.d"
+  "CMakeFiles/uvm.dir/uvm.cc.o"
+  "CMakeFiles/uvm.dir/uvm.cc.o.d"
+  "CMakeFiles/uvm.dir/uvm_map.cc.o"
+  "CMakeFiles/uvm.dir/uvm_map.cc.o.d"
+  "CMakeFiles/uvm.dir/uvm_object.cc.o"
+  "CMakeFiles/uvm.dir/uvm_object.cc.o.d"
+  "libuvm.a"
+  "libuvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

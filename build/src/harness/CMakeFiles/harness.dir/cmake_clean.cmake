@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness.dir/dump.cc.o"
+  "CMakeFiles/harness.dir/dump.cc.o.d"
+  "libharness.a"
+  "libharness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/kernel.cc" "src/kern/CMakeFiles/kern.dir/kernel.cc.o" "gcc" "src/kern/CMakeFiles/kern.dir/kernel.cc.o.d"
+  "/root/repo/src/kern/trace_replay.cc" "src/kern/CMakeFiles/kern.dir/trace_replay.cc.o" "gcc" "src/kern/CMakeFiles/kern.dir/trace_replay.cc.o.d"
+  "/root/repo/src/kern/workloads.cc" "src/kern/CMakeFiles/kern.dir/workloads.cc.o" "gcc" "src/kern/CMakeFiles/kern.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kern/CMakeFiles/kern_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/swap/CMakeFiles/swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern.dir/kernel.cc.o"
+  "CMakeFiles/kern.dir/kernel.cc.o.d"
+  "CMakeFiles/kern.dir/trace_replay.cc.o"
+  "CMakeFiles/kern.dir/trace_replay.cc.o.d"
+  "CMakeFiles/kern.dir/workloads.cc.o"
+  "CMakeFiles/kern.dir/workloads.cc.o.d"
+  "libkern.a"
+  "libkern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern_iface.dir/vm_iface.cc.o"
+  "CMakeFiles/kern_iface.dir/vm_iface.cc.o.d"
+  "libkern_iface.a"
+  "libkern_iface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern_iface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkern_iface.a"
+)

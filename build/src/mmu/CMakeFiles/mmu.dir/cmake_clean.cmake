@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmu.dir/pmap.cc.o"
+  "CMakeFiles/mmu.dir/pmap.cc.o.d"
+  "libmmu.a"
+  "libmmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phys.dir/phys_mem.cc.o"
+  "CMakeFiles/phys.dir/phys_mem.cc.o.d"
+  "libphys.a"
+  "libphys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swap.dir/swap_device.cc.o"
+  "CMakeFiles/swap.dir/swap_device.cc.o.d"
+  "libswap.a"
+  "libswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

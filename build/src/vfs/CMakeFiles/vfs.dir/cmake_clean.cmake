@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfs.dir/disk.cc.o"
+  "CMakeFiles/vfs.dir/disk.cc.o.d"
+  "CMakeFiles/vfs.dir/filesystem.cc.o"
+  "CMakeFiles/vfs.dir/filesystem.cc.o.d"
+  "CMakeFiles/vfs.dir/vnode.cc.o"
+  "CMakeFiles/vfs.dir/vnode.cc.o.d"
+  "libvfs.a"
+  "libvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

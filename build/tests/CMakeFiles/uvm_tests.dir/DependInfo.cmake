@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/amap_test.cpp" "tests/CMakeFiles/uvm_tests.dir/amap_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/amap_test.cpp.o.d"
+  "/root/repo/tests/bsd_object_test.cpp" "tests/CMakeFiles/uvm_tests.dir/bsd_object_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/bsd_object_test.cpp.o.d"
+  "/root/repo/tests/device_test.cpp" "tests/CMakeFiles/uvm_tests.dir/device_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/device_test.cpp.o.d"
+  "/root/repo/tests/edge_test.cpp" "tests/CMakeFiles/uvm_tests.dir/edge_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/edge_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/uvm_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/failure_test.cpp" "tests/CMakeFiles/uvm_tests.dir/failure_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/failure_test.cpp.o.d"
+  "/root/repo/tests/file_property_test.cpp" "tests/CMakeFiles/uvm_tests.dir/file_property_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/file_property_test.cpp.o.d"
+  "/root/repo/tests/fork_test.cpp" "tests/CMakeFiles/uvm_tests.dir/fork_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/fork_test.cpp.o.d"
+  "/root/repo/tests/invariants_test.cpp" "tests/CMakeFiles/uvm_tests.dir/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/invariants_test.cpp.o.d"
+  "/root/repo/tests/kernel_test.cpp" "tests/CMakeFiles/uvm_tests.dir/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/kernel_test.cpp.o.d"
+  "/root/repo/tests/loan_test.cpp" "tests/CMakeFiles/uvm_tests.dir/loan_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/loan_test.cpp.o.d"
+  "/root/repo/tests/map_structs_test.cpp" "tests/CMakeFiles/uvm_tests.dir/map_structs_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/map_structs_test.cpp.o.d"
+  "/root/repo/tests/map_test.cpp" "tests/CMakeFiles/uvm_tests.dir/map_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/map_test.cpp.o.d"
+  "/root/repo/tests/pagedaemon_test.cpp" "tests/CMakeFiles/uvm_tests.dir/pagedaemon_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/pagedaemon_test.cpp.o.d"
+  "/root/repo/tests/phys_test.cpp" "tests/CMakeFiles/uvm_tests.dir/phys_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/phys_test.cpp.o.d"
+  "/root/repo/tests/pmap_test.cpp" "tests/CMakeFiles/uvm_tests.dir/pmap_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/pmap_test.cpp.o.d"
+  "/root/repo/tests/proc_swap_test.cpp" "tests/CMakeFiles/uvm_tests.dir/proc_swap_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/proc_swap_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/uvm_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/uvm_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/smoke_test.cpp" "tests/CMakeFiles/uvm_tests.dir/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/smoke_test.cpp.o.d"
+  "/root/repo/tests/swap_test.cpp" "tests/CMakeFiles/uvm_tests.dir/swap_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/swap_test.cpp.o.d"
+  "/root/repo/tests/table_repro_test.cpp" "tests/CMakeFiles/uvm_tests.dir/table_repro_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/table_repro_test.cpp.o.d"
+  "/root/repo/tests/trace_replay_test.cpp" "tests/CMakeFiles/uvm_tests.dir/trace_replay_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/trace_replay_test.cpp.o.d"
+  "/root/repo/tests/uvm_core_test.cpp" "tests/CMakeFiles/uvm_tests.dir/uvm_core_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/uvm_core_test.cpp.o.d"
+  "/root/repo/tests/vfs_test.cpp" "tests/CMakeFiles/uvm_tests.dir/vfs_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/vfs_test.cpp.o.d"
+  "/root/repo/tests/wiring_test.cpp" "tests/CMakeFiles/uvm_tests.dir/wiring_test.cpp.o" "gcc" "tests/CMakeFiles/uvm_tests.dir/wiring_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/uvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsdvm/CMakeFiles/bsdvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/kern_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/swap/CMakeFiles/swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
