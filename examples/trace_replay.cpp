@@ -2,7 +2,12 @@
 // built-in demo script) against both VM systems, then print each system's
 // address-space dump and statistics.
 //
-//   ./build/examples/trace_replay [trace-file]
+//   ./build/examples/trace_replay [trace-file] [--swap-faults=NUM/DEN[,perm=NUM/DEN]]
+//
+// The --swap-faults knob installs a probabilistic fault plan on the swap
+// disk (each write fails with probability NUM/DEN; an injected fault is
+// permanent with probability perm NUM/DEN), so recovery behaviour — retries,
+// bad-slot remapping — shows up in the replayed stats.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -38,9 +43,33 @@ sysctl main $heap
 munlock main $heap 4
 )";
 
-int RunOn(VmKind kind, const std::string& trace) {
+// Parses "NUM/DEN[,perm=NUM/DEN]" into a swap-write fault plan. Returns
+// false on malformed input.
+bool ParseFaultPlan(const std::string& arg, sim::FaultPlan* plan) {
+  unsigned num = 0;
+  unsigned den = 0;
+  unsigned pnum = 0;
+  unsigned pden = 0;
+  if (std::sscanf(arg.c_str(), "%u/%u,perm=%u/%u", &num, &den, &pnum, &pden) == 4) {
+    if (den == 0 || pden == 0) {
+      return false;
+    }
+    plan->permanent_num = pnum;
+    plan->permanent_den = pden;
+  } else if (std::sscanf(arg.c_str(), "%u/%u", &num, &den) != 2 || den == 0) {
+    return false;
+  }
+  plan->write_num = num;
+  plan->write_den = den;
+  return true;
+}
+
+int RunOn(VmKind kind, const std::string& trace, const sim::FaultPlan* plan) {
   std::printf("\n=== %s ===\n", harness::VmKindName(kind));
   World w(kind);
+  if (plan != nullptr) {
+    w.machine.faults().SetPlan(sim::IoDevice::kSwapDisk, *plan);
+  }
   kern::ReplayResult res = kern::ReplayTrace(*w.kernel, trace);
   if (res.err != sim::kOk) {
     std::printf("FAILED at line %d: %s (%s)\n", res.line, res.message.c_str(),
@@ -54,6 +83,7 @@ int RunOn(VmKind kind, const std::string& trace) {
   });
   std::printf("\n");
   sim::ReportStats(std::cout, w.machine);
+  kern::DumpRecoveryStats(std::cout, w.machine);
   return 0;
 }
 
@@ -61,17 +91,29 @@ int RunOn(VmKind kind, const std::string& trace) {
 
 int main(int argc, char** argv) {
   std::string trace = kDemoTrace;
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
+  sim::FaultPlan plan;
+  bool have_plan = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--swap-faults=", 0) == 0) {
+      if (!ParseFaultPlan(arg.substr(14), &plan)) {
+        std::fprintf(stderr, "bad fault plan %s (want NUM/DEN[,perm=NUM/DEN])\n", arg.c_str());
+        return 1;
+      }
+      have_plan = true;
+      continue;
+    }
+    std::ifstream in(arg);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", arg.c_str());
       return 1;
     }
     std::ostringstream os;
     os << in.rdbuf();
     trace = os.str();
   }
-  int rc = RunOn(VmKind::kBsd, trace);
-  rc |= RunOn(VmKind::kUvm, trace);
+  const sim::FaultPlan* p = have_plan ? &plan : nullptr;
+  int rc = RunOn(VmKind::kBsd, trace, p);
+  rc |= RunOn(VmKind::kUvm, trace, p);
   return rc;
 }

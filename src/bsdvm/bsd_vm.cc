@@ -14,6 +14,9 @@ constexpr sim::Vaddr kKernMin = 0xC000'0000;
 constexpr sim::Vaddr kKernMax = 0x1'0000'0000;
 constexpr std::size_t kUPages = 2;       // u-area size
 constexpr std::size_t kKStackPages = 2;  // kernel stack size
+// Transient-EIO retries per pageout before the page goes back to the
+// active queue (total backoff ≈ io_retry_backoff_ns * (2^n - 1)).
+constexpr int kMaxPageoutRetries = 5;
 }  // namespace
 
 BsdAddressSpace::BsdAddressSpace(BsdVm& vm, bool is_kernel)
@@ -177,11 +180,18 @@ void BsdVm::CacheRemove(VmObject* obj) {
 
 void BsdVm::TerminateObject(VmObject* obj) {
   SIM_ASSERT(obj->ref_count == 0 && !obj->in_cache_);
-  // Flush dirty pages of vnode-backed objects back to the file.
+  // Flush dirty pages of vnode-backed objects back to the file. Terminate
+  // cannot report failure, so flushes retry transient errors a few times
+  // and then drop the write (matching a real kernel on dying media).
   if (!obj->internal_ && obj->pager != nullptr) {
     for (auto& [pgi, page] : obj->pages) {
       if (page->dirty) {
-        obj->pager->PutPage(pm_, page, pgi);
+        for (int attempt = 0; attempt < 3; ++attempt) {
+          if (obj->pager->PutPage(pm_, page, pgi) != sim::kErrIO) {
+            break;
+          }
+          machine_.Charge(machine_.cost().io_retry_backoff_ns << attempt);
+        }
       }
     }
     pager_hash_.erase(static_cast<VnodePager*>(obj->pager.get())->vnode());
@@ -593,6 +603,7 @@ int BsdVm::Msync(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
   sim::Vaddr end = addr + len;
   VmMap& map = as.map_;
   map.Lock();
+  int rc = sim::kOk;
   for (auto& e : map.entries()) {
     if (e.end <= addr || e.start >= end) {
       continue;
@@ -614,12 +625,17 @@ int BsdVm::Msync(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
       std::uint64_t pgi = pgoff + ((va - e.start) >> sim::kPageShift);
       phys::Page* p = obj->LookupPage(pgi);
       if (p != nullptr && p->dirty) {
-        obj->pager->PutPage(pm_, p, pgi);
+        // On error the page stays dirty; keep flushing the rest of the
+        // range and report the first failure.
+        int err = obj->pager->PutPage(pm_, p, pgi);
+        if (err != sim::kOk && rc == sim::kOk) {
+          rc = err;
+        }
       }
     }
   }
   map.Unlock();
-  return sim::kOk;
+  return rc;
 }
 
 int BsdVm::MadvFree(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
@@ -989,7 +1005,16 @@ int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
         map.Unlock();
         return sim::kErrNoMem;
       }
-      obj->pager->GetPage(pm_, page, pgi);
+      if (int err = obj->pager->GetPage(pm_, page, pgi); err != sim::kOk) {
+        // The backing copy is still intact; drop the empty frame and
+        // surface the error to the faulting process.
+        FreeObjectPage(page);
+        if (err == sim::kErrIO) {
+          ++machine_.stats().pagein_errors;
+        }
+        map.Unlock();
+        return err;
+      }
       found_in = obj;
       break;
     }
@@ -1104,8 +1129,17 @@ std::size_t BsdVm::PageDaemon(std::size_t target_free) {
         machine_.Charge(machine_.cost().pager_alloc_ns);
         obj->pager = std::make_unique<SwapPager>(swap_);
       }
-      if (obj->pager->PutPage(pm_, p, p->offset) != sim::kOk) {
-        pm_.Activate(p);  // swap full; keep the page
+      int perr = obj->pager->PutPage(pm_, p, p->offset);
+      // Transient device errors get a bounded retry with doubling
+      // virtual-time backoff; the page stays dirty throughout, so giving
+      // up loses nothing.
+      for (int attempt = 0; perr == sim::kErrIO && attempt < kMaxPageoutRetries; ++attempt) {
+        ++machine_.stats().pageout_retries;
+        machine_.Charge(machine_.cost().io_retry_backoff_ns << attempt);
+        perr = obj->pager->PutPage(pm_, p, p->offset);
+      }
+      if (perr != sim::kOk) {
+        pm_.Activate(p);  // swap full or I/O error; keep the page
         continue;
       }
       // First pageout to swap is one of BSD VM's collapse triggers (§5.1).

@@ -14,13 +14,18 @@ bool VnodePager::HasPage(std::uint64_t pgindex) const {
   return pgindex * sim::kPageSize < vn_->size();
 }
 
-void VnodePager::GetPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) {
-  vn_->ReadPages(pgindex * sim::kPageSize, 1, pm.Data(p));
+int VnodePager::GetPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) {
+  if (int err = vn_->ReadPages(pgindex * sim::kPageSize, 1, pm.Data(p)); err != sim::kOk) {
+    return err;
+  }
   p->dirty = false;
+  return sim::kOk;
 }
 
 int VnodePager::PutPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) {
-  vn_->WritePages(pgindex * sim::kPageSize, 1, pm.Data(p));
+  if (int err = vn_->WritePages(pgindex * sim::kPageSize, 1, pm.Data(p)); err != sim::kOk) {
+    return err;  // page stays dirty; the pagedaemon retries
+  }
   p->dirty = false;
   return sim::kOk;
 }
@@ -50,13 +55,16 @@ bool SwapPager::HasPage(std::uint64_t pgindex) const {
   return blk != nullptr && blk->valid[pgindex % kBlockPages];
 }
 
-void SwapPager::GetPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) {
+int SwapPager::GetPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) {
   SwapBlock* blk = FindBlock(pgindex);
   SIM_ASSERT_MSG(blk != nullptr, "swap pager GetPage without data");
   std::uint64_t i = pgindex % kBlockPages;
   SIM_ASSERT(blk->valid[i] && blk->slots[i] != swp::kNoSlot);
-  sd_.ReadSlot(blk->slots[i], pm.Data(p));
+  if (int err = sd_.ReadSlot(blk->slots[i], pm.Data(p)); err != sim::kOk) {
+    return err;  // slot still holds the data; a refault retries
+  }
   p->dirty = false;
+  return sim::kOk;
 }
 
 int SwapPager::PutPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) {
@@ -81,7 +89,19 @@ int SwapPager::PutPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) 
       return sim::kErrNoSwap;
     }
   }
-  sd_.WriteSlot(blk.slots[i], pm.Data(p));
+  // A permanent fault on the slot retires it and moves the write elsewhere;
+  // blk.slots[i] tracks the replacement (BSD's fixed slot-per-block scheme
+  // only survives bad media with this one exception).
+  int err = sd_.WriteSlotRemapping(&blk.slots[i], pm.Data(p));
+  if (err == sim::kErrNoSwap) {
+    // Remapping retired the slot and found no replacement. The resident
+    // page (still dirty) is the only copy now.
+    blk.valid[i] = false;
+    return err;
+  }
+  if (err != sim::kOk) {
+    return err;  // transient: slot intact, page stays dirty for retry
+  }
   blk.valid[i] = true;
   p->dirty = false;
   return sim::kOk;

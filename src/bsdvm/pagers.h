@@ -26,8 +26,11 @@ class Pager {
   // Does backing store hold data for this page index?
   virtual bool HasPage(std::uint64_t pgindex) const = 0;
   // Fill an already-allocated page from backing store (one I/O operation).
-  virtual void GetPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) = 0;
-  // Write a page to backing store (one I/O operation).
+  // Returns sim::kOk or sim::kErrIO; on error the page is untouched and the
+  // backing copy remains valid.
+  virtual int GetPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) = 0;
+  // Write a page to backing store (one I/O operation). Returns sim::kOk,
+  // sim::kErrIO (page stays dirty), or sim::kErrNoSwap.
   virtual int PutPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) = 0;
 };
 
@@ -40,7 +43,7 @@ class VnodePager : public Pager {
   ~VnodePager() override;
 
   bool HasPage(std::uint64_t pgindex) const override;
-  void GetPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) override;
+  int GetPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) override;
   int PutPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) override;
 
   vfs::Vnode* vnode() { return vn_; }
@@ -64,8 +67,9 @@ class SwapPager : public Pager {
   ~SwapPager() override;
 
   bool HasPage(std::uint64_t pgindex) const override;
-  void GetPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) override;
-  // Returns sim::kErrNoSwap when swap space is exhausted.
+  int GetPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) override;
+  // Returns sim::kErrNoSwap when swap space is exhausted. Permanent slot
+  // write errors are remapped in place (the block's slot is updated).
   int PutPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) override;
 
   // Drop any backing-store copy of this page (MADV_FREE support).

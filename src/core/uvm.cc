@@ -483,6 +483,15 @@ int Uvm::Msync(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
   sim::Vaddr end = addr + len;
   UvmMap& map = as.map_;
   map.Lock();
+  int rc = sim::kOk;
+  // On a flush error the pages stay dirty; keep going so the rest of the
+  // range is synced, and report the first error to the caller.
+  auto put = [&](UvmMapEntry& e, const std::vector<phys::Page*>& run) {
+    int err = e.uobj->pgops->Put(*this, *e.uobj, run);
+    if (err != sim::kOk && rc == sim::kOk) {
+      rc = err;
+    }
+  };
   for (UvmMapEntry& e : map.entries()) {
     if (e.end <= addr || e.start >= end || e.uobj == nullptr) {
       continue;
@@ -497,7 +506,7 @@ int Uvm::Msync(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
       phys::Page* p = e.uobj->LookupPage(pgi);
       if (p != nullptr && p->dirty) {
         if (!run.empty() && pgi != prev + 1) {
-          e.uobj->pgops->Put(*this, *e.uobj, run);
+          put(e, run);
           run.clear();
         }
         run.push_back(p);
@@ -505,11 +514,11 @@ int Uvm::Msync(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
       }
     }
     if (!run.empty()) {
-      e.uobj->pgops->Put(*this, *e.uobj, run);
+      put(e, run);
     }
   }
   map.Unlock();
-  return sim::kOk;
+  return rc;
 }
 
 int Uvm::MadvFree(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
@@ -831,7 +840,10 @@ int Uvm::AnonPageIn(Anon* anon) {
   if (p == nullptr) {
     return sim::kErrNoMem;
   }
-  swap_.ReadSlot(anon->swap_slot, pm_.Data(p));
+  if (int err = swap_.ReadSlot(anon->swap_slot, pm_.Data(p)); err != sim::kOk) {
+    pm_.FreePage(p);  // swap copy is still the truth; a refault retries
+    return err;
+  }
   p->dirty = false;  // the swap slot stays valid while the page is clean
   anon->page = p;
   return sim::kOk;
@@ -875,7 +887,12 @@ int Uvm::AnonPageInCluster(UvmMapEntry& e, sim::Vaddr va, Anon* anon) {
   for (phys::Page* p : pages) {
     datas.push_back(pm_.Data(p));
   }
-  swap_.ReadRun(anon->swap_slot, datas);
+  if (int err = swap_.ReadRun(anon->swap_slot, datas); err != sim::kOk) {
+    for (phys::Page* q : pages) {
+      pm_.FreePage(q);  // all swap copies remain valid; a refault retries
+    }
+    return err;
+  }
   for (std::size_t i = 0; i < run.size(); ++i) {
     pages[i]->dirty = false;
     run[i]->page = pages[i];
@@ -1151,6 +1168,8 @@ int Uvm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
   int err = FaultLocked(as, *it, va, write);
   if (err == sim::kOk) {
     MapNeighbors(as, *it, va);
+  } else if (err == sim::kErrIO) {
+    ++machine_.stats().pagein_errors;  // surfaced to the faulting process
   }
   map.Unlock();
   return err;
@@ -1158,6 +1177,12 @@ int Uvm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
 
 // ---------------------------------------------------------------------------
 // Pagedaemon (§6): aggressive clustering of anonymous pageout.
+
+namespace {
+// Transient-EIO retries per pageout before giving the pages back to the
+// active queue (total backoff ≈ io_retry_backoff_ns * (2^n - 1)).
+constexpr int kMaxPageoutRetries = 5;
+}  // namespace
 
 std::size_t Uvm::PageOutAnonCluster(phys::Page* first) {
   // Gather up to pageout_cluster dirty anonymous pages from the inactive
@@ -1187,19 +1212,40 @@ std::size_t Uvm::PageOutAnonCluster(phys::Page* first) {
   }
   std::vector<std::span<std::byte, sim::kPageSize>> datas;
   datas.reserve(cluster.size());
+  for (phys::Page* p : cluster) {
+    mmu_.PageProtect(p, sim::Prot::kNone);
+    datas.push_back(pm_.Data(p));
+  }
+  // Write the new run *before* touching any anon's swap state: until the
+  // write sticks, each anon's old slot (or resident dirty page) stays the
+  // authoritative copy, so a failed pageout can never lose data. Transient
+  // errors are retried with doubling virtual-time backoff; permanent slot
+  // errors are remapped to a fresh run by the swap layer.
+  int err = sim::kOk;
+  for (int attempt = 0;; ++attempt) {
+    err = swap_.WriteRunRemapping(&base, datas);
+    if (err != sim::kErrIO || attempt >= kMaxPageoutRetries) {
+      break;
+    }
+    ++machine_.stats().pageout_retries;
+    machine_.Charge(machine_.cost().io_retry_backoff_ns << attempt);
+  }
+  if (err != sim::kOk) {
+    if (base != swp::kNoSlot) {
+      swap_.FreeRange(base, cluster.size());
+    }
+    for (phys::Page* p : cluster) {
+      pm_.Activate(p);  // keep dirty and resident; a later pass retries
+    }
+    return 0;
+  }
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     phys::Page* p = cluster[i];
     auto* anon = static_cast<Anon*>(p->owner);
-    mmu_.PageProtect(p, sim::Prot::kNone);
     if (anon->swap_slot != swp::kNoSlot) {
       swap_.FreeSlot(anon->swap_slot);
     }
     anon->swap_slot = base + static_cast<std::int32_t>(i);
-    datas.push_back(pm_.Data(p));
-  }
-  swap_.WriteRun(base, datas);
-  for (phys::Page* p : cluster) {
-    auto* anon = static_cast<Anon*>(p->owner);
     anon->page = nullptr;
     p->dirty = false;
     pm_.FreePage(p);
@@ -1226,7 +1272,21 @@ std::size_t Uvm::PageOutObjectRun(phys::Page* first) {
   for (phys::Page* p : run) {
     mmu_.PageProtect(p, sim::Prot::kNone);
   }
-  obj->pgops->Put(*this, *obj, run);
+  int err = sim::kOk;
+  for (int attempt = 0;; ++attempt) {
+    err = obj->pgops->Put(*this, *obj, run);
+    if (err != sim::kErrIO || attempt >= kMaxPageoutRetries) {
+      break;
+    }
+    ++machine_.stats().pageout_retries;
+    machine_.Charge(machine_.cost().io_retry_backoff_ns << attempt);
+  }
+  if (err != sim::kOk) {
+    for (phys::Page* p : run) {
+      pm_.Activate(p);  // pages stay dirty on the object; retried later
+    }
+    return 0;
+  }
   for (phys::Page* p : run) {
     obj->pages.erase(p->offset);
     pm_.FreePage(p);
@@ -1272,7 +1332,7 @@ std::size_t Uvm::PageDaemon(std::size_t target_free) {
         } else {
           std::size_t n = PageOutAnonCluster(p);
           if (n == 0) {
-            pm_.Activate(p);  // swap full; retry once space frees up
+            pm_.Activate(p);  // swap full or I/O error; retry later
           }
           freed += n;
         }

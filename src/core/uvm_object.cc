@@ -17,18 +17,25 @@ UvmVnode::UvmVnode(Uvm& vm_in, vfs::Vnode* vn_in)
 namespace {
 
 // Write a run of resident pages with ascending contiguous indices back to
-// the vnode in a single I/O operation.
-void FlushRun(Uvm& vm, UvmVnode& uvn, const std::vector<phys::Page*>& run) {
+// the vnode in a single I/O operation. On I/O error the pages stay dirty so
+// a later flush can retry.
+int FlushRun(Uvm& vm, UvmVnode& uvn, const std::vector<phys::Page*>& run) {
   if (run.empty()) {
-    return;
+    return sim::kOk;
   }
   std::vector<std::byte> buf(run.size() * sim::kPageSize);
   for (std::size_t i = 0; i < run.size(); ++i) {
     auto src = vm.phys().Data(run[i]);
     std::memcpy(&buf[i * sim::kPageSize], src.data(), sim::kPageSize);
-    run[i]->dirty = false;
   }
-  uvn.vn->WritePages(run.front()->offset * sim::kPageSize, run.size(), buf);
+  if (int err = uvn.vn->WritePages(run.front()->offset * sim::kPageSize, run.size(), buf);
+      err != sim::kOk) {
+    return err;
+  }
+  for (phys::Page* p : run) {
+    p->dirty = false;
+  }
+  return sim::kOk;
 }
 
 class VnodeOps : public PagerOps {
@@ -61,7 +68,9 @@ class VnodeOps : public PagerOps {
     }
     SIM_ASSERT(n >= 1);
     std::vector<std::byte> buf(n * sim::kPageSize);
-    uvn.vn->ReadPages(pgindex * sim::kPageSize, n, buf);
+    if (int err = uvn.vn->ReadPages(pgindex * sim::kPageSize, n, buf); err != sim::kOk) {
+      return err;  // no pages were allocated yet; the fault surfaces the error
+    }
     for (std::uint64_t i = 0; i < n; ++i) {
       phys::Page* p =
           vm.AllocPageOrReclaim(phys::OwnerKind::kUvmObject, &obj, pgindex + i, /*zero=*/false);
@@ -84,8 +93,7 @@ class VnodeOps : public PagerOps {
 
   int Put(Uvm& vm, UvmObject& obj, std::span<phys::Page* const> pages) override {
     auto& uvn = *static_cast<UvmVnode*>(obj.impl);
-    FlushRun(vm, uvn, std::vector<phys::Page*>(pages.begin(), pages.end()));
-    return sim::kOk;
+    return FlushRun(vm, uvn, std::vector<phys::Page*>(pages.begin(), pages.end()));
   }
 
   bool HasBacking(UvmObject& obj, std::uint64_t pgindex) const override {
@@ -188,19 +196,30 @@ void UvmVnode::Terminate(vfs::Vnode& vnode) {
   SIM_ASSERT_MSG(uobj.ref_count == 0, "recycling a mapped vnode");
   (void)vnode;
   // Flush dirty pages in clustered contiguous runs, then drop everything.
+  // Terminate cannot report failure to anyone, so flushes retry a few times
+  // with backoff and then give up (the transient-fault case recovers; a
+  // permanently dead filesystem disk drops the writes, like a real kernel).
+  auto flush = [this](const std::vector<phys::Page*>& r) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      if (FlushRun(vm, *this, r) != sim::kErrIO) {
+        return;
+      }
+      vm.machine().Charge(vm.machine().cost().io_retry_backoff_ns << attempt);
+    }
+  };
   std::vector<phys::Page*> run;
   std::uint64_t prev = 0;
   for (auto& [pgi, page] : uobj.pages) {
     if (page->dirty) {
       if (!run.empty() && pgi != prev + 1) {
-        FlushRun(vm, *this, run);
+        flush(run);
         run.clear();
       }
       run.push_back(page);
       prev = pgi;
     }
   }
-  FlushRun(vm, *this, run);
+  flush(run);
   while (!uobj.pages.empty()) {
     phys::Page* p = uobj.pages.begin()->second;
     vm.ReleaseObjectPage(p);

@@ -95,6 +95,13 @@ void DumpUvmMap(std::ostream& os, uvm::Uvm& vm, AddressSpace& as_) {
   }
 }
 
+void DumpRecoveryStats(std::ostream& os, const sim::Machine& machine) {
+  const sim::Stats& s = machine.stats();
+  os << "io recovery: " << s.io_errors_injected << " " << sim::ErrName(sim::kErrIO)
+     << " injected, " << s.pagein_errors << " pagein errors, " << s.pageout_retries
+     << " pageout retries, " << s.bad_slots_remapped << " bad slots remapped\n";
+}
+
 void DumpMap(std::ostream& os, VmSystem& vm, AddressSpace& as) {
   if (std::strcmp(vm.name(), "uvm") == 0) {
     DumpUvmMap(os, static_cast<uvm::Uvm&>(vm), as);

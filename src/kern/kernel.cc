@@ -263,12 +263,17 @@ int Kernel::Physio(Proc* p, sim::Vaddr buf, std::uint64_t len, bool is_write) {
     // Raw write: the device reads straight out of the wired user pages.
     std::vector<std::byte> sink(len);
     err = ReadMem(p, buf, sink);
-    fs_.disk().WriteOp(npages);
+    if (int werr = fs_.disk().WriteOp(npages); werr != sim::kOk && err == sim::kOk) {
+      err = werr;
+    }
   } else {
     // Raw read: device DMA lands directly in user memory.
-    fs_.disk().ReadOp(npages);
-    std::vector<std::byte> payload(len, std::byte{0xd1});
-    err = WriteMem(p, buf, payload);
+    if (int rerr = fs_.disk().ReadOp(npages); rerr != sim::kOk) {
+      err = rerr;
+    } else {
+      std::vector<std::byte> payload(len, std::byte{0xd1});
+      err = WriteMem(p, buf, payload);
+    }
   }
   TransientWiring back = std::move(p->kernel_stack_wirings.back());
   p->kernel_stack_wirings.pop_back();

@@ -17,6 +17,10 @@ struct CostModel {
   Nanoseconds disk_op_ns = 2'500'000;  // 2.5 ms
   // Per-page transfer cost once the head is positioned.
   Nanoseconds disk_page_ns = 1'200'000;  // 1.2 ms (≈3.4 MB/s sustained)
+  // Base pagedaemon backoff before retrying a failed pageout (doubles per
+  // attempt). Roughly two disk ops: long enough for a transient error to
+  // clear, short enough that retries finish well within one daemon pass.
+  Nanoseconds io_retry_backoff_ns = 5'000'000;  // 5 ms
 
   // --- Memory ---
   Nanoseconds page_copy_ns = 12'000;  // copy 4 KB

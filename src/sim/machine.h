@@ -6,6 +6,7 @@
 
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
+#include "src/sim/fault.h"
 #include "src/sim/stats.h"
 
 namespace sim {
@@ -23,6 +24,8 @@ class Machine {
   const CostModel& cost() const { return cost_; }
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
 
   // Convenience: advance the clock by a cost-model amount.
   void Charge(Nanoseconds ns) { clock_.Advance(ns); }
@@ -31,6 +34,7 @@ class Machine {
   Clock clock_;
   CostModel cost_;
   Stats stats_;
+  FaultInjector faults_;
 };
 
 }  // namespace sim

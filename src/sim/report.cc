@@ -11,6 +11,9 @@ void ReportStats(std::ostream& os, const Machine& machine) {
      << s.disk_pages_written << " pages out\n"
      << "swap:         " << s.swap_ops << " ops, " << s.swap_pages_in << " pages in, "
      << s.swap_pages_out << " pages out\n"
+     << "io errors:    " << s.io_errors_injected << " injected, " << s.pagein_errors
+     << " pagein errors, " << s.pageout_retries << " pageout retries, "
+     << s.bad_slots_remapped << " bad slots remapped\n"
      << "memory:       " << s.pages_copied << " pages copied, " << s.pages_zeroed
      << " pages zeroed\n"
      << "map entries:  " << s.map_entries_allocated << " allocated, "

@@ -21,6 +21,12 @@ struct Stats {
   std::uint64_t swap_pages_in = 0;
   std::uint64_t swap_pages_out = 0;
 
+  // I/O error injection and recovery
+  std::uint64_t io_errors_injected = 0;  // faults delivered by the injector
+  std::uint64_t pagein_errors = 0;       // faults surfaced to a process as kErrIO
+  std::uint64_t pageout_retries = 0;     // pagedaemon retry passes after EIO
+  std::uint64_t bad_slots_remapped = 0;  // swap slots marked bad and replaced
+
   // Memory traffic
   std::uint64_t pages_copied = 0;
   std::uint64_t pages_zeroed = 0;

@@ -24,6 +24,8 @@ const char* ErrorName(int err) {
       return "ENOTSUP";
     case kErrMapEntryPool:
       return "EMAPENTRYPOOL";
+    case kErrIO:
+      return "EIO";
     default:
       return "E???";
   }

@@ -86,8 +86,12 @@ inline constexpr int kErrInval = 6;       // invalid argument
 inline constexpr int kErrNoEnt = 7;       // no such file
 inline constexpr int kErrNotSup = 8;      // operation not supported by this VM
 inline constexpr int kErrMapEntryPool = 9;  // kernel map-entry pool exhausted
+inline constexpr int kErrIO = 10;         // EIO: device I/O error
 
 const char* ErrorName(int err);
+
+// Short alias used in dump output and test failure messages.
+inline const char* ErrName(int err) { return ErrorName(err); }
 
 }  // namespace sim
 

@@ -6,11 +6,18 @@
 
 namespace swp {
 
+namespace {
+// Cap on consecutive permanent-fault remaps within one write call, so a
+// pathological fault plan (every slot bad) terminates with an error instead
+// of consuming the whole device.
+constexpr int kMaxRemapAttempts = 8;
+}  // namespace
+
 std::int32_t SwapDevice::AllocSlot() {
   const std::size_t n = used_.size();
   for (std::size_t k = 0; k < n; ++k) {
     std::size_t i = (next_hint_ + k) % n;
-    if (!used_[i]) {
+    if (!used_[i] && !bad_[i]) {
       used_[i] = true;
       ++used_count_;
       next_hint_ = (i + 1) % n;
@@ -20,13 +27,10 @@ std::int32_t SwapDevice::AllocSlot() {
   return kNoSlot;
 }
 
-std::int32_t SwapDevice::AllocContig(std::size_t want) {
-  if (want == 0 || want > used_.size()) {
-    return kNoSlot;
-  }
+std::int32_t SwapDevice::ScanContig(std::size_t from, std::size_t to, std::size_t want) {
   std::size_t run = 0;
-  for (std::size_t i = 0; i < used_.size(); ++i) {
-    run = used_[i] ? 0 : run + 1;
+  for (std::size_t i = from; i < to; ++i) {
+    run = (used_[i] || bad_[i]) ? 0 : run + 1;
     if (run == want) {
       std::size_t first = i + 1 - want;
       for (std::size_t j = first; j <= i; ++j) {
@@ -37,6 +41,24 @@ std::int32_t SwapDevice::AllocContig(std::size_t want) {
     }
   }
   return kNoSlot;
+}
+
+std::int32_t SwapDevice::AllocContig(std::size_t want) {
+  const std::size_t n = used_.size();
+  if (want == 0 || want > n) {
+    return kNoSlot;
+  }
+  // Start at the hint for locality with AllocSlot, but a miss there must
+  // not give up: rescan the whole device so free runs before (or
+  // straddling) the hint are still found.
+  std::int32_t first = ScanContig(next_hint_, n, want);
+  if (first == kNoSlot) {
+    first = ScanContig(0, n, want);
+  }
+  if (first != kNoSlot) {
+    next_hint_ = (static_cast<std::size_t>(first) + want) % n;
+  }
+  return first;
 }
 
 void SwapDevice::FreeSlot(std::int32_t slot) {
@@ -54,36 +76,114 @@ void SwapDevice::FreeRange(std::int32_t first, std::size_t n) {
   }
 }
 
-void SwapDevice::WriteRun(std::int32_t first,
-                          std::span<std::span<std::byte, sim::kPageSize>> pages) {
-  disk_.WriteOp(pages.size());
-  for (std::size_t i = 0; i < pages.size(); ++i) {
-    std::int32_t slot = first + static_cast<std::int32_t>(i);
-    SIM_ASSERT(IsUsed(slot));
-    std::memcpy(SlotData(slot), pages[i].data(), sim::kPageSize);
-  }
+void SwapDevice::RetireSlot(std::int32_t slot) {
+  auto i = static_cast<std::size_t>(slot);
+  SIM_ASSERT(slot >= 0 && i < used_.size());
+  SIM_ASSERT(used_[i] && !bad_[i]);
+  used_[i] = false;
+  --used_count_;
+  bad_[i] = true;
+  ++bad_count_;
+  ++disk_.machine().stats().bad_slots_remapped;
 }
 
-void SwapDevice::ReadRun(std::int32_t first,
+int SwapDevice::WriteRun(std::int32_t first,
                          std::span<std::span<std::byte, sim::kPageSize>> pages) {
-  disk_.ReadOp(pages.size());
   for (std::size_t i = 0; i < pages.size(); ++i) {
-    std::int32_t slot = first + static_cast<std::int32_t>(i);
-    SIM_ASSERT(IsUsed(slot));
-    std::memcpy(pages[i].data(), SlotData(slot), sim::kPageSize);
+    SIM_ASSERT(IsUsed(first + static_cast<std::int32_t>(i)));
   }
+  if (int err = disk_.WriteOp(pages.size(), static_cast<std::uint64_t>(first));
+      err != sim::kOk) {
+    return err;
+  }
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    std::memcpy(SlotData(first + static_cast<std::int32_t>(i)), pages[i].data(),
+                sim::kPageSize);
+  }
+  return sim::kOk;
 }
 
-void SwapDevice::WriteSlot(std::int32_t slot, std::span<const std::byte, sim::kPageSize> src) {
+int SwapDevice::ReadRun(std::int32_t first,
+                        std::span<std::span<std::byte, sim::kPageSize>> pages) {
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    SIM_ASSERT(IsUsed(first + static_cast<std::int32_t>(i)));
+  }
+  if (int err = disk_.ReadOp(pages.size(), static_cast<std::uint64_t>(first));
+      err != sim::kOk) {
+    return err;
+  }
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    std::memcpy(pages[i].data(), SlotData(first + static_cast<std::int32_t>(i)),
+                sim::kPageSize);
+  }
+  return sim::kOk;
+}
+
+int SwapDevice::WriteSlot(std::int32_t slot, std::span<const std::byte, sim::kPageSize> src) {
   SIM_ASSERT(IsUsed(slot));
-  disk_.WriteOp(1);
+  if (int err = disk_.WriteOp(1, static_cast<std::uint64_t>(slot)); err != sim::kOk) {
+    return err;
+  }
   std::memcpy(SlotData(slot), src.data(), sim::kPageSize);
+  return sim::kOk;
 }
 
-void SwapDevice::ReadSlot(std::int32_t slot, std::span<std::byte, sim::kPageSize> dst) {
+int SwapDevice::ReadSlot(std::int32_t slot, std::span<std::byte, sim::kPageSize> dst) {
   SIM_ASSERT(IsUsed(slot));
-  disk_.ReadOp(1);
+  if (int err = disk_.ReadOp(1, static_cast<std::uint64_t>(slot)); err != sim::kOk) {
+    return err;
+  }
   std::memcpy(dst.data(), SlotData(slot), sim::kPageSize);
+  return sim::kOk;
+}
+
+int SwapDevice::WriteRunRemapping(std::int32_t* first,
+                                  std::span<std::span<std::byte, sim::kPageSize>> pages) {
+  const sim::FaultInjector& inj = disk_.machine().faults();
+  const std::size_t n = pages.size();
+  for (int attempt = 0; attempt < kMaxRemapAttempts; ++attempt) {
+    int err = WriteRun(*first, pages);
+    if (err == sim::kOk) {
+      return sim::kOk;
+    }
+    // Distinguish a grown defect from a transient error: permanent faults
+    // leave the failed block marked bad in the injector.
+    bool any_bad = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int32_t s = *first + static_cast<std::int32_t>(i);
+      if (inj.IsBadBlock(sim::IoDevice::kSwapDisk, static_cast<std::uint64_t>(s))) {
+        any_bad = true;
+      }
+    }
+    if (!any_bad) {
+      return sim::kErrIO;  // transient; run is intact, caller may retry later
+    }
+    // Retire the bad slots, release the rest of the run, and move the whole
+    // cluster to a fresh run elsewhere on the device.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int32_t s = *first + static_cast<std::int32_t>(i);
+      if (inj.IsBadBlock(sim::IoDevice::kSwapDisk, static_cast<std::uint64_t>(s))) {
+        RetireSlot(s);
+      } else {
+        FreeSlot(s);
+      }
+    }
+    std::int32_t moved = AllocContig(n);
+    if (moved == kNoSlot) {
+      *first = kNoSlot;
+      return sim::kErrNoSwap;
+    }
+    *first = moved;
+  }
+  return sim::kErrIO;
+}
+
+int SwapDevice::WriteSlotRemapping(std::int32_t* slot,
+                                   std::span<const std::byte, sim::kPageSize> src) {
+  std::byte* data = const_cast<std::byte*>(src.data());
+  std::span<std::byte, sim::kPageSize> page{data, sim::kPageSize};
+  std::span<std::span<std::byte, sim::kPageSize>> pages{&page, 1};
+  return WriteRunRemapping(slot, pages);
 }
 
 }  // namespace swp

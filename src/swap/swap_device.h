@@ -4,6 +4,13 @@
 // reassigns dirty anonymous pages to a fresh contiguous run and pushes them
 // out in one I/O operation, while BSD VM's swap pager does one I/O per page
 // within its fixed per-object swap blocks.
+//
+// I/O is fallible: every transfer consults the machine's FaultInjector (the
+// slot number doubles as the device block address). A permanent write fault
+// marks the failed slot *bad* — it is retired from the allocator for the
+// lifetime of the device — and the *Remapping write paths transparently
+// reallocate the run elsewhere and retry, the way a disk firmware or the
+// swap layer's blist handles grown defects.
 #ifndef SRC_SWAP_SWAP_DEVICE_H_
 #define SRC_SWAP_SWAP_DEVICE_H_
 
@@ -25,6 +32,7 @@ class SwapDevice {
   SwapDevice(sim::Machine& machine, std::size_t num_slots)
       : disk_(machine, vfs::Disk::Kind::kSwap),
         used_(num_slots, false),
+        bad_(num_slots, false),
         bytes_(num_slots * sim::kPageSize) {}
 
   SwapDevice(const SwapDevice&) = delete;
@@ -32,7 +40,8 @@ class SwapDevice {
 
   std::size_t total_slots() const { return used_.size(); }
   std::size_t used_slots() const { return used_count_; }
-  std::size_t free_slots() const { return used_.size() - used_count_; }
+  std::size_t bad_slots() const { return bad_count_; }
+  std::size_t free_slots() const { return used_.size() - used_count_ - bad_count_; }
 
   // Allocate a single slot; kNoSlot when full.
   std::int32_t AllocSlot();
@@ -42,25 +51,51 @@ class SwapDevice {
   void FreeRange(std::int32_t first, std::size_t n);
 
   // One I/O operation transferring `n` contiguous slots starting at `first`.
-  // Each element of `pages` is the host memory of one frame.
-  void WriteRun(std::int32_t first, std::span<std::span<std::byte, sim::kPageSize>> pages);
-  void ReadRun(std::int32_t first, std::span<std::span<std::byte, sim::kPageSize>> pages);
+  // Each element of `pages` is the host memory of one frame. Returns
+  // sim::kOk or sim::kErrIO; a failed read leaves `pages` untouched, a
+  // failed write leaves the slot contents untouched.
+  int WriteRun(std::int32_t first, std::span<std::span<std::byte, sim::kPageSize>> pages);
+  int ReadRun(std::int32_t first, std::span<std::span<std::byte, sim::kPageSize>> pages);
 
   // Single-slot convenience wrappers (one I/O operation each).
-  void WriteSlot(std::int32_t slot, std::span<const std::byte, sim::kPageSize> src);
-  void ReadSlot(std::int32_t slot, std::span<std::byte, sim::kPageSize> dst);
+  int WriteSlot(std::int32_t slot, std::span<const std::byte, sim::kPageSize> src);
+  int ReadSlot(std::int32_t slot, std::span<std::byte, sim::kPageSize> dst);
+
+  // Write with bad-block remapping: like WriteRun on `*first`, but when the
+  // device reports a *permanent* fault the now-bad slots are retired
+  // (stats.bad_slots_remapped), the run is reallocated elsewhere, `*first`
+  // is updated, and the write is retried. Returns:
+  //   sim::kOk      — data durably written at `*first` (possibly moved);
+  //   sim::kErrIO   — transient fault; run still allocated at `*first`,
+  //                   caller may retry later;
+  //   sim::kErrNoSwap — ran out of replacement slots; `*first` = kNoSlot
+  //                   and the original run has been freed.
+  int WriteRunRemapping(std::int32_t* first,
+                        std::span<std::span<std::byte, sim::kPageSize>> pages);
+  // Single-slot version (used by the BSD swap pager's one-I/O-per-page
+  // path). Same contract with n = 1.
+  int WriteSlotRemapping(std::int32_t* slot, std::span<const std::byte, sim::kPageSize> src);
 
   bool IsUsed(std::int32_t slot) const { return used_[static_cast<std::size_t>(slot)]; }
+  bool IsBad(std::int32_t slot) const { return bad_[static_cast<std::size_t>(slot)]; }
 
  private:
   std::byte* SlotData(std::int32_t slot) {
     return &bytes_[static_cast<std::size_t>(slot) * sim::kPageSize];
   }
+  // Scan [from, to) for `want` contiguous free slots; claims and returns the
+  // first slot of the run, or kNoSlot.
+  std::int32_t ScanContig(std::size_t from, std::size_t to, std::size_t want);
+  // Retire a slot after a permanent write fault: mark it bad, drop it from
+  // the used set, and count the remap.
+  void RetireSlot(std::int32_t slot);
 
   vfs::Disk disk_;
   std::vector<bool> used_;
+  std::vector<bool> bad_;
   std::vector<std::byte> bytes_;
   std::size_t used_count_ = 0;
+  std::size_t bad_count_ = 0;
   std::size_t next_hint_ = 0;
 };
 

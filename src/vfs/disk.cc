@@ -7,28 +7,32 @@ void Disk::Charge(std::size_t npages) {
   machine_.Charge(c.disk_op_ns + c.disk_page_ns * npages);
 }
 
-void Disk::ReadOp(std::size_t npages) {
+int Disk::ReadOp(std::size_t npages, std::uint64_t blkno) {
   Charge(npages);
   sim::Stats& s = machine_.stats();
+  auto fault = machine_.faults().OnOp(device(), sim::IoDir::kRead, blkno, npages, s);
   if (kind_ == Kind::kSwap) {
     ++s.swap_ops;
-    s.swap_pages_in += npages;
+    if (!fault) s.swap_pages_in += npages;
   } else {
     ++s.disk_ops;
-    s.disk_pages_read += npages;
+    if (!fault) s.disk_pages_read += npages;
   }
+  return fault ? fault->err : sim::kOk;
 }
 
-void Disk::WriteOp(std::size_t npages) {
+int Disk::WriteOp(std::size_t npages, std::uint64_t blkno) {
   Charge(npages);
   sim::Stats& s = machine_.stats();
+  auto fault = machine_.faults().OnOp(device(), sim::IoDir::kWrite, blkno, npages, s);
   if (kind_ == Kind::kSwap) {
     ++s.swap_ops;
-    s.swap_pages_out += npages;
+    if (!fault) s.swap_pages_out += npages;
   } else {
     ++s.disk_ops;
-    s.disk_pages_written += npages;
+    if (!fault) s.disk_pages_written += npages;
   }
+  return fault ? fault->err : sim::kOk;
 }
 
 }  // namespace vfs

@@ -1,13 +1,15 @@
 // Simulated disk device. A disk does no data storage itself (file contents
 // live in the Filesystem, swap contents in the SwapDevice); it exists to
-// charge virtual time and count I/O operations. The central property the
-// paper's figures depend on is preserved: one I/O *operation* has a large
-// fixed cost (seek + rotation), so transferring N pages in one contiguous
-// operation is far cheaper than N single-page operations.
+// charge virtual time, count I/O operations, and deliver injected I/O
+// faults. The central property the paper's figures depend on is preserved:
+// one I/O *operation* has a large fixed cost (seek + rotation), so
+// transferring N pages in one contiguous operation is far cheaper than N
+// single-page operations.
 #ifndef SRC_VFS_DISK_H_
 #define SRC_VFS_DISK_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "src/sim/machine.h"
 
@@ -22,15 +24,24 @@ class Disk {
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
 
-  // Charge one read operation transferring `npages` contiguous pages.
-  void ReadOp(std::size_t npages);
-  // Charge one write operation transferring `npages` contiguous pages.
-  void WriteOp(std::size_t npages);
+  // One read/write operation transferring `npages` contiguous pages
+  // starting at device block `blkno` (page-sized blocks; sim::kNoBlock when
+  // the caller has no meaningful address). Returns sim::kOk, or sim::kErrIO
+  // when the machine's FaultInjector fails the operation. A failed
+  // operation still charges full virtual time (the seek and transfer
+  // happened; the data was bad) and still counts as an operation, but
+  // transfers no pages.
+  int ReadOp(std::size_t npages, std::uint64_t blkno = sim::kNoBlock);
+  int WriteOp(std::size_t npages, std::uint64_t blkno = sim::kNoBlock);
 
   sim::Machine& machine() { return machine_; }
 
  private:
   void Charge(std::size_t npages);
+  sim::IoDevice device() const {
+    return kind_ == Kind::kSwap ? sim::IoDevice::kSwapDisk
+                                : sim::IoDevice::kFilesystemDisk;
+  }
 
   sim::Machine& machine_;
   Kind kind_;

@@ -7,10 +7,14 @@
 
 namespace vfs {
 
-std::size_t Vnode::ReadPages(sim::ObjOffset off, std::size_t npages, std::span<std::byte> dst) {
+int Vnode::ReadPages(sim::ObjOffset off, std::size_t npages, std::span<std::byte> dst,
+                     std::size_t* valid_pages_out) {
   SIM_ASSERT(off % sim::kPageSize == 0);
   SIM_ASSERT(dst.size() >= npages * sim::kPageSize);
-  disk_.ReadOp(npages);
+  if (int err = disk_.ReadOp(npages); err != sim::kOk) {
+    std::memset(dst.data(), 0, npages * sim::kPageSize);
+    return err;
+  }
   std::size_t valid_pages = 0;
   for (std::size_t i = 0; i < npages; ++i) {
     sim::ObjOffset page_off = off + i * sim::kPageSize;
@@ -26,13 +30,18 @@ std::size_t Vnode::ReadPages(sim::ObjOffset off, std::size_t npages, std::span<s
     }
     ++valid_pages;
   }
-  return valid_pages;
+  if (valid_pages_out != nullptr) {
+    *valid_pages_out = valid_pages;
+  }
+  return sim::kOk;
 }
 
-void Vnode::WritePages(sim::ObjOffset off, std::size_t npages, std::span<const std::byte> src) {
+int Vnode::WritePages(sim::ObjOffset off, std::size_t npages, std::span<const std::byte> src) {
   SIM_ASSERT(off % sim::kPageSize == 0);
   SIM_ASSERT(src.size() >= npages * sim::kPageSize);
-  disk_.WriteOp(npages);
+  if (int err = disk_.WriteOp(npages); err != sim::kOk) {
+    return err;
+  }
   for (std::size_t i = 0; i < npages; ++i) {
     sim::ObjOffset page_off = off + i * sim::kPageSize;
     if (page_off >= file_data_->size()) {
@@ -41,6 +50,7 @@ void Vnode::WritePages(sim::ObjOffset off, std::size_t npages, std::span<const s
     std::size_t n = std::min<std::size_t>(sim::kPageSize, file_data_->size() - page_off);
     std::memcpy(file_data_->data() + page_off, src.data() + i * sim::kPageSize, n);
   }
+  return sim::kOk;
 }
 
 VnodeCache::~VnodeCache() {

@@ -49,11 +49,14 @@ class Vnode {
   int usecount() const { return usecount_; }
 
   // Transfer `npages` pages starting at page-aligned `off` from "disk" into
-  // `dst` in a single I/O operation. Returns number of pages with any valid
-  // data (the rest are zero-filled).
-  std::size_t ReadPages(sim::ObjOffset off, std::size_t npages, std::span<std::byte> dst);
-  // Transfer pages back to "disk" in a single I/O operation.
-  void WritePages(sim::ObjOffset off, std::size_t npages, std::span<const std::byte> src);
+  // `dst` in a single I/O operation. Returns sim::kOk or sim::kErrIO; on
+  // success `*valid_pages` (if non-null) receives the number of pages with
+  // any valid data (the rest are zero-filled). On error `dst` is zeroed.
+  int ReadPages(sim::ObjOffset off, std::size_t npages, std::span<std::byte> dst,
+                std::size_t* valid_pages = nullptr);
+  // Transfer pages back to "disk" in a single I/O operation. Returns
+  // sim::kOk or sim::kErrIO; on error the file contents are unchanged.
+  int WritePages(sim::ObjOffset off, std::size_t npages, std::span<const std::byte> src);
 
   VnodeAttachment* attachment() { return attachment_.get(); }
   void set_attachment(std::unique_ptr<VnodeAttachment> a) { attachment_ = std::move(a); }

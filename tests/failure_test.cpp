@@ -33,6 +33,12 @@ TEST_P(FailureTest, SwapExhaustionSurfacesAsNoMem) {
   EXPECT_EQ(sim::kErrNoMem, err);
   EXPECT_LT(written, npages);
   EXPECT_GT(written, 32u);  // got past RAM before running out
+  // Exhaustion is a capacity failure, not a device failure: no I/O errors
+  // were injected and none of the recovery machinery may have fired.
+  EXPECT_EQ(0u, w.machine.stats().io_errors_injected);
+  EXPECT_EQ(0u, w.machine.stats().pagein_errors);
+  EXPECT_EQ(0u, w.machine.stats().pageout_retries);
+  EXPECT_EQ(0u, w.machine.stats().bad_slots_remapped);
   // With both RAM and swap full the system genuinely cannot make progress;
   // free a chunk, after which the remaining data must be intact.
   ASSERT_EQ(sim::kOk, w.kernel->Munmap(p, a, 32 * sim::kPageSize));
@@ -151,6 +157,71 @@ TEST_P(FailureTest, SwapFullThenFreedRecovers) {
   sim::Vaddr b = 0;
   ASSERT_EQ(sim::kOk, w.kernel->MmapAnon(p, &b, 16 * sim::kPageSize, kern::MapAttrs{}));
   EXPECT_EQ(sim::kOk, w.kernel->TouchWrite(p, b, 16 * sim::kPageSize, std::byte{2}));
+  w.vm->CheckInvariants();
+}
+
+TEST_P(FailureTest, PageinErrorSurfacesAsEIO) {
+  WorldConfig cfg;
+  cfg.ram_pages = 64;
+  World w(GetParam(), cfg);
+  kern::Proc* p = w.kernel->Spawn();
+  sim::Vaddr a = 0;
+  const std::size_t npages = 48;
+  ASSERT_EQ(sim::kOk, w.kernel->MmapAnon(p, &a, npages * sim::kPageSize, kern::MapAttrs{}));
+  for (std::size_t i = 0; i < npages; ++i) {
+    ASSERT_EQ(sim::kOk,
+              w.kernel->TouchWrite(p, a + i * sim::kPageSize, 1, static_cast<std::byte>(i)));
+  }
+  // Push everything to swap, then make the next swap read fail once.
+  w.vm->PageDaemon(w.pm.total_pages());
+  sim::FaultPlan plan;
+  plan.fail_reads.push_back(sim::FaultSpec{1, /*permanent=*/false});
+  w.machine.faults().SetPlan(sim::IoDevice::kSwapDisk, plan);
+  std::vector<std::byte> b(1);
+  EXPECT_EQ(sim::kErrIO, w.kernel->ReadMem(p, a, b))
+      << "expected " << sim::ErrName(sim::kErrIO) << " from the failed pagein";
+  EXPECT_EQ(1u, w.machine.stats().pagein_errors);
+  EXPECT_EQ(1u, w.machine.stats().io_errors_injected);
+  // The fault was transient and the swap copy untouched: the very next
+  // access recovers, and every page still has its data.
+  for (std::size_t i = 0; i < npages; ++i) {
+    ASSERT_EQ(sim::kOk, w.kernel->ReadMem(p, a + i * sim::kPageSize, b)) << i;
+    EXPECT_EQ(static_cast<std::byte>(i), b[0]) << i;
+  }
+  w.vm->CheckInvariants();
+}
+
+TEST_P(FailureTest, PageoutRetriesUntilSuccess) {
+  WorldConfig cfg;
+  cfg.ram_pages = 64;
+  World w(GetParam(), cfg);
+  kern::Proc* p = w.kernel->Spawn();
+  sim::Vaddr a = 0;
+  const std::size_t npages = 48;
+  ASSERT_EQ(sim::kOk, w.kernel->MmapAnon(p, &a, npages * sim::kPageSize, kern::MapAttrs{}));
+  for (std::size_t i = 0; i < npages; ++i) {
+    ASSERT_EQ(sim::kOk,
+              w.kernel->TouchWrite(p, a + i * sim::kPageSize, 1, static_cast<std::byte>(i)));
+  }
+  // The next two swap writes fail transiently; the pagedaemon must retry
+  // with backoff and still get the pages out.
+  sim::FaultPlan plan;
+  plan.fail_writes.push_back(sim::FaultSpec{1, /*permanent=*/false});
+  plan.fail_writes.push_back(sim::FaultSpec{2, /*permanent=*/false});
+  w.machine.faults().SetPlan(sim::IoDevice::kSwapDisk, plan);
+  sim::Nanoseconds before = w.machine.clock().now();
+  std::size_t freed = w.vm->PageDaemon(w.pm.total_pages());
+  EXPECT_GT(freed, 0u);
+  EXPECT_GT(w.machine.stats().pageout_retries, 0u);
+  EXPECT_GE(w.machine.stats().io_errors_injected, 2u);
+  // Backoff is charged to the virtual clock.
+  EXPECT_GE(w.machine.clock().now() - before, w.machine.cost().io_retry_backoff_ns);
+  // No data was lost along the way.
+  std::vector<std::byte> b(1);
+  for (std::size_t i = 0; i < npages; ++i) {
+    ASSERT_EQ(sim::kOk, w.kernel->ReadMem(p, a + i * sim::kPageSize, b)) << i;
+    EXPECT_EQ(static_cast<std::byte>(i), b[0]) << i;
+  }
   w.vm->CheckInvariants();
 }
 

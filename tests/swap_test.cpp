@@ -140,6 +140,100 @@ TEST_F(SwapTest, ClusteredWriteIsCheaperThanSingles) {
   EXPECT_GT(singles, 2 * clustered);
 }
 
+TEST_F(SwapTest, ContigScanFindsRunsBeforeHint) {
+  // Advance the allocation hint near the end of the device, then free a run
+  // entirely before it. A hint-local scan misses; the allocator must rescan
+  // from the start rather than report the device full.
+  std::vector<std::int32_t> held;
+  for (int i = 0; i < 30; ++i) {
+    held.push_back(sd.AllocSlot());
+  }
+  ASSERT_EQ(29, held.back());  // hint is now at 30
+  sd.FreeRange(4, 8);
+  EXPECT_EQ(4, sd.AllocContig(8));
+}
+
+TEST_F(SwapTest, ContigScanFindsRunStraddlingHint) {
+  // Build: used = 0..11 and 20..31, free = 12..19, hint = 16. The only run
+  // of 8 straddles the hint, so the hint-forward scan sees just its second
+  // half and the allocator must rescan from slot 0 to find it.
+  ASSERT_EQ(0, sd.AllocContig(32));
+  sd.FreeRange(12, 8);
+  for (std::int32_t s = 12; s < 16; ++s) {
+    ASSERT_EQ(s, sd.AllocSlot());  // advances the hint to 16
+  }
+  sd.FreeRange(12, 4);
+  EXPECT_EQ(12, sd.AllocContig(8));
+}
+
+TEST_F(SwapTest, PermanentWriteFaultRetiresSlotAndRemaps) {
+  std::int32_t first = sd.AllocContig(4);
+  ASSERT_EQ(0, first);
+  std::array<std::array<std::byte, sim::kPageSize>, 4> pages;
+  std::vector<std::span<std::byte, sim::kPageSize>> spans;
+  for (int i = 0; i < 4; ++i) {
+    pages[i].fill(std::byte(0x20 + i));
+    spans.emplace_back(pages[i]);
+  }
+  sim::FaultPlan plan;
+  plan.fail_writes.push_back(sim::FaultSpec{1, /*permanent=*/true});
+  machine.faults().SetPlan(sim::IoDevice::kSwapDisk, plan);
+
+  ASSERT_EQ(sim::kOk, sd.WriteRunRemapping(&first, spans));
+  EXPECT_NE(0, first);  // the run moved off the bad block
+  EXPECT_TRUE(sd.IsBad(0));
+  EXPECT_FALSE(sd.IsUsed(0));  // retired, not allocatable
+  EXPECT_EQ(1u, sd.bad_slots());
+  EXPECT_EQ(1u, machine.stats().bad_slots_remapped);
+  EXPECT_EQ(1u, machine.stats().io_errors_injected);
+
+  // Data landed intact at the new location.
+  std::array<std::array<std::byte, sim::kPageSize>, 4> back;
+  std::vector<std::span<std::byte, sim::kPageSize>> back_spans;
+  for (int i = 0; i < 4; ++i) {
+    back[i].fill(std::byte{0});
+    back_spans.emplace_back(back[i]);
+  }
+  ASSERT_EQ(sim::kOk, sd.ReadRun(first, back_spans));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(pages[i], back[i]) << i;
+  }
+  // The retired slot is skipped by every allocator path from now on.
+  sd.FreeRange(first, 4);
+  while (true) {
+    std::int32_t s = sd.AllocSlot();
+    if (s == swp::kNoSlot) {
+      break;
+    }
+    EXPECT_NE(0, s);
+  }
+  EXPECT_EQ(31u, sd.used_slots());  // 32 minus the one bad slot
+}
+
+TEST_F(SwapTest, TransientWriteFaultLeavesRunForRetry) {
+  std::int32_t first = sd.AllocContig(2);
+  std::array<std::array<std::byte, sim::kPageSize>, 2> pages;
+  std::vector<std::span<std::byte, sim::kPageSize>> spans;
+  for (int i = 0; i < 2; ++i) {
+    pages[i].fill(std::byte(0x7a + i));
+    spans.emplace_back(pages[i]);
+  }
+  sim::FaultPlan plan;
+  plan.fail_writes.push_back(sim::FaultSpec{1, /*permanent=*/false});
+  machine.faults().SetPlan(sim::IoDevice::kSwapDisk, plan);
+
+  std::int32_t where = first;
+  EXPECT_EQ(sim::kErrIO, sd.WriteRunRemapping(&where, spans));
+  EXPECT_EQ(first, where);  // transient: nothing moved, nothing retired
+  EXPECT_EQ(0u, sd.bad_slots());
+  EXPECT_EQ(0u, machine.stats().bad_slots_remapped);
+  // The caller's retry succeeds and the data round-trips.
+  EXPECT_EQ(sim::kOk, sd.WriteRunRemapping(&where, spans));
+  std::array<std::byte, sim::kPageSize> back;
+  ASSERT_EQ(sim::kOk, sd.ReadSlot(first + 1, back));
+  EXPECT_EQ(pages[1], back);
+}
+
 TEST_F(SwapTest, AllocAfterFreeReusesSlots) {
   std::vector<std::int32_t> all;
   for (int i = 0; i < 32; ++i) {

@@ -34,7 +34,8 @@ TEST_F(VfsTest, ReadPagesReturnsPatternAndCharges) {
   vfs::Vnode* vn = fs.Open("/a");
   std::vector<std::byte> buf(2 * sim::kPageSize);
   sim::Nanoseconds before = machine.clock().now();
-  std::size_t valid = vn->ReadPages(sim::kPageSize, 2, buf);
+  std::size_t valid = 0;
+  ASSERT_EQ(sim::kOk, vn->ReadPages(sim::kPageSize, 2, buf, &valid));
   EXPECT_EQ(2u, valid);
   EXPECT_EQ(machine.cost().disk_op_ns + 2 * machine.cost().disk_page_ns,
             machine.clock().now() - before);
@@ -50,7 +51,8 @@ TEST_F(VfsTest, ReadBeyondEofZeroFills) {
   fs.CreateFilePattern("/a", sim::kPageSize + 100);
   vfs::Vnode* vn = fs.Open("/a");
   std::vector<std::byte> buf(2 * sim::kPageSize, std::byte{0xff});
-  std::size_t valid = vn->ReadPages(sim::kPageSize, 2, buf);
+  std::size_t valid = 0;
+  ASSERT_EQ(sim::kOk, vn->ReadPages(sim::kPageSize, 2, buf, &valid));
   EXPECT_EQ(1u, valid);  // second page entirely past EOF
   // Partial page: 100 bytes of data then zeros.
   EXPECT_EQ(vfs::Filesystem::PatternByte("/a", sim::kPageSize + 99), buf[99]);
@@ -63,7 +65,7 @@ TEST_F(VfsTest, WritePagesPersistToFileData) {
   fs.CreateFilePattern("/a", 2 * sim::kPageSize);
   vfs::Vnode* vn = fs.Open("/a");
   std::vector<std::byte> out(sim::kPageSize, std::byte{0x66});
-  vn->WritePages(sim::kPageSize, 1, out);
+  ASSERT_EQ(sim::kOk, vn->WritePages(sim::kPageSize, 1, out));
   EXPECT_EQ(1u, machine.stats().disk_pages_written);
   std::vector<std::byte> back(sim::kPageSize);
   vn->ReadPages(sim::kPageSize, 1, back);
