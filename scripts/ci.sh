@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 CI: build + full test suite, the same under ASan, then the
+# host-time perf harness with its BENCH_host.json checked against the
+# committed baseline (deterministic fields exact, speedups against floors;
+# see scripts/diff_bench_host.py).
+#
+# UVM_CI_SKIP_ASAN=1 skips the sanitizer pass (for quick local iteration).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake --workflow --preset ci
+
+if [ "${UVM_CI_SKIP_ASAN:-0}" != "1" ]; then
+  cmake --workflow --preset ci-asan
+fi
+
+./build/bench/bench_host_perf --quick --out build/BENCH_host.json
+python3 scripts/diff_bench_host.py BENCH_host.json build/BENCH_host.json

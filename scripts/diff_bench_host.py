@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_host.json against the committed baseline.
+
+Field classes:
+  - deterministic (workloads.*.* except host_ms): must match the baseline
+    exactly — these are virtual-time totals and lookup counters, identical
+    on every machine and in --quick and full runs.
+  - speedups (micro.*.speedup): checked against a floor, not the baseline
+    value, since host timings vary between machines. The headline
+    map_lookup_1000 floor is the PR's acceptance target (5x).
+  - host times (host_ms, *_ns_per_op): informational only.
+
+Usage: diff_bench_host.py BASELINE CURRENT
+"""
+
+import json
+import sys
+
+SPEEDUP_FLOORS = {
+    "map_lookup_1000": 5.0,
+    "map_mutate_1000": 1.5,
+    "pagestore_lookup_64k": 2.0,
+}
+
+
+def deterministic(doc):
+    out = {}
+    for vm, workloads in sorted(doc.get("workloads", {}).items()):
+        for name, fields in sorted(workloads.items()):
+            for key, value in sorted(fields.items()):
+                if key != "host_ms":
+                    out[f"workloads.{vm}.{name}.{key}"] = value
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        current = json.load(f)
+
+    failures = []
+
+    base_det = deterministic(baseline)
+    cur_det = deterministic(current)
+    for key in sorted(set(base_det) | set(cur_det)):
+        b, c = base_det.get(key), cur_det.get(key)
+        if b != c:
+            failures.append(f"deterministic field {key}: baseline={b} current={c}")
+
+    for name, floor in SPEEDUP_FLOORS.items():
+        got = current.get("micro", {}).get(name, {}).get("speedup")
+        if got is None:
+            failures.append(f"micro.{name}: missing from current run")
+        elif got < floor:
+            failures.append(f"micro.{name}.speedup: {got} below floor {floor}")
+
+    if failures:
+        print("BENCH_host comparison FAILED:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    n = len(base_det)
+    print(f"BENCH_host comparison OK: {n} deterministic fields identical, "
+          f"{len(SPEEDUP_FLOORS)} speedup floors met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -107,6 +107,7 @@ VmObject* BsdVm::NewObject(std::size_t size_pages, bool internal) {
   machine_.Charge(machine_.cost().object_alloc_ns);
   ++machine_.stats().objects_allocated;
   auto* obj = new VmObject(size_pages, internal);
+  obj->pages.BindStats(&machine_.stats());
   all_objects_.insert(obj);
   return obj;
 }

@@ -1,14 +1,19 @@
-// The Mach-style vm_map used by the BSD VM baseline: a sorted doubly-linked
-// list of map entries, each recording one mapping and its attributes (§2).
-// Lock acquisition and hold time are metered so that the §3.1 comparison of
+// The Mach-style vm_map used by the BSD VM baseline: a sorted list of map
+// entries, each recording one mapping and its attributes (§2). Lock
+// acquisition and hold time are metered so that the §3.1 comparison of
 // BSD VM's long-held locks against UVM's two-phase unmap is measurable.
+//
+// The map mechanics (sorted entry store, last-lookup hint, free-space hint,
+// clip arithmetic, virtual-time charging) live in sim::AddrMap and are
+// shared with uvm_map so the two systems charge identically for identical
+// entry layouts.
 #ifndef SRC_BSDVM_VM_MAP_H_
 #define SRC_BSDVM_VM_MAP_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
 
+#include "src/sim/addr_map.h"
 #include "src/sim/machine.h"
 #include "src/sim/types.h"
 
@@ -37,62 +42,14 @@ struct MapEntry {
     return pgoffset + ((va - start) >> sim::kPageShift);
   }
   std::size_t npages() const { return (end - start) >> sim::kPageShift; }
+
+  // Clip support: the object offset advances when `start` moves forward.
+  void AdvanceOffsets(std::uint64_t pages) { pgoffset += pages; }
 };
 
-class VmMap {
+class VmMap : public sim::AddrMap<MapEntry> {
  public:
-  using EntryList = std::list<MapEntry>;
-  using iterator = EntryList::iterator;
-
-  // max_entries == 0 means unlimited (user maps); the kernel map has a
-  // fixed entry pool and exhausting it is fatal in a real kernel (§3.2).
-  VmMap(sim::Machine& machine, sim::Vaddr min_addr, sim::Vaddr max_addr,
-        std::size_t max_entries);
-
-  VmMap(const VmMap&) = delete;
-  VmMap& operator=(const VmMap&) = delete;
-
-  // Lock metering. The "lock" is advisory (the simulator is single
-  // threaded) but acquisitions and virtual hold time are recorded.
-  void Lock();
-  void Unlock();
-  bool IsLocked() const { return lock_depth_ > 0; }
-
-  // Find the entry containing `va`; entries.end() if unmapped. Charges the
-  // linear scan cost from the last-lookup hint, as the list walk does.
-  iterator LookupEntry(sim::Vaddr va);
-
-  // Find free address space of `len` bytes at or above *addr.
-  int FindSpace(sim::Vaddr* addr, std::uint64_t len) const;
-  // True if [start, start+len) overlaps no entry.
-  bool RangeFree(sim::Vaddr start, std::uint64_t len) const;
-
-  // Insert a pre-built entry (space must be free). Fails with
-  // kErrMapEntryPool if the fixed entry pool is exhausted.
-  int InsertEntry(const MapEntry& e, iterator* out = nullptr);
-
-  // Split the entry at `va` so that an entry boundary exists there.
-  // Counts a fragmentation event.
-  iterator ClipStart(iterator it, sim::Vaddr va);
-  void ClipEnd(iterator it, sim::Vaddr va);
-
-  void EraseEntry(iterator it);
-
-  EntryList& entries() { return entries_; }
-  std::size_t entry_count() const { return entries_.size(); }
-  sim::Vaddr min_addr() const { return min_addr_; }
-  sim::Vaddr max_addr() const { return max_addr_; }
-
- private:
-  int ChargeAlloc();
-
-  sim::Machine& machine_;
-  sim::Vaddr min_addr_;
-  sim::Vaddr max_addr_;
-  std::size_t max_entries_;
-  EntryList entries_;
-  int lock_depth_ = 0;
-  sim::Nanoseconds lock_start_ = 0;
+  using sim::AddrMap<MapEntry>::AddrMap;
 };
 
 }  // namespace bsdvm

@@ -10,9 +10,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <map>
 #include <memory>
 
+#include "src/phys/page_store.h"
 #include "src/phys/phys_mem.h"
 #include "src/sim/types.h"
 
@@ -37,7 +37,7 @@ class VmObject {
   bool in_cache_ = false;
 
   // Resident pages keyed by page index within this object.
-  std::map<std::uint64_t, phys::Page*> pages;
+  phys::PageStore pages;
 
   // Copy-on-write backing chain. To translate a page index in this object
   // into the backing object: backing_index = index + shadow_pgoffset.
@@ -48,10 +48,7 @@ class VmObject {
   // lazily on first pageout).
   std::unique_ptr<Pager> pager;
 
-  phys::Page* LookupPage(std::uint64_t pgindex) const {
-    auto it = pages.find(pgindex);
-    return it == pages.end() ? nullptr : it->second;
-  }
+  phys::Page* LookupPage(std::uint64_t pgindex) const { return pages.Lookup(pgindex); }
 };
 
 }  // namespace bsdvm

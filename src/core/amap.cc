@@ -1,5 +1,8 @@
 #include "src/core/amap.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "src/sim/assert.h"
 
 namespace uvm {
@@ -43,8 +46,19 @@ void HashAmapImpl::Set(std::uint64_t slot, Anon* anon) {
 }
 
 void HashAmapImpl::ForEach(const std::function<void(std::uint64_t, Anon*)>& fn) const {
+  // Visit slots in ascending order. Callers do work with observable ordering
+  // (fork COW, amap teardown frees pages to a LIFO free list), so iteration
+  // must not leak unordered_map hash order into simulation results — and the
+  // dense ArrayAmapImpl already walks slots ascending, so the two policies
+  // stay behaviourally interchangeable.
+  std::vector<std::uint64_t> slots;
+  slots.reserve(map_.size());
   for (const auto& [slot, anon] : map_) {
-    fn(slot, anon);
+    slots.push_back(slot);
+  }
+  std::sort(slots.begin(), slots.end());
+  for (std::uint64_t slot : slots) {
+    fn(slot, map_.at(slot));
   }
 }
 

@@ -33,7 +33,13 @@ Uvm::~Uvm() {
   // Release kernel-map reservations.
   Unmap(*kernel_as_, kKernMin, kKernMax - kKernMin);
   // Detach our per-vnode state before the vnode cache outlives us.
-  for (vfs::Vnode* vn : attached_vnodes_) {
+  // Terminate erases from attached_vnodes_ (via ForgetVnode), so drain a
+  // snapshot — sorted by name, not pointer hash order, since terminate
+  // flushes dirty pages and I/O order is observable.
+  std::vector<vfs::Vnode*> attached(attached_vnodes_.begin(), attached_vnodes_.end());
+  std::sort(attached.begin(), attached.end(),
+            [](const vfs::Vnode* a, const vfs::Vnode* b) { return a->name() < b->name(); });
+  for (vfs::Vnode* vn : attached) {
     if (vn->attachment() != nullptr) {
       vn->attachment()->Terminate(*vn);
       vn->set_attachment(nullptr);
@@ -1037,7 +1043,7 @@ int Uvm::FaultLocked(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr va, bool wr
         if (np == nullptr) {
           return sim::kErrNoMem;
         }
-        e.uobj->pages[pgi] = np;
+        e.uobj->pages.Put(pgi, np);
         page = np;
       }
       page->dirty = true;

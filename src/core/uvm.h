@@ -145,6 +145,9 @@ class Uvm : public kern::VmSystem {
   // Helpers for the pager ops and the vnode attachment.
   void VnodeCacheRef(vfs::Vnode* vn) { vnodes_.Ref(vn); }
   void VnodeCacheUnref(vfs::Vnode* vn) { vnodes_.Unref(vn); }
+  // Called from UvmVnode::Terminate: the vnode is being recycled and its
+  // attachment destroyed, so drop our (otherwise dangling) pointer to it.
+  void ForgetVnode(vfs::Vnode* vn) { attached_vnodes_.erase(vn); }
   // Remove a uobj-owned page from its object and free the frame.
   void ReleaseObjectPage(phys::Page* p);
 

@@ -3,14 +3,19 @@
 // uvm_object. uvm_map() establishes a mapping with all of its attributes in
 // a single locked pass, and unmap runs in two phases so that object
 // references are dropped with the map unlocked.
+//
+// The map mechanics (sorted entry store, last-lookup hint, free-space hint,
+// clip arithmetic, virtual-time charging) live in sim::AddrMap and are
+// shared with the BSD baseline's vm_map so the two systems charge
+// identically for identical entry layouts.
 #ifndef SRC_CORE_UVM_MAP_H_
 #define SRC_CORE_UVM_MAP_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
 
 #include "src/core/amap.h"
+#include "src/sim/addr_map.h"
 #include "src/sim/machine.h"
 #include "src/sim/types.h"
 
@@ -43,50 +48,17 @@ struct UvmMapEntry {
   std::uint64_t SlotOf(sim::Vaddr va) const { return amap_slotoff + EntryIndexOf(va); }
   std::uint64_t ObjIndexOf(sim::Vaddr va) const { return uobj_pgoffset + EntryIndexOf(va); }
   std::size_t npages() const { return (end - start) >> sim::kPageShift; }
+
+  // Clip support: both layers' offsets advance when `start` moves forward.
+  void AdvanceOffsets(std::uint64_t pages) {
+    uobj_pgoffset += pages;
+    amap_slotoff += pages;
+  }
 };
 
-class UvmMap {
+class UvmMap : public sim::AddrMap<UvmMapEntry> {
  public:
-  using EntryList = std::list<UvmMapEntry>;
-  using iterator = EntryList::iterator;
-
-  UvmMap(sim::Machine& machine, sim::Vaddr min_addr, sim::Vaddr max_addr,
-         std::size_t max_entries);
-
-  UvmMap(const UvmMap&) = delete;
-  UvmMap& operator=(const UvmMap&) = delete;
-
-  void Lock();
-  void Unlock();
-  bool IsLocked() const { return lock_depth_ > 0; }
-
-  iterator LookupEntry(sim::Vaddr va);
-  int FindSpace(sim::Vaddr* addr, std::uint64_t len) const;
-  bool RangeFree(sim::Vaddr start, std::uint64_t len) const;
-  int InsertEntry(const UvmMapEntry& e, iterator* out = nullptr);
-
-  // Clipping. Both halves share the amap (caller handles the reference
-  // bump) with adjusted slot offsets.
-  iterator ClipStart(iterator it, sim::Vaddr va);
-  void ClipEnd(iterator it, sim::Vaddr va);
-
-  void EraseEntry(iterator it);
-
-  EntryList& entries() { return entries_; }
-  std::size_t entry_count() const { return entries_.size(); }
-  sim::Vaddr min_addr() const { return min_addr_; }
-  sim::Vaddr max_addr() const { return max_addr_; }
-
- private:
-  int ChargeAlloc();
-
-  sim::Machine& machine_;
-  sim::Vaddr min_addr_;
-  sim::Vaddr max_addr_;
-  std::size_t max_entries_;
-  EntryList entries_;
-  int lock_depth_ = 0;
-  sim::Nanoseconds lock_start_ = 0;
+  using sim::AddrMap<UvmMapEntry>::AddrMap;
 };
 
 }  // namespace uvm

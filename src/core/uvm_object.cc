@@ -12,6 +12,7 @@ namespace uvm {
 UvmVnode::UvmVnode(Uvm& vm_in, vfs::Vnode* vn_in)
     : uobj(VnodePagerOps()), vn(vn_in), vm(vm_in) {
   uobj.impl = this;
+  uobj.pages.BindStats(&vm.machine().stats());
 }
 
 namespace {
@@ -172,6 +173,7 @@ class DeviceOps : public PagerOps {
 UvmDevice::UvmDevice(Uvm& vm_in, kern::DeviceMem* dev_in)
     : uobj(DevicePagerOps()), dev(dev_in), vm(vm_in) {
   uobj.impl = this;
+  uobj.pages.BindStats(&vm.machine().stats());
   for (std::size_t i = 0; i < dev->pages.size(); ++i) {
     phys::Page* p = dev->pages[i];
     p->owner_kind = phys::OwnerKind::kUvmObject;
@@ -194,7 +196,7 @@ PagerOps* DevicePagerOps() {
 
 void UvmVnode::Terminate(vfs::Vnode& vnode) {
   SIM_ASSERT_MSG(uobj.ref_count == 0, "recycling a mapped vnode");
-  (void)vnode;
+  vm.ForgetVnode(&vnode);
   // Flush dirty pages in clustered contiguous runs, then drop everything.
   // Terminate cannot report failure to anyone, so flushes retry a few times
   // with backoff and then give up (the transient-fault case recovers; a

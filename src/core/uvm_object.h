@@ -11,9 +11,9 @@
 #define SRC_CORE_UVM_OBJECT_H_
 
 #include <cstdint>
-#include <map>
 #include <span>
 
+#include "src/phys/page_store.h"
 #include "src/phys/phys_mem.h"
 #include "src/sim/types.h"
 #include "src/kern/vm_iface.h"
@@ -60,15 +60,12 @@ class UvmObject {
 
   PagerOps* pgops;
   int ref_count = 0;
-  std::map<std::uint64_t, phys::Page*> pages;
+  phys::PageStore pages;
   // Back-pointer to the embedding structure (e.g. the UvmVnode); the pager
   // ops know the concrete type.
   void* impl = nullptr;
 
-  phys::Page* LookupPage(std::uint64_t pgindex) const {
-    auto it = pages.find(pgindex);
-    return it == pages.end() ? nullptr : it->second;
-  }
+  phys::Page* LookupPage(std::uint64_t pgindex) const { return pages.Lookup(pgindex); }
 };
 
 // The uvm_vnode: UVM's per-vnode state, embedded in the vnode through the

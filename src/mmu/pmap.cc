@@ -52,7 +52,18 @@ Pmap::Pmap(MmuContext& ctx, bool is_kernel, std::function<void(phys::Page*)> on_
 
 Pmap::~Pmap() {
   RemoveAll();
-  for (auto& [idx, page] : ptpages_) {
+  // Free page-table pages in ascending va order: ptpages_ is an unordered
+  // map, and the order pages return to the free list is observable (the
+  // allocator reuses them LIFO), so hash-order iteration would make runs
+  // diverge based on hashing internals.
+  std::vector<std::uint64_t> idxs;
+  idxs.reserve(ptpages_.size());
+  for (const auto& [idx, page] : ptpages_) {
+    idxs.push_back(idx);
+  }
+  std::sort(idxs.begin(), idxs.end());
+  for (std::uint64_t idx : idxs) {
+    phys::Page* page = ptpages_[idx];
     if (on_ptpage_free_) {
       on_ptpage_free_(page);
     }
@@ -61,6 +72,22 @@ Pmap::~Pmap() {
     ctx_.phys().FreePage(page);
   }
   ptpages_.clear();
+}
+
+Pte* Pmap::LookupPte(sim::Vaddr va_page) const {
+  if (cache_pte_ != nullptr && cache_va_ == va_page) {
+    ++ctx_.machine().stats().pte_cache_hits;
+    return cache_pte_;
+  }
+  auto it = ptes_.find(va_page);
+  if (it == ptes_.end()) {
+    return nullptr;
+  }
+  cache_va_ = va_page;
+  // The cache is logically mutable state; the PTE itself is only written
+  // through non-const callers.
+  cache_pte_ = const_cast<Pte*>(&it->second);
+  return cache_pte_;
 }
 
 void Pmap::EnsurePtPage(sim::Vaddr va) {
@@ -85,17 +112,16 @@ void Pmap::Enter(sim::Vaddr va, phys::Page* page, sim::Prot prot, bool wired) {
   va = sim::PageTrunc(va);
   EnsurePtPage(va);
   ctx_.machine().Charge(ctx_.machine().cost().pmap_enter_ns);
-  auto it = ptes_.find(va);
-  if (it != ptes_.end()) {
+  if (Pte* pte = LookupPte(va); pte != nullptr) {
     // Replacing an existing mapping.
-    if (it->second.pfn == page->pfn) {
-      if (it->second.wired && !wired) {
+    if (pte->pfn == page->pfn) {
+      if (pte->wired && !wired) {
         --wired_count_;
-      } else if (!it->second.wired && wired) {
+      } else if (!pte->wired && wired) {
         ++wired_count_;
       }
-      it->second.prot = prot;
-      it->second.wired = wired;
+      pte->prot = prot;
+      pte->wired = wired;
       return;
     }
     RemoveLocked(va);
@@ -116,6 +142,9 @@ void Pmap::RemoveLocked(sim::Vaddr va_page) {
     --wired_count_;
   }
   ctx_.PvRemove(it->second.pfn, this, va_page);
+  if (cache_pte_ != nullptr && cache_va_ == va_page) {
+    cache_pte_ = nullptr;
+  }
   ptes_.erase(it);
 }
 
@@ -134,22 +163,31 @@ void Pmap::RemoveRange(sim::Vaddr start, sim::Vaddr end) {
 }
 
 void Pmap::RemoveAll() {
-  while (!ptes_.empty()) {
+  // Tear down in ascending va order rather than hash order: removal order
+  // reaches the pv lists and (via pageout interactions) the page queues, so
+  // it must not depend on unordered_map internals.
+  std::vector<sim::Vaddr> vas;
+  vas.reserve(ptes_.size());
+  for (const auto& [va, pte] : ptes_) {
+    vas.push_back(va);
+  }
+  std::sort(vas.begin(), vas.end());
+  for (sim::Vaddr va : vas) {
     ctx_.machine().Charge(ctx_.machine().cost().pmap_remove_ns);
-    RemoveLocked(ptes_.begin()->first);
+    RemoveLocked(va);
   }
 }
 
 void Pmap::Protect(sim::Vaddr va, sim::Prot prot) {
-  auto it = ptes_.find(sim::PageTrunc(va));
-  if (it == ptes_.end()) {
+  Pte* pte = LookupPte(sim::PageTrunc(va));
+  if (pte == nullptr) {
     return;
   }
   ctx_.machine().Charge(ctx_.machine().cost().pmap_protect_ns);
   if (prot == sim::Prot::kNone) {
     RemoveLocked(sim::PageTrunc(va));
   } else {
-    it->second.prot = prot;
+    pte->prot = prot;
   }
 }
 
@@ -161,38 +199,38 @@ void Pmap::ProtectRange(sim::Vaddr start, sim::Vaddr end, sim::Prot prot) {
 
 void Pmap::IntersectProtRange(sim::Vaddr start, sim::Vaddr end, sim::Prot prot) {
   for (sim::Vaddr va = sim::PageTrunc(start); va < end; va += sim::kPageSize) {
-    auto it = ptes_.find(va);
-    if (it == ptes_.end()) {
+    Pte* pte = LookupPte(va);
+    if (pte == nullptr) {
       continue;
     }
     ctx_.machine().Charge(ctx_.machine().cost().pmap_protect_ns);
-    sim::Prot np = it->second.prot & prot;
-    if (np == sim::Prot::kNone && !it->second.wired) {
+    sim::Prot np = pte->prot & prot;
+    if (np == sim::Prot::kNone && !pte->wired) {
       RemoveLocked(va);
     } else {
-      it->second.prot = np;
+      pte->prot = np;
     }
   }
 }
 
 void Pmap::ChangeWiring(sim::Vaddr va, bool wired) {
-  auto it = ptes_.find(sim::PageTrunc(va));
-  if (it == ptes_.end()) {
+  Pte* pte = LookupPte(sim::PageTrunc(va));
+  if (pte == nullptr) {
     return;
   }
-  if (it->second.wired != wired) {
-    it->second.wired = wired;
+  if (pte->wired != wired) {
+    pte->wired = wired;
     wired_count_ += wired ? 1 : -1;
   }
 }
 
 std::optional<Pte> Pmap::Extract(sim::Vaddr va) const {
   ctx_.machine().Charge(ctx_.machine().cost().pmap_extract_ns);
-  auto it = ptes_.find(sim::PageTrunc(va));
-  if (it == ptes_.end()) {
+  Pte* pte = LookupPte(sim::PageTrunc(va));
+  if (pte == nullptr) {
     return std::nullopt;
   }
-  return it->second;
+  return *pte;
 }
 
 }  // namespace mmu

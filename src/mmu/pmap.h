@@ -118,6 +118,13 @@ class Pmap {
   void EnsurePtPage(sim::Vaddr va);
   void RemoveLocked(sim::Vaddr va_page);
 
+  // Single-entry translation cache (an L1 "TLB" in front of ptes_). Returns
+  // the PTE for a page-aligned va, or null. unordered_map guarantees
+  // reference stability across insert/rehash, so the cached pointer is only
+  // invalidated when the cached entry itself is erased (RemoveLocked).
+  // Purely a host-side accelerator: virtual-time charges are unchanged.
+  Pte* LookupPte(sim::Vaddr va_page) const;
+
   MmuContext& ctx_;
   bool is_kernel_;
   std::function<void(phys::Page*)> on_ptpage_alloc_;
@@ -125,6 +132,8 @@ class Pmap {
   std::unordered_map<sim::Vaddr, Pte> ptes_;  // keyed by page-aligned va
   std::unordered_map<std::uint64_t, phys::Page*> ptpages_;  // keyed by va >> 22
   std::size_t wired_count_ = 0;
+  mutable sim::Vaddr cache_va_ = 0;
+  mutable Pte* cache_pte_ = nullptr;
 };
 
 }  // namespace mmu

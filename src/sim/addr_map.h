@@ -1,0 +1,309 @@
+// Shared hot-path core of the two VM maps (uvm::UvmMap and bsdvm::VmMap).
+//
+// Host-time data structure and virtual-time cost model are deliberately
+// decoupled (see DESIGN.md "The lookup layer"). Entries live in a std::list
+// (stable iterators, the property every caller relies on); on the side the
+// map keeps a flat sorted index of entry start addresses, so LookupEntry /
+// RangeFree / FindSpace / InsertEntry run in O(log n) host time instead of
+// the seed's O(n) list walks. A per-map last-lookup hint (the optimization
+// real UVM later adopted) short-circuits repeated lookups into the same
+// entry, and a free-space hint lets FindSpace resume from the previous
+// allocation instead of rescanning from the bottom of the map.
+//
+// The *virtual-time* charge for a lookup is unchanged: it models a linear
+// scan of a sorted entry list, `map_entry_scan_ns * modeled_probes`, where
+// modeled_probes is derived from the entry's position (1-based rank) — NOT
+// from the number of host operations actually performed. A hint hit charges
+// exactly what the modeled scan would have charged. This keeps every
+// table/figure reproduction bit-identical while the host structures change
+// underneath.
+//
+// Hint invalidation rules:
+//  - last-lookup hint: invalidated on EVERY mutation (insert, erase, clip);
+//    ranks and extents may shift, so the cached (iterator, rank) pair is
+//    dropped wholesale.
+//  - free-space hint: a completed FindSpace(from, len) -> result proves "no
+//    hole of size >= len exists in [from, result)". Inserts only shrink
+//    holes and clips do not change the hole structure at all, so both keep
+//    the hint; EraseEntry frees address space and invalidates it.
+#ifndef SRC_SIM_ADDR_MAP_H_
+#define SRC_SIM_ADDR_MAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "src/sim/assert.h"
+#include "src/sim/machine.h"
+#include "src/sim/types.h"
+
+namespace sim {
+
+// Entry requirements: page-aligned `Vaddr start, end` members and
+// `void AdvanceOffsets(std::uint64_t pages)` shifting its layer offsets
+// when the entry is clipped (amap slot / object page offsets).
+template <typename Entry>
+class AddrMap {
+ public:
+  using EntryList = std::list<Entry>;
+  using iterator = typename EntryList::iterator;
+
+  // max_entries == 0 means unlimited (user maps); the kernel map has a
+  // fixed entry pool and exhausting it is fatal in a real kernel (§3.2).
+  AddrMap(Machine& machine, Vaddr min_addr, Vaddr max_addr, std::size_t max_entries)
+      : machine_(machine), min_addr_(min_addr), max_addr_(max_addr), max_entries_(max_entries) {}
+
+  AddrMap(const AddrMap&) = delete;
+  AddrMap& operator=(const AddrMap&) = delete;
+
+  // Lock metering. The "lock" is advisory (the simulator is single
+  // threaded) but acquisitions and virtual hold time are recorded.
+  void Lock() {
+    if (lock_depth_ == 0) {
+      machine_.Charge(machine_.cost().map_lock_ns);
+      ++machine_.stats().map_lock_acquisitions;
+      lock_start_ = machine_.clock().now();
+    }
+    ++lock_depth_;
+  }
+
+  void Unlock() {
+    SIM_ASSERT(lock_depth_ > 0);
+    --lock_depth_;
+    if (lock_depth_ == 0) {
+      machine_.stats().map_lock_hold_ns += machine_.clock().now() - lock_start_;
+    }
+  }
+
+  bool IsLocked() const { return lock_depth_ > 0; }
+
+  // Find the entry containing `va`; entries().end() if unmapped. Charges
+  // the modeled linear-scan cost (rank of the entry), not the host cost.
+  iterator LookupEntry(Vaddr va) {
+    if (hint_valid_ && va >= hint_it_->start && va < hint_it_->end) {
+      ++machine_.stats().map_hint_hits;
+      ChargeProbes(hint_rank_);
+      return hint_it_;
+    }
+    std::size_t ub = UpperBound(va);  // entries with start <= va
+    if (ub > 0) {
+      iterator it = iters_[ub - 1];
+      if (va < it->end) {
+        hint_valid_ = true;
+        hint_it_ = it;
+        hint_rank_ = ub;
+        ChargeProbes(ub);
+        return it;
+      }
+    }
+    // Miss. The modeled scan examines every entry with start <= va and
+    // breaks on the first entry beyond va (if one exists).
+    ChargeProbes(ub + (ub < starts_.size() ? 1 : 0));
+    return entries_.end();
+  }
+
+  // True if [start, start+len) overlaps no entry.
+  bool RangeFree(Vaddr start, std::uint64_t len) const {
+    Vaddr end = start + len;
+    if (start < min_addr_ || end > max_addr_ || end <= start) {
+      return false;
+    }
+    // Entries are disjoint and sorted: only the entry with the greatest
+    // start below `end` can overlap the range.
+    std::size_t lb = LowerBound(end);
+    return lb == 0 || iters_[lb - 1]->end <= start;
+  }
+
+  // First-fit search for `len` bytes of free space at or above *addr.
+  // The free-space hint only accelerates the search; the result is always
+  // identical to a full scan from *addr.
+  int FindSpace(Vaddr* addr, std::uint64_t len) const {
+    Vaddr at = *addr < min_addr_ ? min_addr_ : PageRound(*addr);
+    const Vaddr from = at;
+    if (free_hint_valid_ && at >= free_hint_from_ && at <= free_hint_result_ &&
+        len >= free_hint_len_) {
+      // The previous search proved there is no hole of size >= len below
+      // free_hint_result_; resume there.
+      at = free_hint_result_;
+    }
+    std::size_t i = UpperBound(at);
+    if (i > 0 && iters_[i - 1]->end > at) {
+      --i;  // the entry covering `at`
+    }
+    for (; i < iters_.size(); ++i) {
+      const Entry& e = *iters_[i];
+      if (e.end <= at) {
+        continue;
+      }
+      if (e.start >= at + len) {
+        break;
+      }
+      at = e.end;
+    }
+    if (at + len > max_addr_) {
+      return kErrNoMem;
+    }
+    *addr = at;
+    free_hint_valid_ = true;
+    free_hint_from_ = from;
+    free_hint_result_ = at;
+    free_hint_len_ = len;
+    return kOk;
+  }
+
+  // Insert a pre-built entry (space must be free). Fails with
+  // kErrMapEntryPool if the fixed entry pool is exhausted.
+  int InsertEntry(const Entry& e, iterator* out = nullptr) {
+    SIM_ASSERT(e.start < e.end);
+    SIM_ASSERT((e.start & kPageMask) == 0 && (e.end & kPageMask) == 0);
+    if (int err = ChargeAlloc(); err != kOk) {
+      return err;
+    }
+    std::size_t pos = LowerBound(e.start);
+    iterator before = pos < iters_.size() ? iters_[pos] : entries_.end();
+    if (before != entries_.end()) {
+      SIM_ASSERT_MSG(e.end <= before->start, "map entry overlap on insert");
+    }
+    iterator ins = entries_.insert(before, e);
+    IndexInsert(pos, e.start, ins);
+    hint_valid_ = false;
+    if (out != nullptr) {
+      *out = ins;
+    }
+    return kOk;
+  }
+
+  // Split the entry at `va` so that an entry boundary exists there; `it`
+  // keeps the tail. Counts a fragmentation event. Both halves share the
+  // amap/object (caller handles reference bumps) with adjusted offsets.
+  iterator ClipStart(iterator it, Vaddr va) {
+    SIM_ASSERT(va > it->start && va < it->end);
+    SIM_ASSERT((va & kPageMask) == 0);
+    int err = ChargeAlloc();
+    SIM_ASSERT_MSG(err == kOk, "map entry pool exhausted during clip");
+    ++machine_.stats().map_entry_fragmentations;
+    Entry front = *it;
+    front.end = va;
+    it->AdvanceOffsets((va - it->start) >> kPageShift);
+    it->start = va;
+    iterator fit = entries_.insert(it, front);
+    std::size_t pos = IndexOfExact(front.start);
+    iters_[pos] = fit;  // the old start slot now names the front half
+    IndexInsert(pos + 1, va, it);
+    hint_valid_ = false;
+    return it;
+  }
+
+  void ClipEnd(iterator it, Vaddr va) {
+    SIM_ASSERT(va > it->start && va < it->end);
+    SIM_ASSERT((va & kPageMask) == 0);
+    int err = ChargeAlloc();
+    SIM_ASSERT_MSG(err == kOk, "map entry pool exhausted during clip");
+    ++machine_.stats().map_entry_fragmentations;
+    Entry back = *it;
+    back.AdvanceOffsets((va - it->start) >> kPageShift);
+    back.start = va;
+    it->end = va;
+    iterator bit = entries_.insert(std::next(it), back);
+    IndexInsert(IndexOfExact(it->start) + 1, va, bit);
+    hint_valid_ = false;
+  }
+
+  void EraseEntry(iterator it) {
+    machine_.Charge(machine_.cost().map_entry_free_ns);
+    IndexErase(IndexOfExact(it->start));
+    entries_.erase(it);
+    hint_valid_ = false;
+    free_hint_valid_ = false;  // a hole opened (or widened)
+  }
+
+  EntryList& entries() { return entries_; }
+  std::size_t entry_count() const { return entries_.size(); }
+  Vaddr min_addr() const { return min_addr_; }
+  Vaddr max_addr() const { return max_addr_; }
+
+  // Test hook: the index must mirror the list exactly.
+  bool IndexConsistent() const {
+    if (starts_.size() != entries_.size() || iters_.size() != entries_.size()) {
+      return false;
+    }
+    std::size_t i = 0;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it, ++i) {
+      if (starts_[i] != it->start || iters_[i] != it) {
+        return false;
+      }
+      if (i > 0 && starts_[i - 1] >= starts_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void ChargeProbes(std::size_t probes) {
+    machine_.stats().map_lookup_probes += probes;
+    machine_.Charge(machine_.cost().map_entry_scan_ns * static_cast<Nanoseconds>(probes));
+  }
+
+  int ChargeAlloc() {
+    if (max_entries_ != 0 && entries_.size() >= max_entries_) {
+      return kErrMapEntryPool;
+    }
+    machine_.Charge(machine_.cost().map_entry_alloc_ns);
+    ++machine_.stats().map_entries_allocated;
+    return kOk;
+  }
+
+  // First index whose start is > va.
+  std::size_t UpperBound(Vaddr va) const {
+    return static_cast<std::size_t>(
+        std::upper_bound(starts_.begin(), starts_.end(), va) - starts_.begin());
+  }
+  // First index whose start is >= va.
+  std::size_t LowerBound(Vaddr va) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(starts_.begin(), starts_.end(), va) - starts_.begin());
+  }
+  std::size_t IndexOfExact(Vaddr start) const {
+    std::size_t pos = LowerBound(start);
+    SIM_ASSERT_MSG(pos < starts_.size() && starts_[pos] == start, "map index out of sync");
+    return pos;
+  }
+  void IndexInsert(std::size_t pos, Vaddr start, iterator it) {
+    starts_.insert(starts_.begin() + static_cast<std::ptrdiff_t>(pos), start);
+    iters_.insert(iters_.begin() + static_cast<std::ptrdiff_t>(pos), it);
+  }
+  void IndexErase(std::size_t pos) {
+    starts_.erase(starts_.begin() + static_cast<std::ptrdiff_t>(pos));
+    iters_.erase(iters_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+
+  Machine& machine_;
+  Vaddr min_addr_;
+  Vaddr max_addr_;
+  std::size_t max_entries_;
+  EntryList entries_;
+  // Flat sorted index over the list: starts_[i] == iters_[i]->start. A
+  // binary-searched array beats a pointer-chasing tree at these sizes and
+  // keeps rank (the modeled probe count) a byproduct of the search.
+  std::vector<Vaddr> starts_;
+  std::vector<iterator> iters_;
+  int lock_depth_ = 0;
+  Nanoseconds lock_start_ = 0;
+  // Last-lookup hint: entry + its modeled rank at the time of the hit.
+  bool hint_valid_ = false;
+  iterator hint_it_{};
+  std::size_t hint_rank_ = 0;
+  // Free-space hint (see invalidation rules above). FindSpace is logically
+  // const — the hint is a pure accelerator, hence mutable.
+  mutable bool free_hint_valid_ = false;
+  mutable Vaddr free_hint_from_ = 0;
+  mutable Vaddr free_hint_result_ = 0;
+  mutable std::uint64_t free_hint_len_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_ADDR_MAP_H_

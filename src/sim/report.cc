@@ -19,6 +19,9 @@ void ReportStats(std::ostream& os, const Machine& machine) {
      << "map entries:  " << s.map_entries_allocated << " allocated, "
      << s.map_entry_fragmentations << " fragmentations, " << s.map_entries_merged
      << " merged\n"
+     << "lookups:      " << s.map_lookup_probes << " map probes (modeled), "
+     << s.map_hint_hits << " hint hits, " << s.pagestore_lookups
+     << " pagestore lookups, " << s.pte_cache_hits << " pte-cache hits\n"
      << "objects:      " << s.objects_allocated << " allocated, " << s.shadows_created
      << " shadows, " << s.collapse_attempts << " collapse attempts ("
      << s.collapses_done << " collapses, " << s.bypasses_done << " bypasses)\n"

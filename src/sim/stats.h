@@ -36,6 +36,14 @@ struct Stats {
   std::uint64_t map_entry_fragmentations = 0;
   std::uint64_t map_entries_merged = 0;  // UVM optional coalescing
 
+  // Hot-path lookup observability. Probes are *modeled* (the virtual-time
+  // linear-scan position), independent of the host data structure; hint
+  // hits are lookups satisfied by the per-map last-lookup hint.
+  std::uint64_t map_lookup_probes = 0;
+  std::uint64_t map_hint_hits = 0;
+  std::uint64_t pagestore_lookups = 0;  // object page-store probes
+  std::uint64_t pte_cache_hits = 0;     // pmap single-entry PTE cache hits
+
   // Object layer
   std::uint64_t objects_allocated = 0;   // BSD vm_objects (incl. shadows)
   std::uint64_t shadows_created = 0;

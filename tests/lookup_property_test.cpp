@@ -1,0 +1,283 @@
+// Property test for the hinted sorted-index map core (sim::AddrMap): random
+// sequences of InsertEntry / ClipStart / ClipEnd / EraseEntry / fork-style
+// cloning interleaved with lookups, cross-checked after every operation
+// against a naive linear reference model (a replica of the seed's list-walk
+// semantics). Also cross-checks the *virtual-time* charge of every lookup
+// against the modeled probe count, and the internal index invariant.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/uvm_map.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+constexpr sim::Vaddr kMin = 0x1000;
+constexpr sim::Vaddr kMax = 0x4000000;  // 64 MB of address space
+
+struct RefEntry {
+  sim::Vaddr start = 0;
+  sim::Vaddr end = 0;
+  std::uint64_t uobj_pgoffset = 0;
+  std::uint64_t amap_slotoff = 0;
+};
+
+// The reference: a sorted vector scanned linearly, modelling exactly what
+// the virtual-time cost model charges for.
+class RefModel {
+ public:
+  // Rank (1-based) of the entry containing va, or 0 if none.
+  std::size_t Find(sim::Vaddr va, RefEntry* out = nullptr) const {
+    for (std::size_t i = 0; i < v_.size(); ++i) {
+      if (va >= v_[i].start && va < v_[i].end) {
+        if (out != nullptr) {
+          *out = v_[i];
+        }
+        return i + 1;
+      }
+    }
+    return 0;
+  }
+
+  // Modeled probe count for a lookup of va: the scan examines every entry
+  // with start <= va and breaks on the first entry beyond va, if any.
+  std::size_t ModeledProbes(sim::Vaddr va) const {
+    std::size_t rank = Find(va);
+    if (rank != 0) {
+      return rank;
+    }
+    std::size_t le = 0;
+    while (le < v_.size() && v_[le].start <= va) {
+      ++le;
+    }
+    return le + (le < v_.size() ? 1 : 0);
+  }
+
+  bool RangeFree(sim::Vaddr start, std::uint64_t len) const {
+    sim::Vaddr end = start + len;
+    if (start < kMin || end > kMax || end <= start) {
+      return false;
+    }
+    for (const RefEntry& e : v_) {
+      if (e.start < end && e.end > start) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Seed-semantics first-fit search.
+  int FindSpace(sim::Vaddr* addr, std::uint64_t len) const {
+    sim::Vaddr at = *addr < kMin ? kMin : sim::PageRound(*addr);
+    for (const RefEntry& e : v_) {
+      if (e.end <= at) {
+        continue;
+      }
+      if (e.start >= at + len) {
+        break;
+      }
+      at = e.end;
+    }
+    if (at + len > kMax) {
+      return sim::kErrNoMem;
+    }
+    *addr = at;
+    return sim::kOk;
+  }
+
+  void Insert(const RefEntry& e) {
+    std::size_t i = 0;
+    while (i < v_.size() && v_[i].start < e.start) {
+      ++i;
+    }
+    v_.insert(v_.begin() + static_cast<std::ptrdiff_t>(i), e);
+  }
+
+  void Erase(sim::Vaddr start) {
+    for (std::size_t i = 0; i < v_.size(); ++i) {
+      if (v_[i].start == start) {
+        v_.erase(v_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+    FAIL() << "reference erase of absent entry";
+  }
+
+  void ClipStart(sim::Vaddr start, sim::Vaddr va) {
+    for (auto& e : v_) {
+      if (e.start == start) {
+        RefEntry front = e;
+        front.end = va;
+        std::uint64_t delta = (va - e.start) >> sim::kPageShift;
+        e.uobj_pgoffset += delta;
+        e.amap_slotoff += delta;
+        e.start = va;
+        Insert(front);
+        return;
+      }
+    }
+    FAIL() << "reference clip of absent entry";
+  }
+
+  void ClipEnd(sim::Vaddr start, sim::Vaddr va) {
+    for (auto& e : v_) {
+      if (e.start == start) {
+        RefEntry back = e;
+        std::uint64_t delta = (va - e.start) >> sim::kPageShift;
+        back.uobj_pgoffset += delta;
+        back.amap_slotoff += delta;
+        back.start = va;
+        e.end = va;
+        Insert(back);
+        return;
+      }
+    }
+    FAIL() << "reference clip of absent entry";
+  }
+
+  const std::vector<RefEntry>& entries() const { return v_; }
+
+ private:
+  std::vector<RefEntry> v_;
+};
+
+struct Rng {
+  std::uint64_t s;
+  explicit Rng(std::uint64_t seed) : s(seed * 2654435761u + 1) {}
+  std::uint64_t Next() {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545f4914f6cdd1dull;
+  }
+};
+
+class LookupPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LookupPropertyTest, RandomOpsMatchLinearReference) {
+  sim::Machine machine;
+  auto map = std::make_unique<uvm::UvmMap>(machine, kMin, kMax, 0);
+  RefModel ref;
+  Rng rng(GetParam());
+
+  auto check_lookup = [&](sim::Vaddr va) {
+    sim::Nanoseconds t0 = machine.clock().now();
+    auto it = map->LookupEntry(va);
+    sim::Nanoseconds charged = machine.clock().now() - t0;
+    RefEntry re;
+    std::size_t rank = ref.Find(va, &re);
+    if (rank == 0) {
+      EXPECT_EQ(map->entries().end(), it) << "va=" << va;
+    } else {
+      ASSERT_NE(map->entries().end(), it) << "va=" << va;
+      EXPECT_EQ(re.start, it->start);
+      EXPECT_EQ(re.end, it->end);
+      EXPECT_EQ(re.uobj_pgoffset, it->uobj_pgoffset);
+      EXPECT_EQ(re.amap_slotoff, it->amap_slotoff);
+    }
+    // The charge must equal the modeled linear scan regardless of how the
+    // host-side structure found (or missed) the entry.
+    EXPECT_EQ(machine.cost().map_entry_scan_ns *
+                  static_cast<sim::Nanoseconds>(ref.ModeledProbes(va)),
+              charged)
+        << "va=" << va;
+  };
+
+  auto check_all = [&] {
+    ASSERT_TRUE(map->IndexConsistent());
+    ASSERT_EQ(ref.entries().size(), map->entry_count());
+    std::size_t i = 0;
+    for (const auto& e : map->entries()) {
+      EXPECT_EQ(ref.entries()[i].start, e.start);
+      EXPECT_EQ(ref.entries()[i].end, e.end);
+      EXPECT_EQ(ref.entries()[i].uobj_pgoffset, e.uobj_pgoffset);
+      EXPECT_EQ(ref.entries()[i].amap_slotoff, e.amap_slotoff);
+      ++i;
+    }
+  };
+
+  sim::Vaddr rand_span = kMax - kMin;
+  for (int op = 0; op < 3000; ++op) {
+    std::uint64_t kind = rng.Next() % 10;
+    if (kind < 3 || ref.entries().empty()) {
+      // Insert somewhere free, found the way real callers do.
+      sim::Vaddr addr = kMin + sim::PageTrunc(rng.Next() % rand_span);
+      std::uint64_t len = (1 + rng.Next() % 8) * sim::kPageSize;
+      sim::Vaddr want = addr;
+      int ref_err = ref.FindSpace(&want, len);
+      sim::Vaddr got = addr;
+      int err = map->FindSpace(&got, len);
+      ASSERT_EQ(ref_err, err);
+      if (err != sim::kOk) {
+        continue;
+      }
+      ASSERT_EQ(want, got);
+      uvm::UvmMapEntry e;
+      e.start = got;
+      e.end = got + len;
+      e.uobj_pgoffset = rng.Next() % 1000;
+      e.amap_slotoff = rng.Next() % 1000;
+      ASSERT_EQ(sim::kOk, map->InsertEntry(e));
+      RefEntry r{e.start, e.end, e.uobj_pgoffset, e.amap_slotoff};
+      ref.Insert(r);
+    } else if (kind < 5) {
+      // Erase a random entry.
+      const RefEntry& victim = ref.entries()[rng.Next() % ref.entries().size()];
+      sim::Vaddr start = victim.start;
+      auto it = map->LookupEntry(start);
+      ASSERT_NE(map->entries().end(), it);
+      map->EraseEntry(it);
+      ref.Erase(start);
+    } else if (kind < 7) {
+      // Clip a multi-page entry at an interior page boundary.
+      const RefEntry& e = ref.entries()[rng.Next() % ref.entries().size()];
+      std::uint64_t pages = (e.end - e.start) >> sim::kPageShift;
+      if (pages < 2) {
+        continue;
+      }
+      sim::Vaddr at = e.start + (1 + rng.Next() % (pages - 1)) * sim::kPageSize;
+      sim::Vaddr start = e.start;
+      auto it = map->LookupEntry(start);
+      ASSERT_NE(map->entries().end(), it);
+      if (kind == 5) {
+        map->ClipStart(it, at);
+        ref.ClipStart(start, at);
+      } else {
+        map->ClipEnd(it, at);
+        ref.ClipEnd(start, at);
+      }
+    } else if (kind == 7) {
+      // RangeFree probe.
+      sim::Vaddr start = sim::PageTrunc(rng.Next() % (kMax + 2 * sim::kPageSize));
+      std::uint64_t len = (rng.Next() % 16) * sim::kPageSize;
+      EXPECT_EQ(ref.RangeFree(start, len), map->RangeFree(start, len));
+    } else {
+      // Lookups: one random, one aimed at an existing entry (hint traffic),
+      // one repeat of the previous (hint hit path).
+      check_lookup(kMin + rng.Next() % rand_span);
+      const RefEntry& e = ref.entries()[rng.Next() % ref.entries().size()];
+      sim::Vaddr inside = e.start + rng.Next() % (e.end - e.start);
+      check_lookup(inside);
+      check_lookup(inside);
+    }
+    check_all();
+
+    // Occasionally "fork": rebuild a fresh map from the live one the way
+    // Uvm::Fork copies entries in order, and continue on the clone.
+    if (op % 500 == 499) {
+      auto clone = std::make_unique<uvm::UvmMap>(machine, kMin, kMax, 0);
+      for (const auto& e : map->entries()) {
+        ASSERT_EQ(sim::kOk, clone->InsertEntry(e));
+      }
+      map = std::move(clone);
+      check_all();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LookupPropertyTest, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
