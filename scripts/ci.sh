@@ -1,18 +1,33 @@
 #!/bin/sh
-# Tier-1 CI: build + full test suite, the same under ASan, then the
-# host-time perf harness with its BENCH_host.json checked against the
-# committed baseline (deterministic fields exact, speedups against floors;
-# see scripts/diff_bench_host.py).
+# Tier-1 CI: static analysis (simlint), build + full test suite, the same
+# under ASan and UBSan, then the host-time perf harness with its
+# BENCH_host.json checked against the committed baseline (deterministic
+# fields exact, speedups against floors; see scripts/diff_bench_host.py).
 #
-# UVM_CI_SKIP_ASAN=1 skips the sanitizer pass (for quick local iteration).
+# UVM_CI_SKIP_ASAN=1  skips the sanitizer passes (quick local iteration).
+# UVM_CI_FULL=1       forces full-tree simlint; the default lints the whole
+#                     tree too unless UVM_CI_DIFF_REF is set, in which case
+#                     only files changed vs that ref are linted (fast local
+#                     mode, e.g. UVM_CI_DIFF_REF=origin/main).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Static-analysis gate first: it is cheap and fails fast. Diff mode still
+# builds its context (call graph, layer DAG) from the full tree; only the
+# reported files are restricted.
+if [ -n "${UVM_CI_DIFF_REF:-}" ] && [ "${UVM_CI_FULL:-0}" != "1" ]; then
+  python3 tools/simlint/simlint.py --diff "${UVM_CI_DIFF_REF}"
+else
+  python3 tools/simlint/simlint.py --all
+fi
+python3 tools/simlint/tests/run_tests.py
 
 cmake --workflow --preset ci
 
 if [ "${UVM_CI_SKIP_ASAN:-0}" != "1" ]; then
   cmake --workflow --preset ci-asan
+  cmake --workflow --preset ci-ubsan
 fi
 
 ./build/bench/bench_host_perf --quick --out build/BENCH_host.json

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/sim/annotations.h"
 #include "src/sim/assert.h"
 
 namespace bsdvm {
@@ -64,9 +65,19 @@ BsdVm::BsdVm(sim::Machine& machine, phys::PhysMem& pm, mmu::MmuContext& mmu,
 }
 
 BsdVm::~BsdVm() {
-  // Release device objects and their wired frames.
+  // Release device objects and their wired frames, in object-creation order
+  // rather than hash order: freed frames reach the allocator's free list,
+  // whose order later allocations observe.
+  std::vector<VmObject*> dev_objs;
+  dev_objs.reserve(device_objects_.size());
+  SIM_ORDERED_OK("collect only; sorted by creation id below");
   for (auto& [dev, obj] : device_objects_) {
-    // `dev` may already be destroyed (the kernel owns DeviceMem); free the
+    dev_objs.push_back(obj);
+  }
+  std::sort(dev_objs.begin(), dev_objs.end(),
+            [](const VmObject* a, const VmObject* b) { return a->id < b->id; });
+  for (VmObject* obj : dev_objs) {
+    // The DeviceMem may already be destroyed (the kernel owns it); free the
     // frames from the object's own page list.
     while (!obj->pages.empty()) {
       phys::Page* p = obj->pages.begin()->second;
@@ -107,6 +118,7 @@ VmObject* BsdVm::NewObject(std::size_t size_pages, bool internal) {
   machine_.Charge(machine_.cost().object_alloc_ns);
   ++machine_.stats().objects_allocated;
   auto* obj = new VmObject(size_pages, internal);
+  obj->id = next_object_id_++;
   obj->pages.BindStats(&machine_.stats());
   all_objects_.insert(obj);
   return obj;

@@ -16,7 +16,7 @@
 #include "src/bsdvm/pagers.h"
 #include "src/bsdvm/vm_map.h"
 #include "src/bsdvm/vm_object.h"
-#include "src/kern/vm_iface.h"
+#include "src/vm/vm_iface.h"
 #include "src/mmu/pmap.h"
 #include "src/phys/phys_mem.h"
 #include "src/sim/machine.h"
@@ -150,7 +150,14 @@ class BsdVm : public kern::VmSystem {
   BsdConfig config_;
 
   std::unique_ptr<BsdAddressSpace> kernel_as_;
-  std::set<VmObject*> all_objects_;
+  // Ordered by creation id, not pointer value: walks over the live-object
+  // registry (TotalAnonPages, CheckInvariants) must not depend on where the
+  // allocator happened to place each object.
+  struct VmObjectIdLess {
+    bool operator()(const VmObject* a, const VmObject* b) const { return a->id < b->id; }
+  };
+  std::set<VmObject*, VmObjectIdLess> all_objects_;
+  std::uint64_t next_object_id_ = 0;
   std::unordered_map<vfs::Vnode*, VmObject*> pager_hash_;
   std::list<VmObject*> object_cache_;  // front = least recently cached
   // Device objects: one per mapped device, permanently referenced by this

@@ -31,6 +31,9 @@ class VmObject {
   VmObject& operator=(const VmObject&) = delete;
 
   int ref_count = 0;
+  // Creation order (assigned by BsdVm::NewObject). Deterministic identity
+  // for ordered walks and teardown: pointer values vary run to run.
+  std::uint64_t id = 0;
   std::size_t size_pages_;
   bool internal_;           // anonymous (shadow / zero-fill) object
   bool can_persist_ = false;  // vnode-backed: eligible for the object cache

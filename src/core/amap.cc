@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/sim/annotations.h"
 #include "src/sim/assert.h"
 
 namespace uvm {
@@ -53,6 +54,7 @@ void HashAmapImpl::ForEach(const std::function<void(std::uint64_t, Anon*)>& fn) 
   // stay behaviourally interchangeable.
   std::vector<std::uint64_t> slots;
   slots.reserve(map_.size());
+  SIM_ORDERED_OK("collect-only walk; slots sorted before any observable work");
   for (const auto& [slot, anon] : map_) {
     slots.push_back(slot);
   }

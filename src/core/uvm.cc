@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/sim/annotations.h"
 #include "src/sim/assert.h"
 
 namespace uvm {
@@ -36,6 +37,7 @@ Uvm::~Uvm() {
   // Terminate erases from attached_vnodes_ (via ForgetVnode), so drain a
   // snapshot — sorted by name, not pointer hash order, since terminate
   // flushes dirty pages and I/O order is observable.
+  SIM_ORDERED_OK("collect only; sorted by name below");
   std::vector<vfs::Vnode*> attached(attached_vnodes_.begin(), attached_vnodes_.end());
   std::sort(attached.begin(), attached.end(),
             [](const vfs::Vnode* a, const vfs::Vnode* b) { return a->name() < b->name(); });
@@ -46,8 +48,18 @@ Uvm::~Uvm() {
     }
   }
   attached_vnodes_.clear();
+  // Tear devices down in creation order, not hash order: the freed frames
+  // reach the allocator's free list, whose order later allocations observe.
+  std::vector<UvmDevice*> devs;
+  devs.reserve(devices_.size());
+  SIM_ORDERED_OK("collect only; sorted by creation id below");
   for (auto& [dev, udev] : devices_) {
-    // `dev` may already be destroyed (the kernel owns DeviceMem); free the
+    devs.push_back(udev.get());
+  }
+  std::sort(devs.begin(), devs.end(),
+            [](const UvmDevice* a, const UvmDevice* b) { return a->id < b->id; });
+  for (UvmDevice* udev : devs) {
+    // The DeviceMem may already be destroyed (the kernel owns it); free the
     // frames from our own object's page list.
     while (!udev->uobj.pages.empty()) {
       phys::Page* p = udev->uobj.pages.begin()->second;
@@ -279,6 +291,7 @@ int Uvm::MapDevice(kern::AddressSpace& as_, sim::Vaddr* addr, kern::DeviceMem& d
     // Embed a uvm_object around the device's frames — §4's "any kernel
     // abstraction" in action; no separate pager structures exist.
     it = devices_.emplace(&dev, std::make_unique<UvmDevice>(*this, &dev)).first;
+    it->second->id = next_device_id_++;
   }
   UvmObject& uobj = it->second->uobj;
   std::uint64_t len = dev.pages.size() * sim::kPageSize;
@@ -1608,6 +1621,7 @@ std::size_t Uvm::ResidentPages(kern::AddressSpace& as_) const {
 }
 
 void Uvm::CheckInvariants() {
+  SIM_ORDERED_OK("assert-only walk; no simulation state or time is touched");
   for (Anon* a : all_anons_) {
     SIM_ASSERT_MSG(a->ref_count > 0, "live anon with zero refs");
     // Note: an anon may legitimately hold neither a page nor a swap slot —
@@ -1620,6 +1634,7 @@ void Uvm::CheckInvariants() {
       SIM_ASSERT_MSG(swap_.IsUsed(a->swap_slot), "anon swap slot not allocated");
     }
   }
+  SIM_ORDERED_OK("assert-only walk; no simulation state or time is touched");
   for (Amap* am : all_amaps_) {
     SIM_ASSERT_MSG(am->ref_count > 0, "live amap with zero refs");
     am->impl->ForEach([this](std::uint64_t, Anon* a) {

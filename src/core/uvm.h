@@ -22,7 +22,7 @@
 #include "src/core/amap.h"
 #include "src/core/uvm_map.h"
 #include "src/core/uvm_object.h"
-#include "src/kern/vm_iface.h"
+#include "src/vm/vm_iface.h"
 #include "src/mmu/pmap.h"
 #include "src/phys/phys_mem.h"
 #include "src/sim/machine.h"
@@ -212,6 +212,7 @@ class Uvm : public kern::VmSystem {
   std::unordered_set<Amap*> all_amaps_;
   std::unordered_set<vfs::Vnode*> attached_vnodes_;
   std::unordered_map<kern::DeviceMem*, std::unique_ptr<UvmDevice>> devices_;
+  std::uint64_t next_device_id_ = 0;
 };
 
 }  // namespace uvm

@@ -16,7 +16,7 @@
 #include "src/phys/page_store.h"
 #include "src/phys/phys_mem.h"
 #include "src/sim/types.h"
-#include "src/kern/vm_iface.h"
+#include "src/vm/vm_iface.h"
 #include "src/vfs/vnode.h"
 
 namespace uvm {
@@ -98,6 +98,10 @@ class UvmDevice {
   UvmObject uobj;
   kern::DeviceMem* dev;
   Uvm& vm;
+  // Creation order, used as the deterministic teardown key (the DeviceMem
+  // pointer may already dangle at teardown, and pointer order is not
+  // reproducible across runs anyway).
+  std::uint64_t id = 0;
 };
 
 // Pager ops singletons.

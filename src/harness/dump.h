@@ -6,7 +6,7 @@
 
 #include <ostream>
 
-#include "src/kern/vm_iface.h"
+#include "src/vm/vm_iface.h"
 #include "src/sim/machine.h"
 
 namespace bsdvm {

@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "src/kern/vm_iface.h"
+#include "src/vm/vm_iface.h"
 #include "src/phys/phys_mem.h"
 #include "src/sim/machine.h"
 #include "src/swap/swap_device.h"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/sim/annotations.h"
 #include "src/sim/assert.h"
 
 namespace mmu {
@@ -58,6 +59,7 @@ Pmap::~Pmap() {
   // diverge based on hashing internals.
   std::vector<std::uint64_t> idxs;
   idxs.reserve(ptpages_.size());
+  SIM_ORDERED_OK("collect-only walk; indices sorted before pages are freed");
   for (const auto& [idx, page] : ptpages_) {
     idxs.push_back(idx);
   }
@@ -168,6 +170,7 @@ void Pmap::RemoveAll() {
   // it must not depend on unordered_map internals.
   std::vector<sim::Vaddr> vas;
   vas.reserve(ptes_.size());
+  SIM_ORDERED_OK("collect-only walk; addresses sorted before removal");
   for (const auto& [va, pte] : ptes_) {
     vas.push_back(va);
   }

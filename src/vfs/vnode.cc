@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
+#include "src/sim/annotations.h"
 #include "src/sim/assert.h"
 
 namespace vfs {
@@ -54,7 +56,18 @@ int Vnode::WritePages(sim::ObjOffset off, std::size_t npages, std::span<const st
 }
 
 VnodeCache::~VnodeCache() {
+  // Terminate attachments in name order, not hash order: Terminate flushes
+  // dirty pages and releases frames, so the order is observable (I/O
+  // sequence, free-list order).
+  std::vector<Vnode*> vns;
+  vns.reserve(vnodes_.size());
+  SIM_ORDERED_OK("collect only; sorted by name below");
   for (auto& [name, vn] : vnodes_) {
+    vns.push_back(vn.get());
+  }
+  std::sort(vns.begin(), vns.end(),
+            [](const Vnode* a, const Vnode* b) { return a->name() < b->name(); });
+  for (Vnode* vn : vns) {
     if (vn->attachment() != nullptr) {
       vn->attachment()->Terminate(*vn);
       vn->set_attachment(nullptr);

@@ -1,4 +1,4 @@
-#include "src/kern/vm_iface.h"
+#include "src/vm/vm_iface.h"
 
 namespace kern {
 

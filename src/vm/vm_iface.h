@@ -2,8 +2,14 @@
 // above this line (processes, syscalls, workloads, benches, tests) is
 // written once against this interface and runs unmodified over either
 // bsdvm::BsdVm (the Mach-derived baseline) or uvm::Uvm (the paper's system).
-#ifndef SRC_KERN_VM_IFACE_H_
-#define SRC_KERN_VM_IFACE_H_
+//
+// Layering: this file lives *below* src/core and src/bsdvm (they include it
+// to implement the interface) and above the device layers — see the include
+// DAG enforced by tools/simlint. The types keep the historical `kern`
+// namespace: the namespace names the API's consumer, the directory names
+// the layer.
+#ifndef SRC_VM_VM_IFACE_H_
+#define SRC_VM_VM_IFACE_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -167,4 +173,4 @@ class VmSystem {
 
 }  // namespace kern
 
-#endif  // SRC_KERN_VM_IFACE_H_
+#endif  // SRC_VM_VM_IFACE_H_

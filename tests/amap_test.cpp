@@ -83,8 +83,8 @@ INSTANTIATE_TEST_SUITE_P(AllImpls, AmapImplTest,
                          ::testing::Values(uvm::AmapImplPolicy::kArray,
                                            uvm::AmapImplPolicy::kHash,
                                            uvm::AmapImplPolicy::kHybrid),
-                         [](const ::testing::TestParamInfo<uvm::AmapImplPolicy>& info) {
-                           switch (info.param) {
+                         [](const ::testing::TestParamInfo<uvm::AmapImplPolicy>& param_info) {
+                           switch (param_info.param) {
                              case uvm::AmapImplPolicy::kArray:
                                return "array";
                              case uvm::AmapImplPolicy::kHash:

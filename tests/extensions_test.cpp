@@ -65,8 +65,8 @@ TEST_P(MadvFreeTest, DoesNotTouchSharedCowMemory) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothVms, MadvFreeTest, ::testing::Values(VmKind::kBsd, VmKind::kUvm),
-                         [](const ::testing::TestParamInfo<VmKind>& info) {
-                           return harness::VmKindName(info.param);
+                         [](const ::testing::TestParamInfo<VmKind>& param_info) {
+                           return harness::VmKindName(param_info.param);
                          });
 
 class MincoreTest : public ::testing::TestWithParam<VmKind> {};
@@ -115,8 +115,8 @@ TEST_P(MincoreTest, UnmappedRangeFails) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothVms, MincoreTest, ::testing::Values(VmKind::kBsd, VmKind::kUvm),
-                         [](const ::testing::TestParamInfo<VmKind>& info) {
-                           return harness::VmKindName(info.param);
+                         [](const ::testing::TestParamInfo<VmKind>& param_info) {
+                           return harness::VmKindName(param_info.param);
                          });
 
 class VforkTest : public ::testing::TestWithParam<VmKind> {};
@@ -161,8 +161,8 @@ TEST_P(VforkTest, VforkIsMuchCheaperThanFork) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothVms, VforkTest, ::testing::Values(VmKind::kBsd, VmKind::kUvm),
-                         [](const ::testing::TestParamInfo<VmKind>& info) {
-                           return harness::VmKindName(info.param);
+                         [](const ::testing::TestParamInfo<VmKind>& param_info) {
+                           return harness::VmKindName(param_info.param);
                          });
 
 TEST(SwapInClusterTest, ClusteredSwapInUsesFewerOperations) {

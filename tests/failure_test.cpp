@@ -259,8 +259,8 @@ TEST(PartialUnmapTest, UvmFreesAnonsOnPartialUnmapBsdCannot) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothVms, FailureTest, ::testing::Values(VmKind::kBsd, VmKind::kUvm),
-                         [](const ::testing::TestParamInfo<VmKind>& info) {
-                           return harness::VmKindName(info.param);
+                         [](const ::testing::TestParamInfo<VmKind>& param_info) {
+                           return harness::VmKindName(param_info.param);
                          });
 
 }  // namespace

@@ -206,9 +206,9 @@ INSTANTIATE_TEST_SUITE_P(
     Seeds, FilePropertyTest,
     ::testing::Combine(::testing::Values(VmKind::kBsd, VmKind::kUvm),
                        ::testing::Values(21ull, 22ull, 23ull, 24ull, 25ull, 26ull)),
-    [](const ::testing::TestParamInfo<std::tuple<VmKind, std::uint64_t>>& info) {
-      return std::string(harness::VmKindName(std::get<0>(info.param))) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<VmKind, std::uint64_t>>& param_info) {
+      return std::string(harness::VmKindName(std::get<0>(param_info.param))) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

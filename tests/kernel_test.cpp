@@ -110,8 +110,8 @@ TEST_P(KernelTest, ExitReleasesTransientWiringsLeftByBugs) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothVms, KernelTest, ::testing::Values(VmKind::kBsd, VmKind::kUvm),
-                         [](const ::testing::TestParamInfo<VmKind>& info) {
-                           return harness::VmKindName(info.param);
+                         [](const ::testing::TestParamInfo<VmKind>& param_info) {
+                           return harness::VmKindName(param_info.param);
                          });
 
 // --- Workload machinery ---
@@ -160,8 +160,8 @@ TEST_P(WorkloadTest, BootScriptsLeaveProcessesRunning) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothVms, WorkloadTest, ::testing::Values(VmKind::kBsd, VmKind::kUvm),
-                         [](const ::testing::TestParamInfo<VmKind>& info) {
-                           return harness::VmKindName(info.param);
+                         [](const ::testing::TestParamInfo<VmKind>& param_info) {
+                           return harness::VmKindName(param_info.param);
                          });
 
 }  // namespace

@@ -139,8 +139,8 @@ TEST_P(DaemonTest, RepagingDirtiedSwappedPageReusesCycle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothVms, DaemonTest, ::testing::Values(VmKind::kBsd, VmKind::kUvm),
-                         [](const ::testing::TestParamInfo<VmKind>& info) {
-                           return harness::VmKindName(info.param);
+                         [](const ::testing::TestParamInfo<VmKind>& param_info) {
+                           return harness::VmKindName(param_info.param);
                          });
 
 TEST(DaemonClusteringTest, UvmClustersAnonPageoutBsdDoesNot) {

@@ -180,9 +180,9 @@ INSTANTIATE_TEST_SUITE_P(
     Seeds, PropertyTest,
     ::testing::Combine(::testing::Values(VmKind::kBsd, VmKind::kUvm),
                        ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull, 6ull, 7ull, 8ull)),
-    [](const ::testing::TestParamInfo<std::tuple<VmKind, std::uint64_t>>& info) {
-      return std::string(harness::VmKindName(std::get<0>(info.param))) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<VmKind, std::uint64_t>>& param_info) {
+      return std::string(harness::VmKindName(std::get<0>(param_info.param))) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 // A second property: the same op stream must leave BOTH systems with

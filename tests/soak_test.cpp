@@ -203,8 +203,8 @@ TEST_P(SoakTest, SameSeedAndPlanAreDeterministic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothVms, SoakTest, ::testing::Values(VmKind::kBsd, VmKind::kUvm),
-                         [](const ::testing::TestParamInfo<VmKind>& info) {
-                           return harness::VmKindName(info.param);
+                         [](const ::testing::TestParamInfo<VmKind>& param_info) {
+                           return harness::VmKindName(param_info.param);
                          });
 
 }  // namespace

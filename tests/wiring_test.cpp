@@ -190,8 +190,8 @@ TEST(WiringDivergenceTest, RepeatedSysctlAtSameSpotFragmentsOnce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothVms, WiringTest, ::testing::Values(VmKind::kBsd, VmKind::kUvm),
-                         [](const ::testing::TestParamInfo<VmKind>& info) {
-                           return harness::VmKindName(info.param);
+                         [](const ::testing::TestParamInfo<VmKind>& param_info) {
+                           return harness::VmKindName(param_info.param);
                          });
 
 }  // namespace

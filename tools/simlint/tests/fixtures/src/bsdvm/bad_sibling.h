@@ -1,0 +1,8 @@
+// Fixture: the two VM implementations are siblings — bsdvm must not include
+// core (nor vice versa). Expect one layer-upward-include finding.
+#ifndef FIXTURE_BAD_SIBLING_H_
+#define FIXTURE_BAD_SIBLING_H_
+
+#include "src/core/clean_ptr_set.h"  // LINE-SIBLING (bsdvm -> core)
+
+#endif  // FIXTURE_BAD_SIBLING_H_

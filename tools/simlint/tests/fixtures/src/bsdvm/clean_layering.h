@@ -1,0 +1,11 @@
+// Fixture: downward includes only — src/bsdvm may depend on the vm layer
+// set {sim, phys, mmu, vfs, swap, vm} and itself. Expect zero findings.
+// (A bsdvm -> core include would be flagged: the two VM implementations are
+// siblings and must stay independent.)
+#ifndef FIXTURE_CLEAN_LAYERING_H_
+#define FIXTURE_CLEAN_LAYERING_H_
+
+#include "src/bsdvm/clean_layering.h"  // self-module: allowed
+#include "src/sim/rng.h"               // downward: allowed
+
+#endif  // FIXTURE_CLEAN_LAYERING_H_

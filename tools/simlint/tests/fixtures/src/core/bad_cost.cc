@@ -1,0 +1,21 @@
+// Fixture: page-sized data movement with no reachable charge. Expect one
+// cost-no-charge finding on the memcpy and one on the primitive call.
+#include <cstddef>
+#include <cstring>
+
+namespace core {
+
+constexpr std::size_t kPageSize = 4096;
+
+void CopyPage(unsigned char* dst, const unsigned char* src);  // charged elsewhere? no: fixture
+
+// No Charge()/Advance() anywhere on this path: the linter must flag it.
+void UnchargedCopy(unsigned char* dst, const unsigned char* src) {
+  std::memcpy(dst, src, kPageSize);  // LINE-MEMCPY
+}
+
+void UnchargedPrimitive(unsigned char* dst, const unsigned char* src) {
+  CopyPage(dst, src);  // LINE-PRIMITIVE
+}
+
+}  // namespace core

@@ -1,0 +1,31 @@
+// Fixture: host time and host randomness inside simulated code. Expect one
+// det-host-nondet finding per marked line.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+
+namespace core {
+
+std::uint64_t HostEntropy() {
+  std::random_device rd;  // LINE-RANDOM-DEVICE
+  std::mt19937_64 gen(rd());  // LINE-MT19937
+  return gen();
+}
+
+std::uint64_t HostNow() {
+  auto t = std::chrono::steady_clock::now();  // LINE-CHRONO (also ::now)
+  return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}
+
+int HostRand() {
+  return rand();  // LINE-HOSTRAND
+}
+
+std::uint64_t AnnotatedHostNow() {
+  // SIM_HOST_TIME_OK("fixture: wall-clock deadline for a watchdog, not sim state")
+  auto t = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}
+
+}  // namespace core

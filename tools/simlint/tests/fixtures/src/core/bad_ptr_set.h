@@ -1,0 +1,23 @@
+// Fixture: pointer-keyed ordered containers without a comparator order by
+// allocator address. Expect one det-ptr-container finding per declaration.
+#ifndef FIXTURE_BAD_PTR_SET_H_
+#define FIXTURE_BAD_PTR_SET_H_
+
+#include <map>
+#include <set>
+
+namespace core {
+
+struct Widget {
+  int id = 0;
+};
+
+class BadPtrRegistry {
+ private:
+  std::set<Widget*> widgets_;            // LINE-PTR-SET
+  std::map<Widget*, int> widget_rank_;   // LINE-PTR-MAP
+};
+
+}  // namespace core
+
+#endif  // FIXTURE_BAD_PTR_SET_H_

@@ -1,0 +1,30 @@
+// Fixture: hash-order iteration leaking into observable work. Expect one
+// det-unordered-iter finding for the range-for and one for the .begin() walk.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace core {
+
+class BadUnordered {
+ public:
+  std::uint64_t Sum() {
+    std::uint64_t total = 0;
+    for (const auto& [key, value] : table_) {  // LINE-RANGE-FOR
+      total += Observe(key, value);
+    }
+    auto it = members_.begin();  // LINE-BEGIN
+    while (it != members_.end()) {
+      total += *it;
+      ++it;
+    }
+    return total;
+  }
+
+ private:
+  std::uint64_t Observe(std::uint64_t k, std::uint64_t v) { return k ^ v; }
+  std::unordered_map<std::uint64_t, std::uint64_t> table_;
+  std::unordered_set<std::uint64_t> members_;
+};
+
+}  // namespace core

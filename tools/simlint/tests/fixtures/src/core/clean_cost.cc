@@ -1,0 +1,39 @@
+// Fixture: data movement that charges virtual time (directly or through a
+// helper) or is explicitly annotated. Expect zero findings.
+#include <cstddef>
+#include <cstring>
+
+#define SIM_NO_CHARGE_OK(reason) \
+  do {                           \
+  } while (false)
+
+namespace core {
+
+constexpr std::size_t kPageSize = 4096;
+
+struct Clock {
+  void Advance(long ns) { now += ns; }
+  long now = 0;
+};
+
+struct Machine {
+  void Charge(long ns) { clk.Advance(ns); }
+  Clock clk;
+};
+
+void ChargedCopy(Machine& m, unsigned char* dst, const unsigned char* src) {
+  m.Charge(12000);
+  std::memcpy(dst, src, kPageSize);
+}
+
+void ChargedThroughHelper(Machine& m, unsigned char* dst, const unsigned char* src) {
+  ChargedCopy(m, dst, src);
+  std::memset(dst, 0, 1);  // reached by the transitive charge via ChargedCopy
+}
+
+void AnnotatedStagingCopy(unsigned char* dst, const unsigned char* src) {
+  SIM_NO_CHARGE_OK("fixture: staging buffer copy; the flush path charges");
+  std::memcpy(dst, src, kPageSize);
+}
+
+}  // namespace core

@@ -1,0 +1,28 @@
+// Fixture: pointer-keyed set made deterministic with a creation-id
+// comparator. Expect zero findings.
+#ifndef FIXTURE_CLEAN_PTR_SET_H_
+#define FIXTURE_CLEAN_PTR_SET_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace core {
+
+struct Gadget {
+  std::uint64_t id = 0;
+};
+
+struct GadgetIdLess {
+  bool operator()(const Gadget* a, const Gadget* b) const { return a->id < b->id; }
+};
+
+class CleanPtrRegistry {
+ private:
+  std::set<Gadget*, GadgetIdLess> gadgets_;
+  std::map<std::uint64_t, Gadget*> by_id_;  // pointer as value is fine
+};
+
+}  // namespace core
+
+#endif  // FIXTURE_CLEAN_PTR_SET_H_

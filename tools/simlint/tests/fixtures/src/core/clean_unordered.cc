@@ -1,0 +1,35 @@
+// Fixture: the sanctioned collect-then-sort pattern, with the collect loop
+// annotated SIM_ORDERED_OK. Expect zero findings.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#define SIM_ORDERED_OK(reason) \
+  do {                         \
+  } while (false)
+
+namespace core {
+
+class CleanUnordered {
+ public:
+  std::uint64_t Sum() {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(table_.size());
+    SIM_ORDERED_OK("collect only; sorted before observable work");
+    for (const auto& [key, value] : table_) {
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    std::uint64_t total = 0;
+    for (std::uint64_t k : keys) {
+      total += table_.at(k);
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> table_;
+};
+
+}  // namespace core

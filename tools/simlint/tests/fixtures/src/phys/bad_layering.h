@@ -1,0 +1,9 @@
+// Fixture: an upward include — src/phys may only depend on src/sim and
+// itself. Expect one layer-upward-include finding per marked line.
+#ifndef FIXTURE_BAD_LAYERING_H_
+#define FIXTURE_BAD_LAYERING_H_
+
+#include "src/core/bad_unordered.cc"  // LINE-UPWARD (phys -> core)
+#include "src/sim/rng.h"              // allowed (phys -> sim)
+
+#endif  // FIXTURE_BAD_LAYERING_H_

@@ -1,0 +1,18 @@
+// Fixture twin of the real src/sim/rng.h: this path is exempt from
+// det-host-nondet, so the random_device below must NOT be flagged.
+#ifndef FIXTURE_SIM_RNG_H_
+#define FIXTURE_SIM_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace sim {
+
+inline std::uint64_t HostSeed() {
+  std::random_device rd;  // exempt: this file IS the sanctioned entropy edge
+  return rd();
+}
+
+}  // namespace sim
+
+#endif  // FIXTURE_SIM_RNG_H_
