@@ -21,10 +21,12 @@ void AblateLookahead() {
   for (const kern::TraceSpec& spec : kern::Table2Traces()) {
     WorldConfig on;
     World w1(VmKind::kUvm, on);
+    bench::TraceRun t1(w1, std::string("lookahead:") + spec.name);
     std::uint64_t with = kern::RunCommandTrace(*w1.kernel, spec);
     WorldConfig off;
     off.uvm.enable_lookahead = false;
     World w2(VmKind::kUvm, off);
+    bench::TraceRun t2(w2, std::string("no-lookahead:") + spec.name);
     std::uint64_t without = kern::RunCommandTrace(*w2.kernel, spec);
     std::printf("%-16s %12llu %12llu\n", spec.name, static_cast<unsigned long long>(with),
                 static_cast<unsigned long long>(without));
@@ -120,6 +122,7 @@ void CompareLockHold() {
   std::printf("%-8s %16s %18s\n", "system", "unmap lock ns", "total unmap ns");
   for (VmKind kind : {VmKind::kBsd, VmKind::kUvm}) {
     World w(kind);
+    bench::TraceRun trace(w, std::string("lock-hold:") + harness::VmKindName(kind));
     kern::Proc* p = w.kernel->Spawn();
     sim::Vaddr a = 0;
     int err = w.kernel->MmapAnon(p, &a, 512 * sim::kPageSize, kern::MapAttrs{});
@@ -138,7 +141,8 @@ void CompareLockHold() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Ablations of UVM/BSD design choices");
   AblateLookahead();
   AblateClustering();

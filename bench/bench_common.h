@@ -2,19 +2,109 @@
 // or series of one table/figure from the paper, measured in virtual time
 // (see DESIGN.md: absolute values are arbitrary; shapes and ratios are the
 // reproduction target).
+//
+// All benches call bench::Init(argc, argv) first: it pins the classic "C"
+// locale (output stays byte-identical under any host environment) and
+// parses --trace=FILE. With tracing requested, wrap each World in a
+// bench::TraceRun; the runs are merged into one Chrome-trace JSON document
+// (one pid per run) written when the process exits. Tracing never changes
+// virtual time or stats — the CI observer-effect check diffs traced vs
+// untraced bench output.
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <clocale>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <locale>
+#include <string>
 
 #include "src/harness/world.h"
 #include "src/sim/assert.h"
+#include "src/sim/trace.h"
 
 namespace bench {
 
 using harness::VmKind;
 using harness::World;
 using harness::WorldConfig;
+
+// Merged Chrome-trace output for a whole bench process. Inactive (and
+// entirely free) unless --trace=FILE was given.
+class TraceSession {
+ public:
+  static TraceSession& Get() {
+    static TraceSession session;
+    return session;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  void SetPath(std::string path) { path_ = std::move(path); }
+
+  // Append one machine's events as a new pid named `label`.
+  void Flush(sim::Machine& machine, const char* label) {
+    if (!enabled()) {
+      return;
+    }
+    if (!os_.is_open()) {
+      os_.open(path_, std::ios::out | std::ios::trunc);
+      SIM_ASSERT_MSG(os_.is_open(), "cannot open --trace output file");
+      sim::OpenChromeTrace(os_);
+    }
+    sim::AppendChromeTraceEvents(os_, machine.tracer(), next_pid_++, label, &first_);
+  }
+
+  ~TraceSession() {
+    if (os_.is_open()) {
+      sim::CloseChromeTrace(os_);
+    }
+  }
+
+ private:
+  TraceSession() = default;
+  std::string path_;
+  std::ofstream os_;
+  bool first_ = true;
+  int next_pid_ = 1;
+};
+
+// Pin the locale and parse bench-wide flags. Unknown arguments are left for
+// the bench's own parsing.
+inline void Init(int argc, char** argv) {
+  std::setlocale(LC_ALL, "C");
+  std::locale::global(std::locale::classic());
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      TraceSession::Get().SetPath(argv[i] + 8);
+    }
+  }
+}
+
+// RAII: enable tracing on a World's machine for one measured run and flush
+// the events into the session on scope exit (before the World dies).
+class TraceRun {
+ public:
+  TraceRun(World& w, std::string label) : machine_(w.machine), label_(std::move(label)) {
+    if (TraceSession::Get().enabled()) {
+      machine_.tracer().Enable();
+    }
+  }
+
+  TraceRun(const TraceRun&) = delete;
+  TraceRun& operator=(const TraceRun&) = delete;
+
+  ~TraceRun() {
+    if (TraceSession::Get().enabled()) {
+      TraceSession::Get().Flush(machine_, label_.c_str());
+      machine_.tracer().Disable();
+    }
+  }
+
+ private:
+  sim::Machine& machine_;
+  std::string label_;
+};
 
 inline void PrintHeader(const char* title) {
   std::printf("\n==============================================================\n");
@@ -28,6 +118,24 @@ inline double MicrosSince(const World& w, sim::Nanoseconds start_ns) {
 }
 inline double SecondsSince(const World& w, sim::Nanoseconds start_ns) {
   return static_cast<double>(w.machine.clock().now() - start_ns) * 1e-9;
+}
+
+// One-line per-category cost summary ("fault 12.40us pmap 3.10us ...") of a
+// breakdown delta, scaled by 1/iters, categories in enum order, zero
+// categories skipped.
+inline std::string BreakdownLine(const sim::CostBreakdown& d, double iters) {
+  char buf[64];
+  std::string out;
+  for (std::size_t i = 0; i < sim::kNumCostCats; ++i) {
+    if (d.ns[i] == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "%s%s %.2fus", out.empty() ? "" : "  ",
+                  sim::CostCatName(static_cast<sim::CostCat>(i)),
+                  static_cast<double>(d.ns[i]) * 1e-3 / iters);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace bench

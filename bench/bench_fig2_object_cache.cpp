@@ -39,6 +39,8 @@ double Run(VmKind kind, std::size_t nfiles) {
   cfg.ram_pages = 24576;  // 96 MB: memory is NOT the constraint in Fig 2
   cfg.max_vnodes = 2048;
   World w(kind, cfg);
+  bench::TraceRun trace(w, std::string(kind == VmKind::kBsd ? "bsd:" : "uvm:") +
+                               std::to_string(nfiles) + "files");
   for (std::size_t i = 0; i < nfiles; ++i) {
     w.fs.CreateFilePattern("/www/file" + std::to_string(i), kFilePages * sim::kPageSize);
   }
@@ -49,7 +51,8 @@ double Run(VmKind kind, std::size_t nfiles) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Figure 2: object cache effect on repeated file access");
   std::printf("%8s %14s %14s   (time to re-read N 64KB files, virtual sec)\n", "files", "BSD sec",
               "UVM sec");

@@ -22,6 +22,8 @@ Result Run(VmKind kind, std::size_t mbytes) {
   cfg.ram_pages = 8192;     // 32 MB, the paper's machine
   cfg.swap_slots = 32768;   // 128 MB swap
   World w(kind, cfg);
+  bench::TraceRun trace(w, std::string(kind == VmKind::kBsd ? "bsd:" : "uvm:") +
+                               std::to_string(mbytes) + "MB");
   kern::Proc* p = w.kernel->Spawn();
   sim::Nanoseconds start = w.machine.clock().now();
   sim::Vaddr addr = 0;
@@ -38,7 +40,8 @@ Result Run(VmKind kind, std::size_t mbytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Figure 5: anonymous memory allocation time (32 MB RAM)");
   std::printf("%8s %12s %12s %12s %12s   (virtual sec; swap I/O ops)\n", "MB", "BSD sec",
               "UVM sec", "BSD ops", "UVM ops");

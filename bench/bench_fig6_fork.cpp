@@ -16,6 +16,8 @@ double Run(VmKind kind, std::size_t mbytes, bool touch) {
   bench::WorldConfig cfg;
   cfg.ram_pages = 16384;  // 64 MB: fork overhead, not paging, is the subject
   World w(kind, cfg);
+  bench::TraceRun trace(w, std::string(kind == VmKind::kBsd ? "bsd:" : "uvm:") +
+                               std::to_string(mbytes) + (touch ? "MB:touch" : "MB"));
   kern::Proc* parent = w.kernel->Spawn();
   sim::Vaddr addr = 0;
   std::uint64_t len = mbytes * 1024 * 1024;
@@ -48,7 +50,8 @@ double Run(VmKind kind, std::size_t mbytes, bool touch) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Figure 6: fork-and-wait time vs anonymous memory (virtual usec)");
   std::printf("%6s %14s %14s %14s %14s\n", "MB", "BSD touched", "UVM touched", "BSD", "UVM");
   for (std::size_t mb : {1, 2, 4, 6, 8, 10, 12, 14, 15}) {

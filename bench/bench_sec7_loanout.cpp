@@ -15,6 +15,7 @@ struct Pair {
 
 Pair Run(std::size_t npages) {
   World w(VmKind::kUvm);
+  bench::TraceRun trace(w, std::to_string(npages) + "pages");
   kern::Proc* p = w.kernel->Spawn();
   sim::Vaddr addr = 0;
   std::uint64_t len = npages * sim::kPageSize;
@@ -41,7 +42,8 @@ Pair Run(std::size_t npages) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Section 7: socket send, data copy vs page loanout (virtual usec)");
   std::printf("%8s %12s %12s %10s   (paper: 26%% less at 1 page, 78%% less at 256)\n", "pages",
               "copy us", "loan us", "saving");

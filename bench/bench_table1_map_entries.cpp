@@ -13,6 +13,8 @@ using bench::World;
 
 std::size_t RunOperation(VmKind kind, int op) {
   World w(kind);
+  bench::TraceRun trace(w, std::string(kind == VmKind::kBsd ? "bsd:op" : "uvm:op") +
+                               std::to_string(op));
   switch (op) {
     case 0: {
       kern::Proc* p = w.kernel->Spawn();
@@ -42,7 +44,8 @@ std::size_t RunOperation(VmKind kind, int op) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   PrintHeader("Table 1: allocated map entries for common operations");
   struct Row {
     const char* name;

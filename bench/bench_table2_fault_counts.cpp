@@ -4,13 +4,16 @@
 #include "bench/bench_common.h"
 #include "src/kern/workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Table 2: page fault counts per command");
   std::printf("%-16s %10s %10s %12s %12s\n", "Command", "BSD", "UVM", "paper BSD", "paper UVM");
   for (const kern::TraceSpec& spec : kern::Table2Traces()) {
     bench::World wb(bench::VmKind::kBsd);
+    bench::TraceRun tb(wb, std::string("bsd:") + spec.name);
     std::uint64_t b = kern::RunCommandTrace(*wb.kernel, spec);
     bench::World wu(bench::VmKind::kUvm);
+    bench::TraceRun tu(wu, std::string("uvm:") + spec.name);
     std::uint64_t u = kern::RunCommandTrace(*wu.kernel, spec);
     std::printf("%-16s %10llu %10llu %12llu %12llu\n", spec.name,
                 static_cast<unsigned long long>(b), static_cast<unsigned long long>(u),

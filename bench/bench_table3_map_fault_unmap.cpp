@@ -31,8 +31,18 @@ constexpr Case kCases[] = {
     {"write/zero fill", false, false, true, 60, 48},
 };
 
-double RunCase(VmKind kind, const Case& c) {
+// Warm up (cold pagein, cache population), then measure steady state.
+constexpr int kWarm = 16;
+constexpr int kIters = 2000;
+
+struct CaseResult {
+  double usec_per_cycle;
+  sim::CostBreakdown breakdown;  // per-category delta over the measured iters
+};
+
+CaseResult RunCase(VmKind kind, const Case& c) {
   World w(kind);
+  bench::TraceRun trace(w, std::string(kind == VmKind::kBsd ? "bsd:" : "uvm:") + c.name);
   if (c.is_file) {
     w.fs.CreateFilePattern("/bench", sim::kPageSize);
   }
@@ -56,30 +66,34 @@ double RunCase(VmKind kind, const Case& c) {
     SIM_ASSERT(err == sim::kOk);
   };
 
-  // Warm up (cold pagein, cache population), then measure steady state.
-  constexpr int kWarm = 16;
-  constexpr int kIters = 2000;
   for (int i = 0; i < kWarm; ++i) {
     cycle();
   }
   sim::Nanoseconds start = w.machine.clock().now();
+  sim::CostBreakdown before = w.machine.breakdown();
   for (int i = 0; i < kIters; ++i) {
     cycle();
   }
-  return bench::MicrosSince(w, start) / kIters;
+  return {bench::MicrosSince(w, start) / kIters, w.machine.breakdown().Since(before)};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader("Table 3: single-page map-fault-unmap time (virtual usec)");
   std::printf("%-20s %10s %10s %8s | %10s %10s %8s\n", "Fault/mapping", "BSD us", "UVM us",
               "UVM/BSD", "paper BSD", "paper UVM", "ratio");
   for (const Case& c : kCases) {
-    double b = RunCase(VmKind::kBsd, c);
-    double u = RunCase(VmKind::kUvm, c);
-    std::printf("%-20s %10.2f %10.2f %8.2f | %10.0f %10.0f %8.2f\n", c.name, b, u, u / b,
+    CaseResult b = RunCase(VmKind::kBsd, c);
+    CaseResult u = RunCase(VmKind::kUvm, c);
+    std::printf("%-20s %10.2f %10.2f %8.2f | %10.0f %10.0f %8.2f\n", c.name,
+                b.usec_per_cycle, u.usec_per_cycle, u.usec_per_cycle / b.usec_per_cycle,
                 c.paper_bsd, c.paper_uvm, c.paper_uvm / c.paper_bsd);
+    // Where the cycle time goes, per VM (e.g. read/private: BSD pays kAlloc
+    // for the shadow object it allocates even on a read fault; UVM doesn't).
+    std::printf("    bsd: %s\n", bench::BreakdownLine(b.breakdown, kIters).c_str());
+    std::printf("    uvm: %s\n", bench::BreakdownLine(u.breakdown, kIters).c_str());
   }
   return 0;
 }

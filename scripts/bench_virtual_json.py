@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Run the eight paper benches and emit BENCH_virtual.json.
+
+All of these benches report *virtual* time, so their stdout is
+byte-deterministic on any host. This script enforces that and records a
+fingerprint per bench:
+
+  1. each bench is run twice; the two outputs must be byte-identical
+  2. each bench is run a third time with --trace=FILE; its stdout must be
+     byte-identical to the untraced runs (tracing is observer-effect-free)
+  3. every trace file must be valid JSON in Chrome-trace shape, and
+     tools/traceview must summarize it (exit 0)
+
+The JSON written to --out maps bench name -> {sha256, lines, bytes,
+trace_events}, plus a toolchain-independent "observer_effect": "ok" marker
+that only appears if every check above passed.
+
+Usage: bench_virtual_json.py --bindir build/bench --out build/BENCH_virtual.json
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCHES = [
+    "bench_table1_map_entries",
+    "bench_table2_fault_counts",
+    "bench_table3_map_fault_unmap",
+    "bench_fig2_object_cache",
+    "bench_fig5_anon_alloc",
+    "bench_fig6_fork",
+    "bench_sec7_loanout",
+    "bench_ablation",
+]
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+TRACEVIEW = os.path.join(HERE, "..", "tools", "traceview", "traceview.py")
+
+
+def run(cmd):
+    r = subprocess.run(cmd, capture_output=True, text=True)
+    if r.returncode != 0:
+        sys.stderr.write(f"bench_virtual: {' '.join(cmd)} exited {r.returncode}\n")
+        sys.stderr.write(r.stderr)
+        sys.exit(1)
+    return r.stdout
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bindir", required=True, help="directory with bench binaries")
+    ap.add_argument("--out", required=True, help="BENCH_virtual.json to write")
+    args = ap.parse_args()
+
+    result = {}
+    failures = []
+    for name in BENCHES:
+        exe = os.path.join(args.bindir, name)
+        first = run([exe])
+        second = run([exe])
+        if first != second:
+            failures.append(f"{name}: two untraced runs differ")
+
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            trace_path = tmp.name
+        try:
+            traced = run([exe, f"--trace={trace_path}"])
+            if traced != first:
+                failures.append(f"{name}: stdout changed when tracing was enabled")
+            with open(trace_path, encoding="utf-8") as f:
+                doc = json.load(f)
+            events = doc.get("traceEvents", [])
+            if not isinstance(events, list):
+                failures.append(f"{name}: trace has no traceEvents list")
+                events = []
+            summary = subprocess.run(
+                [sys.executable, TRACEVIEW, "--top", "3", trace_path],
+                capture_output=True,
+                text=True,
+            )
+            if summary.returncode != 0:
+                failures.append(f"{name}: traceview failed: {summary.stderr.strip()}")
+        except json.JSONDecodeError as err:
+            failures.append(f"{name}: trace is not valid JSON: {err}")
+            events = []
+        finally:
+            os.unlink(trace_path)
+
+        result[name] = {
+            "sha256": hashlib.sha256(first.encode()).hexdigest(),
+            "lines": first.count("\n"),
+            "bytes": len(first),
+            "trace_events": len(events),
+        }
+        print(f"  {name}: {result[name]['sha256'][:16]} "
+              f"({result[name]['lines']} lines, {result[name]['trace_events']} trace events)")
+
+    if failures:
+        for f in failures:
+            sys.stderr.write(f"bench_virtual: FAIL: {f}\n")
+        sys.exit(1)
+
+    result["observer_effect"] = "ok"
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out} (all runs deterministic, tracing observer-effect-free)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

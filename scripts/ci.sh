@@ -30,5 +30,12 @@ if [ "${UVM_CI_SKIP_ASAN:-0}" != "1" ]; then
   cmake --workflow --preset ci-ubsan
 fi
 
+# Virtual-time benches: byte-deterministic by construction. Runs each of
+# the eight paper benches twice (identical output required), once more with
+# --trace (identical stdout required: tracing is observer-effect-free),
+# validates the Chrome-trace JSON through tools/traceview, and fingerprints
+# everything into build/BENCH_virtual.json.
+python3 scripts/bench_virtual_json.py --bindir build/bench --out build/BENCH_virtual.json
+
 ./build/bench/bench_host_perf --quick --out build/BENCH_host.json
 python3 scripts/diff_bench_host.py BENCH_host.json build/BENCH_host.json

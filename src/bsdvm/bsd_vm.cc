@@ -15,9 +15,6 @@ constexpr sim::Vaddr kKernMin = 0xC000'0000;
 constexpr sim::Vaddr kKernMax = 0x1'0000'0000;
 constexpr std::size_t kUPages = 2;       // u-area size
 constexpr std::size_t kKStackPages = 2;  // kernel stack size
-// Transient-EIO retries per pageout before the page goes back to the
-// active queue (total backoff ≈ io_retry_backoff_ns * (2^n - 1)).
-constexpr int kMaxPageoutRetries = 5;
 }  // namespace
 
 BsdAddressSpace::BsdAddressSpace(BsdVm& vm, bool is_kernel)
@@ -115,7 +112,7 @@ void BsdVm::DestroyAddressSpace(kern::AddressSpace* as_) {
 // Objects
 
 VmObject* BsdVm::NewObject(std::size_t size_pages, bool internal) {
-  machine_.Charge(machine_.cost().object_alloc_ns);
+  machine_.Charge(sim::CostCat::kAlloc, machine_.cost().object_alloc_ns);
   ++machine_.stats().objects_allocated;
   auto* obj = new VmObject(size_pages, internal);
   obj->id = next_object_id_++;
@@ -125,7 +122,7 @@ VmObject* BsdVm::NewObject(std::size_t size_pages, bool internal) {
 }
 
 VmObject* BsdVm::ObjectForVnode(vfs::Vnode* vn) {
-  machine_.Charge(machine_.cost().pager_hash_ns);
+  machine_.Charge(sim::CostCat::kAlloc, machine_.cost().pager_hash_ns);
   auto it = pager_hash_.find(vn);
   if (it != pager_hash_.end()) {
     VmObject* obj = it->second;
@@ -141,8 +138,8 @@ VmObject* BsdVm::ObjectForVnode(vfs::Vnode* vn) {
   // hash-table insertion (§6, Figure 4).
   VmObject* obj = NewObject(vn->size_pages(), /*internal=*/false);
   obj->can_persist_ = true;
-  machine_.Charge(machine_.cost().pager_alloc_ns * 2);
-  machine_.Charge(machine_.cost().pager_hash_ns);
+  machine_.Charge(sim::CostCat::kAlloc, machine_.cost().pager_alloc_ns * 2);
+  machine_.Charge(sim::CostCat::kAlloc, machine_.cost().pager_hash_ns);
   obj->pager = std::make_unique<VnodePager>(vnodes_, vn);
   obj->ref_count = 1;
   pager_hash_.emplace(vn, obj);
@@ -194,16 +191,27 @@ void BsdVm::CacheRemove(VmObject* obj) {
 void BsdVm::TerminateObject(VmObject* obj) {
   SIM_ASSERT(obj->ref_count == 0 && !obj->in_cache_);
   // Flush dirty pages of vnode-backed objects back to the file. Terminate
-  // cannot report failure, so flushes retry transient errors a few times
-  // and then drop the write (matching a real kernel on dying media).
+  // cannot report failure, so flushes retry transient errors (the shared
+  // VmTuning retry budget, with the same backoff and accounting as the
+  // pagedaemon) and then drop the write, counting the drop (matching a
+  // real kernel on dying media).
   if (!obj->internal_ && obj->pager != nullptr) {
+    sim::ChargeScope scope(machine_, sim::CostCat::kPageout, "bsd_terminate_flush");
     for (auto& [pgi, page] : obj->pages) {
       if (page->dirty) {
-        for (int attempt = 0; attempt < 3; ++attempt) {
-          if (obj->pager->PutPage(pm_, page, pgi) != sim::kErrIO) {
-            break;
-          }
+        int err = obj->pager->PutPage(pm_, page, pgi);
+        for (int attempt = 0;
+             err == sim::kErrIO && attempt < config_.tuning.max_pageout_retries; ++attempt) {
+          ++machine_.stats().pageout_retries;
           machine_.Charge(machine_.cost().io_retry_backoff_ns << attempt);
+          err = obj->pager->PutPage(pm_, page, pgi);
+        }
+        if (err == sim::kErrIO) {
+          ++machine_.stats().pageout_drops;
+          if (machine_.tracer().enabled()) {
+            machine_.tracer().Instant(sim::CostCat::kPageout, "bsd_pageout_drop",
+                                      machine_.clock().now(), pgi);
+          }
         }
       }
     }
@@ -247,7 +255,7 @@ void BsdVm::FreeObjectPage(phys::Page* p) {
 // Shadow chains: creation, collapse, bypass
 
 void BsdVm::ShadowEntry(MapEntry& entry) {
-  machine_.Charge(machine_.cost().object_alloc_ns);
+  machine_.Charge(sim::CostCat::kAlloc, machine_.cost().object_alloc_ns);
   ++machine_.stats().shadows_created;
   VmObject* shadow = NewObject(entry.npages(), /*internal=*/true);
   shadow->shadow = entry.object;  // takes over the entry's reference
@@ -351,6 +359,7 @@ void BsdVm::TryCollapse(VmObject* top) {
 
 int BsdVm::Map(kern::AddressSpace& as_, sim::Vaddr* addr, std::uint64_t len, vfs::Vnode* vn,
                sim::ObjOffset off, const kern::MapAttrs& attrs) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kMap, "bsd_map");
   auto& as = static_cast<BsdAddressSpace&>(as_);
   len = sim::PageRound(len);
   if (len == 0) {
@@ -417,13 +426,14 @@ int BsdVm::Map(kern::AddressSpace& as_, sim::Vaddr* addr, std::uint64_t len, vfs
 
 int BsdVm::MapDevice(kern::AddressSpace& as_, sim::Vaddr* addr, kern::DeviceMem& dev,
                      const kern::MapAttrs& attrs) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kMap, "bsd_map_device");
   auto& as = static_cast<BsdAddressSpace&>(as_);
   auto dit = device_objects_.find(&dev);
   if (dit == device_objects_.end()) {
     // BSD VM: a standalone device object plus pager structures, entered in
     // the registry with a permanent reference.
     VmObject* obj = NewObject(dev.pages.size(), /*internal=*/false);
-    machine_.Charge(machine_.cost().pager_alloc_ns * 2);
+    machine_.Charge(sim::CostCat::kAlloc, machine_.cost().pager_alloc_ns * 2);
     obj->ref_count = 1;  // the registry's reference
     for (std::size_t i = 0; i < dev.pages.size(); ++i) {
       phys::Page* p = dev.pages[i];
@@ -525,6 +535,7 @@ void BsdVm::UnmapRangeLocked(BsdAddressSpace& as, sim::Vaddr start, sim::Vaddr e
 }
 
 int BsdVm::Unmap(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kMap, "bsd_unmap");
   auto& as = static_cast<BsdAddressSpace&>(as_);
   len = sim::PageRound(len);
   std::vector<VmObject*> drop;
@@ -541,6 +552,7 @@ int BsdVm::Unmap(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
 }
 
 int BsdVm::Protect(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len, sim::Prot prot) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kMap, "bsd_protect");
   auto& as = static_cast<BsdAddressSpace&>(as_);
   len = sim::PageRound(len);
   sim::Vaddr end = addr + len;
@@ -611,6 +623,7 @@ int BsdVm::SetAdvice(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len
 }
 
 int BsdVm::Msync(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kPageout, "bsd_msync");
   auto& as = static_cast<BsdAddressSpace&>(as_);
   len = sim::PageRound(len);
   sim::Vaddr end = addr + len;
@@ -910,6 +923,7 @@ void BsdVm::FreeProcResources(kern::ProcKernelResources& res) {
 // Fork
 
 kern::AddressSpace* BsdVm::Fork(kern::AddressSpace& parent_) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kFork, "bsd_fork");
   auto& parent = static_cast<BsdAddressSpace&>(parent_);
   auto* child = new BsdAddressSpace(*this, /*is_kernel=*/false);
   VmMap& pmapp = parent.map_;
@@ -960,6 +974,7 @@ kern::AddressSpace* BsdVm::Fork(kern::AddressSpace& parent_) {
 // Fault handling (§5.1): chain walk, COW promotion, collapse attempts.
 
 int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kFault, "bsd_fault");
   auto& as = static_cast<BsdAddressSpace&>(as_);
   machine_.Charge(machine_.cost().fault_entry_ns);
   ++machine_.stats().faults;
@@ -1018,6 +1033,7 @@ int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
         map.Unlock();
         return sim::kErrNoMem;
       }
+      sim::ChargeScope pagein_scope(machine_, sim::CostCat::kPagein, "bsd_pagein");
       if (int err = obj->pager->GetPage(pm_, page, pgi); err != sim::kOk) {
         // The backing copy is still intact; drop the empty frame and
         // surface the error to the faulting process.
@@ -1108,6 +1124,7 @@ int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
 // Pageout: one page per I/O operation (§6).
 
 std::size_t BsdVm::PageDaemon(std::size_t target_free) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kPageout, "bsd_pagedaemon");
   std::size_t freed = 0;
   std::size_t guard = pm_.total_pages() * 4 + 64;
   while (pm_.free_pages() < target_free && guard-- > 0) {
@@ -1139,14 +1156,15 @@ std::size_t BsdVm::PageDaemon(std::size_t target_free) {
     if (p->dirty) {
       if (obj->pager == nullptr) {
         SIM_ASSERT(obj->internal_);
-        machine_.Charge(machine_.cost().pager_alloc_ns);
+        machine_.Charge(sim::CostCat::kAlloc, machine_.cost().pager_alloc_ns);
         obj->pager = std::make_unique<SwapPager>(swap_);
       }
       int perr = obj->pager->PutPage(pm_, p, p->offset);
       // Transient device errors get a bounded retry with doubling
       // virtual-time backoff; the page stays dirty throughout, so giving
       // up loses nothing.
-      for (int attempt = 0; perr == sim::kErrIO && attempt < kMaxPageoutRetries; ++attempt) {
+      for (int attempt = 0; perr == sim::kErrIO && attempt < config_.tuning.max_pageout_retries;
+           ++attempt) {
         ++machine_.stats().pageout_retries;
         machine_.Charge(machine_.cost().io_retry_backoff_ns << attempt);
         perr = obj->pager->PutPage(pm_, p, p->offset);

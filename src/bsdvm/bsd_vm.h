@@ -49,6 +49,7 @@ struct BsdConfig {
   std::size_t object_cache_limit = 100;  // §4: the one-hundred-file limit
   std::size_t kernel_map_entries = 4096;  // fixed kernel entry pool
   bool enable_collapse = true;            // ablation switch
+  kern::VmTuning tuning;                  // shared pageout-retry policy
 };
 
 class BsdVm : public kern::VmSystem {

@@ -89,7 +89,7 @@ void Uvm::DestroyAddressSpace(kern::AddressSpace* as_) {
 // anon / amap management
 
 Anon* Uvm::NewAnon() {
-  machine_.Charge(machine_.cost().anon_alloc_ns);
+  machine_.Charge(sim::CostCat::kAlloc, machine_.cost().anon_alloc_ns);
   ++machine_.stats().anons_allocated;
   auto* a = new Anon();
   all_anons_.insert(a);
@@ -124,7 +124,7 @@ void Uvm::DerefAnon(Anon* a) {
 }
 
 Amap* Uvm::NewAmap(std::uint64_t nslots) {
-  machine_.Charge(machine_.cost().amap_alloc_per_slot_ns * nslots);
+  machine_.Charge(sim::CostCat::kAlloc, machine_.cost().amap_alloc_per_slot_ns * nslots);
   ++machine_.stats().amaps_allocated;
   auto* am = new Amap(MakeAmapImpl(config_.amap_policy, nslots));
   all_amaps_.insert(am);
@@ -226,6 +226,7 @@ phys::Page* Uvm::AllocPageOrReclaim(phys::OwnerKind kind, void* owner, sim::ObjO
 
 int Uvm::Map(kern::AddressSpace& as_, sim::Vaddr* addr, std::uint64_t len, vfs::Vnode* vn,
              sim::ObjOffset off, const kern::MapAttrs& attrs) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kMap, "uvm_map");
   auto& as = static_cast<UvmAddressSpace&>(as_);
   len = sim::PageRound(len);
   if (len == 0) {
@@ -357,6 +358,7 @@ void Uvm::DropEntryRefs(UvmMapEntry& e) {
 }
 
 int Uvm::Unmap(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kMap, "uvm_unmap");
   auto& as = static_cast<UvmAddressSpace&>(as_);
   len = sim::PageRound(len);
   sim::Vaddr end = addr + len;
@@ -497,6 +499,7 @@ int Uvm::SetAdvice(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len,
 }
 
 int Uvm::Msync(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kPageout, "uvm_msync");
   auto& as = static_cast<UvmAddressSpace&>(as_);
   len = sim::PageRound(len);
   sim::Vaddr end = addr + len;
@@ -774,6 +777,7 @@ void Uvm::FreeProcResources(kern::ProcKernelResources& res) {
 // Fork (§5.2)
 
 kern::AddressSpace* Uvm::Fork(kern::AddressSpace& parent_) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kFork, "uvm_fork");
   auto& parent = static_cast<UvmAddressSpace&>(parent_);
   auto* child = new UvmAddressSpace(*this, /*is_kernel=*/false);
   UvmMap& pmap_map = parent.map_;
@@ -844,6 +848,7 @@ kern::AddressSpace* Uvm::Fork(kern::AddressSpace& parent_) {
 // Fault handling (§5.2, §5.4)
 
 int Uvm::AnonPageIn(Anon* anon) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kPagein, "uvm_anon_pagein");
   SIM_ASSERT(anon->page == nullptr);
   if (anon->swap_slot == swp::kNoSlot) {
     // A clean zero-fill page that was reclaimed: its contents were all
@@ -872,6 +877,7 @@ int Uvm::AnonPageInCluster(UvmMapEntry& e, sim::Vaddr va, Anon* anon) {
   if (!config_.cluster_swap_in || anon->swap_slot == swp::kNoSlot || e.amap == nullptr) {
     return AnonPageIn(anon);
   }
+  sim::ChargeScope scope(machine_, sim::CostCat::kPagein, "uvm_anon_pagein_cluster");
   // Collect a forward run of neighbouring anons whose swap slots are
   // contiguous with ours — likely, since the pagedaemon wrote them out as
   // one cluster (§6).
@@ -1166,6 +1172,7 @@ void Uvm::MapNeighbors(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr fault_va)
 }
 
 int Uvm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kFault, "uvm_fault");
   auto& as = static_cast<UvmAddressSpace&>(as_);
   machine_.Charge(machine_.cost().fault_entry_ns);
   ++machine_.stats().faults;
@@ -1196,12 +1203,6 @@ int Uvm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
 
 // ---------------------------------------------------------------------------
 // Pagedaemon (§6): aggressive clustering of anonymous pageout.
-
-namespace {
-// Transient-EIO retries per pageout before giving the pages back to the
-// active queue (total backoff ≈ io_retry_backoff_ns * (2^n - 1)).
-constexpr int kMaxPageoutRetries = 5;
-}  // namespace
 
 std::size_t Uvm::PageOutAnonCluster(phys::Page* first) {
   // Gather up to pageout_cluster dirty anonymous pages from the inactive
@@ -1243,7 +1244,7 @@ std::size_t Uvm::PageOutAnonCluster(phys::Page* first) {
   int err = sim::kOk;
   for (int attempt = 0;; ++attempt) {
     err = swap_.WriteRunRemapping(&base, datas);
-    if (err != sim::kErrIO || attempt >= kMaxPageoutRetries) {
+    if (err != sim::kErrIO || attempt >= config_.tuning.max_pageout_retries) {
       break;
     }
     ++machine_.stats().pageout_retries;
@@ -1294,7 +1295,7 @@ std::size_t Uvm::PageOutObjectRun(phys::Page* first) {
   int err = sim::kOk;
   for (int attempt = 0;; ++attempt) {
     err = obj->pgops->Put(*this, *obj, run);
-    if (err != sim::kErrIO || attempt >= kMaxPageoutRetries) {
+    if (err != sim::kErrIO || attempt >= config_.tuning.max_pageout_retries) {
       break;
     }
     ++machine_.stats().pageout_retries;
@@ -1314,6 +1315,7 @@ std::size_t Uvm::PageOutObjectRun(phys::Page* first) {
 }
 
 std::size_t Uvm::PageDaemon(std::size_t target_free) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kPageout, "uvm_pagedaemon");
   std::size_t freed = 0;
   std::size_t guard = pm_.total_pages() * 4 + 64;
   while (pm_.free_pages() < target_free && guard-- > 0) {
@@ -1392,6 +1394,7 @@ phys::Page* Uvm::ResidentPageAt(UvmMapEntry& e, sim::Vaddr va) const {
 
 int Uvm::Loan(kern::AddressSpace& as_, sim::Vaddr va, std::size_t npages,
               std::vector<phys::Page*>* out) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kLoan, "uvm_loan");
   auto& as = static_cast<UvmAddressSpace&>(as_);
   va = sim::PageTrunc(va);
   std::size_t done = 0;
@@ -1422,7 +1425,7 @@ int Uvm::Loan(kern::AddressSpace& as_, sim::Vaddr va, std::size_t npages,
     ++page->loan_count;
     pm_.Wire(page);
     mmu_.PageProtect(page, sim::Prot::kReadExec);
-    machine_.Charge(machine_.cost().loan_page_ns);
+    machine_.Charge(sim::CostCat::kLoan, machine_.cost().loan_page_ns);
     out->push_back(page);
     ++done;
     map.Unlock();
@@ -1451,6 +1454,7 @@ void Uvm::Unloan(std::span<phys::Page*> pages) {
 }
 
 int Uvm::Transfer(kern::AddressSpace& dst_, sim::Vaddr* addr, std::span<phys::Page*> pages) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kLoan, "uvm_transfer");
   auto& dst = static_cast<UvmAddressSpace&>(dst_);
   std::uint64_t len = pages.size() * sim::kPageSize;
   UvmMap& map = dst.map_;
@@ -1513,6 +1517,7 @@ int Uvm::Transfer(kern::AddressSpace& dst_, sim::Vaddr* addr, std::span<phys::Pa
 
 int Uvm::Extract(kern::AddressSpace& src_, sim::Vaddr src_va, std::uint64_t len,
                  kern::AddressSpace& dst_, sim::Vaddr* dst_va, kern::ExtractMode mode) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kLoan, "uvm_extract");
   auto& src = static_cast<UvmAddressSpace&>(src_);
   auto& dst = static_cast<UvmAddressSpace&>(dst_);
   len = sim::PageRound(len);

@@ -70,6 +70,7 @@ struct UvmConfig {
   // (NetBSD later added this to uvm_map). Off by default to keep Table 1
   // workload calibration byte-exact.
   bool merge_map_entries = false;
+  kern::VmTuning tuning;  // shared pageout-retry policy
 };
 
 class Uvm : public kern::VmSystem {

@@ -43,6 +43,7 @@ class VnodeOps : public PagerOps {
  public:
   int Get(Uvm& vm, UvmObject& obj, std::uint64_t pgindex, std::size_t max_cluster,
           phys::Page** out) override {
+    sim::ChargeScope scope(vm.machine(), sim::CostCat::kPagein, "uvm_vnode_get");
     auto& uvn = *static_cast<UvmVnode*>(obj.impl);
     std::uint64_t file_pages = uvn.vn->size_pages();
     if (pgindex >= file_pages) {
@@ -198,15 +199,28 @@ void UvmVnode::Terminate(vfs::Vnode& vnode) {
   SIM_ASSERT_MSG(uobj.ref_count == 0, "recycling a mapped vnode");
   vm.ForgetVnode(&vnode);
   // Flush dirty pages in clustered contiguous runs, then drop everything.
-  // Terminate cannot report failure to anyone, so flushes retry a few times
-  // with backoff and then give up (the transient-fault case recovers; a
-  // permanently dead filesystem disk drops the writes, like a real kernel).
+  // Terminate cannot report failure to anyone, so flushes retry with the
+  // shared VmTuning budget and backoff, then give up counting the dropped
+  // pages (the transient-fault case recovers; a permanently dead filesystem
+  // disk drops the writes, like a real kernel).
+  sim::ChargeScope scope(vm.machine(), sim::CostCat::kPageout, "uvm_terminate_flush");
   auto flush = [this](const std::vector<phys::Page*>& r) {
-    for (int attempt = 0; attempt < 3; ++attempt) {
-      if (FlushRun(vm, *this, r) != sim::kErrIO) {
-        return;
-      }
+    if (r.empty()) {
+      return;
+    }
+    int err = FlushRun(vm, *this, r);
+    for (int attempt = 0;
+         err == sim::kErrIO && attempt < vm.config().tuning.max_pageout_retries; ++attempt) {
+      ++vm.machine().stats().pageout_retries;
       vm.machine().Charge(vm.machine().cost().io_retry_backoff_ns << attempt);
+      err = FlushRun(vm, *this, r);
+    }
+    if (err == sim::kErrIO) {
+      vm.machine().stats().pageout_drops += r.size();
+      if (vm.machine().tracer().enabled()) {
+        vm.machine().tracer().Instant(sim::CostCat::kPageout, "uvm_pageout_drop",
+                                      vm.machine().clock().now(), r.size());
+      }
     }
   };
   std::vector<phys::Page*> run;

@@ -252,6 +252,7 @@ int Kernel::Sysctl(Proc* p, sim::Vaddr buf, std::uint64_t len) {
 }
 
 int Kernel::Physio(Proc* p, sim::Vaddr buf, std::uint64_t len, bool is_write) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kIo, "physio");
   TransientWiring tw;
   int err = vm_.WireTransient(*p->as, buf, len, &tw);
   if (err != sim::kOk) {
@@ -285,6 +286,7 @@ int Kernel::Physio(Proc* p, sim::Vaddr buf, std::uint64_t len, bool is_write) {
 // Data movement (§7)
 
 int Kernel::SocketSendCopy(Proc* p, sim::Vaddr va, std::uint64_t len) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kIo, "socket_send_copy");
   machine_.Charge(machine_.cost().socket_setup_ns);
   std::size_t npages = sim::BytesToPages(len);
   // Bulk copy user data into kernel mbufs, then protocol processing.
@@ -292,13 +294,14 @@ int Kernel::SocketSendCopy(Proc* p, sim::Vaddr va, std::uint64_t len) {
   if (int err = ReadMem(p, va, mbuf); err != sim::kOk) {
     return err;
   }
-  machine_.Charge(machine_.cost().page_copy_ns * npages);
+  machine_.Charge(sim::CostCat::kCopy, machine_.cost().page_copy_ns * npages);
   machine_.stats().pages_copied += npages;
   machine_.Charge(machine_.cost().socket_per_page_ns * npages);
   return sim::kOk;
 }
 
 int Kernel::SocketSendLoan(Proc* p, sim::Vaddr va, std::uint64_t len) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kIo, "socket_send_loan");
   machine_.Charge(machine_.cost().socket_setup_ns);
   std::size_t npages = sim::BytesToPages(len);
   std::vector<phys::Page*> loaned;

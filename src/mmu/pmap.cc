@@ -26,7 +26,7 @@ void MmuContext::PvRemove(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va) {
 std::size_t MmuContext::PageProtect(phys::Page* page, sim::Prot prot) {
   auto& list = pv_[page->pfn];
   std::size_t n = list.size();
-  machine().Charge(machine().cost().pmap_page_protect_ns * (n == 0 ? 1 : n));
+  machine().Charge(sim::CostCat::kPmap, machine().cost().pmap_page_protect_ns * (n == 0 ? 1 : n));
   if (prot == sim::Prot::kNone) {
     // Remove all mappings. Iterate over a copy: RemoveLocked edits pv_.
     std::vector<PvEntry> copy = list;
@@ -103,7 +103,7 @@ void Pmap::EnsurePtPage(sim::Vaddr va) {
   phys::Page* pt = ctx_.phys().AllocPage(phys::OwnerKind::kKernel, this, idx, /*zero=*/true);
   SIM_ASSERT_MSG(pt != nullptr, "out of memory allocating page-table page");
   ctx_.phys().Wire(pt);
-  ctx_.machine().Charge(ctx_.machine().cost().ptpage_alloc_ns);
+  ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().ptpage_alloc_ns);
   ptpages_.emplace(idx, pt);
   if (on_ptpage_alloc_) {
     on_ptpage_alloc_(pt);
@@ -113,7 +113,7 @@ void Pmap::EnsurePtPage(sim::Vaddr va) {
 void Pmap::Enter(sim::Vaddr va, phys::Page* page, sim::Prot prot, bool wired) {
   va = sim::PageTrunc(va);
   EnsurePtPage(va);
-  ctx_.machine().Charge(ctx_.machine().cost().pmap_enter_ns);
+  ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().pmap_enter_ns);
   if (Pte* pte = LookupPte(va); pte != nullptr) {
     // Replacing an existing mapping.
     if (pte->pfn == page->pfn) {
@@ -151,14 +151,14 @@ void Pmap::RemoveLocked(sim::Vaddr va_page) {
 }
 
 void Pmap::Remove(sim::Vaddr va) {
-  ctx_.machine().Charge(ctx_.machine().cost().pmap_remove_ns);
+  ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().pmap_remove_ns);
   RemoveLocked(sim::PageTrunc(va));
 }
 
 void Pmap::RemoveRange(sim::Vaddr start, sim::Vaddr end) {
   for (sim::Vaddr va = sim::PageTrunc(start); va < end; va += sim::kPageSize) {
     if (ptes_.contains(va)) {
-      ctx_.machine().Charge(ctx_.machine().cost().pmap_remove_ns);
+      ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().pmap_remove_ns);
       RemoveLocked(va);
     }
   }
@@ -176,7 +176,7 @@ void Pmap::RemoveAll() {
   }
   std::sort(vas.begin(), vas.end());
   for (sim::Vaddr va : vas) {
-    ctx_.machine().Charge(ctx_.machine().cost().pmap_remove_ns);
+    ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().pmap_remove_ns);
     RemoveLocked(va);
   }
 }
@@ -186,7 +186,7 @@ void Pmap::Protect(sim::Vaddr va, sim::Prot prot) {
   if (pte == nullptr) {
     return;
   }
-  ctx_.machine().Charge(ctx_.machine().cost().pmap_protect_ns);
+  ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().pmap_protect_ns);
   if (prot == sim::Prot::kNone) {
     RemoveLocked(sim::PageTrunc(va));
   } else {
@@ -206,7 +206,7 @@ void Pmap::IntersectProtRange(sim::Vaddr start, sim::Vaddr end, sim::Prot prot) 
     if (pte == nullptr) {
       continue;
     }
-    ctx_.machine().Charge(ctx_.machine().cost().pmap_protect_ns);
+    ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().pmap_protect_ns);
     sim::Prot np = pte->prot & prot;
     if (np == sim::Prot::kNone && !pte->wired) {
       RemoveLocked(va);
@@ -228,7 +228,7 @@ void Pmap::ChangeWiring(sim::Vaddr va, bool wired) {
 }
 
 std::optional<Pte> Pmap::Extract(sim::Vaddr va) const {
-  ctx_.machine().Charge(ctx_.machine().cost().pmap_extract_ns);
+  ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().pmap_extract_ns);
   Pte* pte = LookupPte(sim::PageTrunc(va));
   if (pte == nullptr) {
     return std::nullopt;

@@ -146,13 +146,13 @@ std::span<const std::byte, sim::kPageSize> PhysMem::Data(const Page* p) const {
 void PhysMem::CopyPage(const Page* src, Page* dst) {
   std::memcpy(&bytes_[dst->pfn * sim::kPageSize], &bytes_[src->pfn * sim::kPageSize],
               sim::kPageSize);
-  machine_.Charge(machine_.cost().page_copy_ns);
+  machine_.Charge(sim::CostCat::kCopy, machine_.cost().page_copy_ns);
   ++machine_.stats().pages_copied;
 }
 
 void PhysMem::ZeroPage(Page* p) {
   std::memset(&bytes_[p->pfn * sim::kPageSize], 0, sim::kPageSize);
-  machine_.Charge(machine_.cost().page_zero_ns);
+  machine_.Charge(sim::CostCat::kCopy, machine_.cost().page_zero_ns);
   ++machine_.stats().pages_zeroed;
 }
 

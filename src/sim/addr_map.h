@@ -62,7 +62,7 @@ class AddrMap {
   // threaded) but acquisitions and virtual hold time are recorded.
   void Lock() {
     if (lock_depth_ == 0) {
-      machine_.Charge(machine_.cost().map_lock_ns);
+      machine_.Charge(CostCat::kLock, machine_.cost().map_lock_ns);
       ++machine_.stats().map_lock_acquisitions;
       lock_start_ = machine_.clock().now();
     }

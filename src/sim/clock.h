@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "src/sim/assert.h"
 #include "src/sim/types.h"
 
 namespace sim {
@@ -26,11 +27,18 @@ class Clock {
   Nanoseconds now_ns_ = 0;
 };
 
-// RAII helper measuring elapsed virtual time across a scope.
+// RAII helper measuring elapsed virtual time across a scope. The clock
+// must not be Reset() while a span is live: elapsed() would silently
+// underflow to a huge unsigned value. Benches that run several experiments
+// start a fresh World (fresh Clock) per run instead of resetting, so the
+// assert below is the backstop, not a hot path.
 class ClockSpan {
  public:
   explicit ClockSpan(const Clock& clock) : clock_(clock), start_(clock.now()) {}
-  Nanoseconds elapsed() const { return clock_.now() - start_; }
+  Nanoseconds elapsed() const {
+    SIM_ASSERT_MSG(clock_.now() >= start_, "Clock::Reset() while a ClockSpan was live");
+    return clock_.now() - start_;
+  }
 
  private:
   const Clock& clock_;

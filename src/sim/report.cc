@@ -1,43 +1,92 @@
 #include "src/sim/report.h"
 
+#include <iomanip>
+#include <locale>
+#include <sstream>
+
 namespace sim {
+
+namespace {
+
+// All report output is formatted into a stream pinned to the classic "C"
+// locale with fixed precision. Writing straight to the caller's stream
+// would inherit its locale (decimal comma, digit grouping under e.g. de_DE)
+// and the default 6-significant-digit double formatting — both of which
+// break byte-identical output across environments.
+std::ostringstream ClassicStream() {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << std::fixed << std::setprecision(6);
+  return os;
+}
+
+}  // namespace
+
+std::string FormatSeconds(Nanoseconds ns) {
+  std::ostringstream os = ClassicStream();
+  os << static_cast<double>(ns) * 1e-9;
+  return os.str();
+}
+
+void ReportCostBreakdown(std::ostream& os, const Machine& machine) {
+  const CostBreakdown& b = machine.breakdown();
+  std::ostringstream out = ClassicStream();
+  out << "cost breakdown (virtual time by category):\n";
+  for (std::size_t i = 0; i < kNumCostCats; ++i) {
+    CostCat c = static_cast<CostCat>(i);
+    if (b.ns_of(c) == 0 && b.charges_of(c) == 0) {
+      continue;
+    }
+    out << "  " << std::left << std::setw(8) << CostCatName(c) << std::right
+        << FormatSeconds(static_cast<Nanoseconds>(b.ns_of(c))) << " s in " << b.charges_of(c)
+        << " charges\n";
+  }
+  out << "  total    " << FormatSeconds(static_cast<Nanoseconds>(b.total_ns())) << " s\n";
+  os << out.str();
+}
 
 void ReportStats(std::ostream& os, const Machine& machine) {
   const Stats& s = machine.stats();
-  os << "virtual time: " << machine.clock().now_seconds() << " s\n"
-     << "faults:       " << s.faults << " (+" << s.fault_neighbor_maps
-     << " neighbour pages mapped)\n"
-     << "disk:         " << s.disk_ops << " ops, " << s.disk_pages_read << " pages in, "
-     << s.disk_pages_written << " pages out\n"
-     << "swap:         " << s.swap_ops << " ops, " << s.swap_pages_in << " pages in, "
-     << s.swap_pages_out << " pages out\n"
-     << "io errors:    " << s.io_errors_injected << " injected, " << s.pagein_errors
-     << " pagein errors, " << s.pageout_retries << " pageout retries, "
-     << s.bad_slots_remapped << " bad slots remapped\n"
-     << "memory:       " << s.pages_copied << " pages copied, " << s.pages_zeroed
-     << " pages zeroed\n"
-     << "map entries:  " << s.map_entries_allocated << " allocated, "
-     << s.map_entry_fragmentations << " fragmentations, " << s.map_entries_merged
-     << " merged\n"
-     << "lookups:      " << s.map_lookup_probes << " map probes (modeled), "
-     << s.map_hint_hits << " hint hits, " << s.pagestore_lookups
-     << " pagestore lookups, " << s.pte_cache_hits << " pte-cache hits\n"
-     << "objects:      " << s.objects_allocated << " allocated, " << s.shadows_created
-     << " shadows, " << s.collapse_attempts << " collapse attempts ("
-     << s.collapses_done << " collapses, " << s.bypasses_done << " bypasses)\n"
-     << "anon layer:   " << s.amaps_allocated << " amaps, " << s.anons_allocated
-     << " anons\n"
-     << "caches:       " << s.object_cache_hits << " object-cache hits, "
-     << s.object_cache_evictions << " evictions; " << s.vnode_cache_hits
-     << " vnode hits, " << s.vnode_recycles << " recycles\n"
-     << "locks:        " << s.map_lock_acquisitions << " map-lock acquisitions, "
-     << s.map_lock_hold_ns << " ns held\n";
+  std::ostringstream out = ClassicStream();
+  out << "virtual time: " << FormatSeconds(machine.clock().now()) << " s\n"
+      << "faults:       " << s.faults << " (+" << s.fault_neighbor_maps
+      << " neighbour pages mapped)\n"
+      << "disk:         " << s.disk_ops << " ops, " << s.disk_pages_read << " pages in, "
+      << s.disk_pages_written << " pages out\n"
+      << "swap:         " << s.swap_ops << " ops, " << s.swap_pages_in << " pages in, "
+      << s.swap_pages_out << " pages out\n"
+      << "io errors:    " << s.io_errors_injected << " injected, " << s.pagein_errors
+      << " pagein errors, " << s.pageout_retries << " pageout retries, "
+      << s.bad_slots_remapped << " bad slots remapped, " << s.pageout_drops
+      << " dirty pages dropped\n"
+      << "memory:       " << s.pages_copied << " pages copied, " << s.pages_zeroed
+      << " pages zeroed\n"
+      << "map entries:  " << s.map_entries_allocated << " allocated, "
+      << s.map_entry_fragmentations << " fragmentations, " << s.map_entries_merged
+      << " merged\n"
+      << "lookups:      " << s.map_lookup_probes << " map probes (modeled), "
+      << s.map_hint_hits << " hint hits, " << s.pagestore_lookups
+      << " pagestore lookups, " << s.pte_cache_hits << " pte-cache hits\n"
+      << "objects:      " << s.objects_allocated << " allocated, " << s.shadows_created
+      << " shadows, " << s.collapse_attempts << " collapse attempts ("
+      << s.collapses_done << " collapses, " << s.bypasses_done << " bypasses)\n"
+      << "anon layer:   " << s.amaps_allocated << " amaps, " << s.anons_allocated
+      << " anons\n"
+      << "caches:       " << s.object_cache_hits << " object-cache hits, "
+      << s.object_cache_evictions << " evictions; " << s.vnode_cache_hits
+      << " vnode hits, " << s.vnode_recycles << " recycles\n"
+      << "locks:        " << s.map_lock_acquisitions << " map-lock acquisitions, "
+      << s.map_lock_hold_ns << " ns held\n";
+  os << out.str();
+  ReportCostBreakdown(os, machine);
 }
 
 void ReportIoLine(std::ostream& os, const Machine& machine) {
   const Stats& s = machine.stats();
-  os << "faults=" << s.faults << " disk_ops=" << s.disk_ops << " swap_ops=" << s.swap_ops
-     << " copied=" << s.pages_copied << " t=" << machine.clock().now_seconds() << "s";
+  std::ostringstream out = ClassicStream();
+  out << "faults=" << s.faults << " disk_ops=" << s.disk_ops << " swap_ops=" << s.swap_ops
+      << " copied=" << s.pages_copied << " t=" << FormatSeconds(machine.clock().now()) << "s";
+  os << out.str();
 }
 
 }  // namespace sim

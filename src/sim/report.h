@@ -5,13 +5,25 @@
 #define SRC_SIM_REPORT_H_
 
 #include <ostream>
+#include <string>
 
 #include "src/sim/machine.h"
 
 namespace sim {
 
-// Write a multi-line counter summary to `os`.
+// All report output is locale-independent (classic "C" locale) and
+// fixed-precision, so it is byte-identical regardless of the host
+// environment or any std::locale::global() the embedding program set.
+
+// Virtual nanoseconds as fixed-precision seconds ("1.234567").
+std::string FormatSeconds(Nanoseconds ns);
+
+// Write a multi-line counter summary to `os` (ends with the per-category
+// cost breakdown).
 void ReportStats(std::ostream& os, const Machine& machine);
+
+// Just the per-category virtual-time breakdown.
+void ReportCostBreakdown(std::ostream& os, const Machine& machine);
 
 // One-line I/O summary ("faults=... disk_ops=... swap_ops=...").
 void ReportIoLine(std::ostream& os, const Machine& machine);

@@ -24,8 +24,12 @@ struct Stats {
   // I/O error injection and recovery
   std::uint64_t io_errors_injected = 0;  // faults delivered by the injector
   std::uint64_t pagein_errors = 0;       // faults surfaced to a process as kErrIO
-  std::uint64_t pageout_retries = 0;     // pagedaemon retry passes after EIO
+  std::uint64_t pageout_retries = 0;     // pageout retry passes after EIO
   std::uint64_t bad_slots_remapped = 0;  // swap slots marked bad and replaced
+  // Dirty pages dropped because a terminate-time flush exhausted its
+  // retries (object/vnode teardown cannot report failure; a permanently
+  // dead disk loses the write, and this counter is the only evidence).
+  std::uint64_t pageout_drops = 0;
 
   // Memory traffic
   std::uint64_t pages_copied = 0;

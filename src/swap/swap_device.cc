@@ -85,6 +85,11 @@ void SwapDevice::RetireSlot(std::int32_t slot) {
   bad_[i] = true;
   ++bad_count_;
   ++disk_.machine().stats().bad_slots_remapped;
+  sim::Machine& m = disk_.machine();
+  if (m.tracer().enabled()) {
+    m.tracer().Instant(m.cost_context(), "swap_slot_retired", m.clock().now(),
+                       static_cast<std::uint64_t>(slot));
+  }
 }
 
 int SwapDevice::WriteRun(std::int32_t first,

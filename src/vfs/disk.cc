@@ -7,8 +7,15 @@ void Disk::Charge(std::size_t npages) {
   machine_.Charge(c.disk_op_ns + c.disk_page_ns * npages);
 }
 
+void Disk::TraceOp(const char* name, std::size_t npages) {
+  if (machine_.tracer().enabled()) {
+    machine_.tracer().Instant(machine_.cost_context(), name, machine_.clock().now(), npages);
+  }
+}
+
 int Disk::ReadOp(std::size_t npages, std::uint64_t blkno) {
   Charge(npages);
+  TraceOp(kind_ == Kind::kSwap ? "swap_read" : "disk_read", npages);
   sim::Stats& s = machine_.stats();
   auto fault = machine_.faults().OnOp(device(), sim::IoDir::kRead, blkno, npages, s);
   if (kind_ == Kind::kSwap) {
@@ -23,6 +30,7 @@ int Disk::ReadOp(std::size_t npages, std::uint64_t blkno) {
 
 int Disk::WriteOp(std::size_t npages, std::uint64_t blkno) {
   Charge(npages);
+  TraceOp(kind_ == Kind::kSwap ? "swap_write" : "disk_write", npages);
   sim::Stats& s = machine_.stats();
   auto fault = machine_.faults().OnOp(device(), sim::IoDir::kWrite, blkno, npages, s);
   if (kind_ == Kind::kSwap) {

@@ -38,6 +38,9 @@ class Disk {
 
  private:
   void Charge(std::size_t npages);
+  // Emit an instant trace event for one I/O operation (no-op when tracing
+  // is disabled; never touches the clock or stats).
+  void TraceOp(const char* name, std::size_t npages);
   sim::IoDevice device() const {
     return kind_ == Kind::kSwap ? sim::IoDevice::kSwapDisk
                                 : sim::IoDevice::kFilesystemDisk;

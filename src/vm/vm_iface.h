@@ -25,6 +25,18 @@
 
 namespace kern {
 
+// Paging tuning shared by both VM systems. Both configs embed one of these
+// so fault-injection comparisons between the two VMs are apples-to-apples:
+// a retry-count difference would otherwise masquerade as an architectural
+// virtual-time difference.
+struct VmTuning {
+  // Transient-EIO retries per pageout after the initial attempt, with
+  // doubling virtual-time backoff. Applies uniformly to pagedaemon passes
+  // and to terminate-time flushes (which historically hardcoded 3 attempts
+  // per VM); every retry increments Stats::pageout_retries on every path.
+  int max_pageout_retries = 5;
+};
+
 // Attributes of a new mapping. UVM's uvm_map() accepts all of these in one
 // call (§3.1); BSD VM emulates the same API with its insecure multi-step
 // establish-then-modify sequence, and the difference is metered.

@@ -225,6 +225,57 @@ TEST_P(FailureTest, PageoutRetriesUntilSuccess) {
   w.vm->CheckInvariants();
 }
 
+// Terminate-time flushes cannot report failure to anyone: when the
+// filesystem disk is permanently dead, the dirty pages are lost. That loss
+// must be visible — every dropped page counts in Stats::pageout_drops, and
+// the retry passes leading up to the drop count in pageout_retries (both
+// VMs, one shared VmTuning::max_pageout_retries policy).
+TEST_P(FailureTest, TerminateFlushDropsAreCounted) {
+  WorldConfig cfg;
+  cfg.bsd.object_cache_limit = 0;  // BSD: unmap terminates the object at once
+  cfg.max_vnodes = 2;              // UVM: two more lookups recycle the vnode
+  World w(GetParam(), cfg);
+  kern::Proc* p = w.kernel->Spawn();
+
+  const std::size_t npages = 8;
+  w.fs.CreateFilePattern("/dirty", npages * sim::kPageSize);
+  sim::Vaddr fa = 0;
+  kern::MapAttrs shared;
+  shared.shared = true;
+  ASSERT_EQ(sim::kOk, w.kernel->Mmap(p, &fa, npages * sim::kPageSize, "/dirty", 0, shared));
+  ASSERT_EQ(sim::kOk, w.kernel->TouchWrite(p, fa, npages * sim::kPageSize, std::byte{0x66}));
+
+  // The filesystem disk dies before anything is written back: every write
+  // from here on fails (probability 1/1), so no retry can ever succeed.
+  sim::FaultPlan plan;
+  plan.write_num = 1;
+  plan.write_den = 1;
+  w.machine.faults().SetPlan(sim::IoDevice::kFilesystemDisk, plan);
+
+  // BSD VM: Munmap drops the last reference; with a zero-entry object
+  // cache the vnode object is terminated (and flushed) immediately.
+  ASSERT_EQ(sim::kOk, w.kernel->Munmap(p, fa, npages * sim::kPageSize));
+  // UVM: the dirty pages stay cached on the vnode. Looking up two more
+  // files overflows the two-entry vnode table and recycles "/dirty",
+  // terminating (and flushing) its attachment. Harmless for BSD: these
+  // mappings are never dirtied.
+  for (const char* name : {"/g", "/h"}) {
+    w.fs.CreateFilePattern(name, sim::kPageSize);
+    sim::Vaddr va = 0;
+    ASSERT_EQ(sim::kOk, w.kernel->Mmap(p, &va, sim::kPageSize, name, 0, kern::MapAttrs{}));
+    ASSERT_EQ(sim::kOk, w.kernel->Munmap(p, va, sim::kPageSize));
+  }
+
+  const sim::Stats& s = w.machine.stats();
+  EXPECT_EQ(npages, s.pageout_drops) << "every dirty page silently lost must be counted";
+  // The drop came only after the full shared retry budget was spent.
+  const int budget = GetParam() == VmKind::kBsd ? cfg.bsd.tuning.max_pageout_retries
+                                                : cfg.uvm.tuning.max_pageout_retries;
+  EXPECT_GE(s.pageout_retries, static_cast<std::uint64_t>(budget));
+  EXPECT_GT(s.io_errors_injected, static_cast<std::uint64_t>(budget));
+  w.vm->CheckInvariants();
+}
+
 TEST(PartialUnmapTest, UvmFreesAnonsOnPartialUnmapBsdCannot) {
   // Real UVM's amap_unadd releases the anons of a partially unmapped range
   // at once; real BSD VM keeps the pages inside the (still referenced)

@@ -36,6 +36,7 @@ struct SoakOutcome {
   std::uint64_t io_errors_injected = 0;
   std::uint64_t pagein_errors = 0;
   std::uint64_t pageout_retries = 0;
+  std::uint64_t pageout_drops = 0;
   std::uint64_t bad_slots_remapped = 0;
   std::uint64_t faults = 0;
   std::uint64_t swap_ops = 0;
@@ -154,9 +155,9 @@ SoakOutcome RunSoak(VmKind kind, const sim::FaultPlan& plan, std::uint64_t seed)
   w.vm->CheckInvariants();
 
   const sim::Stats& s = w.machine.stats();
-  return SoakOutcome{s.io_errors_injected, s.pagein_errors,    s.pageout_retries,
-                     s.bad_slots_remapped, s.faults,           s.swap_ops,
-                     w.machine.clock().now()};
+  return SoakOutcome{s.io_errors_injected, s.pagein_errors, s.pageout_retries,
+                     s.pageout_drops,      s.bad_slots_remapped, s.faults,
+                     s.swap_ops,           w.machine.clock().now()};
 }
 
 class SoakTest : public ::testing::TestWithParam<VmKind> {};
@@ -172,6 +173,7 @@ TEST_P(SoakTest, TransientSwapWriteFaultsRecoverWithoutDataLoss) {
   EXPECT_GT(out.io_errors_injected, 0u);
   EXPECT_GT(out.pageout_retries, 0u) << "workload never exercised the retry path";
   EXPECT_EQ(0u, out.bad_slots_remapped);  // transient-only plan
+  EXPECT_EQ(0u, out.pageout_drops);  // transient faults never lose pages
 }
 
 // Permanent slot failures (half of injected write faults) force bad-block
@@ -186,6 +188,9 @@ TEST_P(SoakTest, PermanentSwapFaultsRemapWithoutDataLoss) {
   SoakOutcome out = RunSoak(GetParam(), plan, /*seed=*/202);
   EXPECT_GT(out.io_errors_injected, 0u);
   EXPECT_GT(out.bad_slots_remapped, 0u) << "workload never exercised remapping";
+  // Permanent swap faults are recovered by remapping, never by dropping:
+  // the byte-exact final sweep above is only honest if nothing was lost.
+  EXPECT_EQ(0u, out.pageout_drops);
 }
 
 // Same seed + same plan => bit-identical behaviour, including the fault

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/traceview. Exit 0 iff every check passes."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+TRACEVIEW = os.path.join(HERE, "..", "traceview.py")
+DATA = os.path.join(HERE, "data")
+
+failures = []
+
+
+def check(name, ok, detail=""):
+    status = "ok" if ok else "FAIL"
+    print(f"  [{status}] {name}" + (f": {detail}" if detail and not ok else ""))
+    if not ok:
+        failures.append(name)
+
+
+def run(args):
+    return subprocess.run(
+        [sys.executable, TRACEVIEW] + args, capture_output=True, text=True
+    )
+
+
+def main():
+    print("traceview fixture tests")
+
+    # 1. The checked-in sample summarizes to the checked-in expected output,
+    #    byte for byte (the summary itself must be deterministic).
+    sample = os.path.join(DATA, "sample.json")
+    with open(os.path.join(DATA, "sample.expected"), encoding="utf-8") as f:
+        expected = f.read()
+    r = run(["--top", "3", sample])
+    check("sample summary exit code", r.returncode == 0, str(r.returncode))
+    check("sample summary bytes", r.stdout == expected,
+          f"got:\n{r.stdout}\nwant:\n{expected}")
+
+    # 2. Rollup numbers: parse expected output instead of trusting eyes.
+    check("fault span total", "fault             2        244.800" in r.stdout)
+    check("unmatched ends tolerated", "unmatched span ends: 1" in r.stdout)
+    check("dropped events surfaced", "dropped 3 oldest" in r.stdout)
+
+    # 3. Bare-array Chrome traces (no wrapper object) are accepted.
+    with open(sample, encoding="utf-8") as f:
+        events = json.load(f)["traceEvents"]
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as tmp:
+        json.dump(events, tmp)
+        bare = tmp.name
+    try:
+        r2 = run(["--top", "3", bare])
+        check("bare-array form", r2.returncode == 0 and r2.stdout == expected)
+    finally:
+        os.unlink(bare)
+
+    # 4. Invalid JSON fails cleanly with exit 1, error on stderr.
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as tmp:
+        tmp.write("{not json")
+        broken = tmp.name
+    try:
+        r3 = run([broken])
+        check("invalid JSON rejected", r3.returncode == 1 and "traceview:" in r3.stderr)
+    finally:
+        os.unlink(broken)
+
+    # 5. Empty trace documents summarize without crashing.
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as tmp:
+        tmp.write('{"traceEvents": []}')
+        empty = tmp.name
+    try:
+        r4 = run([empty])
+        check("empty trace", r4.returncode == 0 and "0 events" in r4.stdout)
+    finally:
+        os.unlink(empty)
+
+    if failures:
+        print(f"{len(failures)} failure(s): {', '.join(failures)}")
+        return 1
+    print("all traceview fixture tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome-trace JSON file produced by the simulator's Tracer.
+
+Dependency-free (stdlib json only). Prints a deterministic summary:
+per-pid process names, a per-category rollup (span count and total span
+microseconds, instant and counter event counts), and the longest spans.
+
+Span times are computed by matching B/E pairs per (pid, tid) with a stack,
+exactly how a Chrome-trace viewer nests them. Unmatched events are counted,
+not fatal: the Tracer's bounded ring drops the *oldest* events first, so a
+trace can legitimately open with orphaned "E" events (and end with
+unclosed "B" events when the run was cut short).
+
+Usage: traceview.py [--top N] FILE.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents", [])
+    elif isinstance(doc, list):  # bare-array form is also legal Chrome trace
+        events = doc
+    else:
+        raise ValueError("not a Chrome trace document")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents is not a list")
+    return events
+
+
+def summarize(events):
+    procs = {}  # pid -> process name
+    cats = {}  # cat -> [span_count, span_us, instants, counters]
+    spans = []  # (dur_us, ts, pid, name)
+    stacks = {}  # (pid, tid) -> [(name, cat, ts)]
+    unmatched_end = 0
+    unclosed_begin = 0
+    dropped = 0
+
+    def cat_row(cat):
+        return cats.setdefault(cat, [0, 0.0, 0, 0])
+
+    for e in events:
+        ph = e.get("ph")
+        pid = e.get("pid", 0)
+        tid = e.get("tid", 0)
+        name = e.get("name", "")
+        cat = e.get("cat", "")
+        ts = float(e.get("ts", 0))
+        if ph == "M":
+            if name == "process_name":
+                procs[pid] = e.get("args", {}).get("name", "")
+            elif name == "trace_dropped_events":
+                dropped += int(e.get("args", {}).get("value", 0))
+        elif ph == "B":
+            stacks.setdefault((pid, tid), []).append((name, cat, ts))
+        elif ph == "E":
+            stack = stacks.get((pid, tid), [])
+            if not stack:
+                unmatched_end += 1
+                continue
+            bname, bcat, bts = stack.pop()
+            row = cat_row(bcat)
+            row[0] += 1
+            row[1] += ts - bts
+            spans.append((ts - bts, bts, pid, bname))
+        elif ph == "i":
+            cat_row(cat)[2] += 1
+        elif ph == "C":
+            cat_row(cat)[3] += 1
+    for stack in stacks.values():
+        unclosed_begin += len(stack)
+    return procs, cats, spans, unmatched_end, unclosed_begin, dropped
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--top", type=int, default=10, help="longest spans to list")
+    ap.add_argument("file", help="Chrome-trace JSON file")
+    args = ap.parse_args(argv)
+
+    try:
+        events = load_events(args.file)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"traceview: {args.file}: {err}", file=sys.stderr)
+        return 1
+
+    procs, cats, spans, unmatched_end, unclosed_begin, dropped = summarize(events)
+
+    print(f"trace: {len(events)} events, {len(procs)} processes")
+    for pid in sorted(procs):
+        print(f"  pid {pid}: {procs[pid]}")
+    if dropped:
+        print(f"  (ring buffer dropped {dropped} oldest events)")
+    if unmatched_end or unclosed_begin:
+        print(f"  (unmatched span ends: {unmatched_end}, unclosed begins: {unclosed_begin})")
+
+    print("category rollup:")
+    print(f"  {'category':<10} {'spans':>8} {'span_us':>14} {'instants':>9} {'counters':>9}")
+    for cat in sorted(cats):
+        n, us, inst, ctr = cats[cat]
+        print(f"  {cat:<10} {n:>8} {us:>14.3f} {inst:>9} {ctr:>9}")
+
+    if args.top > 0 and spans:
+        # Longest first; ties broken by start time, pid, name for determinism.
+        spans.sort(key=lambda s: (-s[0], s[1], s[2], s[3]))
+        print(f"top {min(args.top, len(spans))} spans:")
+        print(f"  {'dur_us':>12} {'start_us':>14} {'pid':>5} name")
+        for dur, ts, pid, name in spans[: args.top]:
+            print(f"  {dur:>12.3f} {ts:>14.3f} {pid:>5} {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
