@@ -27,8 +27,38 @@
 namespace bench {
 
 using harness::VmKind;
-using harness::World;
 using harness::WorldConfig;
+
+// Scripted resource-pressure plan for a whole bench process (DESIGN.md
+// §12). Inactive (and entirely free) unless --pressure=SPEC was given.
+class PressureSession {
+ public:
+  static PressureSession& Get() {
+    static PressureSession session;
+    return session;
+  }
+
+  bool enabled() const { return !spec_.empty(); }
+  const std::string& spec() const { return spec_; }
+  void SetSpec(std::string spec) { spec_ = std::move(spec); }
+
+ private:
+  PressureSession() = default;
+  std::string spec_;
+};
+
+// The bench-side World: identical to harness::World, but arms the
+// session-wide --pressure plan on every construction, so each measured run
+// replays the same scripted shrink/grow schedule in virtual time.
+class World : public harness::World {
+ public:
+  explicit World(VmKind kind, const WorldConfig& config = WorldConfig{})
+      : harness::World(kind, config) {
+    if (PressureSession::Get().enabled()) {
+      InstallPressurePlan(PressureSession::Get().spec());
+    }
+  }
+};
 
 // Merged Chrome-trace output for a whole bench process. Inactive (and
 // entirely free) unless --trace=FILE was given.
@@ -77,6 +107,8 @@ inline void Init(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       TraceSession::Get().SetPath(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--pressure=", 11) == 0) {
+      PressureSession::Get().SetSpec(argv[i] + 11);
     }
   }
 }

@@ -11,6 +11,12 @@ fingerprint per bench:
   3. every trace file must be valid JSON in Chrome-trace shape, and
      tools/traceview must summarize it (exit 0)
 
+With --pressure SPEC, every bench run gets --pressure=SPEC appended: the
+same determinism checks then apply to the benches *under memory pressure*
+(shrinking/growing phys and swap at virtual-time points, emergency
+reserves, the out-of-swap killer). Pressure changes the numbers but must
+never change the fact that two runs agree byte-for-byte.
+
 The JSON written to --out maps bench name -> {sha256, lines, bytes,
 trace_events}, plus a toolchain-independent "observer_effect": "ok" marker
 that only appears if every check above passed.
@@ -54,21 +60,26 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--bindir", required=True, help="directory with bench binaries")
     ap.add_argument("--out", required=True, help="BENCH_virtual.json to write")
+    ap.add_argument("--pressure", default=None, metavar="SPEC",
+                    help="pressure plan forwarded to every bench as "
+                         "--pressure=SPEC (e.g. '@1ms phys-=7000')")
     args = ap.parse_args()
+
+    extra = [f"--pressure={args.pressure}"] if args.pressure else []
 
     result = {}
     failures = []
     for name in BENCHES:
         exe = os.path.join(args.bindir, name)
-        first = run([exe])
-        second = run([exe])
+        first = run([exe] + extra)
+        second = run([exe] + extra)
         if first != second:
             failures.append(f"{name}: two untraced runs differ")
 
         with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
             trace_path = tmp.name
         try:
-            traced = run([exe, f"--trace={trace_path}"])
+            traced = run([exe, f"--trace={trace_path}"] + extra)
             if traced != first:
                 failures.append(f"{name}: stdout changed when tracing was enabled")
             with open(trace_path, encoding="utf-8") as f:
@@ -105,6 +116,8 @@ def main():
         sys.exit(1)
 
     result["observer_effect"] = "ok"
+    if args.pressure:
+        result["pressure_plan"] = args.pressure
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(result, f, indent=2, sort_keys=True)
         f.write("\n")

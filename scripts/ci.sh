@@ -37,5 +37,15 @@ fi
 # everything into build/BENCH_virtual.json.
 python3 scripts/bench_virtual_json.py --bindir build/bench --out build/BENCH_virtual.json
 
+# Pressure soak: the same eight benches under an adversarial resource plan
+# (phys memory shrunk to ~12% at 1ms, swap clamped to less than half at
+# 50ms, both restored later). Every bench must still complete on both VMs
+# with zero fatal asserts, and the double-run + traced-run byte-identity
+# checks above apply unchanged — graceful degradation must be exactly as
+# deterministic as the happy path.
+python3 scripts/bench_virtual_json.py --bindir build/bench \
+  --pressure '@1ms phys-=7000; @50ms swap=14200; @20s swap=32768; @30s phys+=5000' \
+  --out build/BENCH_pressure.json
+
 ./build/bench/bench_host_perf --quick --out build/BENCH_host.json
 python3 scripts/diff_bench_host.py BENCH_host.json build/BENCH_host.json

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_set>
 
 #include "src/sim/annotations.h"
 #include "src/sim/assert.h"
@@ -38,6 +39,7 @@ BsdAddressSpace::BsdAddressSpace(BsdVm& vm, bool is_kernel)
                         e.inherit = sim::Inherit::kNone;
                         e.wired_count = 1;
                         err = kmap.InsertEntry(e);
+                        SIM_POOL_FATAL_OK("BSD PT-page mirror fires mid-fault with no way to back out; the kernel entry pool is never shrunk by pressure plans");
                         SIM_ASSERT_MSG(err == sim::kOk, "kernel map entry pool exhausted");
                         kmap.Unlock();
                         ptpage_entries_.emplace(pt, va);
@@ -231,15 +233,30 @@ void BsdVm::TerminateObject(VmObject* obj) {
 
 phys::Page* BsdVm::AllocPageInObject(VmObject* obj, std::uint64_t pgindex, bool zero) {
   SIM_ASSERT(!obj->pages.contains(pgindex));
-  phys::Page* p = pm_.AllocPage(phys::OwnerKind::kBsdObject, obj, pgindex, zero);
+  phys::Page* p = AllocPageReclaim(phys::OwnerKind::kBsdObject, obj, pgindex, zero);
   if (p == nullptr) {
-    PageDaemon(pm_.free_target());
-    p = pm_.AllocPage(phys::OwnerKind::kBsdObject, obj, pgindex, zero);
-    if (p == nullptr) {
-      return nullptr;
-    }
+    return nullptr;
   }
   obj->pages.emplace(pgindex, p);
+  return p;
+}
+
+phys::Page* BsdVm::AllocPageReclaim(phys::OwnerKind kind, void* owner, sim::ObjOffset offset,
+                                    bool zero) {
+  phys::Page* p = pm_.AllocPage(kind, owner, offset, zero);
+  if (p == nullptr) {
+    PageDaemon(pm_.free_target());
+    p = pm_.AllocPage(kind, owner, offset, zero);
+  }
+  // Under sustained pressure one daemon pass may not recover enough: back
+  // off in virtual time and retry, bounded so true exhaustion still
+  // surfaces as a clean failure instead of a hang.
+  for (int attempt = 0; p == nullptr && attempt < config_.tuning.max_alloc_retries; ++attempt) {
+    ++machine_.stats().alloc_retries;
+    machine_.Charge(machine_.cost().mem_retry_backoff_ns << attempt);
+    PageDaemon(pm_.free_target());
+    p = pm_.AllocPage(kind, owner, offset, zero);
+  }
   return p;
 }
 
@@ -497,9 +514,13 @@ void BsdVm::ClipEndRef(VmMap& map, VmMap::iterator it, sim::Vaddr va) {
   }
 }
 
-void BsdVm::UnmapRangeLocked(BsdAddressSpace& as, sim::Vaddr start, sim::Vaddr end,
-                             std::vector<VmObject*>* drop) {
+int BsdVm::UnmapRangeLocked(BsdAddressSpace& as, sim::Vaddr start, sim::Vaddr end,
+                            std::vector<VmObject*>* drop) {
   VmMap& map = as.map_;
+  VmMap::ClipReservation clipres;
+  if (int err = clipres.Acquire(map, start, end); err != sim::kOk) {
+    return err;
+  }
   auto it = map.entries().begin();
   while (it != map.entries().end()) {
     if (it->end <= start) {
@@ -532,6 +553,7 @@ void BsdVm::UnmapRangeLocked(BsdAddressSpace& as, sim::Vaddr start, sim::Vaddr e
     auto victim = it++;
     map.EraseEntry(victim);
   }
+  return sim::kOk;
 }
 
 int BsdVm::Unmap(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
@@ -543,12 +565,12 @@ int BsdVm::Unmap(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
   // BSD VM holds the map lock across the whole operation, including the
   // object dereferences that can trigger lengthy I/O (§3.1).
   map.Lock();
-  UnmapRangeLocked(as, addr, addr + len, &drop);
+  int err = UnmapRangeLocked(as, addr, addr + len, &drop);
   for (VmObject* obj : drop) {
     DerefObject(obj);
   }
   map.Unlock();
-  return sim::kOk;
+  return err;
 }
 
 int BsdVm::Protect(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len, sim::Prot prot) {
@@ -558,6 +580,11 @@ int BsdVm::Protect(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len, 
   sim::Vaddr end = addr + len;
   VmMap& map = as.map_;
   map.Lock();
+  VmMap::ClipReservation clipres;
+  if (int err = clipres.Acquire(map, addr, end); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
   auto it = map.LookupEntry(addr);
   while (it != map.entries().end() && it->start < end) {
     if (!sim::ProtIncludes(it->max_prot, prot)) {
@@ -585,6 +612,11 @@ int BsdVm::SetInherit(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t le
   sim::Vaddr end = addr + len;
   VmMap& map = as.map_;
   map.Lock();
+  VmMap::ClipReservation clipres;
+  if (int err = clipres.Acquire(map, addr, end); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
   auto it = map.LookupEntry(addr);
   while (it != map.entries().end() && it->start < end) {
     if (it->start < addr) {
@@ -607,6 +639,11 @@ int BsdVm::SetAdvice(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len
   sim::Vaddr end = addr + len;
   VmMap& map = as.map_;
   map.Lock();
+  VmMap::ClipReservation clipres;
+  if (int err = clipres.Acquire(map, addr, end); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
   auto it = map.LookupEntry(addr);
   while (it != map.entries().end() && it->start < end) {
     if (it->start < addr) {
@@ -735,6 +772,11 @@ int BsdVm::WireRange(BsdAddressSpace& as, sim::Vaddr addr, std::uint64_t len) {
   addr = sim::PageTrunc(addr);
   VmMap& map = as.map_;
   map.Lock();
+  VmMap::ClipReservation clipres;
+  if (int err = clipres.Acquire(map, addr, end); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
   auto it = map.LookupEntry(addr);
   if (it == map.entries().end()) {
     map.Unlock();
@@ -784,6 +826,11 @@ int BsdVm::UnwireRange(BsdAddressSpace& as, sim::Vaddr addr, std::uint64_t len) 
   addr = sim::PageTrunc(addr);
   VmMap& map = as.map_;
   map.Lock();
+  VmMap::ClipReservation clipres;
+  if (int err = clipres.Acquire(map, addr, end); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
   auto it = map.LookupEntry(addr);
   while (it != map.entries().end() && it->start < end) {
     if (it->start < addr) {
@@ -855,11 +902,7 @@ int BsdVm::AllocProcResources(kern::ProcKernelResources* out) {
     kmap.Unlock();
     out->kernel_ranges.emplace_back(va, npages * sim::kPageSize);
     for (std::size_t i = 0; i < npages; ++i) {
-      phys::Page* p = pm_.AllocPage(phys::OwnerKind::kKernel, this, 0, /*zero=*/true);
-      if (p == nullptr) {
-        PageDaemon(pm_.free_target());
-        p = pm_.AllocPage(phys::OwnerKind::kKernel, this, 0, /*zero=*/true);
-      }
+      phys::Page* p = AllocPageReclaim(phys::OwnerKind::kKernel, this, 0, /*zero=*/true);
       if (p == nullptr) {
         return sim::kErrNoMem;
       }
@@ -1125,6 +1168,9 @@ int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
 
 std::size_t BsdVm::PageDaemon(std::size_t target_free) {
   sim::ChargeScope scope(machine_, sim::CostCat::kPageout, "bsd_pagedaemon");
+  // Pageout-path allocations may dip into the emergency reserve: the daemon
+  // must make progress even at the min watermark (DESIGN.md §12).
+  phys::PageoutScope pressure_scope(pm_);
   std::size_t freed = 0;
   std::size_t guard = pm_.total_pages() * 4 + 64;
   while (pm_.free_pages() < target_free && guard-- > 0) {
@@ -1195,6 +1241,24 @@ std::size_t BsdVm::PageDaemon(std::size_t target_free) {
 std::size_t BsdVm::ResidentPages(kern::AddressSpace& as_) const {
   auto& as = static_cast<BsdAddressSpace&>(as_);
   return as.pmap_.resident_count();
+}
+
+std::size_t BsdVm::AnonResidentPages(kern::AddressSpace& as_) const {
+  auto& as = static_cast<BsdAddressSpace&>(as_);
+  // Anonymous memory in BSD VM lives in internal (shadow/zero-fill) objects;
+  // walk each entry's chain, deduping shared objects. The per-object page
+  // counts are summed, so the unordered visit order cannot affect the result.
+  std::size_t n = 0;
+  std::unordered_set<const VmObject*> seen;  // SIM_ORDERED_OK: order-insensitive sum
+  for (const MapEntry& e : const_cast<VmMap&>(as.map_).entries()) {
+    for (const VmObject* o = e.object; o != nullptr; o = o->shadow) {
+      if (!o->internal_ || !seen.insert(o).second) {
+        continue;
+      }
+      n += o->pages.size();
+    }
+  }
+  return n;
 }
 
 std::size_t BsdVm::TotalAnonPages() const {

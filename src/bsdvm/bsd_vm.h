@@ -98,6 +98,8 @@ class BsdVm : public kern::VmSystem {
 
   std::size_t KernelMapEntries() const override { return kernel_as_->EntryCount(); }
   std::size_t ResidentPages(kern::AddressSpace& as) const override;
+  std::size_t AnonResidentPages(kern::AddressSpace& as) const override;
+  const kern::VmTuning& tuning() const override { return config_.tuning; }
   void CheckInvariants() override;
 
   // --- BSD-specific introspection used by tests and benches ---
@@ -129,6 +131,10 @@ class BsdVm : public kern::VmSystem {
   bool CanBypass(const VmObject* o, const VmObject* s) const;
 
   phys::Page* AllocPageInObject(VmObject* obj, std::uint64_t pgindex, bool zero);
+  // AllocPage with pagedaemon reclaim and bounded backoff retries
+  // (mirrors Uvm::AllocPageOrReclaim); nullptr on true exhaustion.
+  phys::Page* AllocPageReclaim(phys::OwnerKind kind, void* owner, sim::ObjOffset offset,
+                               bool zero);
   // Remove a page from its object and free the frame (mappings removed).
   void FreeObjectPage(phys::Page* p);
 
@@ -140,8 +146,8 @@ class BsdVm : public kern::VmSystem {
   VmMap::iterator ClipStartRef(VmMap& map, VmMap::iterator it, sim::Vaddr va);
   void ClipEndRef(VmMap& map, VmMap::iterator it, sim::Vaddr va);
 
-  void UnmapRangeLocked(BsdAddressSpace& as, sim::Vaddr start, sim::Vaddr end,
-                        std::vector<VmObject*>* drop);
+  int UnmapRangeLocked(BsdAddressSpace& as, sim::Vaddr start, sim::Vaddr end,
+                       std::vector<VmObject*>* drop);
 
   sim::Machine& machine_;
   phys::PhysMem& pm_;

@@ -70,13 +70,16 @@ int SwapPager::GetPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) 
 int SwapPager::PutPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) {
   std::uint64_t bi = pgindex / kBlockPages;
   std::uint64_t i = pgindex % kBlockPages;
+  // PutPage only runs on the pageout path, which may dip into the swap
+  // reserve: refusing it here could deadlock the daemon (DESIGN.md §12).
+  bool emergency = pm.in_pageout();
   auto it = blocks_.find(bi);
   if (it == blocks_.end()) {
     // First pageout into this 64 KB chunk: try to reserve a whole
     // contiguous swap block for it; under fragmentation fall back to
     // allocating slots one at a time.
     SwapBlock blk;
-    std::int32_t base = sd_.AllocContig(kBlockPages);
+    std::int32_t base = sd_.AllocContig(kBlockPages, emergency);
     for (std::uint64_t k = 0; k < kBlockPages; ++k) {
       blk.slots[k] = base == swp::kNoSlot ? swp::kNoSlot : base + static_cast<std::int32_t>(k);
     }
@@ -84,8 +87,13 @@ int SwapPager::PutPage(phys::PhysMem& pm, phys::Page* p, std::uint64_t pgindex) 
   }
   SwapBlock& blk = it->second;
   if (blk.slots[i] == swp::kNoSlot) {
-    blk.slots[i] = sd_.AllocSlot();
+    blk.slots[i] = sd_.AllocSlot(emergency);
     if (blk.slots[i] == swp::kNoSlot) {
+      sim::Machine& m = pm.machine();
+      ++m.stats().swap_full_events;
+      if (m.tracer().enabled()) {
+        m.tracer().Instant(sim::CostCat::kPageout, "swap_full", m.clock().now(), 1);
+      }
       return sim::kErrNoSwap;
     }
   }

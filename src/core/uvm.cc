@@ -218,6 +218,15 @@ phys::Page* Uvm::AllocPageOrReclaim(phys::OwnerKind kind, void* owner, sim::ObjO
     PageDaemon(pm_.free_target());
     p = pm_.AllocPage(kind, owner, offset, zero);
   }
+  // Under sustained pressure one daemon pass may not recover enough: back
+  // off in virtual time and retry, bounded so true exhaustion still
+  // surfaces as a clean failure instead of a hang.
+  for (int attempt = 0; p == nullptr && attempt < config_.tuning.max_alloc_retries; ++attempt) {
+    ++machine_.stats().alloc_retries;
+    machine_.Charge(machine_.cost().mem_retry_backoff_ns << attempt);
+    PageDaemon(pm_.free_target());
+    p = pm_.AllocPage(kind, owner, offset, zero);
+  }
   return p;
 }
 
@@ -367,6 +376,11 @@ int Uvm::Unmap(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
   // Phase 1 (map locked): detach the entries from the map and the pmap.
   std::vector<UvmMapEntry> removed;
   map.Lock();
+  UvmMap::ClipReservation clipres;
+  if (int err = clipres.Acquire(map, addr, end); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
   auto it = map.entries().begin();
   while (it != map.entries().end()) {
     if (it->end <= addr) {
@@ -434,6 +448,11 @@ int Uvm::Protect(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len, si
   sim::Vaddr end = addr + len;
   UvmMap& map = as.map_;
   map.Lock();
+  UvmMap::ClipReservation clipres;
+  if (int err = clipres.Acquire(map, addr, end); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
   auto it = map.LookupEntry(addr);
   while (it != map.entries().end() && it->start < end) {
     if (!sim::ProtIncludes(it->max_prot, prot)) {
@@ -461,6 +480,11 @@ int Uvm::SetInherit(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len,
   sim::Vaddr end = addr + len;
   UvmMap& map = as.map_;
   map.Lock();
+  UvmMap::ClipReservation clipres;
+  if (int err = clipres.Acquire(map, addr, end); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
   auto it = map.LookupEntry(addr);
   while (it != map.entries().end() && it->start < end) {
     if (it->start < addr) {
@@ -483,6 +507,11 @@ int Uvm::SetAdvice(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len,
   sim::Vaddr end = addr + len;
   UvmMap& map = as.map_;
   map.Lock();
+  UvmMap::ClipReservation clipres;
+  if (int err = clipres.Acquire(map, addr, end); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
   auto it = map.LookupEntry(addr);
   while (it != map.entries().end() && it->start < end) {
     if (it->start < addr) {
@@ -616,6 +645,11 @@ int Uvm::WireRange(UvmAddressSpace& as, sim::Vaddr addr, std::uint64_t len) {
   addr = sim::PageTrunc(addr);
   UvmMap& map = as.map_;
   map.Lock();
+  UvmMap::ClipReservation clipres;
+  if (int err = clipres.Acquire(map, addr, end); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
   auto it = map.LookupEntry(addr);
   if (it == map.entries().end()) {
     map.Unlock();
@@ -663,6 +697,11 @@ int Uvm::UnwireRange(UvmAddressSpace& as, sim::Vaddr addr, std::uint64_t len) {
   addr = sim::PageTrunc(addr);
   UvmMap& map = as.map_;
   map.Lock();
+  UvmMap::ClipReservation clipres;
+  if (int err = clipres.Acquire(map, addr, end); err != sim::kOk) {
+    map.Unlock();
+    return err;
+  }
   auto it = map.LookupEntry(addr);
   while (it != map.entries().end() && it->start < end) {
     if (it->start < addr) {
@@ -1221,13 +1260,19 @@ std::size_t Uvm::PageOutAnonCluster(phys::Page* first) {
     }
   }
   // Reassign every page's swap location so the cluster is one contiguous
-  // run on the swap device — the key §6 trick.
-  std::int32_t base = swap_.AllocContig(cluster.size());
+  // run on the swap device — the key §6 trick. Pageout clustering may use
+  // the reserved emergency slots: this is the path that frees memory.
+  std::int32_t base = swap_.AllocContig(cluster.size(), /*emergency=*/true);
   if (base == swp::kNoSlot && cluster.size() > 1) {
     cluster.resize(1);
-    base = swap_.AllocContig(1);
+    base = swap_.AllocContig(1, /*emergency=*/true);
   }
   if (base == swp::kNoSlot) {
+    ++machine_.stats().swap_full_events;
+    if (machine_.tracer().enabled()) {
+      machine_.tracer().Instant(sim::CostCat::kPageout, "swap_full", machine_.clock().now(),
+                                cluster.size());
+    }
     return 0;  // swap exhausted
   }
   std::vector<std::span<std::byte, sim::kPageSize>> datas;
@@ -1316,6 +1361,7 @@ std::size_t Uvm::PageOutObjectRun(phys::Page* first) {
 
 std::size_t Uvm::PageDaemon(std::size_t target_free) {
   sim::ChargeScope scope(machine_, sim::CostCat::kPageout, "uvm_pagedaemon");
+  phys::PageoutScope pressure_scope(pm_);  // daemon allocs may use the reserve
   std::size_t freed = 0;
   std::size_t guard = pm_.total_pages() * 4 + 64;
   while (pm_.free_pages() < target_free && guard-- > 0) {
@@ -1526,6 +1572,11 @@ int Uvm::Extract(kern::AddressSpace& src_, sim::Vaddr src_va, std::uint64_t len,
   UvmMap& smap = src.map_;
   UvmMap& dmap = dst.map_;
   smap.Lock();
+  UvmMap::ClipReservation clipres;
+  if (int err = clipres.Acquire(smap, src_va, src_end); err != sim::kOk) {
+    smap.Unlock();
+    return err;
+  }
   // Verify the whole source range is mapped before touching anything.
   for (sim::Vaddr va = src_va; va < src_end;) {
     auto it = smap.LookupEntry(va);
@@ -1623,6 +1674,23 @@ int Uvm::Extract(kern::AddressSpace& src_, sim::Vaddr src_va, std::uint64_t len,
 std::size_t Uvm::ResidentPages(kern::AddressSpace& as_) const {
   auto& as = static_cast<UvmAddressSpace&>(as_);
   return as.pmap_.resident_count();
+}
+
+std::size_t Uvm::AnonResidentPages(kern::AddressSpace& as_) const {
+  auto& as = static_cast<UvmAddressSpace&>(as_);
+  std::size_t n = 0;
+  for (const UvmMapEntry& e : as.map_.entries()) {
+    if (e.amap == nullptr) {
+      continue;
+    }
+    for (sim::Vaddr va = e.start; va < e.end; va += sim::kPageSize) {
+      Anon* a = e.amap->Get(e.SlotOf(va));
+      if (a != nullptr && a->page != nullptr) {
+        ++n;
+      }
+    }
+  }
+  return n;
 }
 
 void Uvm::CheckInvariants() {

@@ -127,6 +127,8 @@ class Uvm : public kern::VmSystem {
 
   std::size_t KernelMapEntries() const override { return kernel_as_->EntryCount(); }
   std::size_t ResidentPages(kern::AddressSpace& as) const override;
+  std::size_t AnonResidentPages(kern::AddressSpace& as) const override;
+  const kern::VmTuning& tuning() const override { return config_.tuning; }
   void CheckInvariants() override;
 
   // --- UVM-specific introspection ---

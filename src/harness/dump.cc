@@ -102,6 +102,17 @@ void DumpRecoveryStats(std::ostream& os, const sim::Machine& machine) {
      << " pageout retries, " << s.bad_slots_remapped << " bad slots remapped\n";
 }
 
+void DumpPressureStats(std::ostream& os, const sim::Machine& machine) {
+  const sim::Stats& s = machine.stats();
+  os << "pressure: " << s.pressure_events << " plan events, " << s.page_alloc_failures
+     << " page-alloc failures, " << s.alloc_retries << " alloc retries, " << s.fault_retries
+     << " fault retries, " << s.emergency_page_allocs << " emergency pages, "
+     << s.swap_full_events << " swap-full, " << s.swap_reserve_allocs << " reserve slots, "
+     << s.map_entry_pool_denials << " map-entry denials, " << s.vnode_table_full
+     << " vnode-table full, " << s.oom_kills << " oom kills (" << s.oom_pages_reclaimed
+     << " pages reclaimed)\n";
+}
+
 void DumpMap(std::ostream& os, VmSystem& vm, AddressSpace& as) {
   if (std::strcmp(vm.name(), "uvm") == 0) {
     DumpUvmMap(os, static_cast<uvm::Uvm&>(vm), as);

@@ -33,6 +33,10 @@ void DumpMap(std::ostream& os, VmSystem& vm, AddressSpace& as);
 // counters ("ddb show uvmexp" style), for soak-test diagnostics.
 void DumpRecoveryStats(std::ostream& os, const sim::Machine& machine);
 
+// One-line summary of the resource-pressure counters (DESIGN.md §12), for
+// pressure-soak diagnostics.
+void DumpPressureStats(std::ostream& os, const sim::Machine& machine);
+
 }  // namespace kern
 
 #endif  // SRC_HARNESS_DUMP_H_

@@ -4,6 +4,7 @@
 #ifndef SRC_HARNESS_WORLD_H_
 #define SRC_HARNESS_WORLD_H_
 
+#include <cstdio>
 #include <memory>
 #include <string>
 
@@ -26,6 +27,13 @@ struct WorldConfig {
   std::size_t ram_pages = 8192;        // 32 MB, the paper's machine
   std::size_t swap_slots = 32768;      // 128 MB swap
   std::size_t max_vnodes = 2048;
+  // Pressure-engine knobs (DESIGN.md §12). All default to zero/empty, which
+  // keeps every legacy run byte-identical: no watermarks, no reserves, no
+  // plan. InstallPressurePlan() derives sane defaults for unset watermarks.
+  std::size_t free_reserve_pages = 0;  // emergency pool for pageout-path allocs
+  std::size_t free_min_pages = 0;      // hard floor the balloon never crosses
+  std::size_t swap_reserve_slots = 0;  // clustering reserve for the daemon
+  std::string pressure_plan;           // "@TIME res(-=|+=|=)N; ..." or empty
   bsdvm::BsdConfig bsd;
   uvm::UvmConfig uvm;
 };
@@ -42,7 +50,37 @@ class World {
     } else {
       vm = std::make_unique<uvm::Uvm>(machine, pm, mmu, fs.cache(), swap, config.uvm);
     }
-    kernel = std::make_unique<kern::Kernel>(machine, pm, fs, *vm);
+    kernel = std::make_unique<kern::Kernel>(machine, pm, fs, swap, *vm);
+    pm.set_free_reserve(config.free_reserve_pages);
+    pm.set_free_min(config.free_min_pages);
+    swap.set_reserved_slots(config.swap_reserve_slots);
+    if (!config.pressure_plan.empty()) {
+      InstallPressurePlan(config.pressure_plan);
+    }
+  }
+
+  // Arm the pressure engine with `spec` (see sim::ParsePressurePlan for the
+  // grammar). Watermarks and reserves left at zero in the config are given
+  // defaults scaled to the machine size — running a plan without an
+  // emergency pool would turn the first deep shrink into a daemon deadlock.
+  void InstallPressurePlan(const std::string& spec) {
+    sim::PressurePlan plan;
+    std::string error;
+    if (!sim::ParsePressurePlan(spec, &plan, &error)) {
+      std::fprintf(stderr, "bad pressure plan: %s\n", error.c_str());
+      SIM_PANIC("invalid pressure plan spec");
+    }
+    if (pm.free_reserve() == 0) {
+      pm.set_free_reserve(pm.total_pages() / 256 + 4);
+    }
+    if (pm.free_min() == 0) {
+      pm.set_free_min(pm.total_pages() / 64 + 8);
+    }
+    if (swap.reserved_slots() == 0) {
+      swap.set_reserved_slots(32);
+    }
+    kernel->set_oom_killer(true);
+    machine.pressure().SetPlan(plan);
   }
 
   sim::Machine machine;

@@ -3,16 +3,23 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/sim/annotations.h"
 #include "src/sim/assert.h"
 
 namespace kern {
 
-Kernel::Kernel(sim::Machine& machine, phys::PhysMem& pm, vfs::Filesystem& fs, VmSystem& vm)
-    : machine_(machine), pm_(pm), fs_(fs), vm_(vm) {}
+Kernel::Kernel(sim::Machine& machine, phys::PhysMem& pm, vfs::Filesystem& fs,
+               swp::SwapDevice& swap, VmSystem& vm)
+    : machine_(machine), pm_(pm), fs_(fs), swap_(swap), vm_(vm) {}
 
 Kernel::~Kernel() {
   while (!procs_.empty()) {
-    Exit(procs_.begin()->second.get());
+    Proc* p = procs_.begin()->second.get();
+    if (p->alive) {
+      Exit(p);
+    } else {
+      procs_.erase(procs_.begin());  // zombie shell from the OOM killer
+    }
   }
   if (shm_keeper_ != nullptr) {
     vm_.DestroyAddressSpace(shm_keeper_);
@@ -39,8 +46,10 @@ Proc* Kernel::Spawn() {
   auto proc = std::make_unique<Proc>();
   proc->pid = next_pid_++;
   proc->as = vm_.CreateAddressSpace();
-  int err = vm_.AllocProcResources(&proc->kres);
-  SIM_ASSERT_MSG(err == sim::kOk, "out of memory spawning process");
+  if (vm_.AllocProcResources(&proc->kres) != sim::kOk) {
+    vm_.DestroyAddressSpace(proc->as);
+    return nullptr;  // pool exhausted; the caller decides how to degrade
+  }
   Proc* raw = proc.get();
   procs_.emplace(raw->pid, std::move(proc));
   return raw;
@@ -50,8 +59,10 @@ Proc* Kernel::Fork(Proc* parent) {
   auto proc = std::make_unique<Proc>();
   proc->pid = next_pid_++;
   proc->as = vm_.Fork(*parent->as);
-  int err = vm_.AllocProcResources(&proc->kres);
-  SIM_ASSERT_MSG(err == sim::kOk, "out of memory forking process");
+  if (vm_.AllocProcResources(&proc->kres) != sim::kOk) {
+    vm_.DestroyAddressSpace(proc->as);
+    return nullptr;
+  }
   Proc* raw = proc.get();
   procs_.emplace(raw->pid, std::move(proc));
   return raw;
@@ -62,8 +73,9 @@ Proc* Kernel::Vfork(Proc* parent) {
   proc->pid = next_pid_++;
   proc->as = parent->as;  // borrowed, not copied
   proc->shares_as = true;
-  int err = vm_.AllocProcResources(&proc->kres);
-  SIM_ASSERT_MSG(err == sim::kOk, "out of memory vforking process");
+  if (vm_.AllocProcResources(&proc->kres) != sim::kOk) {
+    return nullptr;  // the borrowed address space stays with the parent
+  }
   Proc* raw = proc.get();
   procs_.emplace(raw->pid, std::move(proc));
   return raw;
@@ -172,6 +184,9 @@ int Kernel::Access(Proc* p, sim::Vaddr va, std::uint64_t len, bool write, std::b
     auto pte = pmap.Extract(cur);
     if (!pte.has_value() || !sim::ProtIncludes(pte->prot, need)) {
       int err = vm_.Fault(*p->as, cur, write ? sim::Access::kWrite : sim::Access::kRead);
+      if (err == sim::kErrNoMem || err == sim::kErrNoSwap) {
+        err = RecoverFromPressure(p, cur, write, err);
+      }
       if (err != sim::kOk) {
         return err;
       }
@@ -202,6 +217,91 @@ int Kernel::Access(Proc* p, sim::Vaddr va, std::uint64_t len, bool write, std::b
     done += n;
   }
   return sim::kOk;
+}
+
+int Kernel::RecoverFromPressure(Proc* p, sim::Vaddr va, bool write, int err) {
+  const VmTuning& tuning = vm_.tuning();
+  int attempt = 0;
+  while (err == sim::kErrNoMem || err == sim::kErrNoSwap) {
+    if (attempt < tuning.max_fault_retries) {
+      // Bounded daemon-and-retry with doubling virtual-time backoff: the
+      // pressure may be transient (a plan step, a burst of allocations).
+      ++machine_.stats().fault_retries;
+      machine_.Charge(machine_.cost().mem_retry_backoff_ns << attempt);
+      vm_.PageDaemon(pm_.free_target());
+      ++attempt;
+    } else {
+      // Retries exhausted. Only when the killer is armed and swap itself
+      // is full is killing a process the correct escalation; otherwise
+      // surface the error to the caller.
+      if (!oom_killer_enabled_ || swap_.free_slots() > 0 || !OutOfSwapKill()) {
+        return err;
+      }
+      if (!p->alive) {
+        return sim::kErrNoMem;  // the killer chose the requester itself
+      }
+      attempt = 0;  // a victim died; retry with a fresh backoff budget
+    }
+    err = vm_.Fault(*p->as, va, write ? sim::Access::kWrite : sim::Access::kRead);
+  }
+  return err;
+}
+
+bool Kernel::OutOfSwapKill() {
+  // Deterministic victim choice: largest anonymous resident set wins;
+  // strict comparison keeps the lowest pid on ties. The pid-ordered proc
+  // table makes the scan order (and so the tie-break) reproducible.
+  Proc* victim = nullptr;
+  std::size_t victim_rss = 0;
+  for (auto& [pid, proc] : procs_) {
+    Proc* q = proc.get();
+    if (!q->alive || q->shares_as) {
+      continue;
+    }
+    // A vfork parent whose space is currently borrowed cannot be torn down.
+    bool borrowed = std::any_of(procs_.begin(), procs_.end(), [&](const auto& kv) {
+      return kv.second->alive && kv.second->shares_as && kv.second->as == q->as;
+    });
+    if (borrowed) {
+      continue;
+    }
+    machine_.Charge(machine_.cost().oom_scan_ns);
+    std::size_t rss = vm_.AnonResidentPages(*q->as);
+    if (rss > victim_rss) {
+      victim = q;
+      victim_rss = rss;
+    }
+  }
+  if (victim == nullptr || victim_rss == 0) {
+    return false;  // nothing killable would release memory
+  }
+  ++machine_.stats().oom_kills;
+  if (machine_.tracer().enabled()) {
+    machine_.tracer().Instant(sim::CostCat::kPageout, "oom_kill", machine_.clock().now(),
+                              static_cast<std::uint64_t>(victim->pid));
+  }
+  KillProc(victim);
+  return true;
+}
+
+void Kernel::KillProc(Proc* p) {
+  SIM_ASSERT(p->alive && !p->shares_as);
+  std::size_t free_before = pm_.free_pages();
+  for (TransientWiring& tw : p->kernel_stack_wirings) {
+    vm_.UnwireTransient(*p->as, tw);
+  }
+  p->kernel_stack_wirings.clear();
+  vm_.DestroyAddressSpace(p->as);
+  p->as = nullptr;
+  if (p->swapped_out) {
+    vm_.SwapInProcResources(p->kres);
+    p->swapped_out = false;
+  }
+  vm_.FreeProcResources(p->kres);
+  p->alive = false;  // zombie shell; the table entry survives until ~Kernel
+  std::size_t free_after = pm_.free_pages();
+  machine_.stats().oom_pages_reclaimed +=
+      free_after > free_before ? free_after - free_before : 0;
 }
 
 int Kernel::ReadMem(Proc* p, sim::Vaddr va, std::span<std::byte> out) {
@@ -245,6 +345,11 @@ int Kernel::Sysctl(Proc* p, sim::Vaddr buf, std::uint64_t len) {
   // Copy the "result" of the query into the wired buffer.
   std::vector<std::byte> result(len, std::byte{0x5c});
   err = WriteMem(p, buf, result);
+  if (!p->alive) {
+    // The out-of-swap killer chose this process mid-copy; its wirings were
+    // already torn down with the address space.
+    return sim::kErrNoMem;
+  }
   TransientWiring back = std::move(p->kernel_stack_wirings.back());
   p->kernel_stack_wirings.pop_back();
   vm_.UnwireTransient(*p->as, back);
@@ -275,6 +380,9 @@ int Kernel::Physio(Proc* p, sim::Vaddr buf, std::uint64_t len, bool is_write) {
       std::vector<std::byte> payload(len, std::byte{0xd1});
       err = WriteMem(p, buf, payload);
     }
+  }
+  if (!p->alive) {
+    return sim::kErrNoMem;  // killed mid-transfer; wirings already gone
   }
   TransientWiring back = std::move(p->kernel_stack_wirings.back());
   p->kernel_stack_wirings.pop_back();
@@ -348,6 +456,7 @@ kern::DeviceMem* Kernel::RegisterDevice(const std::string& name, std::size_t npa
   dev->name = name;
   for (std::size_t i = 0; i < npages; ++i) {
     phys::Page* p = pm_.AllocPage(phys::OwnerKind::kKernel, dev.get(), i, /*zero=*/true);
+    SIM_POOL_FATAL_OK("boot-time device registration precedes any pressure plan");
     SIM_ASSERT_MSG(p != nullptr, "out of memory registering device");
     pm_.Wire(p);
     auto data = pm_.Data(p);
@@ -422,7 +531,9 @@ int Kernel::ShmRemove(int shmid) {
 std::size_t Kernel::TotalMapEntries() const {
   std::size_t total = vm_.KernelMapEntries();
   for (const auto& [pid, proc] : procs_) {
-    total += proc->as->EntryCount();
+    if (proc->alive) {
+      total += proc->as->EntryCount();
+    }
   }
   return total;
 }

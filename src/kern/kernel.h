@@ -32,18 +32,25 @@ struct Proc {
   // tear it down on exit.
   bool shares_as = false;
   bool swapped_out = false;
+  // Cleared by Exit and by the out-of-swap killer. A killed process stays
+  // in the proc table as a zombie shell (as == nullptr) so callers holding
+  // the Proc* can observe the kill instead of dereferencing freed memory.
   bool alive = true;
 };
 
 class Kernel {
  public:
-  Kernel(sim::Machine& machine, phys::PhysMem& pm, vfs::Filesystem& fs, VmSystem& vm);
+  Kernel(sim::Machine& machine, phys::PhysMem& pm, vfs::Filesystem& fs, swp::SwapDevice& swap,
+         VmSystem& vm);
   ~Kernel();
 
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
   // --- Process management ---
+  // Spawn/Fork/Vfork return nullptr when per-process kernel resources
+  // (u-area + kernel stack pages or kernel-map entries) cannot be
+  // allocated; under no resource pressure they never fail.
   Proc* Spawn();              // create a fresh process (like kernel exec'ing init)
   Proc* Fork(Proc* parent);   // fork(2)
   // vfork(2): the child shares the parent's address space outright — no
@@ -55,7 +62,13 @@ class Kernel {
   // u-area and kernel stack.
   void SwapOutProc(Proc* p);
   void SwapInProc(Proc* p);
-  std::size_t live_procs() const { return procs_.size(); }
+  std::size_t live_procs() const {
+    std::size_t n = 0;
+    for (const auto& [pid, proc] : procs_) {
+      n += proc->alive ? 1 : 0;
+    }
+    return n;
+  }
 
   // --- Mapping syscalls ---
   int Mmap(Proc* p, sim::Vaddr* addr, std::uint64_t len, const std::string& file,
@@ -117,11 +130,14 @@ class Kernel {
   // Total allocated map entries: every process map plus the kernel map
   // (the Table 1 metric).
   std::size_t TotalMapEntries() const;
-  // Visit every live process (ordered by pid).
+  // Visit every live process (ordered by pid); zombie shells left behind
+  // by the out-of-swap killer are skipped.
   template <typename Fn>
   void ForEachProc(Fn&& fn) {
     for (auto& [pid, proc] : procs_) {
-      fn(*proc);
+      if (proc->alive) {
+        fn(*proc);
+      }
     }
   }
 
@@ -134,16 +150,38 @@ class Kernel {
   // kernel's static boot-time allocations (identical for both systems).
   void ReserveKernelBootEntries(std::size_t n);
 
+  // Arm/disarm the out-of-swap killer (DESIGN.md §12). Off by default:
+  // without a pressure plan, exhaustion keeps surfacing as kErrNoMem /
+  // kErrNoSwap so capacity tests observe errors rather than lost processes.
+  void set_oom_killer(bool on) { oom_killer_enabled_ = on; }
+  bool oom_killer() const { return oom_killer_enabled_; }
+
  private:
   int Access(Proc* p, sim::Vaddr va, std::uint64_t len, bool write, std::byte* buf,
              std::byte fill, bool use_fill);
 
+  // --- Resource-pressure recovery (DESIGN.md §12) ---
+  // A fault failed with kErrNoMem/kErrNoSwap: run bounded pagedaemon-and-
+  // retry passes with doubling backoff; if swap is exhausted and the daemon
+  // cannot help, consult the out-of-swap killer and retry. Returns kOk once
+  // the fault succeeds, kErrNoMem if `p` itself was chosen as the victim,
+  // or the original error when recovery is impossible.
+  int RecoverFromPressure(Proc* p, sim::Vaddr va, bool write, int err);
+  // Deterministic out-of-swap killer: terminate the live process with the
+  // largest anonymous resident set (ties keep the lowest pid). Returns
+  // whether a victim was killed.
+  bool OutOfSwapKill();
+  // Tear down a victim's memory, leaving a zombie shell in the proc table.
+  void KillProc(Proc* victim);
+
   sim::Machine& machine_;
   phys::PhysMem& pm_;
   vfs::Filesystem& fs_;
+  swp::SwapDevice& swap_;
   VmSystem& vm_;
   std::map<int, std::unique_ptr<Proc>> procs_;
   int next_pid_ = 1;
+  bool oom_killer_enabled_ = false;
 
   struct ShmSegment {
     sim::Vaddr keeper_va = 0;

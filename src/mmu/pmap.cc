@@ -100,7 +100,12 @@ void Pmap::EnsurePtPage(sim::Vaddr va) {
   if (ptpages_.contains(idx)) {
     return;
   }
-  phys::Page* pt = ctx_.phys().AllocPage(phys::OwnerKind::kKernel, this, idx, /*zero=*/true);
+  // Page-table pages are allocated at emergency priority: a PT page is at
+  // most a few frames per address space and the fault path cannot back out
+  // of needing one, so it may dip into the pageout reserve.
+  phys::Page* pt = ctx_.phys().AllocPage(phys::OwnerKind::kKernel, this, idx, /*zero=*/true,
+                                         phys::AllocPri::kEmergency);
+  SIM_POOL_FATAL_OK("emergency allocation below the reserve; only fails if RAM is truly empty");
   SIM_ASSERT_MSG(pt != nullptr, "out of memory allocating page-table page");
   ctx_.phys().Wire(pt);
   ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().ptpage_alloc_ns);

@@ -1,5 +1,6 @@
 #include "src/phys/phys_mem.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/sim/assert.h"
@@ -47,12 +48,67 @@ PhysMem::PhysMem(sim::Machine& machine, std::size_t num_pages)
   // Default free target: 5% of memory, matching the classic BSD pagedaemon
   // "free_min" style threshold.
   free_target_ = num_pages / 20 + 4;
+  machine_.pressure().RegisterActuator(
+      sim::PressureResource::kPhysPages,
+      [this](const sim::PressureEvent& ev) {
+        std::size_t target = balloon_target_;
+        switch (ev.op) {
+          case sim::PressureOp::kShrink:
+            target += static_cast<std::size_t>(ev.amount);
+            break;
+          case sim::PressureOp::kGrow:
+            target -= std::min(target, static_cast<std::size_t>(ev.amount));
+            break;
+          case sim::PressureOp::kSetAvail:
+            target = pages_.size() > ev.amount
+                         ? pages_.size() - static_cast<std::size_t>(ev.amount)
+                         : 0;
+            break;
+        }
+        SetBalloonTarget(std::min(target, pages_.size()));
+      });
 }
 
-Page* PhysMem::AllocPage(OwnerKind kind, void* owner, sim::ObjOffset offset, bool zero) {
+std::size_t PhysMem::BalloonFloor() const {
+  std::size_t floor = std::max(free_min_, free_reserve_);
+  return std::max<std::size_t>(floor, 4);
+}
+
+void PhysMem::AbsorbBalloon() {
+  while (balloon_.size() < balloon_target_ && free_.size() > BalloonFloor()) {
+    Page* p = free_.head();  // oldest free frame: coldest, never live data
+    free_.Remove(p);
+    p->queue = PageQueue::kNone;
+    balloon_.push_back(p);
+  }
+}
+
+void PhysMem::ReleaseBalloon() {
+  while (balloon_.size() > balloon_target_) {
+    Page* p = balloon_.back();
+    balloon_.pop_back();
+    p->queue = PageQueue::kFree;
+    free_.PushTail(p);
+  }
+}
+
+void PhysMem::SetBalloonTarget(std::size_t target) {
+  balloon_target_ = target;
+  AbsorbBalloon();  // any deficit left is absorbed by future FreePage calls
+  ReleaseBalloon();
+}
+
+Page* PhysMem::AllocPage(OwnerKind kind, void* owner, sim::ObjOffset offset, bool zero,
+                         AllocPri pri) {
+  machine_.PollPressure();
   Page* p = free_.head();
-  if (p == nullptr) {
+  bool emergency = pri == AllocPri::kEmergency || pageout_depth_ > 0;
+  if (p == nullptr || (!emergency && free_.size() <= free_reserve_)) {
+    ++machine_.stats().page_alloc_failures;
     return nullptr;
+  }
+  if (emergency && free_.size() <= free_reserve_) {
+    ++machine_.stats().emergency_page_allocs;
   }
   free_.Remove(p);
   p->queue = PageQueue::kNone;
@@ -89,6 +145,14 @@ void PhysMem::FreePage(Page* p) {
   p->busy = false;
   p->queue = PageQueue::kFree;
   free_.PushTail(p);
+  // Absorb one frame of any outstanding balloon deficit; repeated frees
+  // converge on the target without ever squeezing past the floor.
+  if (balloon_.size() < balloon_target_ && free_.size() > BalloonFloor()) {
+    Page* b = free_.head();
+    free_.Remove(b);
+    b->queue = PageQueue::kNone;
+    balloon_.push_back(b);
+  }
 }
 
 void PhysMem::Activate(Page* p) {

@@ -10,9 +10,16 @@
 
 #include "src/phys/page.h"
 #include "src/sim/machine.h"
+#include "src/sim/pressure.h"
 #include "src/sim/types.h"
 
 namespace phys {
+
+// Allocation priority. Normal allocations fail once the free list is down
+// to the emergency reserve; emergency allocations (the pageout path and
+// page-table pages — memory needed to *free* memory) may consume it. See
+// DESIGN.md §12.
+enum class AllocPri : std::uint8_t { kNormal, kEmergency };
 
 // An intrusive FIFO queue of pages. Enqueue at tail, scan/dequeue from head,
 // so the head is the least recently enqueued page (LRU order for the
@@ -48,10 +55,36 @@ class PhysMem {
   void set_free_target(std::size_t n) { free_target_ = n; }
   bool NeedsPageDaemon() const { return free_.size() < free_target_; }
 
+  // Watermarks below the daemon target (both default 0 = disabled,
+  // preserving historical behaviour byte-for-byte):
+  //  - free_reserve: emergency pool. Normal allocations fail once the free
+  //    list is down to this many frames; only AllocPri::kEmergency (pageout
+  //    path, PT pages) may dip below it, so the daemon can never deadlock
+  //    on the memory it is trying to free.
+  //  - free_min: hard floor the balloon never squeezes past.
+  std::size_t free_reserve() const { return free_reserve_; }
+  void set_free_reserve(std::size_t n) { free_reserve_ = n; }
+  std::size_t free_min() const { return free_min_; }
+  void set_free_min(std::size_t n) { free_min_ = n; }
+
+  // Pressure balloon: frames taken out of service by a pressure plan.
+  // Shrinks absorb free frames (never live data) up to the balloon target;
+  // any deficit is absorbed as frames are freed. Grows deflate LIFO.
+  std::size_t balloon_pages() const { return balloon_.size(); }
+  std::size_t balloon_target() const { return balloon_target_; }
+  void SetBalloonTarget(std::size_t target);
+
   // Allocate a frame for `owner`; returns nullptr when no free frame exists
-  // (the caller must reclaim memory and retry). If `zero` is set the frame
-  // contents are cleared and the zero cost is charged.
-  Page* AllocPage(OwnerKind kind, void* owner, sim::ObjOffset offset, bool zero);
+  // or (for normal-priority requests) the free list is down to the
+  // emergency reserve — the caller must reclaim memory and retry. If
+  // `zero` is set the frame contents are cleared and the zero cost is
+  // charged.
+  Page* AllocPage(OwnerKind kind, void* owner, sim::ObjOffset offset, bool zero,
+                  AllocPri pri = AllocPri::kNormal);
+
+  // True while a pagedaemon pass is on the stack (see PageoutScope):
+  // allocations made from inside it are implicitly emergency-priority.
+  bool in_pageout() const { return pageout_depth_ > 0; }
 
   // Release a frame back to the free list. The page must be unwired and off
   // the paging queues or on one (it is removed).
@@ -82,6 +115,15 @@ class PhysMem {
   sim::Machine& machine() { return machine_; }
 
  private:
+  friend class PageoutScope;
+
+  // Floor the balloon may not squeeze the free list below: enough frames
+  // for the emergency reserve plus a minimal working margin, so the
+  // daemon always has room to make progress.
+  std::size_t BalloonFloor() const;
+  void AbsorbBalloon();   // free list -> balloon, up to target/floor
+  void ReleaseBalloon();  // balloon -> free list, down to target
+
   sim::Machine& machine_;
   std::vector<Page> pages_;
   std::vector<std::byte> bytes_;
@@ -89,6 +131,24 @@ class PhysMem {
   PageList active_;
   PageList inactive_;
   std::size_t free_target_ = 0;
+  std::size_t free_reserve_ = 0;
+  std::size_t free_min_ = 0;
+  std::vector<Page*> balloon_;
+  std::size_t balloon_target_ = 0;
+  int pageout_depth_ = 0;
+};
+
+// RAII marker wrapping a pagedaemon pass: page allocations made while one
+// is on the stack may dip into the emergency reserve.
+class PageoutScope {
+ public:
+  explicit PageoutScope(PhysMem& pm) : pm_(pm) { ++pm_.pageout_depth_; }
+  ~PageoutScope() { --pm_.pageout_depth_; }
+  PageoutScope(const PageoutScope&) = delete;
+  PageoutScope& operator=(const PageoutScope&) = delete;
+
+ private:
+  PhysMem& pm_;
 };
 
 }  // namespace phys

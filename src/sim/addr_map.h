@@ -35,6 +35,7 @@
 #include <list>
 #include <vector>
 
+#include "src/sim/annotations.h"
 #include "src/sim/assert.h"
 #include "src/sim/machine.h"
 #include "src/sim/types.h"
@@ -153,8 +154,75 @@ class AddrMap {
     return kOk;
   }
 
+  // Host-side peek (no charge, no stats): would a range op over
+  // [start, end) have to clip an entry at either boundary? Used to decide
+  // whether a clip reservation is needed before mutating anything.
+  bool RangeNeedsClip(Vaddr start, Vaddr end) const {
+    std::size_t us = UpperBound(start);  // entries with start <= `start`
+    if (us > 0) {
+      const Entry& e = *iters_[us - 1];
+      if (e.start < start && e.end > start) {
+        return true;
+      }
+    }
+    std::size_t ue = LowerBound(end);  // entries with start < `end`
+    if (ue > 0) {
+      const Entry& e = *iters_[ue - 1];
+      if (e.start < end && e.end > end) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // RAII reservation of the worst-case clip entries (one start clip + one
+  // end clip) for a range operation. Acquire() is called after Lock() and
+  // before any mutation: if the pool cannot cover the worst case, the op
+  // fails cleanly with kErrMapEntryPool *up front*, and the clip-path
+  // asserts below become provably unreachable. The reservation does not
+  // consume entries — it only makes InsertEntry leave headroom — and is
+  // returned when the guard dies.
+  class ClipReservation {
+   public:
+    ClipReservation() = default;
+    ClipReservation(const ClipReservation&) = delete;
+    ClipReservation& operator=(const ClipReservation&) = delete;
+    ~ClipReservation() { Release(); }
+
+    // Returns kOk (reserving nothing when no clip can occur) or
+    // kErrMapEntryPool. Charges nothing: the peek is host-side only.
+    int Acquire(AddrMap& map, Vaddr start, Vaddr end) {
+      SIM_ASSERT(map_ == nullptr);
+      if (map.max_entries_ == 0 || !map.RangeNeedsClip(start, end)) {
+        return kOk;
+      }
+      if (map.entries_.size() + map.reserved_ + kWorstCaseClips > map.max_entries_) {
+        ++map.machine_.stats().map_entry_pool_denials;
+        return kErrMapEntryPool;
+      }
+      map.reserved_ += kWorstCaseClips;
+      map_ = &map;
+      return kOk;
+    }
+
+    void Release() {
+      if (map_ != nullptr) {
+        SIM_ASSERT(map_->reserved_ >= kWorstCaseClips);
+        map_->reserved_ -= kWorstCaseClips;
+        map_ = nullptr;
+      }
+    }
+
+   private:
+    static constexpr std::size_t kWorstCaseClips = 2;
+    AddrMap* map_ = nullptr;
+  };
+
+  std::size_t reserved_entries() const { return reserved_; }
+
   // Insert a pre-built entry (space must be free). Fails with
-  // kErrMapEntryPool if the fixed entry pool is exhausted.
+  // kErrMapEntryPool if the fixed entry pool is exhausted (outstanding
+  // clip reservations count against it).
   int InsertEntry(const Entry& e, iterator* out = nullptr) {
     SIM_ASSERT(e.start < e.end);
     SIM_ASSERT((e.start & kPageMask) == 0 && (e.end & kPageMask) == 0);
@@ -181,7 +249,8 @@ class AddrMap {
   iterator ClipStart(iterator it, Vaddr va) {
     SIM_ASSERT(va > it->start && va < it->end);
     SIM_ASSERT((va & kPageMask) == 0);
-    int err = ChargeAlloc();
+    int err = ChargeAlloc(/*for_clip=*/true);
+    SIM_POOL_FATAL_OK("unreachable: every clipping range op holds a ClipReservation");
     SIM_ASSERT_MSG(err == kOk, "map entry pool exhausted during clip");
     ++machine_.stats().map_entry_fragmentations;
     Entry front = *it;
@@ -199,7 +268,8 @@ class AddrMap {
   void ClipEnd(iterator it, Vaddr va) {
     SIM_ASSERT(va > it->start && va < it->end);
     SIM_ASSERT((va & kPageMask) == 0);
-    int err = ChargeAlloc();
+    int err = ChargeAlloc(/*for_clip=*/true);
+    SIM_POOL_FATAL_OK("unreachable: every clipping range op holds a ClipReservation");
     SIM_ASSERT_MSG(err == kOk, "map entry pool exhausted during clip");
     ++machine_.stats().map_entry_fragmentations;
     Entry back = *it;
@@ -247,9 +317,15 @@ class AddrMap {
     machine_.Charge(machine_.cost().map_entry_scan_ns * static_cast<Nanoseconds>(probes));
   }
 
-  int ChargeAlloc() {
-    if (max_entries_ != 0 && entries_.size() >= max_entries_) {
-      return kErrMapEntryPool;
+  // A clip allocation may use reserved headroom (its ClipReservation
+  // guaranteed `size + 2 <= max` at grant time); a normal insert must
+  // leave every outstanding reservation intact.
+  int ChargeAlloc(bool for_clip = false) {
+    if (max_entries_ != 0) {
+      std::size_t floor = for_clip ? 0 : reserved_;
+      if (entries_.size() + floor >= max_entries_) {
+        return kErrMapEntryPool;
+      }
     }
     machine_.Charge(machine_.cost().map_entry_alloc_ns);
     ++machine_.stats().map_entries_allocated;
@@ -284,6 +360,7 @@ class AddrMap {
   Vaddr min_addr_;
   Vaddr max_addr_;
   std::size_t max_entries_;
+  std::size_t reserved_ = 0;  // outstanding ClipReservation headroom
   EntryList entries_;
   // Flat sorted index over the list: starts_[i] == iters_[i]->start. A
   // binary-searched array beats a pointer-chasing tree at these sizes and

@@ -21,6 +21,12 @@
 //                    the cost model (e.g. host-side staging for a charged
 //                    I/O call: the real kernel would DMA straight from the
 //                    frames, so only the device cost is modeled).
+//  SIM_POOL_FATAL_OK a fatal assert on a fixed-pool exhaustion path that is
+//                    provably unreachable (a reservation guarantees
+//                    headroom) or genuinely unrecoverable (boot-time
+//                    allocation before any process exists). All other pool
+//                    exhaustion must surface as a typed error — see
+//                    DESIGN.md §12.
 #ifndef SRC_SIM_ANNOTATIONS_H_
 #define SRC_SIM_ANNOTATIONS_H_
 
@@ -32,6 +38,9 @@
   } while (false)
 #define SIM_NO_CHARGE_OK(reason) \
   do {                           \
+  } while (false)
+#define SIM_POOL_FATAL_OK(reason) \
+  do {                            \
   } while (false)
 
 #endif  // SRC_SIM_ANNOTATIONS_H_

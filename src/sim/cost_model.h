@@ -21,6 +21,13 @@ struct CostModel {
   // attempt). Roughly two disk ops: long enough for a transient error to
   // clear, short enough that retries finish well within one daemon pass.
   Nanoseconds io_retry_backoff_ns = 5'000'000;  // 5 ms
+  // Base backoff before retrying a failed physical-page or swap-slot
+  // allocation after a pagedaemon pass (doubles per attempt). Cheaper than
+  // the I/O backoff: no device round-trip is implied, the point is only to
+  // let modeled background activity drain.
+  Nanoseconds mem_retry_backoff_ns = 1'000'000;  // 1 ms
+  // Examine one process while choosing an out-of-swap victim.
+  Nanoseconds oom_scan_ns = 5'000;
 
   // --- Memory ---
   Nanoseconds page_copy_ns = 12'000;  // copy 4 KB

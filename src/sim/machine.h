@@ -11,6 +11,7 @@
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/fault.h"
+#include "src/sim/pressure.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
 
@@ -33,6 +34,8 @@ class Machine {
   const FaultInjector& faults() const { return faults_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  PressureEngine& pressure() { return pressure_; }
+  const PressureEngine& pressure() const { return pressure_; }
   const CostBreakdown& breakdown() const { return breakdown_; }
   CostBreakdown& breakdown() { return breakdown_; }
 
@@ -45,6 +48,10 @@ class Machine {
     clock_.Advance(ns);
     breakdown_.Add(cost_context(), ns);
   }
+
+  // Apply any pressure-plan events whose virtual time has come. Called
+  // from pool allocation paths; inert (one branch) without a plan.
+  void PollPressure() { pressure_.Poll(clock_.now(), stats_, tracer_); }
 
   // Leaf-mechanism charge: attribute to `cat` regardless of the enclosing
   // scope (pmap updates, page copies, lock round-trips keep their own
@@ -71,6 +78,7 @@ class Machine {
   CostModel cost_;
   Stats stats_;
   FaultInjector faults_;
+  PressureEngine pressure_;
   Tracer tracer_;
   CostBreakdown breakdown_;
   std::array<CostCat, kMaxCostScopeDepth> cat_stack_{CostCat::kOther};

@@ -70,6 +70,19 @@ struct Stats {
   // Pathology accounting
   std::uint64_t leaked_pages_detected = 0;  // inaccessible pages found in chains
 
+  // Resource pressure / pool exhaustion (DESIGN.md §12)
+  std::uint64_t pressure_events = 0;        // scripted pressure-plan events applied
+  std::uint64_t page_alloc_failures = 0;    // AllocPage denied (empty or reserve-protected)
+  std::uint64_t emergency_page_allocs = 0;  // pageout/PT-page allocs that dipped into reserve
+  std::uint64_t alloc_retries = 0;          // extra daemon-and-retry passes on the alloc path
+  std::uint64_t fault_retries = 0;          // kernel-level fault retries under pressure
+  std::uint64_t swap_full_events = 0;       // pageout wanted a swap slot and none was free
+  std::uint64_t swap_reserve_allocs = 0;    // slot allocs that dipped into the pageout reserve
+  std::uint64_t vnode_table_full = 0;       // vnode table exhausted with nothing recyclable
+  std::uint64_t map_entry_pool_denials = 0; // range ops refused for lack of clip headroom
+  std::uint64_t oom_kills = 0;              // out-of-swap killer victims
+  std::uint64_t oom_pages_reclaimed = 0;    // frames freed by those kills
+
   void Reset() { *this = Stats{}; }
 };
 

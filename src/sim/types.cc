@@ -26,6 +26,8 @@ const char* ErrorName(int err) {
       return "EMAPENTRYPOOL";
     case kErrIO:
       return "EIO";
+    case kErrNoVnode:
+      return "ENOVNODE";
     default:
       return "E???";
   }

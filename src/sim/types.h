@@ -87,6 +87,7 @@ inline constexpr int kErrNoEnt = 7;       // no such file
 inline constexpr int kErrNotSup = 8;      // operation not supported by this VM
 inline constexpr int kErrMapEntryPool = 9;  // kernel map-entry pool exhausted
 inline constexpr int kErrIO = 10;         // EIO: device I/O error
+inline constexpr int kErrNoVnode = 11;    // vnode table exhausted, nothing recyclable
 
 const char* ErrorName(int err);
 

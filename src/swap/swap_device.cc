@@ -13,7 +13,12 @@ namespace {
 constexpr int kMaxRemapAttempts = 8;
 }  // namespace
 
-std::int32_t SwapDevice::AllocSlot() {
+std::int32_t SwapDevice::AllocSlot(bool emergency) {
+  disk_.machine().PollPressure();
+  if (!emergency && free_slots() <= reserved_slots_) {
+    return kNoSlot;  // only the pageout reserve remains
+  }
+  bool dips_reserve = free_slots() <= reserved_slots_;
   const std::size_t n = used_.size();
   for (std::size_t k = 0; k < n; ++k) {
     std::size_t i = (next_hint_ + k) % n;
@@ -21,6 +26,9 @@ std::int32_t SwapDevice::AllocSlot() {
       used_[i] = true;
       ++used_count_;
       next_hint_ = (i + 1) % n;
+      if (dips_reserve) {
+        ++disk_.machine().stats().swap_reserve_allocs;
+      }
       return static_cast<std::int32_t>(i);
     }
   }
@@ -43,11 +51,16 @@ std::int32_t SwapDevice::ScanContig(std::size_t from, std::size_t to, std::size_
   return kNoSlot;
 }
 
-std::int32_t SwapDevice::AllocContig(std::size_t want) {
+std::int32_t SwapDevice::AllocContig(std::size_t want, bool emergency) {
+  disk_.machine().PollPressure();
   const std::size_t n = used_.size();
   if (want == 0 || want > n) {
     return kNoSlot;
   }
+  if (!emergency && free_slots() < want + reserved_slots_) {
+    return kNoSlot;  // the run would eat into the pageout reserve
+  }
+  bool dips_reserve = free_slots() < want + reserved_slots_;
   // Start at the hint for locality with AllocSlot, but a miss there must
   // not give up: rescan the whole device so free runs before (or
   // straddling) the hint are still found.
@@ -57,8 +70,54 @@ std::int32_t SwapDevice::AllocContig(std::size_t want) {
   }
   if (first != kNoSlot) {
     next_hint_ = (static_cast<std::size_t>(first) + want) % n;
+    if (dips_reserve) {
+      ++disk_.machine().stats().swap_reserve_allocs;
+    }
   }
   return first;
+}
+
+void SwapDevice::SetBalloonTarget(std::size_t target) {
+  balloon_target_ = target < used_.size() ? target : used_.size();
+  AbsorbBalloon();  // any deficit left is absorbed by future FreeSlot calls
+  ReleaseBalloon();
+}
+
+void SwapDevice::ApplyPressure(const sim::PressureEvent& ev) {
+  std::size_t target = balloon_target_;
+  switch (ev.op) {
+    case sim::PressureOp::kShrink:
+      target += static_cast<std::size_t>(ev.amount);
+      break;
+    case sim::PressureOp::kGrow:
+      target -= target < ev.amount ? target : static_cast<std::size_t>(ev.amount);
+      break;
+    case sim::PressureOp::kSetAvail:
+      target = used_.size() > ev.amount ? used_.size() - static_cast<std::size_t>(ev.amount) : 0;
+      break;
+  }
+  SetBalloonTarget(target);
+}
+
+void SwapDevice::AbsorbBalloon() {
+  // Claim the highest-numbered free slots first, away from the allocation
+  // hint's locality.
+  for (std::size_t i = used_.size(); i-- > 0 && balloon_slots_.size() < balloon_target_;) {
+    if (!used_[i] && !bad_[i]) {
+      used_[i] = true;
+      ++used_count_;
+      balloon_slots_.push_back(static_cast<std::int32_t>(i));
+    }
+  }
+}
+
+void SwapDevice::ReleaseBalloon() {
+  while (balloon_slots_.size() > balloon_target_) {
+    std::int32_t s = balloon_slots_.back();
+    balloon_slots_.pop_back();
+    used_[static_cast<std::size_t>(s)] = false;
+    --used_count_;
+  }
 }
 
 void SwapDevice::FreeSlot(std::int32_t slot) {
@@ -68,6 +127,12 @@ void SwapDevice::FreeSlot(std::int32_t slot) {
   used_[i] = false;
   SIM_ASSERT(used_count_ > 0);
   --used_count_;
+  // Absorb one slot of any outstanding balloon deficit.
+  if (balloon_slots_.size() < balloon_target_) {
+    used_[i] = true;
+    ++used_count_;
+    balloon_slots_.push_back(slot);
+  }
 }
 
 void SwapDevice::FreeRange(std::int32_t first, std::size_t n) {
@@ -173,9 +238,16 @@ int SwapDevice::WriteRunRemapping(std::int32_t* first,
         FreeSlot(s);
       }
     }
-    std::int32_t moved = AllocContig(n);
+    // The data is already committed to being written out: the replacement
+    // run may come from the pageout reserve.
+    std::int32_t moved = AllocContig(n, /*emergency=*/true);
     if (moved == kNoSlot) {
       *first = kNoSlot;
+      sim::Machine& m = disk_.machine();
+      ++m.stats().swap_full_events;
+      if (m.tracer().enabled()) {
+        m.tracer().Instant(m.cost_context(), "swap_full", m.clock().now(), n);
+      }
       return sim::kErrNoSwap;
     }
     *first = moved;

@@ -33,7 +33,11 @@ class SwapDevice {
       : disk_(machine, vfs::Disk::Kind::kSwap),
         used_(num_slots, false),
         bad_(num_slots, false),
-        bytes_(num_slots * sim::kPageSize) {}
+        bytes_(num_slots * sim::kPageSize) {
+    machine.pressure().RegisterActuator(
+        sim::PressureResource::kSwapSlots,
+        [this](const sim::PressureEvent& ev) { ApplyPressure(ev); });
+  }
 
   SwapDevice(const SwapDevice&) = delete;
   SwapDevice& operator=(const SwapDevice&) = delete;
@@ -43,10 +47,25 @@ class SwapDevice {
   std::size_t bad_slots() const { return bad_count_; }
   std::size_t free_slots() const { return used_.size() - used_count_ - bad_count_; }
 
-  // Allocate a single slot; kNoSlot when full.
-  std::int32_t AllocSlot();
+  // Slots below which only the pageout path may allocate (default 0 =
+  // disabled): a reserve of clustering slots so the daemon can always
+  // push dirty anonymous memory out, even when normal allocations are
+  // being refused. See DESIGN.md §12.
+  std::size_t reserved_slots() const { return reserved_slots_; }
+  void set_reserved_slots(std::size_t n) { reserved_slots_ = n; }
+
+  // Pressure balloon: slots taken out of service by a pressure plan.
+  // Ballooned slots are marked used (never data-bearing ones — only free
+  // slots are absorbed; a deficit is absorbed as slots are freed).
+  std::size_t balloon_slots() const { return balloon_slots_.size(); }
+  std::size_t balloon_target() const { return balloon_target_; }
+  void SetBalloonTarget(std::size_t target);
+
+  // Allocate a single slot; kNoSlot when full (or, for non-emergency
+  // requests, when only the pageout reserve remains).
+  std::int32_t AllocSlot(bool emergency = false);
   // Allocate `n` contiguous slots; kNoSlot when no run is available.
-  std::int32_t AllocContig(std::size_t n);
+  std::int32_t AllocContig(std::size_t n, bool emergency = false);
   void FreeSlot(std::int32_t slot);
   void FreeRange(std::int32_t first, std::size_t n);
 
@@ -90,6 +109,10 @@ class SwapDevice {
   // the used set, and count the remap.
   void RetireSlot(std::int32_t slot);
 
+  void ApplyPressure(const sim::PressureEvent& ev);
+  void AbsorbBalloon();   // free slots -> balloon, up to target
+  void ReleaseBalloon();  // balloon -> free slots, down to target
+
   vfs::Disk disk_;
   std::vector<bool> used_;
   std::vector<bool> bad_;
@@ -97,6 +120,9 @@ class SwapDevice {
   std::size_t used_count_ = 0;
   std::size_t bad_count_ = 0;
   std::size_t next_hint_ = 0;
+  std::size_t reserved_slots_ = 0;
+  std::vector<std::int32_t> balloon_slots_;
+  std::size_t balloon_target_ = 0;
 };
 
 }  // namespace swp

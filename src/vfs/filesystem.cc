@@ -22,12 +22,15 @@ void Filesystem::CreateFilePattern(const std::string& name, std::size_t size) {
   CreateFile(name, std::move(data));
 }
 
-Vnode* Filesystem::Open(const std::string& name) {
+Vnode* Filesystem::Open(const std::string& name, int* err) {
   auto it = files_.find(name);
   if (it == files_.end()) {
+    if (err != nullptr) {
+      *err = sim::kErrNoEnt;
+    }
     return nullptr;
   }
-  return cache_.Get(name, &it->second);
+  return cache_.Get(name, &it->second, err);
 }
 
 }  // namespace vfs

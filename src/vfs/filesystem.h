@@ -27,8 +27,9 @@ class Filesystem {
   void CreateFilePattern(const std::string& name, std::size_t size);
 
   // Open a file, returning a referenced vnode (nullptr if absent or the
-  // vnode table is exhausted). Callers must Close() when done.
-  Vnode* Open(const std::string& name);
+  // vnode table is exhausted; `err` distinguishes kErrNoEnt from
+  // kErrNoVnode). Callers must Close() when done.
+  Vnode* Open(const std::string& name, int* err = nullptr);
   void Close(Vnode* vn) { cache_.Unref(vn); }
 
   bool Exists(const std::string& name) const { return files_.contains(name); }

@@ -75,7 +75,10 @@ VnodeCache::~VnodeCache() {
   }
 }
 
-Vnode* VnodeCache::Get(const std::string& name, std::vector<std::byte>* file_data) {
+Vnode* VnodeCache::Get(const std::string& name, std::vector<std::byte>* file_data, int* err) {
+  if (err != nullptr) {
+    *err = sim::kOk;
+  }
   auto it = vnodes_.find(name);
   if (it != vnodes_.end()) {
     Vnode* vn = it->second.get();
@@ -88,11 +91,23 @@ Vnode* VnodeCache::Get(const std::string& name, std::vector<std::byte>* file_dat
     return vn;
   }
   if (file_data == nullptr) {
+    if (err != nullptr) {
+      *err = sim::kErrNoEnt;
+    }
     return nullptr;
   }
   if (vnodes_.size() >= max_vnodes_) {
     if (lru_.empty()) {
-      return nullptr;  // every vnode is referenced; table exhausted
+      // Every vnode is referenced: the table is genuinely exhausted.
+      ++machine_.stats().vnode_table_full;
+      if (machine_.tracer().enabled()) {
+        machine_.tracer().Instant(machine_.cost_context(), "vnode_table_full",
+                                  machine_.clock().now(), max_vnodes_);
+      }
+      if (err != nullptr) {
+        *err = sim::kErrNoVnode;
+      }
+      return nullptr;
     }
     Recycle(lru_.front());
   }

@@ -89,8 +89,11 @@ class VnodeCache {
 
   // Get a referenced vnode for `name`, reusing a cached one when possible
   // and recycling the LRU unreferenced vnode when the table is full.
-  // Returns nullptr if the file does not exist or all vnodes are in use.
-  Vnode* Get(const std::string& name, std::vector<std::byte>* file_data);
+  // Returns nullptr if the file does not exist or all vnodes are in use;
+  // `err` (if non-null) distinguishes the two: kErrNoEnt for a missing
+  // file, kErrNoVnode for a full table with every vnode referenced
+  // (counted in Stats::vnode_table_full).
+  Vnode* Get(const std::string& name, std::vector<std::byte>* file_data, int* err = nullptr);
 
   // Add a reference to an already-obtained vnode (vref).
   void Ref(Vnode* vn);

@@ -35,6 +35,15 @@ struct VmTuning {
   // and to terminate-time flushes (which historically hardcoded 3 attempts
   // per VM); every retry increments Stats::pageout_retries on every path.
   int max_pageout_retries = 5;
+  // Extra pagedaemon-and-retry passes after a failed physical-page
+  // allocation (beyond the historical single daemon+retry), with doubling
+  // mem_retry_backoff_ns, before the failure surfaces as kErrNoMem. Each
+  // pass increments Stats::alloc_retries.
+  int max_alloc_retries = 3;
+  // Kernel-level retries of a fault that failed with kErrNoMem/kErrNoSwap
+  // before the out-of-swap killer is consulted (DESIGN.md §12). Each retry
+  // increments Stats::fault_retries.
+  int max_fault_retries = 3;
 };
 
 // Attributes of a new mapping. UVM's uvm_map() accepts all of these in one
@@ -179,6 +188,12 @@ class VmSystem {
   virtual std::size_t KernelMapEntries() const = 0;
   // Frames resident in this address space's mappings (excluding the kernel).
   virtual std::size_t ResidentPages(AddressSpace& as) const = 0;
+  // Resident *anonymous* frames attributable to `as`: the out-of-swap
+  // killer's victim metric (DESIGN.md §12). Host-side walk, charges
+  // nothing.
+  virtual std::size_t AnonResidentPages(AddressSpace& as) const = 0;
+  // The retry/backoff knobs this VM instance was configured with.
+  virtual const VmTuning& tuning() const = 0;
   // Run internal consistency checks; panics on violation (tests call this).
   virtual void CheckInvariants() = 0;
 };

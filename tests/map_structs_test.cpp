@@ -102,6 +102,49 @@ TEST_F(BsdMapStructTest, EntryPoolLimitEnforced) {
   EXPECT_EQ(sim::kErrMapEntryPool, limited.InsertEntry(Entry(0x6000, 0x7000)));
 }
 
+TEST_F(BsdMapStructTest, ClipReservationRefusesUpFrontWhenPoolCannotCoverClips) {
+  // Pool of 3, 2 in use: a range op that may clip both boundaries needs
+  // worst-case 2 fresh entries. The reservation must refuse *before*
+  // anything is mutated — mid-clip exhaustion would be fatal.
+  bsdvm::VmMap limited(machine, kMin, kMax, 3);
+  ASSERT_EQ(sim::kOk, limited.InsertEntry(Entry(0x2000, 0x8000)));
+  ASSERT_EQ(sim::kOk, limited.InsertEntry(Entry(0x9000, 0xa000)));
+  EXPECT_TRUE(limited.RangeNeedsClip(0x3000, 0x7000));
+  bsdvm::VmMap::ClipReservation res;
+  EXPECT_EQ(sim::kErrMapEntryPool, res.Acquire(limited, 0x3000, 0x7000));
+  EXPECT_EQ(1u, machine.stats().map_entry_pool_denials);
+  EXPECT_EQ(2u, limited.entry_count());  // untouched
+  EXPECT_EQ(0u, limited.reserved_entries());
+  EXPECT_TRUE(limited.IndexConsistent());
+  // A range op needing no clip still succeeds against the same pool.
+  EXPECT_FALSE(limited.RangeNeedsClip(0x2000, 0x8000));
+  bsdvm::VmMap::ClipReservation aligned;
+  EXPECT_EQ(sim::kOk, aligned.Acquire(limited, 0x2000, 0x8000));
+}
+
+TEST_F(BsdMapStructTest, ClipReservationHoldsHeadroomWithoutConsumingEntries) {
+  bsdvm::VmMap limited(machine, kMin, kMax, 4);
+  ASSERT_EQ(sim::kOk, limited.InsertEntry(Entry(0x2000, 0x8000)));
+  ASSERT_EQ(sim::kOk, limited.InsertEntry(Entry(0x9000, 0xa000)));
+  {
+    bsdvm::VmMap::ClipReservation res;
+    ASSERT_EQ(sim::kOk, res.Acquire(limited, 0x3000, 0x7000));
+    EXPECT_EQ(2u, limited.reserved_entries());
+    // The reserved headroom is invisible to the clips it guards but blocks
+    // ordinary inserts from stealing it.
+    EXPECT_EQ(sim::kErrMapEntryPool, limited.InsertEntry(Entry(0xb000, 0xc000)));
+    auto it = limited.LookupEntry(0x3000);
+    ASSERT_NE(limited.entries().end(), it);
+    it = limited.ClipStart(it, 0x3000);
+    limited.ClipEnd(it, 0x7000);
+    EXPECT_EQ(4u, limited.entry_count());
+    EXPECT_TRUE(limited.IndexConsistent());
+  }
+  EXPECT_EQ(0u, limited.reserved_entries());  // released with the guard
+  // The pool is now genuinely full.
+  EXPECT_EQ(sim::kErrMapEntryPool, limited.InsertEntry(Entry(0xb000, 0xc000)));
+}
+
 TEST_F(BsdMapStructTest, LockMeteringAccumulatesHoldTime) {
   std::uint64_t acq = machine.stats().map_lock_acquisitions;
   map.Lock();

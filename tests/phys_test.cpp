@@ -138,6 +138,74 @@ TEST_F(PhysTest, FreeTargetDefaultsToFivePercent) {
   }
 }
 
+TEST_F(PhysTest, FreeReserveBlocksNormalAllocsButNotEmergency) {
+  pm.set_free_reserve(8);
+  std::vector<phys::Page*> held;
+  while (pm.free_pages() > 8) {
+    held.push_back(pm.AllocPage(phys::OwnerKind::kKernel, this, 0, false));
+    ASSERT_NE(nullptr, held.back());
+  }
+  // Only the emergency reserve remains: a normal request is refused (and
+  // counted) so the caller reclaims and retries instead of deadlocking the
+  // daemon on its own working memory.
+  EXPECT_EQ(nullptr, pm.AllocPage(phys::OwnerKind::kKernel, this, 0, false));
+  EXPECT_EQ(1u, machine.stats().page_alloc_failures);
+  EXPECT_EQ(8u, pm.free_pages());
+  phys::Page* p =
+      pm.AllocPage(phys::OwnerKind::kKernel, this, 0, false, phys::AllocPri::kEmergency);
+  ASSERT_NE(nullptr, p);
+  EXPECT_EQ(1u, machine.stats().emergency_page_allocs);
+  pm.FreePage(p);
+  for (phys::Page* h : held) {
+    pm.FreePage(h);
+  }
+}
+
+TEST_F(PhysTest, PageoutScopeMakesAllocsEmergency) {
+  pm.set_free_reserve(64);  // everything below the reserve from the start
+  EXPECT_FALSE(pm.in_pageout());
+  EXPECT_EQ(nullptr, pm.AllocPage(phys::OwnerKind::kKernel, this, 0, false));
+  {
+    phys::PageoutScope scope(pm);
+    EXPECT_TRUE(pm.in_pageout());
+    phys::Page* p = pm.AllocPage(phys::OwnerKind::kKernel, this, 0, false);
+    ASSERT_NE(nullptr, p);
+    EXPECT_EQ(1u, machine.stats().emergency_page_allocs);
+    pm.FreePage(p);
+  }
+  EXPECT_FALSE(pm.in_pageout());
+}
+
+TEST_F(PhysTest, BalloonAbsorbsFreeFramesDownToFloorOnly) {
+  phys::Page* a = pm.AllocPage(phys::OwnerKind::kKernel, this, 0, false);
+  ASSERT_NE(nullptr, a);
+  // Ask to balloon more than exists: absorption stops at the floor (4
+  // frames with no watermarks set) and the rest is a deficit.
+  pm.SetBalloonTarget(100);
+  EXPECT_EQ(59u, pm.balloon_pages());
+  EXPECT_EQ(4u, pm.free_pages());
+  // Freed frames feed the deficit one at a time instead of re-entering
+  // service, but never squeeze the free list below the floor.
+  pm.FreePage(a);
+  EXPECT_EQ(60u, pm.balloon_pages());
+  EXPECT_EQ(4u, pm.free_pages());
+  // Growing returns frames to the free list.
+  pm.SetBalloonTarget(0);
+  EXPECT_EQ(0u, pm.balloon_pages());
+  EXPECT_EQ(64u, pm.free_pages());
+}
+
+TEST_F(PhysTest, BalloonHonorsFreeReserveFloor) {
+  pm.set_free_reserve(16);
+  pm.SetBalloonTarget(100);
+  // The floor is max(free_min, free_reserve, 4): the balloon may not eat
+  // the emergency pool the pageout path depends on.
+  EXPECT_EQ(16u, pm.free_pages());
+  EXPECT_EQ(48u, pm.balloon_pages());
+  pm.SetBalloonTarget(0);
+  EXPECT_EQ(64u, pm.free_pages());
+}
+
 TEST_F(PhysTest, PageAtRoundTripsPfn) {
   phys::Page* p = pm.AllocPage(phys::OwnerKind::kKernel, this, 0, false);
   EXPECT_EQ(p, pm.PageAt(p->pfn));

@@ -234,6 +234,77 @@ TEST_F(SwapTest, TransientWriteFaultLeavesRunForRetry) {
   EXPECT_EQ(pages[1], back);
 }
 
+TEST_F(SwapTest, ReservedSlotsAreEmergencyOnly) {
+  sd.set_reserved_slots(4);
+  // Normal allocation is refused once only the pageout reserve remains.
+  for (int i = 0; i < 28; ++i) {
+    ASSERT_NE(swp::kNoSlot, sd.AllocSlot());
+  }
+  EXPECT_EQ(4u, sd.free_slots());
+  EXPECT_EQ(swp::kNoSlot, sd.AllocSlot());
+  EXPECT_EQ(swp::kNoSlot, sd.AllocContig(2));
+  EXPECT_EQ(0u, machine.stats().swap_reserve_allocs);
+  // The pageout path (emergency) may dip into the reserve, and each dip is
+  // counted.
+  std::int32_t s = sd.AllocSlot(/*emergency=*/true);
+  ASSERT_NE(swp::kNoSlot, s);
+  EXPECT_EQ(1u, machine.stats().swap_reserve_allocs);
+  std::int32_t run = sd.AllocContig(2, /*emergency=*/true);
+  ASSERT_NE(swp::kNoSlot, run);
+  EXPECT_EQ(2u, machine.stats().swap_reserve_allocs);
+  EXPECT_EQ(1u, sd.free_slots());
+}
+
+TEST_F(SwapTest, BalloonAbsorbsOnlyFreeSlotsAndReleasesLifo) {
+  std::int32_t a = sd.AllocSlot();
+  std::int32_t b = sd.AllocSlot();
+  // Ask for more than is free: the balloon absorbs what it can (from the
+  // high end, away from the allocation hint) and carries a deficit.
+  sd.SetBalloonTarget(31);
+  EXPECT_EQ(30u, sd.balloon_slots());
+  EXPECT_EQ(0u, sd.free_slots());
+  EXPECT_TRUE(sd.IsUsed(31));
+  EXPECT_EQ(swp::kNoSlot, sd.AllocSlot());
+  // Freeing a data slot lets the deficit be absorbed; the device stays
+  // fully ballooned rather than handing the slot back out.
+  sd.FreeSlot(a);
+  EXPECT_EQ(31u, sd.balloon_slots());
+  EXPECT_EQ(0u, sd.free_slots());
+  // Growing releases balloon slots back into service.
+  sd.SetBalloonTarget(0);
+  EXPECT_EQ(0u, sd.balloon_slots());
+  EXPECT_EQ(31u, sd.free_slots());
+  EXPECT_TRUE(sd.IsUsed(b));
+  sd.FreeSlot(b);
+  EXPECT_EQ(32u, sd.free_slots());
+}
+
+TEST_F(SwapTest, RemappingWithNoReplacementRunCountsSwapFull) {
+  // Fill the device except one 2-slot run, then make every write to that
+  // run fail permanently: remapping retires the bad slots but has nowhere
+  // to move the cluster, so the write surfaces kErrNoSwap and the event is
+  // counted for the pressure report.
+  std::int32_t first = sd.AllocContig(2);
+  ASSERT_NE(swp::kNoSlot, first);
+  while (sd.AllocSlot() != swp::kNoSlot) {
+  }
+  EXPECT_EQ(0u, sd.free_slots());
+  sim::FaultPlan plan;
+  plan.write_num = 1;
+  plan.write_den = 1;
+  plan.permanent_num = 1;
+  plan.permanent_den = 1;
+  machine.faults().SetPlan(sim::IoDevice::kSwapDisk, plan);
+  auto p0 = MakePage(std::byte{0xaa});
+  auto p1 = MakePage(std::byte{0xbb});
+  std::array<std::span<std::byte, sim::kPageSize>, 2> spans{std::span(p0), std::span(p1)};
+  std::int32_t where = first;
+  EXPECT_EQ(sim::kErrNoSwap, sd.WriteRunRemapping(&where, std::span(spans)));
+  EXPECT_EQ(swp::kNoSlot, where);
+  EXPECT_EQ(1u, machine.stats().swap_full_events);
+  EXPECT_GT(sd.bad_slots(), 0u);
+}
+
 TEST_F(SwapTest, AllocAfterFreeReusesSlots) {
   std::vector<std::int32_t> all;
   for (int i = 0; i < 32; ++i) {

@@ -151,6 +151,38 @@ TEST_F(VfsTest, RefUnrefNest) {
   EXPECT_EQ(1u, fs.cache().cached_vnodes());
 }
 
+TEST_F(VfsTest, TableFullWithAllReferencedReturnsTypedError) {
+  for (int i = 0; i < 5; ++i) {
+    fs.CreateFilePattern("/f" + std::to_string(i), sim::kPageSize);
+  }
+  std::vector<vfs::Vnode*> held;
+  for (int i = 0; i < 4; ++i) {
+    held.push_back(fs.Open("/f" + std::to_string(i)));
+    ASSERT_NE(nullptr, held.back());
+  }
+  // Every vnode referenced, nothing on the LRU: the fifth open must fail
+  // with kErrNoVnode (not kErrNoEnt, and not a fatal assert) and count it.
+  int err = 0;
+  EXPECT_EQ(nullptr, fs.Open("/f4", &err));
+  EXPECT_EQ(sim::kErrNoVnode, err);
+  EXPECT_EQ(1u, machine.stats().vnode_table_full);
+  // A missing file is still distinguished from an exhausted table.
+  err = 0;
+  EXPECT_EQ(nullptr, fs.Open("/nope", &err));
+  EXPECT_EQ(sim::kErrNoEnt, err);
+  EXPECT_EQ(1u, machine.stats().vnode_table_full);
+  // Releasing any reference makes that vnode recyclable and the open
+  // succeeds again.
+  fs.Close(held.back());
+  held.pop_back();
+  vfs::Vnode* vn = fs.Open("/f4", &err);
+  ASSERT_NE(nullptr, vn);
+  fs.Close(vn);
+  for (vfs::Vnode* h : held) {
+    fs.Close(h);
+  }
+}
+
 TEST_F(VfsTest, PatternByteIsDeterministicPerFile) {
   EXPECT_EQ(vfs::Filesystem::PatternByte("/x", 5), vfs::Filesystem::PatternByte("/x", 5));
   // Different files have different patterns (hash-based, overwhelmingly).

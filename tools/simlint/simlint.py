@@ -18,6 +18,12 @@ Three rule families (see DESIGN.md §10):
                                         DAG sim -> {phys,mmu,vfs,swap} -> vm
                                         -> {core,bsdvm} -> kern -> harness ->
                                         tests/bench/examples
+  robustness       pool-exhaustion-assert a SIM_ASSERT/SIM_PANIC whose
+                                        message names pool/memory/swap
+                                        exhaustion in src/ code: fixed-pool
+                                        exhaustion must surface as a typed
+                                        error and recover (DESIGN.md §12),
+                                        not panic
 
 Engine: libclang (python bindings) refines the unordered-iteration rule when
 available; everything else — and everything, when libclang is absent — runs
@@ -81,12 +87,13 @@ HOST_NONDET_EXEMPT = {
     os.path.join("bench", "bench_host_perf.cpp"),
 }
 
-ANNOTATIONS = ("SIM_ORDERED_OK", "SIM_HOST_TIME_OK", "SIM_NO_CHARGE_OK")
+ANNOTATIONS = ("SIM_ORDERED_OK", "SIM_HOST_TIME_OK", "SIM_NO_CHARGE_OK", "SIM_POOL_FATAL_OK")
 RULE_ANNOTATION = {
     "det-unordered-iter": "SIM_ORDERED_OK",
     "det-ptr-container": "SIM_ORDERED_OK",
     "det-host-nondet": "SIM_HOST_TIME_OK",
     "cost-no-charge": "SIM_NO_CHARGE_OK",
+    "pool-exhaustion-assert": "SIM_POOL_FATAL_OK",
 }
 
 # Functions that advance the virtual clock; everything that (transitively)
@@ -624,6 +631,49 @@ def rule_cost_no_charge(repo: Repo) -> list:
     return findings
 
 
+POOL_FATAL_MACRO_RE = re.compile(r"\bSIM_(?:ASSERT|ASSERT_MSG|PANIC)\s*\(")
+POOL_FATAL_MSG_RE = re.compile(
+    r"out of (?:memory|swap)|pool|exhaust|table is full|no free (?:slot|page|entr)",
+    re.IGNORECASE,
+)
+
+
+def rule_pool_fatal(repo: Repo) -> list:
+    """A fatal assert/panic that fires on fixed-pool exhaustion. The message
+    lives in a string literal (blanked in stripped text), so the raw line —
+    plus the next two lines, for wrapped macro arguments — is searched."""
+    findings = []
+    for rel, sf in sorted(repo.files.items()):
+        if not rel.startswith("src/") or rel == os.path.join("src", "sim", "assert.h").replace(
+            os.sep, "/"
+        ):
+            continue
+        for lineno, line in enumerate(sf.raw_lines, start=1):
+            if not POOL_FATAL_MACRO_RE.search(line):
+                continue
+            window = " ".join(sf.raw_lines[lineno - 1:lineno + 2])
+            # The escape-hatch token itself contains "POOL"; drop annotation
+            # calls so a nearby SIM_POOL_FATAL_OK(...) cannot trip the rule.
+            window = re.sub(r"SIM_POOL_FATAL_OK\s*\([^)]*\)?", " ", window)
+            if not POOL_FATAL_MSG_RE.search(window):
+                continue
+            findings.append(
+                Finding(
+                    rule="pool-exhaustion-assert",
+                    path=rel,
+                    line=lineno,
+                    message=(
+                        "fatal assert on a pool-exhaustion path: fixed-pool exhaustion must "
+                        "surface as a typed error (kErrNoMem/kErrNoSwap/kErrNoVnode/"
+                        "kErrMapEntryPool) and recover gracefully (DESIGN.md §12); annotate "
+                        "SIM_POOL_FATAL_OK(reason) only when the assert is unreachable by "
+                        "construction"
+                    ),
+                )
+            )
+    return findings
+
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
 
@@ -769,6 +819,7 @@ def collect_findings(repo: Repo, engine: str) -> list:
     findings.extend(rule_host_nondet(repo))
     findings.extend(rule_cost_no_charge(repo))
     findings.extend(rule_layering(repo))
+    findings.extend(rule_pool_fatal(repo))
 
     kept = []
     for f in findings:

@@ -1,0 +1,20 @@
+// Fixture: fatal asserts on pool-exhaustion paths that must be flagged.
+#include "src/sim/rng.h"
+
+namespace core {
+
+void* AllocFromPool(int n);
+
+void TakeOne() {
+  void* p = AllocFromPool(1);
+  SIM_ASSERT_MSG(p != nullptr, "anon pool exhausted");  // LINE-POOL-ASSERT
+}
+
+void TakeTwo() {
+  void* p = AllocFromPool(2);
+  if (p == nullptr) {
+    SIM_PANIC("out of memory allocating from pool");  // LINE-POOL-PANIC
+  }
+}
+
+}  // namespace core

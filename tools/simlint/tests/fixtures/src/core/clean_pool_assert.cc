@@ -1,0 +1,20 @@
+// Fixture: pool-exhaustion asserts that must NOT be flagged — either
+// annotated as unreachable-by-construction, or not exhaustion-related.
+#include "src/sim/rng.h"
+
+namespace core {
+
+void* AllocFromPool(int n);
+
+void TakeReserved() {
+  void* p = AllocFromPool(1);
+  SIM_POOL_FATAL_OK("unreachable: a reservation was taken before this call");
+  SIM_ASSERT_MSG(p != nullptr, "anon pool exhausted");
+}
+
+void CheckAlignment(unsigned va) {
+  // An ordinary invariant assert; its message names no pool or exhaustion.
+  SIM_ASSERT_MSG((va & 0xfffu) == 0, "misaligned address");
+}
+
+}  // namespace core

@@ -62,6 +62,8 @@ class SimlintFixtureTest(unittest.TestCase):
             self.expect("cost-no-charge", "src/core/bad_cost.cc", "PRIMITIVE"),
             self.expect("layer-upward-include", "src/phys/bad_layering.h", "UPWARD"),
             self.expect("layer-upward-include", "src/bsdvm/bad_sibling.h", "SIBLING"),
+            self.expect("pool-exhaustion-assert", "src/core/bad_pool_assert.cc", "POOL-ASSERT"),
+            self.expect("pool-exhaustion-assert", "src/core/bad_pool_assert.cc", "POOL-PANIC"),
         }
         extra = self.found - expected
         self.assertFalse(
@@ -75,6 +77,7 @@ class SimlintFixtureTest(unittest.TestCase):
             "src/core/clean_unordered.cc",
             "src/core/clean_ptr_set.h",
             "src/core/clean_cost.cc",
+            "src/core/clean_pool_assert.cc",
             "src/bsdvm/clean_layering.h",
             "src/sim/rng.h",  # det-host-nondet exempt path
         }
