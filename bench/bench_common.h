@@ -15,6 +15,7 @@
 
 #include <clocale>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <locale>
@@ -47,15 +48,59 @@ class PressureSession {
   std::string spec_;
 };
 
+// Scripted memory-error plan for a whole bench process (DESIGN.md §13).
+// Inactive (and entirely free) unless --memfault=SPEC was given.
+class MemfaultSession {
+ public:
+  static MemfaultSession& Get() {
+    static MemfaultSession session;
+    return session;
+  }
+
+  bool enabled() const { return !spec_.empty(); }
+  const std::string& spec() const { return spec_; }
+  void SetSpec(std::string spec) { spec_ = std::move(spec); }
+
+ private:
+  MemfaultSession() = default;
+  std::string spec_;
+};
+
+// Periodic cross-layer audit interval for a whole bench process. Inactive
+// unless --audit=N (virtual milliseconds) was given; the shutdown audit in
+// harness::World runs regardless.
+class AuditSession {
+ public:
+  static AuditSession& Get() {
+    static AuditSession session;
+    return session;
+  }
+
+  bool enabled() const { return every_ != 0; }
+  sim::Nanoseconds every() const { return every_; }
+  void SetEveryMs(long ms) { every_ = static_cast<sim::Nanoseconds>(ms) * 1'000'000; }
+
+ private:
+  AuditSession() = default;
+  sim::Nanoseconds every_ = 0;
+};
+
 // The bench-side World: identical to harness::World, but arms the
-// session-wide --pressure plan on every construction, so each measured run
-// replays the same scripted shrink/grow schedule in virtual time.
+// session-wide --pressure / --memfault / --audit settings on every
+// construction, so each measured run replays the same scripted schedule in
+// virtual time.
 class World : public harness::World {
  public:
   explicit World(VmKind kind, const WorldConfig& config = WorldConfig{})
       : harness::World(kind, config) {
     if (PressureSession::Get().enabled()) {
       InstallPressurePlan(PressureSession::Get().spec());
+    }
+    if (MemfaultSession::Get().enabled()) {
+      InstallMemfaultPlan(MemfaultSession::Get().spec());
+    }
+    if (AuditSession::Get().enabled()) {
+      machine.auditor().set_interval(AuditSession::Get().every());
     }
   }
 };
@@ -109,6 +154,10 @@ inline void Init(int argc, char** argv) {
       TraceSession::Get().SetPath(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--pressure=", 11) == 0) {
       PressureSession::Get().SetSpec(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--memfault=", 11) == 0) {
+      MemfaultSession::Get().SetSpec(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--audit=", 8) == 0) {
+      AuditSession::Get().SetEveryMs(std::strtol(argv[i] + 8, nullptr, 10));
     }
   }
 }

@@ -17,6 +17,13 @@ same determinism checks then apply to the benches *under memory pressure*
 reserves, the out-of-swap killer). Pressure changes the numbers but must
 never change the fact that two runs agree byte-for-byte.
 
+--memfault SPEC and --audit MS forward the same way (--memfault=SPEC,
+--audit=MS): seeded memory-error injection plus periodic cross-layer
+audits. Containment (discard/refetch, poison kills, loan revocation) and
+auditing are part of the simulation, so armed runs must be exactly as
+byte-deterministic as clean ones — and any audit violation aborts the
+bench at the World shutdown audit, failing this script.
+
 The JSON written to --out maps bench name -> {sha256, lines, bytes,
 trace_events}, plus a toolchain-independent "observer_effect": "ok" marker
 that only appears if every check above passed.
@@ -63,9 +70,21 @@ def main():
     ap.add_argument("--pressure", default=None, metavar="SPEC",
                     help="pressure plan forwarded to every bench as "
                          "--pressure=SPEC (e.g. '@1ms phys-=7000')")
+    ap.add_argument("--memfault", default=None, metavar="SPEC",
+                    help="memory-error plan forwarded to every bench as "
+                         "--memfault=SPEC (e.g. '@5ms poison random:2')")
+    ap.add_argument("--audit", default=None, metavar="MS", type=int,
+                    help="run the cross-layer auditor every MS virtual ms, "
+                         "forwarded to every bench as --audit=MS")
     args = ap.parse_args()
 
-    extra = [f"--pressure={args.pressure}"] if args.pressure else []
+    extra = []
+    if args.pressure:
+        extra.append(f"--pressure={args.pressure}")
+    if args.memfault:
+        extra.append(f"--memfault={args.memfault}")
+    if args.audit is not None:
+        extra.append(f"--audit={args.audit}")
 
     result = {}
     failures = []
@@ -118,6 +137,10 @@ def main():
     result["observer_effect"] = "ok"
     if args.pressure:
         result["pressure_plan"] = args.pressure
+    if args.memfault:
+        result["memfault_plan"] = args.memfault
+    if args.audit is not None:
+        result["audit_every_ms"] = args.audit
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(result, f, indent=2, sort_keys=True)
         f.write("\n")

@@ -47,5 +47,24 @@ python3 scripts/bench_virtual_json.py --bindir build/bench \
   --pressure '@1ms phys-=7000; @50ms swap=14200; @20s swap=32768; @30s phys+=5000' \
   --out build/BENCH_pressure.json
 
+# Containment soak: the same eight benches once more with everything armed
+# at once — the adversarial pressure plan above, a seeded memory-error plan
+# (random frame poison at three virtual-time points), and the cross-layer
+# auditor polling every virtual millisecond. hwpoison containment (discard
+# + transparent refetch, late kills, loan revocation) must be exactly as
+# byte-deterministic as the happy path, and every bench must finish with a
+# clean shutdown audit (any violation panics the World destructor). Runs
+# against the ASan build when sanitizers are enabled so containment bugs
+# also surface as ASan reports.
+SOAK_BINDIR=build/bench
+if [ "${UVM_CI_SKIP_ASAN:-0}" != "1" ]; then
+  SOAK_BINDIR=build-asan/bench
+fi
+python3 scripts/bench_virtual_json.py --bindir "$SOAK_BINDIR" \
+  --pressure '@1ms phys-=7000; @50ms swap=14200; @20s swap=32768; @30s phys+=5000' \
+  --memfault '@2ms poison random:2; @8ms poison random:3; @40ms poison random:2' \
+  --audit 1 \
+  --out build/BENCH_soak.json
+
 ./build/bench/bench_host_perf --quick --out build/BENCH_host.json
 python3 scripts/diff_bench_host.py BENCH_host.json build/BENCH_host.json

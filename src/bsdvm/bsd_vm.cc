@@ -6,6 +6,7 @@
 
 #include "src/sim/annotations.h"
 #include "src/sim/assert.h"
+#include "src/sim/retry.h"
 
 namespace bsdvm {
 
@@ -61,6 +62,8 @@ BsdVm::BsdVm(sim::Machine& machine, phys::PhysMem& pm, mmu::MmuContext& mmu,
              vfs::VnodeCache& vnodes, swp::SwapDevice& swap, const BsdConfig& config)
     : machine_(machine), pm_(pm), mmu_(mmu), vnodes_(vnodes), swap_(swap), config_(config) {
   kernel_as_ = std::make_unique<BsdAddressSpace>(*this, /*is_kernel=*/true);
+  audit_token_ =
+      machine_.auditor().Register("bsd.state", [this](sim::Auditor& a) { AuditState(a); });
 }
 
 BsdVm::~BsdVm() {
@@ -98,6 +101,7 @@ BsdVm::~BsdVm() {
     TerminateObject(obj);
   }
   SIM_ASSERT_MSG(all_objects_.empty(), "BsdVm destroyed with live objects");
+  machine_.auditor().Unregister(audit_token_);
 }
 
 kern::AddressSpace* BsdVm::CreateAddressSpace() {
@@ -200,13 +204,17 @@ void BsdVm::TerminateObject(VmObject* obj) {
   if (!obj->internal_ && obj->pager != nullptr) {
     sim::ChargeScope scope(machine_, sim::CostCat::kPageout, "bsd_terminate_flush");
     for (auto& [pgi, page] : obj->pages) {
-      if (page->dirty) {
+      // A poisoned page's bytes are garbage; dropping the write keeps the
+      // coherent pre-write copy on disk.
+      if (page->dirty && !page->poisoned) {
         int err = obj->pager->PutPage(pm_, page, pgi);
-        for (int attempt = 0;
-             err == sim::kErrIO && attempt < config_.tuning.max_pageout_retries; ++attempt) {
-          ++machine_.stats().pageout_retries;
-          machine_.Charge(machine_.cost().io_retry_backoff_ns << attempt);
-          err = obj->pager->PutPage(pm_, page, pgi);
+        if (err == sim::kErrIO) {
+          sim::RetryWithBackoff(
+              machine_,
+              {config_.tuning.max_pageout_retries, machine_.cost().io_retry_backoff_ns,
+               &machine_.stats().pageout_retries},
+              [&] { return (err = obj->pager->PutPage(pm_, page, pgi)) != sim::kErrIO; },
+              [](int) {});
         }
         if (err == sim::kErrIO) {
           ++machine_.stats().pageout_drops;
@@ -248,14 +256,16 @@ phys::Page* BsdVm::AllocPageReclaim(phys::OwnerKind kind, void* owner, sim::ObjO
     PageDaemon(pm_.free_target());
     p = pm_.AllocPage(kind, owner, offset, zero);
   }
-  // Under sustained pressure one daemon pass may not recover enough: back
-  // off in virtual time and retry, bounded so true exhaustion still
-  // surfaces as a clean failure instead of a hang.
-  for (int attempt = 0; p == nullptr && attempt < config_.tuning.max_alloc_retries; ++attempt) {
-    ++machine_.stats().alloc_retries;
-    machine_.Charge(machine_.cost().mem_retry_backoff_ns << attempt);
-    PageDaemon(pm_.free_target());
-    p = pm_.AllocPage(kind, owner, offset, zero);
+  if (p == nullptr) {
+    // Under sustained pressure one daemon pass may not recover enough: back
+    // off in virtual time and retry, bounded so true exhaustion still
+    // surfaces as a clean failure instead of a hang.
+    sim::RetryWithBackoff(
+        machine_,
+        {config_.tuning.max_alloc_retries, machine_.cost().mem_retry_backoff_ns,
+         &machine_.stats().alloc_retries},
+        [&] { return (p = pm_.AllocPage(kind, owner, offset, zero)) != nullptr; },
+        [&](int) { PageDaemon(pm_.free_target()); });
   }
   return p;
 }
@@ -266,6 +276,31 @@ void BsdVm::FreeObjectPage(phys::Page* p) {
   mmu_.PageProtect(p, sim::Prot::kNone);
   obj->pages.erase(p->offset);
   pm_.FreePage(p);
+}
+
+int BsdVm::ContainPoisonedPage(phys::Page* p) {
+  SIM_ASSERT_MSG(p->wire_count == 0, "EMEMPOISON: poisoned wired/device page is uncontainable");
+  machine_.Charge(sim::CostCat::kPoison, machine_.cost().poison_contain_ns);
+  auto* obj = static_cast<VmObject*>(p->owner);
+  if (p->dirty) {
+    // The only copy of modified data is gone. An internal page stays
+    // attached so every later toucher is killed too (matching the anon
+    // case in UVM); a vnode page is dropped so the stale on-disk copy
+    // serves later faults instead of turning a persistent cached object
+    // into a permanent kill-trap.
+    if (!obj->internal_) {
+      FreeObjectPage(p);
+    }
+    return sim::kErrMemPoison;
+  }
+  ++machine_.stats().poison_discards;
+  ++machine_.stats().poison_refetches;
+  if (machine_.tracer().enabled()) {
+    machine_.tracer().Instant(sim::CostCat::kPoison, "bsd_poison_refetch", machine_.clock().now(),
+                              p->pfn);
+  }
+  FreeObjectPage(p);
+  return sim::kOk;
 }
 
 // ---------------------------------------------------------------------------
@@ -687,7 +722,9 @@ int BsdVm::Msync(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
     for (sim::Vaddr va = lo; va < hi; va += sim::kPageSize) {
       std::uint64_t pgi = pgoff + ((va - e.start) >> sim::kPageShift);
       phys::Page* p = obj->LookupPage(pgi);
-      if (p != nullptr && p->dirty) {
+      // Never flush a poisoned page: its bytes are garbage and would
+      // overwrite the coherent on-disk copy.
+      if (p != nullptr && p->dirty && !p->poisoned) {
         // On error the page stays dirty; keep flushing the rest of the
         // range and report the first failure.
         int err = obj->pager->PutPage(pm_, p, pgi);
@@ -1066,6 +1103,17 @@ int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
     // dropped while searching (§5.3).
     machine_.Charge(machine_.cost().object_chain_hop_ns + machine_.cost().object_lock_ns);
     page = obj->LookupPage(pgi);
+    if (page != nullptr && page->poisoned) {
+      // hwpoison discovery at fault time. Clean pages are discarded and the
+      // walk falls through to re-probe this object's pager (or a deeper
+      // chain level, or zero fill) — a transparent refetch. Dirty pages
+      // surface kErrMemPoison and the kernel kills the toucher.
+      if (int err = ContainPoisonedPage(page); err != sim::kOk) {
+        map.Unlock();
+        return err;
+      }
+      page = nullptr;
+    }
     if (page != nullptr) {
       found_in = obj;
       break;
@@ -1187,6 +1235,22 @@ std::size_t BsdVm::PageDaemon(std::size_t target_free) {
       }
     }
     phys::Page* p = pm_.inactive_queue().head();
+    if (p->poisoned) {
+      // Poisoned frames never reach the free list via the normal path:
+      // retire clean object pages now (backing store or zero fill refetches
+      // transparently) and park everything else off-queue — dirty ones are
+      // kill-traps for the fault path, and teardown retires them. Retired
+      // frames do not count toward `freed`.
+      machine_.Charge(sim::CostCat::kPoison, machine_.cost().poison_contain_ns);
+      if (p->owner_kind == phys::OwnerKind::kBsdObject && !p->dirty && p->wire_count == 0 &&
+          p->loan_count == 0 && !p->busy) {
+        ++machine_.stats().poison_discards;
+        FreeObjectPage(p);
+      } else {
+        pm_.Dequeue(p);
+      }
+      continue;
+    }
     if (p->referenced) {
       p->referenced = false;
       pm_.Activate(p);
@@ -1209,11 +1273,13 @@ std::size_t BsdVm::PageDaemon(std::size_t target_free) {
       // Transient device errors get a bounded retry with doubling
       // virtual-time backoff; the page stays dirty throughout, so giving
       // up loses nothing.
-      for (int attempt = 0; perr == sim::kErrIO && attempt < config_.tuning.max_pageout_retries;
-           ++attempt) {
-        ++machine_.stats().pageout_retries;
-        machine_.Charge(machine_.cost().io_retry_backoff_ns << attempt);
-        perr = obj->pager->PutPage(pm_, p, p->offset);
+      if (perr == sim::kErrIO) {
+        sim::RetryWithBackoff(
+            machine_,
+            {config_.tuning.max_pageout_retries, machine_.cost().io_retry_backoff_ns,
+             &machine_.stats().pageout_retries},
+            [&] { return (perr = obj->pager->PutPage(pm_, p, p->offset)) != sim::kErrIO; },
+            [](int) {});
       }
       if (perr != sim::kOk) {
         pm_.Activate(p);  // swap full or I/O error; keep the page
@@ -1312,6 +1378,50 @@ void BsdVm::CheckInvariants() {
     }
   }
   SIM_ASSERT(object_cache_.size() <= config_.object_cache_limit);
+}
+
+void BsdVm::AuditState(sim::Auditor& auditor) const {
+  std::unordered_set<std::int32_t> seen_slots;
+  for (const VmObject* obj : all_objects_) {
+    if (obj->ref_count <= 0 && !obj->in_cache_) {
+      auditor.Fail("live bsd object with no references and not cached");
+    }
+    if (obj->in_cache_ && obj->ref_count != 0) {
+      auditor.Fail("cached bsd object with references");
+    }
+    if (obj->in_cache_ && !obj->can_persist_) {
+      auditor.Fail("cached non-persistent bsd object");
+    }
+    for (const auto& [pgi, page] : obj->pages) {
+      if (page->owner_kind != phys::OwnerKind::kBsdObject || page->owner != obj ||
+          page->offset != pgi) {
+        auditor.Fail("bsd object page does not point back at its object/offset");
+      }
+      if (page->poisoned && page->loan_count > 0) {
+        auditor.Fail("poisoned bsd page still loaned out");
+      }
+    }
+    if (obj->shadow != nullptr && !all_objects_.contains(obj->shadow)) {
+      auditor.Fail("bsd shadow pointer to an object not in the live set");
+    }
+    if (obj->internal_ && obj->pager != nullptr) {
+      // Whole swap blocks are reserved up front, so a slot may be allocated
+      // without holding valid data yet; either way it must be allocated on
+      // the device and owned by exactly one pager.
+      static_cast<const SwapPager*>(obj->pager.get())
+          ->ForEachSlot([&](std::int32_t slot, bool) {
+            if (!swap_.IsUsed(slot)) {
+              auditor.Fail("bsd swap-pager slot is not allocated on the device");
+            }
+            if (!seen_slots.insert(slot).second) {
+              auditor.Fail("two bsd swap pagers own the same swap slot");
+            }
+          });
+    }
+  }
+  if (object_cache_.size() > config_.object_cache_limit) {
+    auditor.Fail("bsd object cache exceeds its limit");
+  }
 }
 
 }  // namespace bsdvm

@@ -138,6 +138,17 @@ class BsdVm : public kern::VmSystem {
   // Remove a page from its object and free the frame (mappings removed).
   void FreeObjectPage(phys::Page* p);
 
+  // --- hwpoison containment (DESIGN.md §13) ---
+  // A fault found a poisoned resident page in the chain. Clean pages are
+  // discarded (backing store or zero fill refetches transparently); dirty
+  // pages are unrecoverable — kErrMemPoison, and the kernel kills the
+  // toucher. Dirty vnode pages are additionally dropped so the stale
+  // on-disk copy serves later faults instead of killing every mapper.
+  int ContainPoisonedPage(phys::Page* p);
+  // Registered with sim::Auditor as "bsd.state": object refcount/cache
+  // invariants, page back-pointers, swap-slot ownership.
+  void AuditState(sim::Auditor& auditor) const;
+
   // Wiring guts shared by Wire()/WireTransient().
   int WireRange(BsdAddressSpace& as, sim::Vaddr addr, std::uint64_t len);
   int UnwireRange(BsdAddressSpace& as, sim::Vaddr addr, std::uint64_t len);
@@ -171,6 +182,7 @@ class BsdVm : public kern::VmSystem {
   // registry (BSD's device pager kept the pages for the device lifetime).
   std::unordered_map<kern::DeviceMem*, VmObject*> device_objects_;
   sim::Vaddr kernel_alloc_hint_ = 0;
+  int audit_token_ = 0;
 };
 
 }  // namespace bsdvm

@@ -138,4 +138,14 @@ std::size_t SwapPager::ValidSlotCount() const {
   return n;
 }
 
+void SwapPager::ForEachSlot(const std::function<void(std::int32_t, bool)>& fn) const {
+  for (const auto& [bi, blk] : blocks_) {
+    for (std::uint64_t i = 0; i < kBlockPages; ++i) {
+      if (blk.slots[i] != swp::kNoSlot) {
+        fn(blk.slots[i], blk.valid[i]);
+      }
+    }
+  }
+}
+
 }  // namespace bsdvm

@@ -8,6 +8,7 @@
 #define SRC_BSDVM_PAGERS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 
 #include "src/phys/phys_mem.h"
@@ -77,6 +78,12 @@ class SwapPager : public Pager {
 
   // Number of swap slots holding data for this object.
   std::size_t ValidSlotCount() const;
+
+  // Visit every device slot this pager has reserved, in ascending
+  // page-index order. Whole blocks are reserved up front, so a slot may be
+  // allocated (`valid == false`) without holding data yet — the audit's
+  // swap-ownership check needs both kinds. Read-only.
+  void ForEachSlot(const std::function<void(std::int32_t slot, bool valid)>& fn) const;
 
  private:
   struct SwapBlock {

@@ -5,6 +5,7 @@
 
 #include "src/sim/annotations.h"
 #include "src/sim/assert.h"
+#include "src/sim/retry.h"
 
 namespace uvm {
 
@@ -28,6 +29,9 @@ Uvm::Uvm(sim::Machine& machine, phys::PhysMem& pm, mmu::MmuContext& mmu, vfs::Vn
          swp::SwapDevice& swap, const UvmConfig& config)
     : machine_(machine), pm_(pm), mmu_(mmu), vnodes_(vnodes), swap_(swap), config_(config) {
   kernel_as_ = std::make_unique<UvmAddressSpace>(*this, /*is_kernel=*/true);
+  poison_hook_token_ = pm_.AddPoisonHook([this](phys::Page* p) { OnPoison(p); });
+  audit_token_ =
+      machine_.auditor().Register("uvm.state", [this](sim::Auditor& a) { AuditState(a); });
 }
 
 Uvm::~Uvm() {
@@ -73,6 +77,8 @@ Uvm::~Uvm() {
   devices_.clear();
   SIM_ASSERT_MSG(all_anons_.empty(), "Uvm destroyed with live anons");
   SIM_ASSERT_MSG(all_amaps_.empty(), "Uvm destroyed with live amaps");
+  machine_.auditor().Unregister(audit_token_);
+  pm_.RemovePoisonHook(poison_hook_token_);
 }
 
 kern::AddressSpace* Uvm::CreateAddressSpace() {
@@ -218,14 +224,16 @@ phys::Page* Uvm::AllocPageOrReclaim(phys::OwnerKind kind, void* owner, sim::ObjO
     PageDaemon(pm_.free_target());
     p = pm_.AllocPage(kind, owner, offset, zero);
   }
-  // Under sustained pressure one daemon pass may not recover enough: back
-  // off in virtual time and retry, bounded so true exhaustion still
-  // surfaces as a clean failure instead of a hang.
-  for (int attempt = 0; p == nullptr && attempt < config_.tuning.max_alloc_retries; ++attempt) {
-    ++machine_.stats().alloc_retries;
-    machine_.Charge(machine_.cost().mem_retry_backoff_ns << attempt);
-    PageDaemon(pm_.free_target());
-    p = pm_.AllocPage(kind, owner, offset, zero);
+  if (p == nullptr) {
+    // Under sustained pressure one daemon pass may not recover enough: back
+    // off in virtual time and retry, bounded so true exhaustion still
+    // surfaces as a clean failure instead of a hang.
+    sim::RetryWithBackoff(
+        machine_,
+        {config_.tuning.max_alloc_retries, machine_.cost().mem_retry_backoff_ns,
+         &machine_.stats().alloc_retries},
+        [&] { return (p = pm_.AllocPage(kind, owner, offset, zero)) != nullptr; },
+        [&](int) { PageDaemon(pm_.free_target()); });
   }
   return p;
 }
@@ -555,7 +563,9 @@ int Uvm::Msync(kern::AddressSpace& as_, sim::Vaddr addr, std::uint64_t len) {
     for (sim::Vaddr va = lo; va < hi; va += sim::kPageSize) {
       std::uint64_t pgi = e.ObjIndexOf(va);
       phys::Page* p = e.uobj->LookupPage(pgi);
-      if (p != nullptr && p->dirty) {
+      // Never flush a poisoned page: its bytes are garbage, and writing
+      // them back would replace good on-disk data with corruption.
+      if (p != nullptr && p->dirty && !p->poisoned) {
         if (!run.empty() && pgi != prev + 1) {
           put(e, run);
           run.clear();
@@ -1010,6 +1020,83 @@ phys::Page* Uvm::BreakLoan(phys::Page* old_page, phys::OwnerKind kind, void* own
   return np;
 }
 
+void Uvm::OnPoison(phys::Page* p) {
+  if (p->loan_count == 0) {
+    return;
+  }
+  // A loaned frame took a memory error while the borrower could still read
+  // it. Revoke: tell the borrower to drop its reference, then force the
+  // loan closed so the frame is unwired and the ordinary containment paths
+  // can reach it. The MMU's own poison hook skipped this frame (it was
+  // wired), so strip the owner's mappings here.
+  machine_.Charge(sim::CostCat::kPoison, machine_.cost().poison_contain_ns);
+  ++machine_.stats().poison_loans_broken;
+  if (machine_.tracer().enabled()) {
+    machine_.tracer().Instant(sim::CostCat::kPoison, "uvm_loan_revoke", machine_.clock().now(),
+                              p->pfn);
+  }
+  if (loan_revoke_hook_) {
+    loan_revoke_hook_(p);
+  }
+  while (p->loan_count > 0) {
+    --p->loan_count;
+    pm_.Unwire(p);
+  }
+  mmu_.PageProtect(p, sim::Prot::kNone);
+  if (p->owner_kind == phys::OwnerKind::kKernel && p->owner == nullptr) {
+    // Orphaned while loaned (the owner broke the loan or died): nothing
+    // will ever discover this frame again, so retire it on the spot.
+    pm_.Dequeue(p);
+    pm_.FreePage(p);
+  }
+}
+
+int Uvm::ContainPoisonedAnon(Anon* anon) {
+  phys::Page* p = anon->page;
+  // Poisoned frames are unmapped at injection unless wired; a wired frame
+  // cannot be unmapped or discarded, so consuming it is fatal (§3.2's
+  // wiring contract meets an uncorrectable error).
+  SIM_ASSERT_MSG(p->wire_count == 0, "EMEMPOISON: poisoned wired anon page is uncontainable");
+  machine_.Charge(sim::CostCat::kPoison, machine_.cost().poison_contain_ns);
+  if (p->dirty) {
+    // The only up-to-date copy died with the frame: late kill.
+    return sim::kErrMemPoison;
+  }
+  // Clean: the swap slot (kept valid while the page is clean) or a fresh
+  // zero fill re-materializes the contents. Discard; the caller refetches
+  // transparently and the process never notices.
+  ++machine_.stats().poison_discards;
+  ++machine_.stats().poison_refetches;
+  if (machine_.tracer().enabled()) {
+    machine_.tracer().Instant(sim::CostCat::kPoison, "uvm_poison_refetch",
+                              machine_.clock().now(), p->pfn);
+  }
+  anon->page = nullptr;
+  pm_.FreePage(p);  // poisoned: retires instead of rejoining the free list
+  return sim::kOk;
+}
+
+int Uvm::ContainPoisonedObjPage(phys::Page* p) {
+  SIM_ASSERT_MSG(p->wire_count == 0,
+                 "EMEMPOISON: poisoned wired/device object page is uncontainable");
+  machine_.Charge(sim::CostCat::kPoison, machine_.cost().poison_contain_ns);
+  if (p->dirty) {
+    // An unflushed write died with the frame. Drop the page — the vnode
+    // still holds the pre-write contents, so later faults read stale but
+    // coherent data — and report the loss; the kernel kills the writer.
+    ReleaseObjectPage(p);
+    return sim::kErrMemPoison;
+  }
+  ++machine_.stats().poison_discards;
+  ++machine_.stats().poison_refetches;
+  if (machine_.tracer().enabled()) {
+    machine_.tracer().Instant(sim::CostCat::kPoison, "uvm_poison_refetch",
+                              machine_.clock().now(), p->pfn);
+  }
+  ReleaseObjectPage(p);
+  return sim::kOk;
+}
+
 int Uvm::FaultLocked(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr va, bool write) {
   // Captured up front: later steps (COW copies, loan breaks) may replace or
   // remove the existing translation, and the wire transfer needs the
@@ -1030,6 +1117,12 @@ int Uvm::FaultLocked(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr va, bool wr
     anon = e.amap->Get(e.SlotOf(va));
   }
   if (anon != nullptr) {
+    if (anon->page != nullptr && anon->page->poisoned) {
+      if (int err = ContainPoisonedAnon(anon); err != sim::kOk) {
+        return err;
+      }
+      // Clean page discarded; fall through to the transparent refetch.
+    }
     if (anon->page == nullptr) {
       if (int err = AnonPageInCluster(e, va, anon); err != sim::kOk) {
         return err;
@@ -1073,6 +1166,12 @@ int Uvm::FaultLocked(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr va, bool wr
     // --- Lower layer: the backing object ---
     std::uint64_t pgi = e.ObjIndexOf(va);
     page = e.uobj->LookupPage(pgi);
+    if (page != nullptr && page->poisoned) {
+      if (int err = ContainPoisonedObjPage(page); err != sim::kOk) {
+        return err;
+      }
+      page = nullptr;  // discarded clean page: refetch from the pager below
+    }
     if (page == nullptr) {
       std::size_t max_cluster = e.advice == sim::Advice::kRandom ? 1 : config_.vnode_read_cluster;
       int err = e.uobj->pgops->Get(*this, *e.uobj, pgi, max_cluster, &page);
@@ -1182,7 +1281,7 @@ void Uvm::MapNeighbors(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr fault_va)
     phys::Page* page = nullptr;
     if (e.amap != nullptr) {
       Anon* a = e.amap->Get(e.SlotOf(va));
-      if (a != nullptr && a->page != nullptr && !a->page->busy) {
+      if (a != nullptr && a->page != nullptr && !a->page->busy && !a->page->poisoned) {
         page = a->page;
       }
     }
@@ -1191,7 +1290,7 @@ void Uvm::MapNeighbors(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr fault_va)
       bool amap_covers = e.amap != nullptr && e.amap->Get(e.SlotOf(va)) != nullptr;
       if (!amap_covers) {
         phys::Page* op = e.uobj->LookupPage(e.ObjIndexOf(va));
-        if (op != nullptr && !op->busy) {
+        if (op != nullptr && !op->busy && !op->poisoned) {
           page = op;
         }
       }
@@ -1253,7 +1352,7 @@ std::size_t Uvm::PageOutAnonCluster(phys::Page* first) {
     while (p != nullptr && cluster.size() < config_.pageout_cluster) {
       phys::Page* next = p->q_next;
       if (p->owner_kind == phys::OwnerKind::kUvmAnon && p->dirty && !p->referenced &&
-          p->wire_count == 0 && !p->busy && p->loan_count == 0) {
+          p->wire_count == 0 && !p->busy && p->loan_count == 0 && !p->poisoned) {
         cluster.push_back(p);
       }
       p = next;
@@ -1286,14 +1385,14 @@ std::size_t Uvm::PageOutAnonCluster(phys::Page* first) {
   // authoritative copy, so a failed pageout can never lose data. Transient
   // errors are retried with doubling virtual-time backoff; permanent slot
   // errors are remapped to a fresh run by the swap layer.
-  int err = sim::kOk;
-  for (int attempt = 0;; ++attempt) {
-    err = swap_.WriteRunRemapping(&base, datas);
-    if (err != sim::kErrIO || attempt >= config_.tuning.max_pageout_retries) {
-      break;
-    }
-    ++machine_.stats().pageout_retries;
-    machine_.Charge(machine_.cost().io_retry_backoff_ns << attempt);
+  int err = swap_.WriteRunRemapping(&base, datas);
+  if (err == sim::kErrIO) {
+    sim::RetryWithBackoff(
+        machine_,
+        {config_.tuning.max_pageout_retries, machine_.cost().io_retry_backoff_ns,
+         &machine_.stats().pageout_retries},
+        [&] { return (err = swap_.WriteRunRemapping(&base, datas)) != sim::kErrIO; },
+        [](int) {});
   }
   if (err != sim::kOk) {
     if (base != swp::kNoSlot) {
@@ -1327,7 +1426,8 @@ std::size_t Uvm::PageOutObjectRun(phys::Page* first) {
     std::uint64_t idx = first->offset;
     while (run.size() < config_.vnode_read_cluster) {
       phys::Page* p = obj->LookupPage(idx + 1);
-      if (p == nullptr || !p->dirty || p->wire_count > 0 || p->busy || p->loan_count > 0) {
+      if (p == nullptr || !p->dirty || p->wire_count > 0 || p->busy || p->loan_count > 0 ||
+          p->poisoned) {
         break;
       }
       run.push_back(p);
@@ -1337,14 +1437,14 @@ std::size_t Uvm::PageOutObjectRun(phys::Page* first) {
   for (phys::Page* p : run) {
     mmu_.PageProtect(p, sim::Prot::kNone);
   }
-  int err = sim::kOk;
-  for (int attempt = 0;; ++attempt) {
-    err = obj->pgops->Put(*this, *obj, run);
-    if (err != sim::kErrIO || attempt >= config_.tuning.max_pageout_retries) {
-      break;
-    }
-    ++machine_.stats().pageout_retries;
-    machine_.Charge(machine_.cost().io_retry_backoff_ns << attempt);
+  int err = obj->pgops->Put(*this, *obj, run);
+  if (err == sim::kErrIO) {
+    sim::RetryWithBackoff(
+        machine_,
+        {config_.tuning.max_pageout_retries, machine_.cost().io_retry_backoff_ns,
+         &machine_.stats().pageout_retries},
+        [&] { return (err = obj->pgops->Put(*this, *obj, run)) != sim::kErrIO; },
+        [](int) {});
   }
   if (err != sim::kOk) {
     for (phys::Page* p : run) {
@@ -1377,6 +1477,27 @@ std::size_t Uvm::PageDaemon(std::size_t target_free) {
       }
     }
     phys::Page* p = pm_.inactive_queue().head();
+    if (p->poisoned) {
+      // Checked before the reference bit: a poisoned frame must leave
+      // circulation, not get another lap of the queues. Clean pages are
+      // discarded (retired, a refault refetches); dirty pages are parked
+      // off-queue so a later fault discovers the loss and kills the
+      // toucher — the daemon never pages out poisoned data.
+      machine_.Charge(sim::CostCat::kPoison, machine_.cost().poison_contain_ns);
+      if (p->dirty || p->owner_kind == phys::OwnerKind::kNone ||
+          p->owner_kind == phys::OwnerKind::kKernel) {
+        pm_.Dequeue(p);
+      } else if (p->owner_kind == phys::OwnerKind::kUvmAnon) {
+        ++machine_.stats().poison_discards;
+        static_cast<Anon*>(p->owner)->page = nullptr;
+        mmu_.PageProtect(p, sim::Prot::kNone);
+        pm_.FreePage(p);  // retires; the frame never reaches the free list
+      } else {
+        ++machine_.stats().poison_discards;
+        ReleaseObjectPage(p);
+      }
+      continue;
+    }
     if (p->referenced) {
       p->referenced = false;
       pm_.Activate(p);
@@ -1713,6 +1834,70 @@ void Uvm::CheckInvariants() {
     am->impl->ForEach([this](std::uint64_t, Anon* a) {
       SIM_ASSERT_MSG(all_anons_.contains(a), "amap references dead anon");
     });
+  }
+}
+
+void Uvm::AuditState(sim::Auditor& auditor) const {
+  // Count amap->anon references; at a quiescent point every anon reference
+  // is held by an amap, so the per-anon tallies must equal ref_count.
+  std::unordered_map<const Anon*, int> amap_refs;
+  SIM_ORDERED_OK("read-only audit walk; tallies are order-independent");
+  for (const Amap* am : all_amaps_) {
+    if (am->ref_count <= 0) {
+      auditor.Fail("live amap with non-positive ref_count");
+    }
+    // One occurrence = one anon reference: sharing an amap (ref_count > 1)
+    // shares its references, it does not multiply them (§5.2 — the child
+    // takes its own references only at AmapCopy time).
+    am->impl->ForEach([&](std::uint64_t, Anon* a) {
+      if (!all_anons_.contains(a)) {
+        auditor.Fail("amap references an anon not in the live set");
+        return;
+      }
+      amap_refs[a] += 1;
+    });
+  }
+  std::unordered_set<std::int32_t> seen_slots;
+  SIM_ORDERED_OK("read-only audit walk; checks are per-anon");
+  for (const Anon* a : all_anons_) {
+    if (a->ref_count <= 0) {
+      auditor.Fail("live anon with non-positive ref_count");
+    }
+    auto it = amap_refs.find(a);
+    int held = it == amap_refs.end() ? 0 : it->second;
+    if (held != a->ref_count) {
+      auditor.Fail("anon ref_count disagrees with the amap references holding it");
+    }
+    if (a->page != nullptr) {
+      if (a->page->owner_kind != phys::OwnerKind::kUvmAnon || a->page->owner != a) {
+        auditor.Fail("anon's resident page does not point back at the anon");
+      }
+      if (a->page->poisoned && a->page->loan_count > 0) {
+        auditor.Fail("poisoned anon page still loaned out");
+      }
+    }
+    if (a->swap_slot != swp::kNoSlot) {
+      if (!swap_.IsUsed(a->swap_slot)) {
+        auditor.Fail("anon swap slot is not allocated on the device");
+      }
+      if (!seen_slots.insert(a->swap_slot).second) {
+        auditor.Fail("two anons own the same swap slot");
+      }
+    }
+  }
+  SIM_ORDERED_OK("read-only audit walk; checks are per-page");
+  for (vfs::Vnode* vn : attached_vnodes_) {
+    const auto* uvn = static_cast<const UvmVnode*>(vn->attachment());
+    if (uvn == nullptr) {
+      auditor.Fail("attached vnode lost its UVM attachment");
+      continue;
+    }
+    for (const auto& [pgi, page] : uvn->uobj.pages) {
+      if (page->owner_kind != phys::OwnerKind::kUvmObject ||
+          page->owner != &uvn->uobj || page->offset != pgi) {
+        auditor.Fail("uvm object page does not point back at its object/offset");
+      }
+    }
   }
 }
 

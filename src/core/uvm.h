@@ -14,6 +14,7 @@
 #define SRC_CORE_UVM_H_
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -154,6 +155,15 @@ class Uvm : public kern::VmSystem {
   // Remove a uobj-owned page from its object and free the frame.
   void ReleaseObjectPage(phys::Page* p);
 
+  // --- hwpoison containment (DESIGN.md §13) ---
+  // A borrower of loaned pages registers here to learn when a memory error
+  // revokes a loan: the page passed to the hook must not be read again and
+  // must be dropped from the borrower's loan list (Unloan must not be
+  // called for it — the loan is already closed).
+  void set_loan_revoke_hook(std::function<void(phys::Page*)> fn) {
+    loan_revoke_hook_ = std::move(fn);
+  }
+
  private:
   friend class UvmAddressSpace;
   friend class UvmVnode;
@@ -203,6 +213,21 @@ class Uvm : public kern::VmSystem {
   // Locate the page currently backing `va` in `e` (resident only).
   phys::Page* ResidentPageAt(UvmMapEntry& e, sim::Vaddr va) const;
 
+  // --- hwpoison containment (DESIGN.md §13) ---
+  // Machine-check response for UVM-owned state: break any outstanding loan
+  // on the freshly poisoned frame (notify the borrower, unwire, unmap) so
+  // the page becomes containable by the ordinary discovery paths.
+  void OnPoison(phys::Page* p);
+  // A fault found a poisoned resident page. Clean pages are discarded —
+  // the backing copy (swap slot, vnode, or zero fill) re-materializes the
+  // contents transparently. Dirty pages are unrecoverable: kErrMemPoison,
+  // and the kernel kills the faulting process.
+  int ContainPoisonedAnon(Anon* anon);
+  int ContainPoisonedObjPage(phys::Page* p);
+  // Registered with sim::Auditor as "uvm.state": anon/amap refcount
+  // agreement, swap-slot ownership, object page back-pointers.
+  void AuditState(sim::Auditor& auditor) const;
+
   sim::Machine& machine_;
   phys::PhysMem& pm_;
   mmu::MmuContext& mmu_;
@@ -216,6 +241,9 @@ class Uvm : public kern::VmSystem {
   std::unordered_set<vfs::Vnode*> attached_vnodes_;
   std::unordered_map<kern::DeviceMem*, std::unique_ptr<UvmDevice>> devices_;
   std::uint64_t next_device_id_ = 0;
+  std::function<void(phys::Page*)> loan_revoke_hook_;
+  int poison_hook_token_ = 0;
+  int audit_token_ = 0;
 };
 
 }  // namespace uvm

@@ -6,6 +6,7 @@
 
 #include "src/core/uvm.h"
 #include "src/sim/assert.h"
+#include "src/sim/retry.h"
 
 namespace uvm {
 
@@ -209,11 +210,12 @@ void UvmVnode::Terminate(vfs::Vnode& vnode) {
       return;
     }
     int err = FlushRun(vm, *this, r);
-    for (int attempt = 0;
-         err == sim::kErrIO && attempt < vm.config().tuning.max_pageout_retries; ++attempt) {
-      ++vm.machine().stats().pageout_retries;
-      vm.machine().Charge(vm.machine().cost().io_retry_backoff_ns << attempt);
-      err = FlushRun(vm, *this, r);
+    if (err == sim::kErrIO) {
+      sim::RetryWithBackoff(
+          vm.machine(),
+          {vm.config().tuning.max_pageout_retries, vm.machine().cost().io_retry_backoff_ns,
+           &vm.machine().stats().pageout_retries},
+          [&] { return (err = FlushRun(vm, *this, r)) != sim::kErrIO; }, [](int) {});
     }
     if (err == sim::kErrIO) {
       vm.machine().stats().pageout_drops += r.size();
@@ -226,7 +228,9 @@ void UvmVnode::Terminate(vfs::Vnode& vnode) {
   std::vector<phys::Page*> run;
   std::uint64_t prev = 0;
   for (auto& [pgi, page] : uobj.pages) {
-    if (page->dirty) {
+    // A poisoned page's bytes are garbage: dropping the write is the only
+    // correct outcome (the on-disk copy stays pre-write but coherent).
+    if (page->dirty && !page->poisoned) {
       if (!run.empty() && pgi != prev + 1) {
         flush(run);
         run.clear();

@@ -34,6 +34,11 @@ struct WorldConfig {
   std::size_t free_min_pages = 0;      // hard floor the balloon never crosses
   std::size_t swap_reserve_slots = 0;  // clustering reserve for the daemon
   std::string pressure_plan;           // "@TIME res(-=|+=|=)N; ..." or empty
+  // Memory-error and audit knobs (DESIGN.md §13). Both default off, which
+  // keeps every legacy run byte-identical: no poison events, no periodic
+  // audits (the shutdown audit always runs but charges nothing).
+  std::string memfault_plan;        // "@TIME poison PFN|random:N; ..." or empty
+  sim::Nanoseconds audit_every = 0;  // periodic audit interval, 0 = off
   bsdvm::BsdConfig bsd;
   uvm::UvmConfig uvm;
 };
@@ -56,6 +61,27 @@ class World {
     swap.set_reserved_slots(config.swap_reserve_slots);
     if (!config.pressure_plan.empty()) {
       InstallPressurePlan(config.pressure_plan);
+    }
+    if (!config.memfault_plan.empty()) {
+      InstallMemfaultPlan(config.memfault_plan);
+    }
+    if (config.audit_every != 0) {
+      machine.auditor().set_interval(config.audit_every);
+    }
+  }
+
+  // Every World ends with a full cross-layer audit: a test or bench that
+  // left amap/object refcounts, pv chains, swap-slot ownership, or the page
+  // pools incoherent fails here even if its own assertions passed. Runs
+  // before any member is destroyed, so every layer's checks are still
+  // registered. Corruption-fixture tests must repair what they corrupt
+  // before the World goes out of scope.
+  ~World() {
+    if (std::size_t n = machine.auditor().Run(); n != 0) {
+      for (const std::string& v : machine.auditor().last_violations()) {
+        std::fprintf(stderr, "audit violation: %s\n", v.c_str());
+      }
+      SIM_PANIC("cross-layer audit failed at World shutdown");
     }
   }
 
@@ -81,6 +107,19 @@ class World {
     }
     kernel->set_oom_killer(true);
     machine.pressure().SetPlan(plan);
+  }
+
+  // Arm the memory-error injector with `spec` (see sim::ParseMemFaultPlan
+  // for the grammar). Events fire from the pressure poll, so a plan needs no
+  // watermark setup — poisoning is orthogonal to pool geometry.
+  void InstallMemfaultPlan(const std::string& spec) {
+    sim::MemFaultPlan plan;
+    std::string error;
+    if (!sim::ParseMemFaultPlan(spec, &plan, &error)) {
+      std::fprintf(stderr, "bad memfault plan: %s\n", error.c_str());
+      SIM_PANIC("invalid memfault plan spec");
+    }
+    machine.faults().SetMemPlan(plan);
   }
 
   sim::Machine machine;

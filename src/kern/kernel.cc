@@ -5,6 +5,7 @@
 
 #include "src/sim/annotations.h"
 #include "src/sim/assert.h"
+#include "src/sim/retry.h"
 
 namespace kern {
 
@@ -43,6 +44,7 @@ Kernel::~Kernel() {
 // Processes
 
 Proc* Kernel::Spawn() {
+  machine_.PollAudit();
   auto proc = std::make_unique<Proc>();
   proc->pid = next_pid_++;
   proc->as = vm_.CreateAddressSpace();
@@ -56,6 +58,10 @@ Proc* Kernel::Spawn() {
 }
 
 Proc* Kernel::Fork(Proc* parent) {
+  if (!parent->alive) {
+    return nullptr;  // the parent's address space is already gone
+  }
+  machine_.PollAudit();
   auto proc = std::make_unique<Proc>();
   proc->pid = next_pid_++;
   proc->as = vm_.Fork(*parent->as);
@@ -69,6 +75,10 @@ Proc* Kernel::Fork(Proc* parent) {
 }
 
 Proc* Kernel::Vfork(Proc* parent) {
+  if (!parent->alive) {
+    return nullptr;
+  }
+  machine_.PollAudit();
   auto proc = std::make_unique<Proc>();
   proc->pid = next_pid_++;
   proc->as = parent->as;  // borrowed, not copied
@@ -94,7 +104,11 @@ void Kernel::SwapInProc(Proc* p) {
 }
 
 void Kernel::Exit(Proc* p) {
-  SIM_ASSERT(p->alive);
+  machine_.PollAudit();
+  if (!p->alive) {
+    procs_.erase(p->pid);  // reap the zombie shell left by a kill
+    return;
+  }
   for (TransientWiring& tw : p->kernel_stack_wirings) {
     vm_.UnwireTransient(*p->as, tw);
   }
@@ -116,6 +130,10 @@ void Kernel::Exit(Proc* p) {
 
 int Kernel::Mmap(Proc* p, sim::Vaddr* addr, std::uint64_t len, const std::string& file,
                  sim::ObjOffset off, const MapAttrs& attrs) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
+  machine_.PollAudit();
   vfs::Vnode* vn = fs_.Open(file);
   if (vn == nullptr) {
     return sim::kErrNoEnt;
@@ -128,42 +146,75 @@ int Kernel::Mmap(Proc* p, sim::Vaddr* addr, std::uint64_t len, const std::string
 }
 
 int Kernel::MmapAnon(Proc* p, sim::Vaddr* addr, std::uint64_t len, const MapAttrs& attrs) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
+  machine_.PollAudit();
   return vm_.Map(*p->as, addr, len, nullptr, 0, attrs);
 }
 
 int Kernel::Munmap(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
+  machine_.PollAudit();
   return vm_.Unmap(*p->as, addr, len);
 }
 
 int Kernel::Mprotect(Proc* p, sim::Vaddr addr, std::uint64_t len, sim::Prot prot) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
   return vm_.Protect(*p->as, addr, len, prot);
 }
 
 int Kernel::Minherit(Proc* p, sim::Vaddr addr, std::uint64_t len, sim::Inherit inherit) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
   return vm_.SetInherit(*p->as, addr, len, inherit);
 }
 
 int Kernel::Madvise(Proc* p, sim::Vaddr addr, std::uint64_t len, sim::Advice advice) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
   return vm_.SetAdvice(*p->as, addr, len, advice);
 }
 
 int Kernel::Msync(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
+  machine_.PollAudit();
   return vm_.Msync(*p->as, addr, len);
 }
 
 int Kernel::Mlock(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
   return vm_.Wire(*p->as, addr, len);
 }
 
 int Kernel::Munlock(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
   return vm_.Unwire(*p->as, addr, len);
 }
 
 int Kernel::MadvFree(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
   return vm_.MadvFree(*p->as, addr, len);
 }
 
 int Kernel::Mincore(Proc* p, sim::Vaddr addr, std::uint64_t len, std::vector<bool>* out) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
   return vm_.Mincore(*p->as, addr, len, out);
 }
 
@@ -172,6 +223,12 @@ int Kernel::Mincore(Proc* p, sim::Vaddr addr, std::uint64_t len, std::vector<boo
 
 int Kernel::Access(Proc* p, sim::Vaddr va, std::uint64_t len, bool write, std::byte* buf,
                    std::byte fill, bool use_fill) {
+  if (!p->alive) {
+    // Zombie shell: the killer already tore this address space down; the
+    // caller observes why instead of dereferencing freed memory.
+    return p->kill_err;
+  }
+  machine_.PollAudit();  // op boundary: VM structures are quiescent here
   mmu::Pmap& pmap = p->as->pmap();
   std::uint64_t done = 0;
   while (done < len) {
@@ -187,6 +244,13 @@ int Kernel::Access(Proc* p, sim::Vaddr va, std::uint64_t len, bool write, std::b
       if (err == sim::kErrNoMem || err == sim::kErrNoSwap) {
         err = RecoverFromPressure(p, cur, write, err);
       }
+      if (err == sim::kErrMemPoison) {
+        // The fault hit a poisoned page whose data is unrecoverable (dirty
+        // anonymous memory with no other copy). Late kill, like a SIGBUS
+        // with BUS_MCEERR_AR: the process dies, the machine survives.
+        PoisonKill(p);
+        return err;
+      }
       if (err != sim::kOk) {
         return err;
       }
@@ -195,6 +259,11 @@ int Kernel::Access(Proc* p, sim::Vaddr va, std::uint64_t len, bool write, std::b
                      "fault resolved without required mapping");
     }
     phys::Page* page = pm_.PageAt(pte->pfn);
+    // Poisoned frames are unmapped the moment they are hit, so a poisoned
+    // translation can only survive for wired or kernel memory — memory the
+    // VM promised never to unmap and therefore cannot contain. Consuming
+    // it is fatal, like a machine check in kernel mode.
+    SIM_ASSERT_MSG(!page->poisoned, "EMEMPOISON: consumed a poisoned wired/kernel frame");
     page->referenced = true;
     // Keep the active queue in true recency order (the simulator's stand-in
     // for reference-bit sampling by the clock hands). This also rescues
@@ -220,59 +289,39 @@ int Kernel::Access(Proc* p, sim::Vaddr va, std::uint64_t len, bool write, std::b
 }
 
 int Kernel::RecoverFromPressure(Proc* p, sim::Vaddr va, bool write, int err) {
-  const VmTuning& tuning = vm_.tuning();
-  int attempt = 0;
-  while (err == sim::kErrNoMem || err == sim::kErrNoSwap) {
-    if (attempt < tuning.max_fault_retries) {
-      // Bounded daemon-and-retry with doubling virtual-time backoff: the
-      // pressure may be transient (a plan step, a burst of allocations).
-      ++machine_.stats().fault_retries;
-      machine_.Charge(machine_.cost().mem_retry_backoff_ns << attempt);
-      vm_.PageDaemon(pm_.free_target());
-      ++attempt;
-    } else {
-      // Retries exhausted. Only when the killer is armed and swap itself
-      // is full is killing a process the correct escalation; otherwise
-      // surface the error to the caller.
-      if (!oom_killer_enabled_ || swap_.free_slots() > 0 || !OutOfSwapKill()) {
-        return err;
-      }
-      if (!p->alive) {
-        return sim::kErrNoMem;  // the killer chose the requester itself
-      }
-      attempt = 0;  // a victim died; retry with a fresh backoff budget
-    }
+  // Bounded daemon-and-retry with doubling virtual-time backoff: the
+  // pressure may be transient (a plan step, a burst of allocations).
+  const sim::RetryPolicy policy{vm_.tuning().max_fault_retries,
+                                machine_.cost().mem_retry_backoff_ns,
+                                &machine_.stats().fault_retries};
+  auto attempt_fault = [&] {
     err = vm_.Fault(*p->as, va, write ? sim::Access::kWrite : sim::Access::kRead);
+    return err != sim::kErrNoMem && err != sim::kErrNoSwap;
+  };
+  auto run_daemon = [&](int) { vm_.PageDaemon(pm_.free_target()); };
+  while (true) {
+    if (sim::RetryWithBackoff(machine_, policy, attempt_fault, run_daemon)) {
+      return err;
+    }
+    // Retries exhausted. Only when the killer is armed and swap itself
+    // is full is killing a process the correct escalation; otherwise
+    // surface the error to the caller.
+    if (!oom_killer_enabled_ || swap_.free_slots() > 0 || !OutOfSwapKill()) {
+      return err;
+    }
+    if (!p->alive) {
+      return sim::kErrNoMem;  // the killer chose the requester itself
+    }
+    // A victim died; retry immediately, then with a fresh backoff budget.
+    if (attempt_fault()) {
+      return err;
+    }
   }
-  return err;
 }
 
 bool Kernel::OutOfSwapKill() {
-  // Deterministic victim choice: largest anonymous resident set wins;
-  // strict comparison keeps the lowest pid on ties. The pid-ordered proc
-  // table makes the scan order (and so the tie-break) reproducible.
-  Proc* victim = nullptr;
-  std::size_t victim_rss = 0;
-  for (auto& [pid, proc] : procs_) {
-    Proc* q = proc.get();
-    if (!q->alive || q->shares_as) {
-      continue;
-    }
-    // A vfork parent whose space is currently borrowed cannot be torn down.
-    bool borrowed = std::any_of(procs_.begin(), procs_.end(), [&](const auto& kv) {
-      return kv.second->alive && kv.second->shares_as && kv.second->as == q->as;
-    });
-    if (borrowed) {
-      continue;
-    }
-    machine_.Charge(machine_.cost().oom_scan_ns);
-    std::size_t rss = vm_.AnonResidentPages(*q->as);
-    if (rss > victim_rss) {
-      victim = q;
-      victim_rss = rss;
-    }
-  }
-  if (victim == nullptr || victim_rss == 0) {
+  Proc* victim = killer_.ChooseOomVictim();
+  if (victim == nullptr) {
     return false;  // nothing killable would release memory
   }
   ++machine_.stats().oom_kills;
@@ -280,28 +329,26 @@ bool Kernel::OutOfSwapKill() {
     machine_.tracer().Instant(sim::CostCat::kPageout, "oom_kill", machine_.clock().now(),
                               static_cast<std::uint64_t>(victim->pid));
   }
-  KillProc(victim);
+  machine_.stats().oom_pages_reclaimed += killer_.Kill(victim);
   return true;
 }
 
-void Kernel::KillProc(Proc* p) {
-  SIM_ASSERT(p->alive && !p->shares_as);
-  std::size_t free_before = pm_.free_pages();
-  for (TransientWiring& tw : p->kernel_stack_wirings) {
-    vm_.UnwireTransient(*p->as, tw);
+void Kernel::PoisonKill(Proc* p) {
+  sim::ChargeScope scope(machine_, sim::CostCat::kPoison, "poison_kill");
+  machine_.Charge(machine_.cost().poison_contain_ns);
+  if (machine_.tracer().enabled()) {
+    machine_.tracer().Instant(sim::CostCat::kPoison, "poison_kill", machine_.clock().now(),
+                              static_cast<std::uint64_t>(p->pid));
   }
-  p->kernel_stack_wirings.clear();
-  vm_.DestroyAddressSpace(p->as);
-  p->as = nullptr;
-  if (p->swapped_out) {
-    vm_.SwapInProcResources(p->kres);
-    p->swapped_out = false;
+  if (!killer_.CanKill(p)) {
+    // vfork-entangled: the space is borrowed (or borrowing) and cannot be
+    // torn down from here. The error still surfaces to the caller; the
+    // poisoned page stays unmapped, so every retry faults again.
+    return;
   }
-  vm_.FreeProcResources(p->kres);
-  p->alive = false;  // zombie shell; the table entry survives until ~Kernel
-  std::size_t free_after = pm_.free_pages();
-  machine_.stats().oom_pages_reclaimed +=
-      free_after > free_before ? free_after - free_before : 0;
+  ++machine_.stats().poison_kills;
+  machine_.stats().poison_pages_reclaimed += killer_.Kill(p);
+  p->kill_err = sim::kErrMemPoison;
 }
 
 int Kernel::ReadMem(Proc* p, sim::Vaddr va, std::span<std::byte> out) {
@@ -336,6 +383,9 @@ int Kernel::TouchWrite(Proc* p, sim::Vaddr va, std::uint64_t len, std::byte fill
 // Transient-wiring services (§3.2)
 
 int Kernel::Sysctl(Proc* p, sim::Vaddr buf, std::uint64_t len) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
   TransientWiring tw;
   int err = vm_.WireTransient(*p->as, buf, len, &tw);
   if (err != sim::kOk) {
@@ -357,6 +407,9 @@ int Kernel::Sysctl(Proc* p, sim::Vaddr buf, std::uint64_t len) {
 }
 
 int Kernel::Physio(Proc* p, sim::Vaddr buf, std::uint64_t len, bool is_write) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
   sim::ChargeScope scope(machine_, sim::CostCat::kIo, "physio");
   TransientWiring tw;
   int err = vm_.WireTransient(*p->as, buf, len, &tw);
@@ -394,6 +447,9 @@ int Kernel::Physio(Proc* p, sim::Vaddr buf, std::uint64_t len, bool is_write) {
 // Data movement (§7)
 
 int Kernel::SocketSendCopy(Proc* p, sim::Vaddr va, std::uint64_t len) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
   sim::ChargeScope scope(machine_, sim::CostCat::kIo, "socket_send_copy");
   machine_.Charge(machine_.cost().socket_setup_ns);
   std::size_t npages = sim::BytesToPages(len);
@@ -409,6 +465,9 @@ int Kernel::SocketSendCopy(Proc* p, sim::Vaddr va, std::uint64_t len) {
 }
 
 int Kernel::SocketSendLoan(Proc* p, sim::Vaddr va, std::uint64_t len) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
   sim::ChargeScope scope(machine_, sim::CostCat::kIo, "socket_send_loan");
   machine_.Charge(machine_.cost().socket_setup_ns);
   std::size_t npages = sim::BytesToPages(len);
@@ -426,6 +485,12 @@ int Kernel::SocketSendLoan(Proc* p, sim::Vaddr va, std::uint64_t len) {
 
 int Kernel::PageTransfer(Proc* src, sim::Vaddr va, std::uint64_t len, Proc* dst,
                          sim::Vaddr* out) {
+  if (!src->alive) {
+    return src->kill_err;
+  }
+  if (!dst->alive) {
+    return dst->kill_err;
+  }
   std::size_t npages = sim::BytesToPages(len);
   std::vector<phys::Page*> loaned;
   int err = vm_.Loan(*src->as, va, npages, &loaned);
@@ -440,6 +505,12 @@ int Kernel::PageTransfer(Proc* src, sim::Vaddr va, std::uint64_t len, Proc* dst,
 
 int Kernel::ExtractRange(Proc* src, sim::Vaddr va, std::uint64_t len, Proc* dst, sim::Vaddr* out,
                          ExtractMode mode) {
+  if (!src->alive) {
+    return src->kill_err;
+  }
+  if (!dst->alive) {
+    return dst->kill_err;
+  }
   *out = 0;
   return vm_.Extract(*src->as, va, len, *dst->as, out, mode);
 }
@@ -471,6 +542,9 @@ kern::DeviceMem* Kernel::RegisterDevice(const std::string& name, std::size_t npa
 }
 
 int Kernel::MmapDevice(Proc* p, sim::Vaddr* addr, DeviceMem* dev, const MapAttrs& attrs) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
   return vm_.MapDevice(*p->as, addr, *dev, attrs);
 }
 
@@ -494,6 +568,9 @@ int Kernel::ShmCreate(std::size_t npages, int* shmid) {
 }
 
 int Kernel::ShmAttach(Proc* p, int shmid, sim::Vaddr* addr) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
   auto it = shm_segments_.find(shmid);
   if (it == shm_segments_.end()) {
     return sim::kErrInval;
@@ -507,6 +584,9 @@ int Kernel::ShmAttach(Proc* p, int shmid, sim::Vaddr* addr) {
 }
 
 int Kernel::ShmDetach(Proc* p, int shmid, sim::Vaddr addr) {
+  if (!p->alive) {
+    return p->kill_err;
+  }
   auto it = shm_segments_.find(shmid);
   if (it == shm_segments_.end()) {
     return sim::kErrInval;

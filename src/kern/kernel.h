@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/vm/vm_iface.h"
+#include "src/kern/process_killer.h"
 #include "src/phys/phys_mem.h"
 #include "src/sim/machine.h"
 #include "src/swap/swap_device.h"
@@ -36,6 +37,10 @@ struct Proc {
   // in the proc table as a zombie shell (as == nullptr) so callers holding
   // the Proc* can observe the kill instead of dereferencing freed memory.
   bool alive = true;
+  // Why the killer tore this process down (kErrNoMem for out-of-swap,
+  // kErrMemPoison for hwpoison late-kill): every syscall on the zombie
+  // shell returns this instead of touching the freed address space.
+  int kill_err = sim::kErrNoMem;
 };
 
 class Kernel {
@@ -171,8 +176,10 @@ class Kernel {
   // largest anonymous resident set (ties keep the lowest pid). Returns
   // whether a victim was killed.
   bool OutOfSwapKill();
-  // Tear down a victim's memory, leaving a zombie shell in the proc table.
-  void KillProc(Proc* victim);
+  // hwpoison late kill (DESIGN.md §13): a fault hit a dirty anonymous page
+  // whose only copy died with a poisoned frame. Kill the faulting process
+  // if it can be torn down (a vfork-entangled process just gets the error).
+  void PoisonKill(Proc* p);
 
   sim::Machine& machine_;
   phys::PhysMem& pm_;
@@ -180,6 +187,7 @@ class Kernel {
   swp::SwapDevice& swap_;
   VmSystem& vm_;
   std::map<int, std::unique_ptr<Proc>> procs_;
+  ProcessKiller killer_{machine_, pm_, vm_, procs_};
   int next_pid_ = 1;
   bool oom_killer_enabled_ = false;
 

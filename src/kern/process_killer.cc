@@ -1,0 +1,63 @@
+#include "src/kern/process_killer.h"
+
+#include <algorithm>
+
+#include "src/kern/kernel.h"
+#include "src/sim/assert.h"
+
+namespace kern {
+
+bool ProcessKiller::CanKill(const Proc* p) const {
+  if (!p->alive || p->shares_as) {
+    return false;
+  }
+  // A vfork parent whose space is currently borrowed cannot be torn down.
+  return !std::any_of(procs_.begin(), procs_.end(), [&](const auto& kv) {
+    return kv.second->alive && kv.second->shares_as && kv.second->as == p->as;
+  });
+}
+
+Proc* ProcessKiller::ChooseOomVictim() {
+  // Deterministic victim choice: largest anonymous resident set wins;
+  // strict comparison keeps the lowest pid on ties. The pid-ordered proc
+  // table makes the scan order (and so the tie-break) reproducible.
+  Proc* victim = nullptr;
+  std::size_t victim_rss = 0;
+  for (auto& [pid, proc] : procs_) {
+    Proc* q = proc.get();
+    if (!CanKill(q)) {
+      continue;
+    }
+    machine_.Charge(machine_.cost().oom_scan_ns);
+    std::size_t rss = vm_.AnonResidentPages(*q->as);
+    if (rss > victim_rss) {
+      victim = q;
+      victim_rss = rss;
+    }
+  }
+  if (victim == nullptr || victim_rss == 0) {
+    return nullptr;  // nothing killable would release memory
+  }
+  return victim;
+}
+
+std::size_t ProcessKiller::Kill(Proc* p) {
+  SIM_ASSERT(p->alive && !p->shares_as);
+  std::size_t free_before = pm_.free_pages();
+  for (TransientWiring& tw : p->kernel_stack_wirings) {
+    vm_.UnwireTransient(*p->as, tw);
+  }
+  p->kernel_stack_wirings.clear();
+  vm_.DestroyAddressSpace(p->as);
+  p->as = nullptr;
+  if (p->swapped_out) {
+    vm_.SwapInProcResources(p->kres);
+    p->swapped_out = false;
+  }
+  vm_.FreeProcResources(p->kres);
+  p->alive = false;  // zombie shell; the table entry survives until ~Kernel
+  std::size_t free_after = pm_.free_pages();
+  return free_after > free_before ? free_after - free_before : 0;
+}
+
+}  // namespace kern

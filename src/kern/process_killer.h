@@ -1,0 +1,60 @@
+// Deterministic process termination shared by the two kernel paths that
+// must sacrifice a process to keep the machine alive: the out-of-swap
+// killer (DESIGN.md §12) and hwpoison late-kill containment (DESIGN.md
+// §13, a dirty anonymous page lost to an uncorrectable memory error).
+// Victim *choice* policies differ per caller; the teardown — and the
+// charge sequence it produces — is one shared implementation so both
+// paths stay byte-identical with the historical OOM killer.
+#ifndef SRC_KERN_PROCESS_KILLER_H_
+#define SRC_KERN_PROCESS_KILLER_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+
+#include "src/phys/phys_mem.h"
+#include "src/sim/machine.h"
+#include "src/vm/vm_iface.h"
+
+namespace kern {
+
+struct Proc;
+
+class ProcessKiller {
+ public:
+  ProcessKiller(sim::Machine& machine, phys::PhysMem& pm, VmSystem& vm,
+                std::map<int, std::unique_ptr<Proc>>& procs)
+      : machine_(machine), pm_(pm), vm_(vm), procs_(procs) {}
+
+  ProcessKiller(const ProcessKiller&) = delete;
+  ProcessKiller& operator=(const ProcessKiller&) = delete;
+
+  // Out-of-swap victim choice: the live process with the largest anonymous
+  // resident set; strict comparison keeps the lowest pid on ties. Skips
+  // vfork children (borrowed space) and parents whose space is currently
+  // borrowed. Charges oom_scan_ns per candidate examined. Returns nullptr
+  // when no killable process would release memory (victim rss == 0).
+  Proc* ChooseOomVictim();
+
+  // True when `p` can be torn down at all: alive, owns its address space,
+  // and no live vfork child is borrowing it. Poison late-kill checks this
+  // before killing the faulting process itself.
+  bool CanKill(const Proc* p) const;
+
+  // Tear down the victim's memory, leaving a zombie shell in the proc
+  // table (alive == false, as == nullptr) so callers holding the Proc*
+  // observe the kill. Returns the number of frames the teardown released
+  // to the free list; the caller attributes them (oom_pages_reclaimed vs
+  // poison_pages_reclaimed) and bumps its own kill counter.
+  std::size_t Kill(Proc* p);
+
+ private:
+  sim::Machine& machine_;
+  phys::PhysMem& pm_;
+  VmSystem& vm_;
+  std::map<int, std::unique_ptr<Proc>>& procs_;
+};
+
+}  // namespace kern
+
+#endif  // SRC_KERN_PROCESS_KILLER_H_

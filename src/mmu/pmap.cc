@@ -1,6 +1,7 @@
 #include "src/mmu/pmap.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/sim/annotations.h"
 #include "src/sim/assert.h"
@@ -10,6 +11,85 @@ namespace mmu {
 namespace {
 constexpr std::uint64_t kPtShift = 22;  // i386: one page-table page maps 4 MB
 }  // namespace
+
+MmuContext::MmuContext(phys::PhysMem& pm) : pm_(pm), pv_(pm.total_pages()) {
+  // Machine-check response (DESIGN.md §13): the moment a live frame is
+  // poisoned, strip every mapping of it through the pv chain so the next
+  // touch faults and the owning VM discovers the poison. Wired and kernel
+  // frames keep their mappings — wiring is a no-unmap contract; consuming
+  // those panics at the access site instead.
+  poison_hook_token_ = pm_.AddPoisonHook([this](phys::Page* p) {
+    if (p->wire_count == 0 && p->owner_kind != phys::OwnerKind::kKernel) {
+      PageProtect(p, sim::Prot::kNone);
+    }
+  });
+  audit_token_ =
+      machine().auditor().Register("mmu.pv", [this](sim::Auditor& a) { AuditPv(a); });
+}
+
+MmuContext::~MmuContext() {
+  machine().auditor().Unregister(audit_token_);
+  pm_.RemovePoisonHook(poison_hook_token_);
+}
+
+void MmuContext::AuditPv(sim::Auditor& auditor) const {
+  std::unordered_set<const Pmap*> live(pmaps_.begin(), pmaps_.end());
+  std::size_t pv_total = 0;
+  for (sim::Pfn pfn = 0; pfn < pv_.size(); ++pfn) {
+    const auto& list = pv_[pfn];
+    pv_total += list.size();
+    for (const PvEntry& e : list) {
+      if (!live.contains(e.pmap)) {
+        auditor.Fail("pv entry references a dead pmap: pfn " + std::to_string(pfn));
+        continue;
+      }
+      auto it = e.pmap->ptes_.find(e.va);
+      if (it == e.pmap->ptes_.end()) {
+        auditor.Fail("pv entry without a pte: pfn " + std::to_string(pfn) + " va " +
+                     std::to_string(e.va));
+      } else if (it->second.pfn != pfn) {
+        auditor.Fail("pv entry and pte disagree: pfn " + std::to_string(pfn) + " va " +
+                     std::to_string(e.va) + " pte.pfn " + std::to_string(it->second.pfn));
+      }
+    }
+    const phys::Page* page = pm_.PageAt(pfn);
+    if (page->poisoned && !list.empty() && page->wire_count == 0 &&
+        page->owner_kind != phys::OwnerKind::kKernel) {
+      auditor.Fail("poisoned frame still mapped: pfn " + std::to_string(pfn));
+    }
+  }
+  std::size_t pte_total = 0;
+  for (const Pmap* pmap : pmaps_) {
+    pte_total += pmap->ptes_.size();
+    std::size_t wired = 0;
+    SIM_ORDERED_OK("read-only audit recount; no simulation state touched");
+    for (const auto& [va, pte] : pmap->ptes_) {
+      if (pte.wired) {
+        ++wired;
+      }
+      if (pte.pfn >= pv_.size()) {
+        auditor.Fail("pte maps an out-of-range pfn: va " + std::to_string(va));
+        continue;
+      }
+      const auto& lst = pv_[pte.pfn];
+      bool found = std::any_of(lst.begin(), lst.end(), [&](const PvEntry& e) {
+        return e.pmap == pmap && e.va == va;
+      });
+      if (!found) {
+        auditor.Fail("pte without a pv entry: va " + std::to_string(va) + " pfn " +
+                     std::to_string(pte.pfn));
+      }
+    }
+    if (wired != pmap->wired_count_) {
+      auditor.Fail("wired recount " + std::to_string(wired) + " != wired_count " +
+                   std::to_string(pmap->wired_count_));
+    }
+  }
+  if (pv_total != pte_total) {
+    auditor.Fail("pv entries " + std::to_string(pv_total) + " != resident ptes " +
+                 std::to_string(pte_total));
+  }
+}
 
 void MmuContext::PvAdd(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va) {
   pv_[pfn].push_back(PvEntry{pmap, va});
@@ -49,7 +129,9 @@ Pmap::Pmap(MmuContext& ctx, bool is_kernel, std::function<void(phys::Page*)> on_
     : ctx_(ctx),
       is_kernel_(is_kernel),
       on_ptpage_alloc_(std::move(on_ptpage_alloc)),
-      on_ptpage_free_(std::move(on_ptpage_free)) {}
+      on_ptpage_free_(std::move(on_ptpage_free)) {
+  ctx_.pmaps_.push_back(this);
+}
 
 Pmap::~Pmap() {
   RemoveAll();
@@ -74,6 +156,9 @@ Pmap::~Pmap() {
     ctx_.phys().FreePage(page);
   }
   ptpages_.clear();
+  auto it = std::find(ctx_.pmaps_.begin(), ctx_.pmaps_.end(), this);
+  SIM_ASSERT(it != ctx_.pmaps_.end());
+  ctx_.pmaps_.erase(it);
 }
 
 Pte* Pmap::LookupPte(sim::Vaddr va_page) const {
@@ -116,6 +201,7 @@ void Pmap::EnsurePtPage(sim::Vaddr va) {
 }
 
 void Pmap::Enter(sim::Vaddr va, phys::Page* page, sim::Prot prot, bool wired) {
+  SIM_ASSERT_MSG(!page->poisoned, "mapping a poisoned frame");
   va = sim::PageTrunc(va);
   EnsurePtPage(va);
   ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().pmap_enter_ns);

@@ -37,7 +37,11 @@ class Pmap;
 // mappings of it. One MmuContext exists per Machine.
 class MmuContext {
  public:
-  explicit MmuContext(phys::PhysMem& pm) : pm_(pm), pv_(pm.total_pages()) {}
+  // Registers the machine-check poison hook with PhysMem (unmap every
+  // mapping of a freshly poisoned unwired frame, so the next touch faults
+  // and the owning VM runs containment) and the "mmu.pv" auditor check.
+  explicit MmuContext(phys::PhysMem& pm);
+  ~MmuContext();
 
   MmuContext(const MmuContext&) = delete;
   MmuContext& operator=(const MmuContext&) = delete;
@@ -62,8 +66,16 @@ class MmuContext {
   void PvAdd(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va);
   void PvRemove(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va);
 
+  // Registered with sim::Auditor: every pv entry has a matching PTE and
+  // vice versa, wired counts recount, and no unwired poisoned frame is
+  // still mapped anywhere.
+  void AuditPv(sim::Auditor& auditor) const;
+
   phys::PhysMem& pm_;
   std::vector<std::vector<PvEntry>> pv_;
+  std::vector<Pmap*> pmaps_;  // live pmaps, in creation order
+  int audit_token_ = 0;
+  int poison_hook_token_ = 0;
 };
 
 class Pmap {

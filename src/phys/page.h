@@ -45,6 +45,16 @@ struct Page {
   bool referenced = false;
   bool busy = false;  // I/O in progress
 
+  // Memory-error (hwpoison) state, DESIGN.md §13. A poisoned frame suffered
+  // an uncorrectable memory error: its contents are lost, it must never be
+  // mapped or allocated again, and the VM systems contain it on discovery.
+  // Set only through phys::PhysMem's injection entry points (enforced by
+  // simlint's poison-direct-write rule) and never cleared — the frame is
+  // retired for the machine's lifetime. poison_gen records which injection
+  // event hit the frame (1-based, monotonic across the machine).
+  bool poisoned = false;
+  std::uint32_t poison_gen = 0;
+
   // Intrusive queue linkage (managed by PhysMem only)
   PageQueue queue = PageQueue::kNone;
   Page* q_next = nullptr;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "src/sim/assert.h"
 
@@ -67,7 +68,20 @@ PhysMem::PhysMem(sim::Machine& machine, std::size_t num_pages)
         }
         SetBalloonTarget(std::min(target, pages_.size()));
       });
+  machine_.faults().RegisterMemActuator(
+      [this](const sim::MemFaultEvent& ev, sim::Rng& rng) {
+        if (ev.random) {
+          PoisonRandom(ev.count, rng);
+        } else {
+          SIM_ASSERT_MSG(ev.pfn < pages_.size(), "memfault plan poisons a pfn out of range");
+          PoisonPfn(static_cast<sim::Pfn>(ev.pfn));
+        }
+      });
+  audit_token_ = machine_.auditor().Register(
+      "phys.pool", [this](sim::Auditor& a) { AuditPool(a); });
 }
+
+PhysMem::~PhysMem() { machine_.auditor().Unregister(audit_token_); }
 
 std::size_t PhysMem::BalloonFloor() const {
   std::size_t floor = std::max(free_min_, free_reserve_);
@@ -137,6 +151,11 @@ void PhysMem::FreePage(Page* p) {
     } else {
       SIM_PANIC("freeing a free page");
     }
+  }
+  if (p->poisoned) {
+    p->queue = PageQueue::kNone;
+    RetirePage(p);
+    return;
   }
   p->owner_kind = OwnerKind::kNone;
   p->owner = nullptr;
@@ -223,6 +242,173 @@ void PhysMem::ZeroPage(Page* p) {
 Page* PhysMem::PageAt(sim::Pfn pfn) {
   SIM_ASSERT(pfn < pages_.size());
   return &pages_[pfn];
+}
+
+bool PhysMem::PoisonPfn(sim::Pfn pfn) {
+  SIM_ASSERT(pfn < pages_.size());
+  Page* p = &pages_[pfn];
+  if (p->poisoned) {
+    return false;
+  }
+  p->poisoned = true;
+  p->poison_gen = ++poison_gen_;
+  ++poisoned_count_;
+  ++machine_.stats().frames_poisoned;
+  if (p->queue == PageQueue::kFree) {
+    // Idle frame: retire on the spot, before the allocator can hand it out.
+    free_.Remove(p);
+    p->queue = PageQueue::kNone;
+    ++retired_count_;
+    return true;
+  }
+  auto it = std::find(balloon_.begin(), balloon_.end(), p);
+  if (it != balloon_.end()) {
+    // Ballooned frame: retire it and let the balloon absorb a replacement
+    // so the scripted pressure level is preserved.
+    balloon_.erase(it);
+    ++retired_count_;
+    AbsorbBalloon();
+    return true;
+  }
+  // Frames holding live data stay put: the owning VM contains them when the
+  // poison is discovered (fault path or pagedaemon scan). Fire the
+  // machine-check hooks so the layers above can unmap the frame everywhere
+  // and break any loans right now — after this, touching the data faults.
+  for (auto& [token, fn] : poison_hooks_) {
+    fn(p);
+  }
+  return true;
+}
+
+int PhysMem::AddPoisonHook(std::function<void(Page*)> fn) {
+  int token = next_poison_hook_token_++;
+  poison_hooks_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void PhysMem::RemovePoisonHook(int token) {
+  for (auto it = poison_hooks_.begin(); it != poison_hooks_.end(); ++it) {
+    if (it->first == token) {
+      poison_hooks_.erase(it);
+      return;
+    }
+  }
+}
+
+void PhysMem::PoisonRandom(std::uint64_t count, sim::Rng& rng) {
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const std::size_t n = pages_.size();
+    const std::size_t start = static_cast<std::size_t>(rng.Below(n));
+    bool hit = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      Page* p = &pages_[(start + i) % n];
+      if (p->poisoned || p->wire_count > 0 || p->owner_kind == OwnerKind::kKernel) {
+        continue;
+      }
+      PoisonPfn(p->pfn);
+      hit = true;
+      break;
+    }
+    if (!hit) {
+      return;  // every eligible frame is already poisoned
+    }
+  }
+}
+
+void PhysMem::RetirePage(Page* p) {
+  SIM_ASSERT_MSG(p->poisoned, "retiring an unpoisoned page");
+  SIM_ASSERT(p->wire_count == 0 && p->loan_count == 0);
+  SIM_ASSERT(p->queue == PageQueue::kNone);
+  p->owner_kind = OwnerKind::kNone;
+  p->owner = nullptr;
+  p->offset = 0;
+  p->dirty = false;
+  p->busy = false;
+  ++retired_count_;
+}
+
+void PhysMem::AuditPool(sim::Auditor& auditor) const {
+  std::size_t tag_free = 0, tag_active = 0, tag_inactive = 0;
+  std::size_t poisoned_n = 0, retired_n = 0;
+  for (const Page& p : pages_) {
+    switch (p.queue) {
+      case PageQueue::kFree:
+        ++tag_free;
+        if (p.owner_kind != OwnerKind::kNone) {
+          auditor.Fail("owned frame tagged free: pfn " + std::to_string(p.pfn));
+        }
+        if (p.poisoned) {
+          auditor.Fail("poisoned frame on the free list: pfn " + std::to_string(p.pfn));
+        }
+        break;
+      case PageQueue::kActive:
+        ++tag_active;
+        break;
+      case PageQueue::kInactive:
+        ++tag_inactive;
+        break;
+      case PageQueue::kNone:
+        break;
+    }
+    if (p.poisoned) {
+      ++poisoned_n;
+      if (p.poison_gen == 0) {
+        auditor.Fail("poisoned frame without a generation tag: pfn " + std::to_string(p.pfn));
+      }
+      if (p.owner_kind == OwnerKind::kNone && p.queue == PageQueue::kNone &&
+          p.wire_count == 0) {
+        ++retired_n;
+      }
+    } else if (p.poison_gen != 0) {
+      auditor.Fail("generation tag on an unpoisoned frame: pfn " + std::to_string(p.pfn));
+    }
+  }
+  if (tag_free != free_.size()) {
+    auditor.Fail("free-tag count " + std::to_string(tag_free) + " != free list size " +
+                 std::to_string(free_.size()));
+  }
+  if (tag_active != active_.size()) {
+    auditor.Fail("active-tag count " + std::to_string(tag_active) + " != active queue size " +
+                 std::to_string(active_.size()));
+  }
+  if (tag_inactive != inactive_.size()) {
+    auditor.Fail("inactive-tag count " + std::to_string(tag_inactive) +
+                 " != inactive queue size " + std::to_string(inactive_.size()));
+  }
+  for (const Page* b : balloon_) {
+    if (b->poisoned || b->owner_kind != OwnerKind::kNone || b->queue != PageQueue::kNone) {
+      auditor.Fail("balloon holds a non-idle frame: pfn " + std::to_string(b->pfn));
+    }
+  }
+  if (poisoned_n != poisoned_count_) {
+    auditor.Fail("poisoned recount " + std::to_string(poisoned_n) + " != poisoned_count " +
+                 std::to_string(poisoned_count_));
+  }
+  if (poisoned_count_ != static_cast<std::size_t>(machine_.stats().frames_poisoned)) {
+    auditor.Fail("poisoned_count " + std::to_string(poisoned_count_) +
+                 " != stats.frames_poisoned " +
+                 std::to_string(machine_.stats().frames_poisoned));
+  }
+  // Retired frames are exactly the unowned, unqueued, unwired poisoned
+  // ones; a mismatch means a retired frame re-entered circulation (or a
+  // live poisoned frame was dropped without going through containment).
+  if (retired_n != retired_count_) {
+    auditor.Fail("retired recount " + std::to_string(retired_n) + " != retired_count " +
+                 std::to_string(retired_count_));
+  }
+  // Walk the free list itself so the intrusive links agree with the tags.
+  std::size_t walked = 0;
+  for (const Page* p = free_.head(); p != nullptr; p = p->q_next) {
+    ++walked;
+    if (walked > pages_.size()) {
+      auditor.Fail("free list is cyclic");
+      break;
+    }
+  }
+  if (walked != free_.size()) {
+    auditor.Fail("free list walk " + std::to_string(walked) + " != recorded size " +
+                 std::to_string(free_.size()));
+  }
 }
 
 }  // namespace phys

@@ -5,12 +5,15 @@
 #define SRC_PHYS_PHYS_MEM_H_
 
 #include <cstddef>
+#include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/phys/page.h"
 #include "src/sim/machine.h"
 #include "src/sim/pressure.h"
+#include "src/sim/rng.h"
 #include "src/sim/types.h"
 
 namespace phys {
@@ -41,6 +44,7 @@ class PageList {
 class PhysMem {
  public:
   PhysMem(sim::Machine& machine, std::size_t num_pages);
+  ~PhysMem();
 
   PhysMem(const PhysMem&) = delete;
   PhysMem& operator=(const PhysMem&) = delete;
@@ -49,6 +53,12 @@ class PhysMem {
   std::size_t free_pages() const { return free_.size(); }
   std::size_t active_pages() const { return active_.size(); }
   std::size_t inactive_pages() const { return inactive_.size(); }
+  // Frames ever poisoned (none is ever un-poisoned).
+  std::size_t poisoned_pages() const { return poisoned_count_; }
+  // Poisoned frames already out of circulation: unowned and permanently
+  // retired from the allocator. The remaining poisoned frames still carry
+  // live data and await containment on discovery.
+  std::size_t retired_pages() const { return retired_count_; }
 
   // Number of free pages below which callers should run the pagedaemon.
   std::size_t free_target() const { return free_target_; }
@@ -114,8 +124,40 @@ class PhysMem {
 
   sim::Machine& machine() { return machine_; }
 
+  // --- Memory-error (hwpoison) injection, DESIGN.md §13 ---
+  // Poison one frame: mark it, stamp the generation tag, and when the frame
+  // is idle (free or ballooned) retire it from circulation on the spot.
+  // Frames holding live data stay put — the VM systems contain them when
+  // the poison is discovered at fault time or by the pagedaemon. Returns
+  // false when the frame was already poisoned (no state changes).
+  bool PoisonPfn(sim::Pfn pfn);
+  // Poison `count` pseudo-randomly chosen eligible frames (not poisoned,
+  // not wired, not kernel-owned: a scrubber hit on user/page-cache memory,
+  // so scripted random storms never force an uncontainable panic). Frames
+  // are drawn from `rng` — the fault injector's seeded stream — by linear
+  // probing from a random start, so a given seed poisons the same frames
+  // on every run. Stops early when no eligible frame remains.
+  void PoisonRandom(std::uint64_t count, sim::Rng& rng);
+  // A poisoned frame that turned out to be unowned (discarded by
+  // containment or freed at teardown) is retired here instead of returning
+  // to the free list.
+  void RetirePage(Page* p);
+
+  // Layers above register how to react the moment a *live* frame is
+  // poisoned (the machine-check handler analogue): the MMU unmaps
+  // unwired frames through the pv chain, UVM revokes loans. Hooks run in
+  // registration order — construction order of the layers, bottom-up — and
+  // only for frames holding data (idle frames retire silently). Returns a
+  // token for RemovePoisonHook.
+  int AddPoisonHook(std::function<void(Page*)> fn);
+  void RemovePoisonHook(int token);
+
  private:
   friend class PageoutScope;
+
+  // Registered with sim::Auditor: pool accounting (queue tags vs list
+  // membership vs Stats) and poison retirement invariants.
+  void AuditPool(sim::Auditor& auditor) const;
 
   // Floor the balloon may not squeeze the free list below: enough frames
   // for the emergency reserve plus a minimal working margin, so the
@@ -136,6 +178,12 @@ class PhysMem {
   std::vector<Page*> balloon_;
   std::size_t balloon_target_ = 0;
   int pageout_depth_ = 0;
+  std::size_t poisoned_count_ = 0;
+  std::size_t retired_count_ = 0;
+  std::uint32_t poison_gen_ = 0;
+  int audit_token_ = 0;
+  std::vector<std::pair<int, std::function<void(Page*)>>> poison_hooks_;
+  int next_poison_hook_token_ = 1;
 };
 
 // RAII marker wrapping a pagedaemon pass: page allocations made while one

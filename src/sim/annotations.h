@@ -27,6 +27,12 @@
 //                    allocation before any process exists). All other pool
 //                    exhaustion must surface as a typed error — see
 //                    DESIGN.md §12.
+//  SIM_POISON_WRITE_OK a direct write to phys::Page::poisoned outside
+//                    phys::PhysMem's injection entry points (e.g. a test
+//                    deliberately corrupting state to prove the auditor
+//                    catches it). Everything else must poison frames via
+//                    PhysMem so retirement and accounting stay coherent —
+//                    see DESIGN.md §13.
 #ifndef SRC_SIM_ANNOTATIONS_H_
 #define SRC_SIM_ANNOTATIONS_H_
 
@@ -41,6 +47,9 @@
   } while (false)
 #define SIM_POOL_FATAL_OK(reason) \
   do {                            \
+  } while (false)
+#define SIM_POISON_WRITE_OK(reason) \
+  do {                              \
   } while (false)
 
 #endif  // SRC_SIM_ANNOTATIONS_H_

@@ -28,6 +28,10 @@ struct CostModel {
   Nanoseconds mem_retry_backoff_ns = 1'000'000;  // 1 ms
   // Examine one process while choosing an out-of-swap victim.
   Nanoseconds oom_scan_ns = 5'000;
+  // Fixed software overhead of containing one poisoned frame (machine-check
+  // handler entry, pv-chain walk setup, bookkeeping) on top of the metered
+  // pmap / copy / I/O work the containment itself does.
+  Nanoseconds poison_contain_ns = 2'000;
 
   // --- Memory ---
   Nanoseconds page_copy_ns = 12'000;  // copy 4 KB

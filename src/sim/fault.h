@@ -15,16 +15,26 @@
 // randomness comes from the injector's own Rng, so a given seed + plan
 // yields the same fault sequence on every run — and a run with no plan
 // never draws random numbers at all.
+//
+// The injector also replays *memory-fault plans* (DESIGN.md §13): scripted
+// virtual-time points at which physical frames suffer an uncorrectable
+// memory error and are poisoned, hwpoison-style. Like the pressure engine,
+// the frame owner (phys::PhysMem) registers an actuator at construction and
+// the hot paths poll via Machine::PollPressure(); with no plan installed
+// PollMem() is a single branch and no randomness is drawn.
 #ifndef SRC_SIM_FAULT_H_
 #define SRC_SIM_FAULT_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/sim/rng.h"
 #include "src/sim/stats.h"
+#include "src/sim/trace.h"
 #include "src/sim/types.h"
 
 namespace sim {
@@ -61,6 +71,32 @@ struct InjectedFault {
   std::uint64_t bad_block = kNoBlock;  // block marked bad, if permanent
 };
 
+// One scripted memory-fault event: at virtual time `at`, poison either one
+// named physical frame or `count` pseudo-randomly chosen eligible frames
+// (the actuator draws them from the injector's seeded stream).
+struct MemFaultEvent {
+  Nanoseconds at = 0;
+  bool random = false;
+  std::uint64_t pfn = 0;    // target frame (random == false)
+  std::uint64_t count = 0;  // frames to poison (random == true)
+};
+
+struct MemFaultPlan {
+  std::vector<MemFaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+};
+
+// Parse a memory-fault plan spec of ';'-separated events:
+//
+//   @TIME poison PFN          e.g.  "@10ms poison 42"
+//   @TIME poison random:N     e.g.  "@10ms poison 42; @20ms poison random:3"
+//
+// TIME takes an optional unit suffix (ns, us, ms, s; default ns).
+// Whitespace around tokens is ignored. Returns false and fills *error on
+// malformed input.
+bool ParseMemFaultPlan(const std::string& spec, MemFaultPlan* out, std::string* error);
+
 class FaultInjector {
  public:
   explicit FaultInjector(std::uint64_t seed = 0) : rng_(seed) {}
@@ -94,6 +130,34 @@ class FaultInjector {
   std::uint64_t read_ops(IoDevice dev) const { return state_[Index(dev)].read_ops; }
   std::uint64_t write_ops(IoDevice dev) const { return state_[Index(dev)].write_ops; }
 
+  // --- Memory-fault (hwpoison) plan ---
+
+  // The actuator poisons frames; for random events it draws targets from
+  // the supplied Rng (the injector's own seeded stream). Registered once by
+  // phys::PhysMem at construction.
+  using MemActuator = std::function<void(const MemFaultEvent&, Rng&)>;
+
+  // Install a plan; events are applied in (time, spec order). Replaces any
+  // previous plan and restarts from the first event.
+  void SetMemPlan(const MemFaultPlan& plan);
+  void ClearMemPlan() {
+    mem_events_.clear();
+    mem_next_ = 0;
+  }
+  void RegisterMemActuator(MemActuator fn) { mem_actuator_ = std::move(fn); }
+
+  bool has_mem_plan() const { return !mem_events_.empty(); }
+  std::size_t pending_mem_events() const { return mem_events_.size() - mem_next_; }
+
+  // Apply every memory-fault event due at or before `now`. Charges nothing;
+  // counts stats.memfault_events and emits one trace instant per event.
+  void PollMem(Nanoseconds now, Stats& stats, Tracer& tracer) {
+    if (mem_next_ >= mem_events_.size() || mem_events_[mem_next_].at > now) {
+      return;
+    }
+    ApplyDueMem(now, stats, tracer);
+  }
+
  private:
   struct State {
     FaultPlan plan;
@@ -104,8 +168,13 @@ class FaultInjector {
 
   static std::size_t Index(IoDevice dev) { return static_cast<std::size_t>(dev); }
 
+  void ApplyDueMem(Nanoseconds now, Stats& stats, Tracer& tracer);
+
   Rng rng_;
   State state_[2];
+  std::vector<MemFaultEvent> mem_events_;
+  std::size_t mem_next_ = 0;
+  MemActuator mem_actuator_;
 };
 
 }  // namespace sim

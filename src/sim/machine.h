@@ -8,6 +8,7 @@
 #include <array>
 
 #include "src/sim/assert.h"
+#include "src/sim/audit.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/fault.h"
@@ -36,6 +37,8 @@ class Machine {
   const Tracer& tracer() const { return tracer_; }
   PressureEngine& pressure() { return pressure_; }
   const PressureEngine& pressure() const { return pressure_; }
+  Auditor& auditor() { return auditor_; }
+  const Auditor& auditor() const { return auditor_; }
   const CostBreakdown& breakdown() const { return breakdown_; }
   CostBreakdown& breakdown() { return breakdown_; }
 
@@ -49,9 +52,18 @@ class Machine {
     breakdown_.Add(cost_context(), ns);
   }
 
-  // Apply any pressure-plan events whose virtual time has come. Called
-  // from pool allocation paths; inert (one branch) without a plan.
-  void PollPressure() { pressure_.Poll(clock_.now(), stats_, tracer_); }
+  // Apply any pressure-plan and memory-fault-plan events whose virtual
+  // time has come. Called from pool allocation paths; inert (two branches)
+  // without plans.
+  void PollPressure() {
+    pressure_.Poll(clock_.now(), stats_, tracer_);
+    faults_.PollMem(clock_.now(), stats_, tracer_);
+  }
+
+  // Run a periodic audit if one is armed and due. Called from the kernel's
+  // operation boundaries — quiescent points where no layer is mid-mutation;
+  // inert (one branch) when disarmed.
+  void PollAudit() { auditor_.Poll(clock_.now(), tracer_); }
 
   // Leaf-mechanism charge: attribute to `cat` regardless of the enclosing
   // scope (pmap updates, page copies, lock round-trips keep their own
@@ -79,6 +91,7 @@ class Machine {
   Stats stats_;
   FaultInjector faults_;
   PressureEngine pressure_;
+  Auditor auditor_;
   Tracer tracer_;
   CostBreakdown breakdown_;
   std::array<CostCat, kMaxCostScopeDepth> cat_stack_{CostCat::kOther};

@@ -83,6 +83,15 @@ struct Stats {
   std::uint64_t oom_kills = 0;              // out-of-swap killer victims
   std::uint64_t oom_pages_reclaimed = 0;    // frames freed by those kills
 
+  // Memory-error injection and containment (DESIGN.md §13)
+  std::uint64_t memfault_events = 0;        // scripted memfault-plan events applied
+  std::uint64_t frames_poisoned = 0;        // frames marked poisoned by the injector
+  std::uint64_t poison_discards = 0;        // clean poisoned pages unmapped and discarded
+  std::uint64_t poison_refetches = 0;       // refaults that re-fetched discarded contents
+  std::uint64_t poison_kills = 0;           // processes killed over dirty poisoned anon pages
+  std::uint64_t poison_pages_reclaimed = 0; // frames freed by those kills
+  std::uint64_t poison_loans_broken = 0;    // loaned poisoned pages revoked from borrowers
+
   void Reset() { *this = Stats{}; }
 };
 

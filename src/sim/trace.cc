@@ -31,6 +31,10 @@ const char* CostCatName(CostCat c) {
       return "alloc";
     case CostCat::kIo:
       return "io";
+    case CostCat::kPoison:
+      return "poison";
+    case CostCat::kAudit:
+      return "audit";
   }
   return "?";
 }

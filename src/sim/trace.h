@@ -44,8 +44,10 @@ enum class CostCat : std::uint8_t {
   kFork,       // address-space duplication
   kAlloc,      // object/shadow/anon/amap/pager allocation
   kIo,         // raw device I/O outside pagein/pageout (physio, file I/O)
+  kPoison,     // memory-error containment (unmap, discard, refetch, kill)
+  kAudit,      // cross-layer auditor (trace spans only; never charged)
 };
-inline constexpr std::size_t kNumCostCats = 12;
+inline constexpr std::size_t kNumCostCats = 14;
 
 const char* CostCatName(CostCat c);
 

@@ -28,6 +28,8 @@ const char* ErrorName(int err) {
       return "EIO";
     case kErrNoVnode:
       return "ENOVNODE";
+    case kErrMemPoison:
+      return "EMEMPOISON";
     default:
       return "E???";
   }

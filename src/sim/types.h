@@ -88,6 +88,12 @@ inline constexpr int kErrNotSup = 8;      // operation not supported by this VM
 inline constexpr int kErrMapEntryPool = 9;  // kernel map-entry pool exhausted
 inline constexpr int kErrIO = 10;         // EIO: device I/O error
 inline constexpr int kErrNoVnode = 11;    // vnode table exhausted, nothing recyclable
+inline constexpr int kErrMemPoison = 12;  // access hit a poisoned (uncorrectable ECC) frame
+
+// One past the last defined error code. tests/errname_test.cpp walks
+// [0, kNumErrCodes) and asserts every code has a real name, so a new code
+// added above without a matching ErrorName case fails fast.
+inline constexpr int kNumErrCodes = 13;
 
 const char* ErrorName(int err);
 

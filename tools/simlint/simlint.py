@@ -24,6 +24,13 @@ Three rule families (see DESIGN.md §10):
                                         exhaustion must surface as a typed
                                         error and recover (DESIGN.md §12),
                                         not panic
+                   poison-direct-write  a direct assignment to a Page's
+                                        `poisoned` flag outside
+                                        src/phys/phys_mem.cc: poison must go
+                                        through PhysMem::PoisonPfn so the
+                                        containment hooks, generation tag,
+                                        and counters stay in sync
+                                        (DESIGN.md §13)
 
 Engine: libclang (python bindings) refines the unordered-iteration rule when
 available; everything else — and everything, when libclang is absent — runs
@@ -87,14 +94,26 @@ HOST_NONDET_EXEMPT = {
     os.path.join("bench", "bench_host_perf.cpp"),
 }
 
-ANNOTATIONS = ("SIM_ORDERED_OK", "SIM_HOST_TIME_OK", "SIM_NO_CHARGE_OK", "SIM_POOL_FATAL_OK")
+ANNOTATIONS = (
+    "SIM_ORDERED_OK",
+    "SIM_HOST_TIME_OK",
+    "SIM_NO_CHARGE_OK",
+    "SIM_POOL_FATAL_OK",
+    "SIM_POISON_WRITE_OK",
+)
 RULE_ANNOTATION = {
     "det-unordered-iter": "SIM_ORDERED_OK",
     "det-ptr-container": "SIM_ORDERED_OK",
     "det-host-nondet": "SIM_HOST_TIME_OK",
     "cost-no-charge": "SIM_NO_CHARGE_OK",
     "pool-exhaustion-assert": "SIM_POOL_FATAL_OK",
+    "poison-direct-write": "SIM_POISON_WRITE_OK",
 }
+
+# The one module allowed to flip Page::poisoned directly: the injection /
+# retirement machinery itself. Everyone else (containment, daemons, tests)
+# must go through PhysMem::PoisonPfn or annotate SIM_POISON_WRITE_OK.
+POISON_WRITE_EXEMPT = {os.path.join("src", "phys", "phys_mem.cc")}
 
 # Functions that advance the virtual clock; everything that (transitively)
 # calls one of these is considered charged.
@@ -674,6 +693,35 @@ def rule_pool_fatal(repo: Repo) -> list:
     return findings
 
 
+POISON_WRITE_RE = re.compile(r"(?:\.|->)\s*poisoned\s*=(?![=])")
+
+
+def rule_poison_write(repo: Repo) -> list:
+    """A direct store to a Page's poison flag anywhere but the injector.
+    Assignments only — `poisoned ==`/`!=` comparisons and reads are fine."""
+    exempt = {p.replace(os.sep, "/") for p in POISON_WRITE_EXEMPT}
+    findings = []
+    for rel, sf in sorted(repo.files.items()):
+        if rel in exempt:
+            continue
+        for m in POISON_WRITE_RE.finditer(sf.stripped):
+            findings.append(
+                Finding(
+                    rule="poison-direct-write",
+                    path=rel,
+                    line=line_of(sf.stripped, m.start()),
+                    message=(
+                        "direct write to Page::poisoned outside src/phys/phys_mem.cc: "
+                        "poison must be injected via PhysMem::PoisonPfn so containment "
+                        "hooks fire and the generation tag / counters stay consistent "
+                        "(DESIGN.md §13); annotate SIM_POISON_WRITE_OK(reason) only in "
+                        "corruption fixtures that deliberately break the invariant"
+                    ),
+                )
+            )
+    return findings
+
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
 
@@ -820,6 +868,7 @@ def collect_findings(repo: Repo, engine: str) -> list:
     findings.extend(rule_cost_no_charge(repo))
     findings.extend(rule_layering(repo))
     findings.extend(rule_pool_fatal(repo))
+    findings.extend(rule_poison_write(repo))
 
     kept = []
     for f in findings:

@@ -1,0 +1,19 @@
+// Fixture: direct writes to Page::poisoned outside the injector that must
+// be flagged — both member-access spellings.
+#include "src/sim/rng.h"
+
+namespace core {
+
+struct Page {
+  bool poisoned = false;
+};
+
+void FakeInjectByPointer(Page* p) {
+  p->poisoned = true;  // LINE-POISON-ARROW
+}
+
+void FakeClearByReference(Page& p) {
+  p.poisoned = false;  // LINE-POISON-DOT
+}
+
+}  // namespace core

@@ -1,0 +1,21 @@
+// Fixture: poison-flag uses that must NOT be flagged — reads, comparisons,
+// and an annotated corruption-fixture write.
+#include "src/sim/rng.h"
+
+namespace core {
+
+struct Page {
+  bool poisoned = false;
+};
+
+bool IsRetirable(const Page* p) {
+  // Reads and comparisons never trip the rule.
+  return p->poisoned == true;
+}
+
+void CorruptionFixture(Page* p) {
+  SIM_POISON_WRITE_OK("deliberate corruption to prove the audit catches it");
+  p->poisoned = true;
+}
+
+}  // namespace core

@@ -1,0 +1,15 @@
+// Fixture: the injector module itself is allowlisted — a bare write to the
+// poison flag here is the one legitimate site and must not be flagged.
+#include "src/sim/rng.h"
+
+namespace phys {
+
+struct Page {
+  bool poisoned = false;
+};
+
+void PoisonPfn(Page* p) {
+  p->poisoned = true;
+}
+
+}  // namespace phys

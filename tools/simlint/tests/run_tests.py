@@ -64,6 +64,8 @@ class SimlintFixtureTest(unittest.TestCase):
             self.expect("layer-upward-include", "src/bsdvm/bad_sibling.h", "SIBLING"),
             self.expect("pool-exhaustion-assert", "src/core/bad_pool_assert.cc", "POOL-ASSERT"),
             self.expect("pool-exhaustion-assert", "src/core/bad_pool_assert.cc", "POOL-PANIC"),
+            self.expect("poison-direct-write", "src/core/bad_poison.cc", "POISON-ARROW"),
+            self.expect("poison-direct-write", "src/core/bad_poison.cc", "POISON-DOT"),
         }
         extra = self.found - expected
         self.assertFalse(
@@ -78,6 +80,8 @@ class SimlintFixtureTest(unittest.TestCase):
             "src/core/clean_ptr_set.h",
             "src/core/clean_cost.cc",
             "src/core/clean_pool_assert.cc",
+            "src/core/clean_poison.cc",
+            "src/phys/phys_mem.cc",  # poison-direct-write exempt path
             "src/bsdvm/clean_layering.h",
             "src/sim/rng.h",  # det-host-nondet exempt path
         }
