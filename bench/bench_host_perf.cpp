@@ -18,20 +18,26 @@
 //
 // --quick reduces microbench repetition counts only. Workload sizes are
 // identical in both modes so the deterministic fields never depend on mode.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <list>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/bsdvm/vm_object.h"
+#include "src/core/amap.h"
 #include "src/core/uvm_map.h"
 #include "src/kern/workloads.h"
+#include "src/mmu/pmap.h"
 #include "src/phys/page.h"
 #include "src/phys/page_store.h"
 #include "src/sim/machine.h"
+#include "src/sim/pool.h"
 
 namespace {
 
@@ -258,6 +264,212 @@ MicroResult MicroPageStore(std::size_t reps) {
   return r;
 }
 
+// The seed pv table: per-pfn vector of entries, duplicate-checked adds,
+// find_if + vector-erase removal, and page-protect copying the whole vector
+// before iterating — plus default-allocator unordered_map PTE storage.
+// Replicated here to quantify the pv-chain + slab conversion.
+// The seed pv table: per-pfn vector of entries, duplicate-checked adds,
+// find_if + vector-erase removal, and page-protect copying the whole vector
+// before iterating — plus default-allocator unordered_map PTE storage. It
+// issues the same virtual-time charges as the real pmap so the host-time
+// difference is purely the data structures.
+class LegacyPvPmap {
+ public:
+  LegacyPvPmap(sim::Machine& machine, std::size_t npfns) : machine_(machine), pv_(npfns) {}
+
+  void Enter(sim::Pfn pfn, sim::Vaddr va) {
+    machine_.Charge(sim::CostCat::kPmap, machine_.cost().pmap_enter_ns);
+    ptes_[va] = mmu::Pte{pfn, sim::Prot::kReadWrite, false};
+    auto& v = pv_[pfn];
+    SIM_ASSERT(!std::any_of(v.begin(), v.end(), [&](const E& e) { return e.va == va; }));
+    v.push_back(E{va});
+  }
+
+  std::size_t ProtectNone(sim::Pfn pfn) {
+    std::vector<E> copy = pv_[pfn];  // the teardown copy this PR removes
+    machine_.Charge(sim::CostCat::kPmap,
+                    machine_.cost().pmap_page_protect_ns * (copy.empty() ? 1 : copy.size()));
+    for (const E& e : copy) {
+      auto& v = pv_[pfn];
+      auto it = std::find_if(v.begin(), v.end(), [&](const E& x) { return x.va == e.va; });
+      SIM_ASSERT(it != v.end());
+      v.erase(it);
+      ptes_.erase(e.va);
+    }
+    return copy.size();
+  }
+
+  std::size_t resident() const { return ptes_.size(); }
+
+ private:
+  struct E {
+    sim::Vaddr va;
+  };
+  sim::Machine& machine_;
+  std::unordered_map<sim::Vaddr, mmu::Pte> ptes_;
+  std::vector<std::vector<E>> pv_;
+};
+
+// pv churn: enter kPvMappings mappings of one hot frame (a shared-library
+// text page in a process fleet), then PageProtect(kNone) tears them all
+// down; repeated. The new side is the real MmuContext/Pmap (pooled pv
+// chains, slab PTE nodes, in-place unlink); the legacy side is the replica
+// above, whose copy + find_if + vector-erase teardown is quadratic in the
+// sharing factor. Headline number for the allocation layer.
+MicroResult MicroPvChurn(std::size_t rounds) {
+  constexpr std::size_t kPvMappings = 512;
+  constexpr sim::Vaddr kVaBase = 0x100000;
+  const std::size_t warmup = rounds / 16 + 1;
+
+  sim::Machine m;
+  phys::PhysMem pm(m, 64);
+  mmu::MmuContext ctx(pm);
+  phys::Page* page = pm.AllocPage(phys::OwnerKind::kKernel, nullptr, 0, false);
+  std::size_t removed_new = 0;
+  MicroResult r;
+  {
+    mmu::Pmap pmap(ctx, /*is_kernel=*/true);
+    auto round = [&] {
+      for (std::size_t i = 0; i < kPvMappings; ++i) {
+        pmap.Enter(kVaBase + i * sim::kPageSize, page, sim::Prot::kReadWrite, false);
+      }
+      removed_new += ctx.PageProtect(page, sim::Prot::kNone);
+    };
+    for (std::size_t w = 0; w < warmup; ++w) {
+      round();
+    }
+    removed_new = 0;
+    auto t0 = Clock::now();
+    for (std::size_t i = 0; i < rounds; ++i) {
+      round();
+    }
+    auto t1 = Clock::now();
+    r.new_ns_per_op = HostNs(t0, t1) / static_cast<double>(rounds * kPvMappings);
+  }
+  pm.FreePage(page);
+
+  LegacyPvPmap legacy(m, 64);
+  std::size_t removed_old = 0;
+  auto round_old = [&] {
+    for (std::size_t i = 0; i < kPvMappings; ++i) {
+      legacy.Enter(page->pfn, kVaBase + i * sim::kPageSize);
+    }
+    removed_old += legacy.ProtectNone(page->pfn);
+  };
+  for (std::size_t w = 0; w < warmup; ++w) {
+    round_old();
+  }
+  removed_old = 0;
+  auto t2 = Clock::now();
+  for (std::size_t i = 0; i < rounds; ++i) {
+    round_old();
+  }
+  auto t3 = Clock::now();
+  r.legacy_ns_per_op = HostNs(t2, t3) / static_cast<double>(rounds * kPvMappings);
+
+  SIM_ASSERT_MSG(removed_new == removed_old, "legacy/new pv churn disagreement");
+  r.speedup = r.legacy_ns_per_op / r.new_ns_per_op;
+  return r;
+}
+
+// Slab-vs-heap churn in the burst-allocate / LIFO-free pattern VM metadata
+// actually exhibits (fork allocates a batch of anons, exit frees them).
+// One op = one alloc+free pair. Untimed warmup rounds first: both sides
+// must be measured steady-state (slabs carved, malloc arenas primed,
+// backing pages faulted in), not paying their one-time cold-start cost.
+template <typename T, typename NewFn, typename DelFn>
+double ChurnNsPerOp(std::size_t rounds, NewFn make, DelFn destroy) {
+  constexpr std::size_t kBurst = 64;
+  std::vector<T*> live(kBurst);
+  auto round = [&] {
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      live[i] = make();
+    }
+    for (std::size_t i = kBurst; i > 0; --i) {
+      destroy(live[i - 1]);
+    }
+  };
+  for (std::size_t w = 0; w < rounds / 16 + 1; ++w) {
+    round();
+  }
+  auto t0 = Clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    round();
+  }
+  auto t1 = Clock::now();
+  return HostNs(t0, t1) / static_cast<double>(rounds * kBurst);
+}
+
+MicroResult MicroAnonChurn(std::size_t rounds) {
+  sim::Pool<uvm::Anon> pool("bench.anon");
+  MicroResult r;
+  r.new_ns_per_op = ChurnNsPerOp<uvm::Anon>(
+      rounds, [&] { return pool.New(); }, [&](uvm::Anon* a) { pool.Delete(a); });
+  r.legacy_ns_per_op = ChurnNsPerOp<uvm::Anon>(
+      rounds, [] { return new uvm::Anon(); }, [](uvm::Anon* a) { delete a; });
+  r.speedup = r.legacy_ns_per_op / r.new_ns_per_op;
+  return r;
+}
+
+MicroResult MicroObjectChurn(std::size_t rounds) {
+  sim::Pool<bsdvm::VmObject> pool("bench.object");
+  MicroResult r;
+  r.new_ns_per_op = ChurnNsPerOp<bsdvm::VmObject>(
+      rounds, [&] { return pool.New(16, true); }, [&](bsdvm::VmObject* o) { pool.Delete(o); });
+  r.legacy_ns_per_op = ChurnNsPerOp<bsdvm::VmObject>(
+      rounds, [] { return new bsdvm::VmObject(16, true); },
+      [](bsdvm::VmObject* o) { delete o; });
+  r.speedup = r.legacy_ns_per_op / r.new_ns_per_op;
+  return r;
+}
+
+// Chunk churn: every emplace lands in its own 2 MB region, so each
+// emplace/erase pair allocates and frees a 4 KB chunk — the PageStore path
+// BindPool moves onto the slab layer.
+MicroResult MicroPageStoreChurn(std::size_t rounds) {
+  constexpr std::size_t kChunks = 32;
+  phys::Page dummy;
+  const std::size_t warmup = rounds / 16 + 1;
+
+  auto churn = [&](phys::PageStore& store) {
+    for (std::size_t i = 0; i < kChunks; ++i) {
+      store.emplace(i * phys::PageStore::kChunkPages, &dummy);
+    }
+    for (std::size_t i = 0; i < kChunks; ++i) {
+      store.erase(i * phys::PageStore::kChunkPages);
+    }
+  };
+
+  sim::PoolResource chunk_pool("bench.pagestore_chunks");
+  phys::PageStore pooled;
+  pooled.BindPool(&chunk_pool);
+  for (std::size_t w = 0; w < warmup; ++w) {
+    churn(pooled);
+  }
+  auto t0 = Clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    churn(pooled);
+  }
+  auto t1 = Clock::now();
+
+  phys::PageStore heap;  // no BindPool: chunks come from operator new
+  for (std::size_t w = 0; w < warmup; ++w) {
+    churn(heap);
+  }
+  auto t2 = Clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    churn(heap);
+  }
+  auto t3 = Clock::now();
+
+  const double ops = static_cast<double>(rounds * kChunks);
+  MicroResult r;
+  r.new_ns_per_op = HostNs(t0, t1) / ops;
+  r.legacy_ns_per_op = HostNs(t2, t3) / ops;
+  r.speedup = r.legacy_ns_per_op / r.new_ns_per_op;
+  return r;
+}
+
 // ---------------------------------------------------------------------------
 // Whole-simulator workloads (fixed sizes: deterministic fields are identical
 // in --quick and full runs)
@@ -435,6 +647,14 @@ int main(int argc, char** argv) {
   PrintMicro("map_mutate_1000", map_mutate);
   MicroResult pagestore = MicroPageStore(micro_reps);
   PrintMicro("pagestore_lookup_64k", pagestore);
+  MicroResult pv_churn = MicroPvChurn(micro_reps / 64);
+  PrintMicro("pv_churn", pv_churn);
+  MicroResult anon_churn = MicroAnonChurn(micro_reps / 64);
+  PrintMicro("pool_anon_churn", anon_churn);
+  MicroResult object_churn = MicroObjectChurn(micro_reps / 64);
+  PrintMicro("pool_object_churn", object_churn);
+  MicroResult pagestore_churn = MicroPageStoreChurn(micro_reps / 64);
+  PrintMicro("pagestore_churn", pagestore_churn);
 
   std::printf("\n%-8s %-12s %10s %14s %12s %10s %12s %10s\n", "vm", "workload", "host ms",
               "vtime ns", "map probes", "hint hits", "pgstore", "faults");
@@ -461,7 +681,11 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"micro\": {\n");
   JsonMicro(f, "map_lookup_1000", map_lookup, false);
   JsonMicro(f, "map_mutate_1000", map_mutate, false);
-  JsonMicro(f, "pagestore_lookup_64k", pagestore, true);
+  JsonMicro(f, "pagestore_lookup_64k", pagestore, false);
+  JsonMicro(f, "pv_churn", pv_churn, false);
+  JsonMicro(f, "pool_anon_churn", anon_churn, false);
+  JsonMicro(f, "pool_object_churn", object_churn, false);
+  JsonMicro(f, "pagestore_churn", pagestore_churn, true);
   std::fprintf(f, "  },\n  \"workloads\": {\n");
   const char* wl_names[3] = {"map_heavy", "fault_heavy", "soak"};
   for (int k = 0; k < 2; ++k) {

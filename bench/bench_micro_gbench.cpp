@@ -1,10 +1,17 @@
 // google-benchmark wall-clock microbenchmarks of the hot simulator paths
 // themselves (host time, not virtual time): fault resolution, fork, amap
-// copy, map lookup. These guard the implementation's own performance; the
-// paper-reproduction numbers live in the per-table benches.
+// copy, map lookup, and the slab layer's alloc/free churn against the
+// general-purpose heap. These guard the implementation's own performance;
+// the paper-reproduction numbers live in the per-table benches.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "bench/bench_common.h"
+#include "src/bsdvm/pagers.h"
+#include "src/bsdvm/vm_object.h"
+#include "src/core/amap.h"
+#include "src/sim/pool.h"
 
 namespace {
 
@@ -85,6 +92,68 @@ void BM_AmapCowFaultChain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AmapCowFaultChain)->Arg(0)->Arg(1);
+
+// Burst-allocate / LIFO-free churn of each pooled metadata type, slab vs
+// heap (DESIGN.md §14). One iteration = kBurst alloc+free pairs; Arg(0) is
+// the heap baseline, Arg(1) the pool.
+constexpr std::size_t kBurst = 64;
+
+template <typename T, typename NewFn, typename DelFn>
+void ChurnLoop(benchmark::State& state, NewFn make, DelFn destroy) {
+  std::vector<T*> live(kBurst);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      live[i] = make();
+    }
+    benchmark::DoNotOptimize(live.data());
+    for (std::size_t i = kBurst; i > 0; --i) {
+      destroy(live[i - 1]);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kBurst));
+}
+
+void BM_AnonChurn(benchmark::State& state) {
+  if (state.range(0) == 0) {
+    ChurnLoop<uvm::Anon>(
+        state, [] { return new uvm::Anon(); }, [](uvm::Anon* a) { delete a; });
+  } else {
+    sim::Pool<uvm::Anon> pool("gbench.anon");
+    ChurnLoop<uvm::Anon>(
+        state, [&] { return pool.New(); }, [&](uvm::Anon* a) { pool.Delete(a); });
+  }
+}
+BENCHMARK(BM_AnonChurn)->Arg(0)->Arg(1);
+
+void BM_VmObjectChurn(benchmark::State& state) {
+  if (state.range(0) == 0) {
+    ChurnLoop<bsdvm::VmObject>(
+        state, [] { return new bsdvm::VmObject(16, true); },
+        [](bsdvm::VmObject* o) { delete o; });
+  } else {
+    sim::Pool<bsdvm::VmObject> pool("gbench.object");
+    ChurnLoop<bsdvm::VmObject>(
+        state, [&] { return pool.New(16, true); },
+        [&](bsdvm::VmObject* o) { pool.Delete(o); });
+  }
+}
+BENCHMARK(BM_VmObjectChurn)->Arg(0)->Arg(1);
+
+void BM_AmapChurn(benchmark::State& state) {
+  if (state.range(0) == 0) {
+    ChurnLoop<uvm::Amap>(
+        state, [] { return new uvm::Amap(uvm::MakeAmapImpl(uvm::AmapImplPolicy::kHash, 16)); },
+        [](uvm::Amap* am) { delete am; });
+  } else {
+    sim::PoolResource nodes("gbench.amap_nodes");
+    sim::Pool<uvm::Amap> pool("gbench.amap");
+    ChurnLoop<uvm::Amap>(
+        state,
+        [&] { return pool.New(uvm::MakeAmapImpl(uvm::AmapImplPolicy::kHash, 16, &nodes)); },
+        [&](uvm::Amap* am) { pool.Delete(am); });
+  }
+}
+BENCHMARK(BM_AmapChurn)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -22,6 +22,7 @@ else
   python3 tools/simlint/simlint.py --all
 fi
 python3 tools/simlint/tests/run_tests.py
+python3 scripts/tests/test_diff_bench_host.py
 
 cmake --workflow --preset ci
 
@@ -66,5 +67,23 @@ python3 scripts/bench_virtual_json.py --bindir "$SOAK_BINDIR" \
   --audit 1 \
   --out build/BENCH_soak.json
 
+# Server-fleet engine: a million kernel ops per VM (request bursts,
+# vnode-cache churn, fork/exec build storms) through the slab-backed
+# metadata layer. stdout is fully deterministic (host wall time goes to
+# stderr), so plain and pressure-soaked double runs are compared
+# byte-for-byte. The pressure plan shrinks physical memory until the fleet's
+# resident set no longer fits, forcing pageout/reclaim through the pools.
+./build/bench/bench_fleet > build/fleet_a.txt
+./build/bench/bench_fleet > build/fleet_b.txt
+cmp build/fleet_a.txt build/fleet_b.txt
+./build/bench/bench_fleet --pressure='@1ms phys-=7480; @30s phys+=2000' \
+  > build/fleet_pressure_a.txt
+./build/bench/bench_fleet --pressure='@1ms phys-=7480; @30s phys+=2000' \
+  > build/fleet_pressure_b.txt
+cmp build/fleet_pressure_a.txt build/fleet_pressure_b.txt
+
+# Host-perf gate: deterministic fields must match the committed baseline
+# exactly, micro speedups must clear their floors, and host timings must
+# stay within the regression tolerance (UVM_HOST_TOLERANCE, default +25%).
 ./build/bench/bench_host_perf --quick --out build/BENCH_host.json
 python3 scripts/diff_bench_host.py BENCH_host.json build/BENCH_host.json

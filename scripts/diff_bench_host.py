@@ -8,19 +8,34 @@ Field classes:
   - speedups (micro.*.speedup): checked against a floor, not the baseline
     value, since host timings vary between machines. The headline
     map_lookup_1000 floor is the PR's acceptance target (5x).
-  - host times (host_ms, *_ns_per_op): informational only.
+  - host times (workloads.*.host_ms and micro.*.new_ns_per_op): gated
+    against the baseline with a relative tolerance — CI fails when the
+    current run is more than UVM_HOST_TOLERANCE (default 0.25, i.e. +25%)
+    slower than baseline AND the absolute slip exceeds a small noise floor
+    (tiny timings jitter by large ratios). Set UVM_HOST_TOLERANCE=inf to
+    disable, e.g. when comparing across different machines.
 
 Usage: diff_bench_host.py BASELINE CURRENT
 """
 
 import json
+import os
 import sys
 
 SPEEDUP_FLOORS = {
     "map_lookup_1000": 5.0,
-    "map_mutate_1000": 1.5,
+    "map_mutate_1000": 2.0,
     "pagestore_lookup_64k": 2.0,
+    "pv_churn": 1.5,
+    "pool_anon_churn": 1.5,
+    "pool_object_churn": 1.5,
+    "pagestore_churn": 1.2,
 }
+
+# Absolute slack added on top of the relative tolerance: a 2 ns/op micro or
+# a 3 ms workload can move 25% on scheduler noise alone.
+ABS_FLOOR_NS_PER_OP = 20.0
+ABS_FLOOR_HOST_MS = 2.0
 
 
 def deterministic(doc):
@@ -30,6 +45,21 @@ def deterministic(doc):
             for key, value in sorted(fields.items()):
                 if key != "host_ms":
                     out[f"workloads.{vm}.{name}.{key}"] = value
+    return out
+
+
+def host_times(doc):
+    """Gated host timings: workload wall times and pooled-side micro costs."""
+    out = {}
+    for vm, workloads in sorted(doc.get("workloads", {}).items()):
+        for name, fields in sorted(workloads.items()):
+            if "host_ms" in fields:
+                out[f"workloads.{vm}.{name}.host_ms"] = (
+                    float(fields["host_ms"]), ABS_FLOOR_HOST_MS)
+    for name, fields in sorted(doc.get("micro", {}).items()):
+        if "new_ns_per_op" in fields:
+            out[f"micro.{name}.new_ns_per_op"] = (
+                float(fields["new_ns_per_op"]), ABS_FLOOR_NS_PER_OP)
     return out
 
 
@@ -58,6 +88,20 @@ def main():
         elif got < floor:
             failures.append(f"micro.{name}.speedup: {got} below floor {floor}")
 
+    tolerance = float(os.environ.get("UVM_HOST_TOLERANCE", "0.25"))
+    base_host = host_times(baseline)
+    cur_host = host_times(current)
+    gated = 0
+    for key, (b, abs_floor) in sorted(base_host.items()):
+        if key not in cur_host:
+            continue  # new fields are only gated once they enter the baseline
+        c = cur_host[key][0]
+        gated += 1
+        if c > b * (1.0 + tolerance) and c - b > abs_floor:
+            failures.append(
+                f"host regression {key}: baseline={b:.2f} current={c:.2f} "
+                f"(+{(c / b - 1.0) * 100.0:.0f}%, tolerance {tolerance * 100.0:.0f}%)")
+
     if failures:
         print("BENCH_host comparison FAILED:")
         for f_ in failures:
@@ -65,7 +109,8 @@ def main():
         return 1
     n = len(base_det)
     print(f"BENCH_host comparison OK: {n} deterministic fields identical, "
-          f"{len(SPEEDUP_FLOORS)} speedup floors met")
+          f"{len(SPEEDUP_FLOORS)} speedup floors met, "
+          f"{gated} host timings within +{tolerance * 100.0:.0f}%")
     return 0
 
 

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Fixture test for scripts/diff_bench_host.py.
+
+Demonstrates the host-perf regression gate end-to-end without running the
+bench binary: a synthetic baseline is compared against (a) an identical
+current run (must pass), (b) a run whose host timings are inflated past
+the 25% tolerance (must fail and name the regressed fields), (c) a run
+with a mutated deterministic counter (must fail), and (d) a run whose
+micro speedup slipped below its floor (must fail). Run by ci.sh.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+DIFF = os.path.join(os.path.dirname(__file__), "..", "diff_bench_host.py")
+
+BASELINE = {
+    "workloads": {
+        "uvm": {
+            "map_heavy": {"host_ms": 40.0, "vtime_ns": 40868000,
+                          "map_lookup_probes": 320800, "map_hint_hits": 195},
+            "fault_heavy": {"host_ms": 50.0, "vtime_ns": 45745560, "faults": 4096},
+        },
+        "bsdvm": {
+            "map_heavy": {"host_ms": 38.0, "vtime_ns": 41171200,
+                          "map_lookup_probes": 320800, "map_hint_hits": 195},
+        },
+    },
+    "micro": {
+        "map_lookup_1000": {"new_ns_per_op": 160.0, "legacy_ns_per_op": 1300.0,
+                            "speedup": 8.1},
+        "map_mutate_1000": {"new_ns_per_op": 480.0, "legacy_ns_per_op": 3500.0,
+                            "speedup": 7.3},
+        "pagestore_lookup_64k": {"new_ns_per_op": 52.0, "legacy_ns_per_op": 570.0,
+                                 "speedup": 11.0},
+        "pv_churn": {"new_ns_per_op": 58.0, "legacy_ns_per_op": 136.0, "speedup": 2.3},
+        "pool_anon_churn": {"new_ns_per_op": 5.4, "legacy_ns_per_op": 17.0,
+                            "speedup": 3.1},
+        "pool_object_churn": {"new_ns_per_op": 8.0, "legacy_ns_per_op": 35.0,
+                              "speedup": 4.4},
+        "pagestore_churn": {"new_ns_per_op": 122.0, "legacy_ns_per_op": 226.0,
+                            "speedup": 1.85},
+    },
+}
+
+
+def run_diff(tmp, baseline, current, env_extra=None):
+    bpath = os.path.join(tmp, "baseline.json")
+    cpath = os.path.join(tmp, "current.json")
+    with open(bpath, "w") as f:
+        json.dump(baseline, f)
+    with open(cpath, "w") as f:
+        json.dump(current, f)
+    env = dict(os.environ)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run([sys.executable, DIFF, bpath, cpath],
+                         capture_output=True, text=True, env=env)
+
+
+def expect(cond, label, proc):
+    if not cond:
+        print(f"FAIL: {label}")
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {label}")
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        # (a) identical run passes.
+        p = run_diff(tmp, BASELINE, copy.deepcopy(BASELINE))
+        expect(p.returncode == 0, "identical run passes", p)
+
+        # (b) host times inflated by 2x: gate must fire on both a workload
+        # wall time and a pooled micro cost, naming them.
+        slow = copy.deepcopy(BASELINE)
+        slow["workloads"]["uvm"]["map_heavy"]["host_ms"] = 80.0
+        slow["micro"]["map_lookup_1000"]["new_ns_per_op"] = 320.0
+        p = run_diff(tmp, BASELINE, slow)
+        expect(p.returncode == 1, "2x host regression fails", p)
+        expect("host regression workloads.uvm.map_heavy.host_ms" in p.stdout,
+               "regressed workload named", p)
+        expect("host regression micro.map_lookup_1000.new_ns_per_op" in p.stdout,
+               "regressed micro named", p)
+
+        # (b') the same doctored run passes when the tolerance is disabled.
+        p = run_diff(tmp, BASELINE, slow, {"UVM_HOST_TOLERANCE": "inf"})
+        expect(p.returncode == 0, "UVM_HOST_TOLERANCE=inf disables the gate", p)
+
+        # (b'') a slip inside the tolerance band passes (+10% < +25%).
+        mild = copy.deepcopy(BASELINE)
+        mild["workloads"]["uvm"]["map_heavy"]["host_ms"] = 44.0
+        p = run_diff(tmp, BASELINE, mild)
+        expect(p.returncode == 0, "+10% host slip tolerated", p)
+
+        # (c) a deterministic counter drift is always fatal.
+        drift = copy.deepcopy(BASELINE)
+        drift["workloads"]["uvm"]["map_heavy"]["vtime_ns"] = 40868001
+        p = run_diff(tmp, BASELINE, drift)
+        expect(p.returncode == 1, "deterministic drift fails", p)
+        expect("workloads.uvm.map_heavy.vtime_ns" in p.stdout,
+               "drifted field named", p)
+
+        # (d) a speedup below its floor is fatal even with the host gate off.
+        slowdown = copy.deepcopy(BASELINE)
+        slowdown["micro"]["pv_churn"]["speedup"] = 1.1
+        p = run_diff(tmp, BASELINE, slowdown, {"UVM_HOST_TOLERANCE": "inf"})
+        expect(p.returncode == 1, "speedup below floor fails", p)
+        expect("micro.pv_churn.speedup" in p.stdout, "slow micro named", p)
+
+    print("test_diff_bench_host: all cases passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,7 @@ constexpr std::size_t kKStackPages = 2;  // kernel stack size
 
 BsdAddressSpace::BsdAddressSpace(BsdVm& vm, bool is_kernel)
     : map_(vm.machine(), is_kernel ? kKernMin : kUserMin, is_kernel ? kKernMax : kUserMax,
-           is_kernel ? vm.config_.kernel_map_entries : 0),
+           is_kernel ? vm.config_.kernel_map_entries : 0, &vm.map_entry_pool_),
       pmap_(
           vm.mmu_, is_kernel,
           // BSD VM: the i386 pmap module records each page-table page in the
@@ -60,7 +60,16 @@ BsdAddressSpace::BsdAddressSpace(BsdVm& vm, bool is_kernel)
 
 BsdVm::BsdVm(sim::Machine& machine, phys::PhysMem& pm, mmu::MmuContext& mmu,
              vfs::VnodeCache& vnodes, swp::SwapDevice& swap, const BsdConfig& config)
-    : machine_(machine), pm_(pm), mmu_(mmu), vnodes_(vnodes), swap_(swap), config_(config) {
+    : machine_(machine),
+      pm_(pm),
+      mmu_(mmu),
+      vnodes_(vnodes),
+      swap_(swap),
+      config_(config),
+      object_pool_("bsd.object", &machine.pools()),
+      swap_block_pool_("bsd.swap_blocks", &machine.pools()),
+      map_entry_pool_("bsd.map_entries", &machine.pools()),
+      pagestore_chunk_pool_("bsd.pagestore_chunks", &machine.pools()) {
   kernel_as_ = std::make_unique<BsdAddressSpace>(*this, /*is_kernel=*/true);
   audit_token_ =
       machine_.auditor().Register("bsd.state", [this](sim::Auditor& a) { AuditState(a); });
@@ -117,12 +126,17 @@ void BsdVm::DestroyAddressSpace(kern::AddressSpace* as_) {
 // ---------------------------------------------------------------------------
 // Objects
 
+std::unique_ptr<SwapPager> BsdVm::NewSwapPager() {
+  return std::make_unique<SwapPager>(swap_, &swap_block_pool_);
+}
+
 VmObject* BsdVm::NewObject(std::size_t size_pages, bool internal) {
   machine_.Charge(sim::CostCat::kAlloc, machine_.cost().object_alloc_ns);
   ++machine_.stats().objects_allocated;
-  auto* obj = new VmObject(size_pages, internal);
+  VmObject* obj = object_pool_.New(size_pages, internal);
   obj->id = next_object_id_++;
   obj->pages.BindStats(&machine_.stats());
+  obj->pages.BindPool(&pagestore_chunk_pool_);
   all_objects_.insert(obj);
   return obj;
 }
@@ -233,7 +247,7 @@ void BsdVm::TerminateObject(VmObject* obj) {
   obj->pager.reset();  // frees swap slots / vnode reference
   VmObject* shadow = obj->shadow;
   all_objects_.erase(obj);
-  delete obj;
+  object_pool_.Delete(obj);
   if (shadow != nullptr) {
     DerefObject(shadow);
   }
@@ -387,7 +401,7 @@ void BsdVm::TryCollapse(VmObject* top) {
       s->shadow = nullptr;
       s->ref_count = 0;
       all_objects_.erase(s);
-      delete s;
+      object_pool_.Delete(s);
       continue;
     }
     if (s->ref_count > 1 && CanBypass(o, s)) {
@@ -1267,7 +1281,7 @@ std::size_t BsdVm::PageDaemon(std::size_t target_free) {
       if (obj->pager == nullptr) {
         SIM_ASSERT(obj->internal_);
         machine_.Charge(sim::CostCat::kAlloc, machine_.cost().pager_alloc_ns);
-        obj->pager = std::make_unique<SwapPager>(swap_);
+        obj->pager = NewSwapPager();
       }
       int perr = obj->pager->PutPage(pm_, p, p->offset);
       // Transient device errors get a bounded retry with doubling

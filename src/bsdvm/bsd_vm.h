@@ -118,6 +118,8 @@ class BsdVm : public kern::VmSystem {
   friend class BsdAddressSpace;
 
   VmObject* NewObject(std::size_t size_pages, bool internal);
+  // Swap pagers share the VM-wide swap-block slab.
+  std::unique_ptr<SwapPager> NewSwapPager();
   VmObject* ObjectForVnode(vfs::Vnode* vn);
   void RefObject(VmObject* obj);
   void DerefObject(VmObject* obj);
@@ -166,6 +168,14 @@ class BsdVm : public kern::VmSystem {
   vfs::VnodeCache& vnodes_;
   swp::SwapDevice& swap_;
   BsdConfig config_;
+
+  // Metadata slabs (DESIGN.md §14). Declared before kernel_as_ and the
+  // object registries: every object/swap-block/map-entry must be freed
+  // (teardown in ~BsdVm's body) before the pools' leak asserts run.
+  sim::Pool<VmObject> object_pool_;
+  sim::PoolResource swap_block_pool_;       // SwapPager block-map nodes
+  sim::PoolResource map_entry_pool_;        // every VmMap's entry nodes
+  sim::PoolResource pagestore_chunk_pool_;  // object page-store chunks
 
   std::unique_ptr<BsdAddressSpace> kernel_as_;
   // Ordered by creation id, not pointer value: walks over the live-object

@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <utility>
 
 #include "src/phys/phys_mem.h"
+#include "src/sim/pool.h"
 #include "src/sim/types.h"
 #include "src/swap/swap_device.h"
 #include "src/vfs/vnode.h"
@@ -64,7 +66,10 @@ class SwapPager : public Pager {
  public:
   static constexpr std::uint64_t kBlockPages = 16;
 
-  explicit SwapPager(swp::SwapDevice& sd) : sd_(sd) {}
+  // Block-map nodes come from `blocks` when given (BsdVm's swap-block
+  // slab); a null resource falls back to the heap (standalone tests).
+  explicit SwapPager(swp::SwapDevice& sd, sim::PoolResource* blocks = nullptr)
+      : sd_(sd), blocks_(BlockAlloc(blocks)) {}
   ~SwapPager() override;
 
   bool HasPage(std::uint64_t pgindex) const override;
@@ -94,8 +99,11 @@ class SwapPager : public Pager {
   SwapBlock* FindBlock(std::uint64_t pgindex);
   const SwapBlock* FindBlock(std::uint64_t pgindex) const;
 
+  using BlockAlloc = sim::PoolAllocator<std::pair<const std::uint64_t, SwapBlock>>;
+  using BlockMap = std::map<std::uint64_t, SwapBlock, std::less<std::uint64_t>, BlockAlloc>;
+
   swp::SwapDevice& sd_;
-  std::map<std::uint64_t, SwapBlock> blocks_;  // keyed by pgindex / kBlockPages
+  BlockMap blocks_;  // keyed by pgindex / kBlockPages
 };
 
 }  // namespace bsdvm

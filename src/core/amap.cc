@@ -64,7 +64,8 @@ void HashAmapImpl::ForEach(const std::function<void(std::uint64_t, Anon*)>& fn) 
   }
 }
 
-std::unique_ptr<AmapImpl> MakeAmapImpl(AmapImplPolicy policy, std::uint64_t nslots) {
+std::unique_ptr<AmapImpl> MakeAmapImpl(AmapImplPolicy policy, std::uint64_t nslots,
+                                       sim::PoolResource* hash_nodes) {
   // Threshold for the hybrid policy: beyond 1024 slots (4 MB of address
   // space) the dense array's up-front cost outweighs hash overhead for the
   // sparse mappings large areas typically are.
@@ -73,10 +74,10 @@ std::unique_ptr<AmapImpl> MakeAmapImpl(AmapImplPolicy policy, std::uint64_t nslo
     case AmapImplPolicy::kArray:
       return std::make_unique<ArrayAmapImpl>(nslots);
     case AmapImplPolicy::kHash:
-      return std::make_unique<HashAmapImpl>(nslots);
+      return std::make_unique<HashAmapImpl>(nslots, hash_nodes);
     case AmapImplPolicy::kHybrid:
       if (nslots > kHybridThreshold) {
-        return std::make_unique<HashAmapImpl>(nslots);
+        return std::make_unique<HashAmapImpl>(nslots, hash_nodes);
       }
       return std::make_unique<ArrayAmapImpl>(nslots);
   }

@@ -17,9 +17,11 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/phys/page.h"
+#include "src/sim/pool.h"
 #include "src/sim/types.h"
 #include "src/swap/swap_device.h"
 
@@ -62,9 +64,13 @@ class ArrayAmapImpl : public AmapImpl {
 };
 
 // Sparse hash implementation: O(occupied) space for large, thin amaps.
+// Hash nodes (and bucket arrays) come from the VM's shared slab resource
+// when one is supplied, so fork/exit churn recycles them.
 class HashAmapImpl : public AmapImpl {
  public:
-  explicit HashAmapImpl(std::uint64_t nslots) : nslots_(nslots) {}
+  using NodeAlloc = sim::PoolAllocator<std::pair<const std::uint64_t, Anon*>>;
+  explicit HashAmapImpl(std::uint64_t nslots, sim::PoolResource* nodes = nullptr)
+      : nslots_(nslots), map_(NodeAlloc(nodes)) {}
   Anon* Get(std::uint64_t slot) const override;
   void Set(std::uint64_t slot, Anon* anon) override;
   std::uint64_t nslots() const override { return nslots_; }
@@ -74,7 +80,9 @@ class HashAmapImpl : public AmapImpl {
 
  private:
   std::uint64_t nslots_;
-  std::unordered_map<std::uint64_t, Anon*> map_;
+  std::unordered_map<std::uint64_t, Anon*, std::hash<std::uint64_t>, std::equal_to<std::uint64_t>,
+                     NodeAlloc>
+      map_;
 };
 
 // Policy for choosing an implementation when an amap is created.
@@ -98,7 +106,10 @@ struct Amap {
   void Set(std::uint64_t slot, Anon* anon) { impl->Set(slot, anon); }
 };
 
-std::unique_ptr<AmapImpl> MakeAmapImpl(AmapImplPolicy policy, std::uint64_t nslots);
+// `hash_nodes`, when given, supplies the slab storage for a hash impl's
+// nodes; the array impl ignores it.
+std::unique_ptr<AmapImpl> MakeAmapImpl(AmapImplPolicy policy, std::uint64_t nslots,
+                                       sim::PoolResource* hash_nodes = nullptr);
 
 }  // namespace uvm
 

@@ -20,14 +20,24 @@ constexpr std::size_t kKStackPages = 2;
 
 UvmAddressSpace::UvmAddressSpace(Uvm& vm, bool is_kernel)
     : map_(vm.machine(), is_kernel ? kKernMin : kUserMin, is_kernel ? kKernMax : kUserMax,
-           is_kernel ? vm.config().kernel_map_entries : 0),
+           is_kernel ? vm.config().kernel_map_entries : 0, &vm.map_entry_pool_),
       // UVM: the wired state of page-table pages lives only in the pmap
       // (§3.2) — no kernel-map hooks.
       pmap_(vm.mmu_, is_kernel) {}
 
 Uvm::Uvm(sim::Machine& machine, phys::PhysMem& pm, mmu::MmuContext& mmu, vfs::VnodeCache& vnodes,
          swp::SwapDevice& swap, const UvmConfig& config)
-    : machine_(machine), pm_(pm), mmu_(mmu), vnodes_(vnodes), swap_(swap), config_(config) {
+    : machine_(machine),
+      pm_(pm),
+      mmu_(mmu),
+      vnodes_(vnodes),
+      swap_(swap),
+      config_(config),
+      anon_pool_("uvm.anon", &machine.pools()),
+      amap_pool_("uvm.amap", &machine.pools()),
+      amap_node_pool_("uvm.amap_nodes", &machine.pools()),
+      map_entry_pool_("uvm.map_entries", &machine.pools()),
+      pagestore_chunk_pool_("uvm.pagestore_chunks", &machine.pools()) {
   kernel_as_ = std::make_unique<UvmAddressSpace>(*this, /*is_kernel=*/true);
   poison_hook_token_ = pm_.AddPoisonHook([this](phys::Page* p) { OnPoison(p); });
   audit_token_ =
@@ -97,7 +107,7 @@ void Uvm::DestroyAddressSpace(kern::AddressSpace* as_) {
 Anon* Uvm::NewAnon() {
   machine_.Charge(sim::CostCat::kAlloc, machine_.cost().anon_alloc_ns);
   ++machine_.stats().anons_allocated;
-  auto* a = new Anon();
+  Anon* a = anon_pool_.New();
   all_anons_.insert(a);
   return a;
 }
@@ -126,13 +136,13 @@ void Uvm::DerefAnon(Anon* a) {
     a->swap_slot = swp::kNoSlot;
   }
   all_anons_.erase(a);
-  delete a;
+  anon_pool_.Delete(a);
 }
 
 Amap* Uvm::NewAmap(std::uint64_t nslots) {
   machine_.Charge(sim::CostCat::kAlloc, machine_.cost().amap_alloc_per_slot_ns * nslots);
   ++machine_.stats().amaps_allocated;
-  auto* am = new Amap(MakeAmapImpl(config_.amap_policy, nslots));
+  Amap* am = amap_pool_.New(MakeAmapImpl(config_.amap_policy, nslots, &amap_node_pool_));
   all_amaps_.insert(am);
   return am;
 }
@@ -144,7 +154,7 @@ void Uvm::DerefAmap(Amap* am) {
   }
   am->impl->ForEach([this](std::uint64_t, Anon* a) { DerefAnon(a); });
   all_amaps_.erase(am);
-  delete am;
+  amap_pool_.Delete(am);
 }
 
 void Uvm::EnsureAmap(UvmMapEntry& e) {

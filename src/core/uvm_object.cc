@@ -14,6 +14,7 @@ UvmVnode::UvmVnode(Uvm& vm_in, vfs::Vnode* vn_in)
     : uobj(VnodePagerOps()), vn(vn_in), vm(vm_in) {
   uobj.impl = this;
   uobj.pages.BindStats(&vm.machine().stats());
+  uobj.pages.BindPool(&vm.pagestore_pool());
 }
 
 namespace {
@@ -90,7 +91,13 @@ class VnodeOps : public PagerOps {
       vm.phys().Activate(p);
     }
     *out = obj.LookupPage(pgindex);
-    SIM_ASSERT(*out != nullptr);
+    if (*out == nullptr) {
+      // Extreme pressure: allocating a later cluster page drove the
+      // pagedaemon into reclaiming the (clean, already-activated) first
+      // page. Surface a typed error so the fault path backs off and
+      // retries instead of panicking.
+      return sim::kErrNoMem;
+    }
     return sim::kOk;
   }
 
@@ -176,6 +183,7 @@ UvmDevice::UvmDevice(Uvm& vm_in, kern::DeviceMem* dev_in)
     : uobj(DevicePagerOps()), dev(dev_in), vm(vm_in) {
   uobj.impl = this;
   uobj.pages.BindStats(&vm.machine().stats());
+  uobj.pages.BindPool(&vm.pagestore_pool());
   for (std::size_t i = 0; i < dev->pages.size(); ++i) {
     phys::Page* p = dev->pages[i];
     p->owner_kind = phys::OwnerKind::kUvmObject;

@@ -1,0 +1,193 @@
+#include "src/kern/fleet.h"
+
+#include <string>
+
+#include "src/kern/workloads.h"
+#include "src/sim/assert.h"
+#include "src/vfs/filesystem.h"
+
+namespace kern {
+
+namespace {
+
+// Fixed per-worker layout: a persistent heap low, request-scratch slots in
+// the middle, transient file windows high. Fixed addresses keep the kernel
+// call sequence (and therefore virtual time) independent of allocator
+// placement decisions.
+constexpr sim::Vaddr kHeapBase = 0x6000'0000;
+constexpr sim::Vaddr kScratchBase = 0x6400'0000;
+constexpr sim::Vaddr kFileBase = 0x6800'0000;
+constexpr sim::Vaddr kGuardPages = 4;
+
+std::string CacheFileName(std::size_t i) { return "fleet/cache" + std::to_string(i); }
+
+}  // namespace
+
+FleetWorkload::FleetWorkload(Kernel& kernel, const FleetConfig& config)
+    : kernel_(kernel), config_(config), rng_(config.seed) {
+  SIM_ASSERT(config_.workers > 0 && config_.scratch_slots > 0);
+  for (std::size_t i = 0; i < config_.cache_files; ++i) {
+    kernel_.fs().CreateFilePattern(CacheFileName(i), config_.file_pages * sim::kPageSize);
+  }
+  workers_.resize(config_.workers);
+}
+
+bool FleetWorkload::Op(int err) {
+  ++counters_.ops;
+  if (err == sim::kOk) {
+    return true;
+  }
+  ++counters_.soft_errors;
+  return false;
+}
+
+sim::Vaddr FleetWorkload::SlotBase(std::size_t slot) const {
+  return kScratchBase + slot * (config_.scratch_pages + kGuardPages) * sim::kPageSize;
+}
+
+void FleetWorkload::SpawnWorker(Worker& w) {
+  w.proc = kernel_.Spawn();
+  w.heap = kHeapBase;
+  w.slot_mapped.assign(config_.scratch_slots, false);
+  ++counters_.ops;  // spawn
+  MapAttrs attrs;
+  if (Op(kernel_.MmapAnon(w.proc, &w.heap, config_.heap_pages * sim::kPageSize, attrs))) {
+    // Dirty the low half so later forks have COW state to copy.
+    for (std::size_t pg = 0; pg < config_.heap_pages / 2; ++pg) {
+      Op(kernel_.TouchWrite(w.proc, w.heap + pg * sim::kPageSize, 1, std::byte{0x5f}));
+    }
+  }
+}
+
+void FleetWorkload::ReleaseWorker(Worker& w) {
+  if (w.proc != nullptr) {
+    kernel_.Exit(w.proc);  // reaps the zombie shell if the worker was killed
+    ++counters_.ops;
+    w.proc = nullptr;
+  }
+}
+
+FleetWorkload::Worker& FleetWorkload::PickWorker() {
+  Worker& w = workers_[rng_.Below(workers_.size())];
+  if (w.proc == nullptr) {
+    SpawnWorker(w);
+  } else if (!w.proc->alive) {
+    // Killed by the out-of-swap or poison policy: reap and replace. The
+    // fleet keeps serving on the remaining capacity either way.
+    ReleaseWorker(w);
+    SpawnWorker(w);
+    ++counters_.workers_respawned;
+  }
+  return w;
+}
+
+// One request: map a scratch arena, build the response in it (page-by-page
+// writes), consult a few hot heap pages, then tear the arena down. Roughly
+// what a forked server worker does per connection.
+void FleetWorkload::RequestBurst(Worker& w) {
+  const std::size_t slot = rng_.Below(config_.scratch_slots);
+  sim::Vaddr base = SlotBase(slot);
+  const std::uint64_t bytes = config_.scratch_pages * sim::kPageSize;
+  if (w.slot_mapped[slot]) {
+    w.slot_mapped[slot] = false;
+    if (!Op(kernel_.Munmap(w.proc, base, bytes))) {
+      return;
+    }
+  }
+  MapAttrs attrs;
+  if (!Op(kernel_.MmapAnon(w.proc, &base, bytes, attrs))) {
+    return;
+  }
+  w.slot_mapped[slot] = true;
+  const std::size_t touched = rng_.Range(2, config_.scratch_pages);
+  for (std::size_t pg = 0; pg < touched; ++pg) {
+    if (!Op(kernel_.TouchWrite(w.proc, base + pg * sim::kPageSize, 1, std::byte{0xa7}))) {
+      break;
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    sim::Vaddr hot = w.heap + rng_.Below(config_.heap_pages / 2) * sim::kPageSize;
+    Op(kernel_.TouchRead(w.proc, hot, 1));
+  }
+  // Most requests release the arena immediately; a few keep it mapped so
+  // the address space stays fragmented like a long-lived server's.
+  if (!rng_.Chance(1, 8)) {
+    w.slot_mapped[slot] = false;
+    Op(kernel_.Munmap(w.proc, base, bytes));
+  }
+  ++counters_.requests;
+}
+
+// One cache cycle: map a file from the rotating working set, scan part of
+// it, occasionally write it back, unmap. With more files than cached
+// vnodes this recycles vnodes and their object/pager metadata every cycle.
+void FleetWorkload::CacheChurn(Worker& w) {
+  const std::size_t file = rng_.Below(config_.cache_files);
+  sim::Vaddr base = kFileBase;
+  const std::uint64_t bytes = config_.file_pages * sim::kPageSize;
+  MapAttrs attrs;
+  if (!Op(kernel_.Mmap(w.proc, &base, bytes, CacheFileName(file), 0, attrs))) {
+    return;
+  }
+  const std::size_t scanned = rng_.Range(1, config_.file_pages);
+  for (std::size_t pg = 0; pg < scanned; ++pg) {
+    if (!Op(kernel_.TouchRead(w.proc, base + pg * sim::kPageSize, 1))) {
+      break;
+    }
+  }
+  if (rng_.Chance(1, 4)) {
+    Op(kernel_.TouchWrite(w.proc, base, 1, std::byte{0xc3}));
+    Op(kernel_.Msync(w.proc, base, sim::kPageSize));
+  }
+  Op(kernel_.Munmap(w.proc, base, bytes));
+  ++counters_.churns;
+}
+
+// One build job: fork the worker, let the child dirty COW heap pages,
+// occasionally exec a fresh image in it, and exit. Fork storms are where
+// amap/anon and pv-chain metadata churn hardest.
+void FleetWorkload::BuildStorm(Worker& w) {
+  Proc* child = kernel_.Fork(w.proc);
+  ++counters_.ops;  // fork
+  if (child == nullptr) {
+    ++counters_.soft_errors;
+    return;
+  }
+  ++counters_.forks;
+  const std::size_t writes = rng_.Range(2, config_.heap_pages / 2);
+  for (std::size_t i = 0; i < writes; ++i) {
+    sim::Vaddr va = w.heap + rng_.Below(config_.heap_pages / 2) * sim::kPageSize;
+    if (!Op(kernel_.TouchWrite(child, va, 1, std::byte{0xb4}))) {
+      break;
+    }
+  }
+  if (rng_.Chance(1, 6) && child->alive) {
+    Exec(kernel_, child, CatImage());
+    ++counters_.ops;  // exec (its internal calls are not itemized)
+    ++counters_.execs;
+  }
+  kernel_.Exit(child);
+  ++counters_.ops;
+  ++counters_.builds;
+}
+
+const FleetCounters& FleetWorkload::Run() {
+  const std::uint64_t budget = counters_.ops + config_.target_ops;
+  while (counters_.ops < budget) {
+    Worker& w = PickWorker();
+    if (w.proc == nullptr || !w.proc->alive) {
+      continue;  // spawn itself failed under pressure; retry another worker
+    }
+    const std::uint64_t pick = rng_.Below(100);
+    if (pick < 60) {
+      RequestBurst(w);
+    } else if (pick < 85) {
+      CacheChurn(w);
+    } else {
+      BuildStorm(w);
+    }
+  }
+  return counters_;
+}
+
+}  // namespace kern

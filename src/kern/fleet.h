@@ -1,0 +1,91 @@
+// Server-fleet workload engine: a deterministic, million-op request
+// generator modeling the steady-state VM behaviour of a small server fleet.
+// Three interleaved scenario families drive the kernel through the paths the
+// slab/arena allocation layer (DESIGN.md §14) is meant to accelerate:
+//
+//   - request bursts: forked worker processes map/touch/unmap short-lived
+//     per-request scratch arenas (map-entry and anon churn),
+//   - cache churn: memcached-style rotation over a file working set larger
+//     than the vnode cache (object/pager metadata churn),
+//   - build storms: fork/exec/exit cycles over worker heaps (amap copies,
+//     pv-chain setup and teardown, process-resource churn).
+//
+// All decisions come from one sim::Rng, so a given (seed, target_ops) pair
+// issues the identical kernel-call sequence on every run and the summary
+// counters — like every virtual-time figure in this repo — are byte-stable.
+// Typed errors (pool exhaustion, out-of-swap kills under --pressure, poison
+// kills under --memfault) are absorbed: the fleet backs off, releases what
+// it held, respawns dead workers, and keeps serving.
+#ifndef SRC_KERN_FLEET_H_
+#define SRC_KERN_FLEET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kern/kernel.h"
+#include "src/sim/rng.h"
+#include "src/sim/types.h"
+
+namespace kern {
+
+struct FleetConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t target_ops = 1'000'000;  // kernel calls to issue
+  std::size_t workers = 6;
+  std::size_t heap_pages = 32;    // per-worker persistent heap (COW source)
+  std::size_t scratch_slots = 8;  // per-worker request-arena slots
+  std::size_t scratch_pages = 16;
+  std::size_t cache_files = 24;  // rotating file working set
+  std::size_t file_pages = 16;
+};
+
+struct FleetCounters {
+  std::uint64_t ops = 0;       // kernel calls issued by the generator
+  std::uint64_t requests = 0;  // request bursts served
+  std::uint64_t churns = 0;    // cache-file map/scan/unmap cycles
+  std::uint64_t builds = 0;    // fork(+exec)/exit build jobs
+  std::uint64_t forks = 0;
+  std::uint64_t execs = 0;
+  std::uint64_t soft_errors = 0;        // typed errors absorbed
+  std::uint64_t workers_respawned = 0;  // workers replaced after a kill
+};
+
+class FleetWorkload {
+ public:
+  explicit FleetWorkload(Kernel& kernel, const FleetConfig& config = FleetConfig{});
+
+  // Issue kernel calls until the op budget is met; reusable state (workers,
+  // cache files) persists across calls. Returns the cumulative counters.
+  const FleetCounters& Run();
+
+  const FleetCounters& counters() const { return counters_; }
+
+ private:
+  struct Worker {
+    Proc* proc = nullptr;
+    sim::Vaddr heap = 0;
+    std::vector<bool> slot_mapped;  // scratch arenas currently mapped
+  };
+
+  // One kernel call issued (bumps the op budget); true when it succeeded.
+  bool Op(int err);
+  Worker& PickWorker();
+  void SpawnWorker(Worker& w);
+  void ReleaseWorker(Worker& w);
+
+  void RequestBurst(Worker& w);
+  void CacheChurn(Worker& w);
+  void BuildStorm(Worker& w);
+
+  sim::Vaddr SlotBase(std::size_t slot) const;
+
+  Kernel& kernel_;
+  FleetConfig config_;
+  FleetCounters counters_;
+  sim::Rng rng_;
+  std::vector<Worker> workers_;
+};
+
+}  // namespace kern
+
+#endif  // SRC_KERN_FLEET_H_

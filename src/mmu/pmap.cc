@@ -12,7 +12,11 @@ namespace {
 constexpr std::uint64_t kPtShift = 22;  // i386: one page-table page maps 4 MB
 }  // namespace
 
-MmuContext::MmuContext(phys::PhysMem& pm) : pm_(pm), pv_(pm.total_pages()) {
+MmuContext::MmuContext(phys::PhysMem& pm)
+    : pm_(pm),
+      pv_pool_("mmu.pv_entry", &pm.machine().pools()),
+      pte_pool_("mmu.pte_nodes", &pm.machine().pools()),
+      pv_(pm.total_pages(), nullptr) {
   // Machine-check response (DESIGN.md §13): the moment a live frame is
   // poisoned, strip every mapping of it through the pv chain so the next
   // touch faults and the owning VM discovers the poison. Wired and kernel
@@ -36,24 +40,23 @@ void MmuContext::AuditPv(sim::Auditor& auditor) const {
   std::unordered_set<const Pmap*> live(pmaps_.begin(), pmaps_.end());
   std::size_t pv_total = 0;
   for (sim::Pfn pfn = 0; pfn < pv_.size(); ++pfn) {
-    const auto& list = pv_[pfn];
-    pv_total += list.size();
-    for (const PvEntry& e : list) {
-      if (!live.contains(e.pmap)) {
+    for (const PvEntry* e = pv_[pfn]; e != nullptr; e = e->next) {
+      ++pv_total;
+      if (!live.contains(e->pmap)) {
         auditor.Fail("pv entry references a dead pmap: pfn " + std::to_string(pfn));
         continue;
       }
-      auto it = e.pmap->ptes_.find(e.va);
-      if (it == e.pmap->ptes_.end()) {
+      auto it = e->pmap->ptes_.find(e->va);
+      if (it == e->pmap->ptes_.end()) {
         auditor.Fail("pv entry without a pte: pfn " + std::to_string(pfn) + " va " +
-                     std::to_string(e.va));
+                     std::to_string(e->va));
       } else if (it->second.pfn != pfn) {
         auditor.Fail("pv entry and pte disagree: pfn " + std::to_string(pfn) + " va " +
-                     std::to_string(e.va) + " pte.pfn " + std::to_string(it->second.pfn));
+                     std::to_string(e->va) + " pte.pfn " + std::to_string(it->second.pfn));
       }
     }
     const phys::Page* page = pm_.PageAt(pfn);
-    if (page->poisoned && !list.empty() && page->wire_count == 0 &&
+    if (page->poisoned && pv_[pfn] != nullptr && page->wire_count == 0 &&
         page->owner_kind != phys::OwnerKind::kKernel) {
       auditor.Fail("poisoned frame still mapped: pfn " + std::to_string(pfn));
     }
@@ -71,11 +74,7 @@ void MmuContext::AuditPv(sim::Auditor& auditor) const {
         auditor.Fail("pte maps an out-of-range pfn: va " + std::to_string(va));
         continue;
       }
-      const auto& lst = pv_[pte.pfn];
-      bool found = std::any_of(lst.begin(), lst.end(), [&](const PvEntry& e) {
-        return e.pmap == pmap && e.va == va;
-      });
-      if (!found) {
+      if (!PvContains(pte.pfn, pmap, va)) {
         auditor.Fail("pte without a pv entry: va " + std::to_string(va) + " pfn " +
                      std::to_string(pte.pfn));
       }
@@ -91,33 +90,50 @@ void MmuContext::AuditPv(sim::Auditor& auditor) const {
   }
 }
 
+MmuContext::PvEntry** MmuContext::FindPvLink(sim::Pfn pfn, const Pmap* pmap, sim::Vaddr va) {
+  PvEntry** link = &pv_[pfn];
+  while (*link != nullptr && !((*link)->pmap == pmap && (*link)->va == va)) {
+    link = &(*link)->next;
+  }
+  return link;
+}
+
+bool MmuContext::PvContains(sim::Pfn pfn, const Pmap* pmap, sim::Vaddr va) const {
+  for (const PvEntry* e = pv_[pfn]; e != nullptr; e = e->next) {
+    if (e->pmap == pmap && e->va == va) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void MmuContext::PvAdd(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va) {
-  pv_[pfn].push_back(PvEntry{pmap, va});
+  pv_[pfn] = pv_pool_.New(PvEntry{pmap, va, pv_[pfn]});
 }
 
 void MmuContext::PvRemove(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va) {
-  auto& list = pv_[pfn];
-  auto it = std::find_if(list.begin(), list.end(),
-                         [&](const PvEntry& e) { return e.pmap == pmap && e.va == va; });
-  SIM_ASSERT_MSG(it != list.end(), "pv entry missing on remove");
-  list.erase(it);
+  PvEntry** link = FindPvLink(pfn, pmap, va);
+  SIM_ASSERT_MSG(*link != nullptr, "pv entry missing on remove");
+  PvEntry* e = *link;
+  *link = e->next;
+  pv_pool_.Delete(e);
 }
 
 std::size_t MmuContext::PageProtect(phys::Page* page, sim::Prot prot) {
-  auto& list = pv_[page->pfn];
-  std::size_t n = list.size();
+  std::size_t n = MappingCount(page);
   machine().Charge(sim::CostCat::kPmap, machine().cost().pmap_page_protect_ns * (n == 0 ? 1 : n));
   if (prot == sim::Prot::kNone) {
-    // Remove all mappings. Iterate over a copy: RemoveLocked edits pv_.
-    std::vector<PvEntry> copy = list;
-    for (const PvEntry& e : copy) {
-      e.pmap->RemoveLocked(e.va);
+    // Remove all mappings, erasing while we iterate: RemoveLocked unlinks
+    // exactly the head entry (its (pmap, va) is the chain's first match),
+    // so re-reading the head each round visits every mapping once. No copy
+    // of the chain is taken.
+    while (PvEntry* e = pv_[page->pfn]) {
+      e->pmap->RemoveLocked(e->va);
     }
-    SIM_ASSERT(list.empty());
   } else {
-    for (PvEntry& e : list) {
-      auto it = e.pmap->ptes_.find(e.va);
-      SIM_ASSERT(it != e.pmap->ptes_.end());
+    for (PvEntry* e = pv_[page->pfn]; e != nullptr; e = e->next) {
+      auto it = e->pmap->ptes_.find(e->va);
+      SIM_ASSERT(it != e->pmap->ptes_.end());
       it->second.prot = it->second.prot & prot;
     }
   }
@@ -129,7 +145,9 @@ Pmap::Pmap(MmuContext& ctx, bool is_kernel, std::function<void(phys::Page*)> on_
     : ctx_(ctx),
       is_kernel_(is_kernel),
       on_ptpage_alloc_(std::move(on_ptpage_alloc)),
-      on_ptpage_free_(std::move(on_ptpage_free)) {
+      on_ptpage_free_(std::move(on_ptpage_free)),
+      ptes_(sim::PoolAllocator<std::pair<const sim::Vaddr, Pte>>(&ctx.pte_pool_)),
+      ptpages_(sim::PoolAllocator<std::pair<const std::uint64_t, phys::Page*>>(&ctx.pte_pool_)) {
   ctx_.pmaps_.push_back(this);
 }
 

@@ -18,9 +18,11 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/phys/phys_mem.h"
+#include "src/sim/pool.h"
 #include "src/sim/types.h"
 
 namespace mmu {
@@ -54,17 +56,33 @@ class MmuContext {
   std::size_t PageProtect(phys::Page* page, sim::Prot prot);
 
   // Number of pmaps currently mapping this frame.
-  std::size_t MappingCount(const phys::Page* page) const { return pv_[page->pfn].size(); }
+  std::size_t MappingCount(const phys::Page* page) const {
+    std::size_t n = 0;
+    for (const PvEntry* e = pv_[page->pfn]; e != nullptr; e = e->next) {
+      ++n;
+    }
+    return n;
+  }
 
  private:
   friend class Pmap;
+  // pv entries are slab-allocated singly-linked chain nodes: insertion
+  // prepends (LIFO — deterministic, and the freed node is the next one
+  // reused), removal unlinks in place. No vector copies, no O(n) erase
+  // shuffles on long chains.
   struct PvEntry {
     Pmap* pmap;
     sim::Vaddr va;
+    PvEntry* next;
   };
 
   void PvAdd(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va);
   void PvRemove(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va);
+  // The one chain-walk helper everything shares: the link slot (head
+  // pointer or some entry's `next`) whose target matches (pmap, va), or the
+  // terminating null slot if absent. Removal writes through the slot.
+  PvEntry** FindPvLink(sim::Pfn pfn, const Pmap* pmap, sim::Vaddr va);
+  bool PvContains(sim::Pfn pfn, const Pmap* pmap, sim::Vaddr va) const;
 
   // Registered with sim::Auditor: every pv entry has a matching PTE and
   // vice versa, wired counts recount, and no unwired poisoned frame is
@@ -72,7 +90,12 @@ class MmuContext {
   void AuditPv(sim::Auditor& auditor) const;
 
   phys::PhysMem& pm_;
-  std::vector<std::vector<PvEntry>> pv_;
+  // Declared before pv_ and used by every pmap: chains must drain (all
+  // pmaps die) before the context, so the teardown leak assert is real.
+  sim::Pool<PvEntry> pv_pool_;
+  // Slab storage for every pmap's PTE / page-table-page hash nodes.
+  sim::PoolResource pte_pool_;
+  std::vector<PvEntry*> pv_;  // per-pfn chain heads
   std::vector<Pmap*> pmaps_;  // live pmaps, in creation order
   int audit_token_ = 0;
   int poison_hook_token_ = 0;
@@ -137,12 +160,18 @@ class Pmap {
   // Purely a host-side accelerator: virtual-time charges are unchanged.
   Pte* LookupPte(sim::Vaddr va_page) const;
 
+  // Hash nodes come from the context's shared slab resource; node pointers
+  // are stable (pool blocks), so the PTE cache stays valid across rehash.
+  template <typename K, typename V>
+  using PooledUMap = std::unordered_map<K, V, std::hash<K>, std::equal_to<K>,
+                                        sim::PoolAllocator<std::pair<const K, V>>>;
+
   MmuContext& ctx_;
   bool is_kernel_;
   std::function<void(phys::Page*)> on_ptpage_alloc_;
   std::function<void(phys::Page*)> on_ptpage_free_;
-  std::unordered_map<sim::Vaddr, Pte> ptes_;  // keyed by page-aligned va
-  std::unordered_map<std::uint64_t, phys::Page*> ptpages_;  // keyed by va >> 22
+  PooledUMap<sim::Vaddr, Pte> ptes_;  // keyed by page-aligned va
+  PooledUMap<std::uint64_t, phys::Page*> ptpages_;  // keyed by va >> 22
   std::size_t wired_count_ = 0;
   mutable sim::Vaddr cache_va_ = 0;
   mutable Pte* cache_pte_ = nullptr;

@@ -10,6 +10,11 @@
 // Page lookups carry no virtual-time charge (they never did); the
 // structure only buys host time. Probes are counted in
 // sim::Stats::pagestore_lookups when a stats block is bound.
+//
+// Chunks (the 4 KB leaves) are slab-allocated from the owning VM's
+// PoolResource once BindPool is called; chunks allocated before binding
+// (or without a pool at all) fall back to the heap, and each chunk
+// remembers its origin so mixed populations tear down correctly.
 #ifndef SRC_PHYS_PAGE_STORE_H_
 #define SRC_PHYS_PAGE_STORE_H_
 
@@ -20,6 +25,7 @@
 #include <utility>
 
 #include "src/sim/assert.h"
+#include "src/sim/pool.h"
 #include "src/sim/stats.h"
 
 namespace phys {
@@ -36,8 +42,9 @@ class PageStore {
   struct Chunk {
     std::array<Page*, kChunkPages> slots{};
     std::uint32_t live = 0;
+    bool pooled = false;  // allocation origin (slab vs heap fallback)
   };
-  using Dir = std::map<std::uint64_t, Chunk>;
+  using Dir = std::map<std::uint64_t, Chunk*>;
 
  public:
   class const_iterator {
@@ -67,7 +74,7 @@ class PageStore {
     // normalize to (end, 0) when exhausted.
     void Settle() {
       while (dir_it_ != dir_->end()) {
-        const Chunk& c = dir_it_->second;
+        const Chunk& c = *dir_it_->second;
         while (slot_ < kChunkPages && c.slots[slot_] == nullptr) {
           ++slot_;
         }
@@ -87,7 +94,19 @@ class PageStore {
     value_type cur_{};
   };
 
+  PageStore() = default;
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  ~PageStore() {
+    for (auto& [key, c] : chunks_) {
+      FreeChunk(c);
+    }
+  }
+
   void BindStats(sim::Stats* stats) { stats_ = stats; }
+  // Chunks allocated from here on come from `pool` (must outlive the store).
+  void BindPool(sim::PoolResource* pool) { pool_ = pool; }
 
   Page* Lookup(std::uint64_t pgindex) const {
     CountLookup();
@@ -123,17 +142,18 @@ class PageStore {
 
   std::size_t erase(std::uint64_t pgindex) {
     auto it = chunks_.find(pgindex >> kChunkShift);
-    if (it == chunks_.end() || it->second.slots[pgindex & kChunkMask] == nullptr) {
+    if (it == chunks_.end() || it->second->slots[pgindex & kChunkMask] == nullptr) {
       return 0;
     }
-    it->second.slots[pgindex & kChunkMask] = nullptr;
-    --it->second.live;
+    it->second->slots[pgindex & kChunkMask] = nullptr;
+    --it->second->live;
     --size_;
-    if (it->second.live == 0) {
+    if (it->second->live == 0) {
       if (hint_key_ == it->first) {
         hint_key_ = kNoChunk;
         hint_chunk_ = nullptr;
       }
+      FreeChunk(it->second);
       chunks_.erase(it);
     }
     return 1;
@@ -148,7 +168,7 @@ class PageStore {
   const_iterator find(std::uint64_t pgindex) const {
     CountLookup();
     auto dit = chunks_.find(pgindex >> kChunkShift);
-    if (dit == chunks_.end() || dit->second.slots[pgindex & kChunkMask] == nullptr) {
+    if (dit == chunks_.end() || dit->second->slots[pgindex & kChunkMask] == nullptr) {
       return end();
     }
     return const_iterator(&chunks_, dit, pgindex & kChunkMask);
@@ -186,23 +206,42 @@ class PageStore {
       return nullptr;
     }
     hint_key_ = key;
-    hint_chunk_ = &it->second;  // node-stable until the chunk is erased
+    hint_chunk_ = it->second;  // stable until the chunk is erased
     return hint_chunk_;
   }
 
   Chunk& EnsureChunk(std::uint64_t key) {
     auto it = chunks_.find(key);
     if (it == chunks_.end()) {
-      it = chunks_.emplace(key, Chunk{}).first;
+      it = chunks_.emplace(key, AllocChunk()).first;
     }
     hint_key_ = key;
-    hint_chunk_ = &it->second;
-    return it->second;
+    hint_chunk_ = it->second;
+    return *it->second;
+  }
+
+  Chunk* AllocChunk() {
+    if (pool_ != nullptr) {
+      auto* c = new (pool_->Allocate(sizeof(Chunk))) Chunk{};
+      c->pooled = true;
+      return c;
+    }
+    return new Chunk{};
+  }
+
+  void FreeChunk(Chunk* c) {
+    if (c->pooled) {
+      c->~Chunk();
+      pool_->Deallocate(c, sizeof(Chunk));
+    } else {
+      delete c;
+    }
   }
 
   Dir chunks_;
   std::size_t size_ = 0;
   sim::Stats* stats_ = nullptr;
+  sim::PoolResource* pool_ = nullptr;
   // Last-chunk cache: valid while the chunk exists (erase invalidates).
   mutable std::uint64_t hint_key_ = kNoChunk;
   mutable const Chunk* hint_chunk_ = nullptr;

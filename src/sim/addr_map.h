@@ -19,17 +19,32 @@
 // underneath.
 //
 // Hint invalidation rules:
-//  - last-lookup hint: invalidated on EVERY mutation (insert, erase, clip);
-//    ranks and extents may shift, so the cached (iterator, rank) pair is
-//    dropped wholesale.
+//  - last-lookup hint and the hint cache: invalidated on EVERY mutation
+//    (insert, erase, clip); ranks and extents may shift, so every cached
+//    (iterator, rank) pair is dropped wholesale. The cache drops them in
+//    O(1) by bumping a generation stamp rather than clearing slots.
 //  - free-space hint: a completed FindSpace(from, len) -> result proves "no
 //    hole of size >= len exists in [from, result)". Inserts only shrink
 //    holes and clips do not change the hole structure at all, so both keep
 //    the hint; EraseEntry frees address space and invalidates it.
+//
+// Beyond the single last-lookup entry, a small direct-mapped hint cache
+// keyed by 32 KB address granule catches the other dominant probe pattern:
+// lookups that bounce between a working set of entries (fault storms over
+// many regions), where consecutive lookups almost never land in the same
+// entry and the single-entry hint goes cold. A cache hit charges exactly
+// the rank recorded when the entry was last found — no mutation happened
+// since (same generation), so that rank is still the modeled scan cost.
+//
+// Entry nodes are slab-allocated: the std::list runs on sim::PoolAllocator,
+// backed either by a shared per-VM PoolResource (passed by Uvm/BsdVm so
+// fork/exit churn recycles entry nodes across all maps) or by a private
+// per-map resource when none is supplied.
 #ifndef SRC_SIM_ADDR_MAP_H_
 #define SRC_SIM_ADDR_MAP_H_
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -38,6 +53,7 @@
 #include "src/sim/annotations.h"
 #include "src/sim/assert.h"
 #include "src/sim/machine.h"
+#include "src/sim/pool.h"
 #include "src/sim/types.h"
 
 namespace sim {
@@ -48,13 +64,21 @@ namespace sim {
 template <typename Entry>
 class AddrMap {
  public:
-  using EntryList = std::list<Entry>;
+  using EntryList = std::list<Entry, PoolAllocator<Entry>>;
   using iterator = typename EntryList::iterator;
 
   // max_entries == 0 means unlimited (user maps); the kernel map has a
   // fixed entry pool and exhausting it is fatal in a real kernel (§3.2).
-  AddrMap(Machine& machine, Vaddr min_addr, Vaddr max_addr, std::size_t max_entries)
-      : machine_(machine), min_addr_(min_addr), max_addr_(max_addr), max_entries_(max_entries) {}
+  // `entry_pool`, when given, supplies the slab storage for entry nodes
+  // (shared across a VM's maps); otherwise the map carries its own.
+  AddrMap(Machine& machine, Vaddr min_addr, Vaddr max_addr, std::size_t max_entries,
+          PoolResource* entry_pool = nullptr)
+      : machine_(machine),
+        min_addr_(min_addr),
+        max_addr_(max_addr),
+        max_entries_(max_entries),
+        own_pool_("map.entries", &machine.pools()),
+        entries_(PoolAllocator<Entry>(entry_pool != nullptr ? entry_pool : &own_pool_)) {}
 
   AddrMap(const AddrMap&) = delete;
   AddrMap& operator=(const AddrMap&) = delete;
@@ -86,15 +110,27 @@ class AddrMap {
     if (hint_valid_ && va >= hint_it_->start && va < hint_it_->end) {
       ++machine_.stats().map_hint_hits;
       ChargeProbes(hint_rank_);
+      RememberHint(va, hint_it_, hint_rank_);
       return hint_it_;
+    }
+    const std::uint64_t key = va >> kHintGranuleShift;
+    const HintSlot& slot = hint_cache_[key & (kHintWays - 1)];
+    if (slot.gen == hint_gen_ && slot.key == key && va >= slot.it->start && va < slot.it->end) {
+      // No mutation since the slot was written (generation match), so the
+      // recorded rank is still the entry's rank — charge what the modeled
+      // scan would have cost and promote to the single-entry hint.
+      ++machine_.stats().map_hint_hits;
+      ChargeProbes(slot.rank);
+      hint_valid_ = true;
+      hint_it_ = slot.it;
+      hint_rank_ = slot.rank;
+      return slot.it;
     }
     std::size_t ub = UpperBound(va);  // entries with start <= va
     if (ub > 0) {
       iterator it = iters_[ub - 1];
       if (va < it->end) {
-        hint_valid_ = true;
-        hint_it_ = it;
-        hint_rank_ = ub;
+        RememberHint(va, it, ub);
         ChargeProbes(ub);
         return it;
       }
@@ -236,7 +272,7 @@ class AddrMap {
     }
     iterator ins = entries_.insert(before, e);
     IndexInsert(pos, e.start, ins);
-    hint_valid_ = false;
+    InvalidateHints();
     if (out != nullptr) {
       *out = ins;
     }
@@ -261,7 +297,7 @@ class AddrMap {
     std::size_t pos = IndexOfExact(front.start);
     iters_[pos] = fit;  // the old start slot now names the front half
     IndexInsert(pos + 1, va, it);
-    hint_valid_ = false;
+    InvalidateHints();
     return it;
   }
 
@@ -278,14 +314,14 @@ class AddrMap {
     it->end = va;
     iterator bit = entries_.insert(std::next(it), back);
     IndexInsert(IndexOfExact(it->start) + 1, va, bit);
-    hint_valid_ = false;
+    InvalidateHints();
   }
 
   void EraseEntry(iterator it) {
     machine_.Charge(machine_.cost().map_entry_free_ns);
     IndexErase(IndexOfExact(it->start));
     entries_.erase(it);
-    hint_valid_ = false;
+    InvalidateHints();
     free_hint_valid_ = false;  // a hole opened (or widened)
   }
 
@@ -312,6 +348,37 @@ class AddrMap {
   }
 
  private:
+  // Hint cache geometry: 64 direct-mapped ways keyed by 32 KB granule.
+  static constexpr std::size_t kHintWays = 64;
+  static constexpr std::uint64_t kHintGranuleShift = kPageShift + 3;
+  struct HintSlot {
+    std::uint64_t gen = 0;  // valid iff == hint_gen_
+    std::uint64_t key = 0;  // va >> kHintGranuleShift
+    iterator it{};
+    std::size_t rank = 0;
+  };
+
+  // Record a successful lookup in both the single-entry hint and the
+  // granule-keyed cache slot for `va`.
+  void RememberHint(Vaddr va, iterator it, std::size_t rank) {
+    hint_valid_ = true;
+    hint_it_ = it;
+    hint_rank_ = rank;
+    const std::uint64_t key = va >> kHintGranuleShift;
+    HintSlot& slot = hint_cache_[key & (kHintWays - 1)];
+    slot.gen = hint_gen_;
+    slot.key = key;
+    slot.it = it;
+    slot.rank = rank;
+  }
+
+  // Every mutation shifts ranks/extents: drop the single-entry hint and,
+  // by bumping the generation, every cache slot at once.
+  void InvalidateHints() {
+    hint_valid_ = false;
+    ++hint_gen_;
+  }
+
   void ChargeProbes(std::size_t probes) {
     machine_.stats().map_lookup_probes += probes;
     machine_.Charge(machine_.cost().map_entry_scan_ns * static_cast<Nanoseconds>(probes));
@@ -361,6 +428,10 @@ class AddrMap {
   Vaddr max_addr_;
   std::size_t max_entries_;
   std::size_t reserved_ = 0;  // outstanding ClipReservation headroom
+  // Fallback slab storage for entry nodes when no shared pool was passed.
+  // Lazy (no arena chunk until the first entry), and declared before
+  // entries_ so the list's nodes die first.
+  PoolResource own_pool_;
   EntryList entries_;
   // Flat sorted index over the list: starts_[i] == iters_[i]->start. A
   // binary-searched array beats a pointer-chasing tree at these sizes and
@@ -373,6 +444,11 @@ class AddrMap {
   bool hint_valid_ = false;
   iterator hint_it_{};
   std::size_t hint_rank_ = 0;
+  // Direct-mapped hint cache (see header comment). Slots are validated by
+  // generation stamp; stale iterators are never dereferenced because any
+  // mutation bumps hint_gen_ first.
+  std::uint64_t hint_gen_ = 1;
+  std::array<HintSlot, kHintWays> hint_cache_{};
   // Free-space hint (see invalidation rules above). FindSpace is logically
   // const — the hint is a pure accelerator, hence mutable.
   mutable bool free_hint_valid_ = false;

@@ -12,6 +12,7 @@
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/fault.h"
+#include "src/sim/pool.h"
 #include "src/sim/pressure.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
@@ -39,6 +40,8 @@ class Machine {
   const PressureEngine& pressure() const { return pressure_; }
   Auditor& auditor() { return auditor_; }
   const Auditor& auditor() const { return auditor_; }
+  PoolRegistry& pools() { return pools_; }
+  const PoolRegistry& pools() const { return pools_; }
   const CostBreakdown& breakdown() const { return breakdown_; }
   CostBreakdown& breakdown() { return breakdown_; }
 
@@ -89,6 +92,10 @@ class Machine {
   Clock clock_;
   CostModel cost_;
   Stats stats_;
+  // Declared before every subsystem that might one day own pools here; the
+  // registry only holds non-owning pointers, registered pools must die
+  // before the machine.
+  PoolRegistry pools_;
   FaultInjector faults_;
   PressureEngine pressure_;
   Auditor auditor_;

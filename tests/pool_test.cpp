@@ -1,0 +1,192 @@
+// The slab/arena allocation layer (src/sim/pool.h, DESIGN.md §14):
+// determinism guarantees (LIFO reuse, ascending-address magazines), stats
+// accounting, size-class routing, heap fallback, the teardown leak assert,
+// and whole-simulator double-run identity with every pool engaged.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/world.h"
+#include "src/kern/fleet.h"
+#include "src/sim/pool.h"
+
+namespace {
+
+using harness::VmKind;
+using harness::World;
+
+struct Widget {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+TEST(PoolTest, LifoReuseReturnsLastFreedBlock) {
+  sim::Pool<Widget> pool("test.widget");
+  Widget* x = pool.New();
+  Widget* y = pool.New();
+  pool.Delete(x);
+  // Strict LIFO: the freed block is the very next one handed out.
+  Widget* z = pool.New();
+  EXPECT_EQ(x, z);
+  pool.Delete(y);
+  pool.Delete(z);
+}
+
+TEST(PoolTest, MagazinesHandOutAscendingAddresses) {
+  sim::Pool<Widget> pool("test.widget");
+  std::vector<Widget*> blocks;
+  for (std::size_t i = 0; i < sim::PoolBase::kDefaultMagazine; ++i) {
+    blocks.push_back(pool.New());
+  }
+  // One magazine, carved back-to-front onto the freelist: consecutive Gets
+  // walk the slab in ascending address order.
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    EXPECT_LT(blocks[i - 1], blocks[i]) << "block " << i << " out of order";
+  }
+  for (Widget* w : blocks) {
+    pool.Delete(w);
+  }
+}
+
+TEST(PoolTest, StatsCountAllocsFreesRefillsHighWater) {
+  sim::Pool<Widget> pool("test.widget");
+  const std::size_t mag = sim::PoolBase::kDefaultMagazine;
+  std::vector<Widget*> blocks;
+  for (std::size_t i = 0; i < mag + 1; ++i) {  // force a second refill
+    blocks.push_back(pool.New());
+  }
+  EXPECT_EQ(pool.stats().allocs, mag + 1);
+  EXPECT_EQ(pool.stats().live, mag + 1);
+  EXPECT_EQ(pool.stats().high_water, mag + 1);
+  EXPECT_EQ(pool.stats().slab_refills, 2u);
+  for (Widget* w : blocks) {
+    pool.Delete(w);
+  }
+  EXPECT_EQ(pool.stats().frees, mag + 1);
+  EXPECT_EQ(pool.stats().live, 0u);
+  EXPECT_EQ(pool.stats().high_water, mag + 1);  // high water is sticky
+  // Churn after the drain reuses freelist blocks: no new refill.
+  Widget* w = pool.New();
+  pool.Delete(w);
+  EXPECT_EQ(pool.stats().slab_refills, 2u);
+}
+
+TEST(PoolResourceTest, SizeClassesAreSharedAndLifo) {
+  sim::PoolResource res("test.resource");
+  void* a = res.Allocate(24);  // rounds to the 32-byte class
+  void* b = res.Allocate(32);  // same class
+  res.Deallocate(a, 24);
+  void* c = res.Allocate(30);  // same class again: LIFO returns a
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(res.size_class_count(), 1u);
+  void* d = res.Allocate(2000);  // a large class (1 KB steps)
+  EXPECT_EQ(res.size_class_count(), 2u);
+  res.Deallocate(b, 32);
+  res.Deallocate(c, 30);
+  res.Deallocate(d, 2000);
+  EXPECT_EQ(res.stats().live, 0u);
+  EXPECT_EQ(res.stats().allocs, 4u);
+  EXPECT_EQ(res.stats().frees, 4u);
+}
+
+TEST(PoolResourceTest, HugeBlocksBypassTheArena) {
+  sim::PoolResource res("test.resource");
+  const std::size_t huge = sim::PoolResource::kDirectBytes + 1;
+  void* p = res.Allocate(huge);
+  ASSERT_NE(p, nullptr);
+  // Direct allocations are counted but never pin arena chunks.
+  EXPECT_EQ(res.arena_bytes(), 0u);
+  EXPECT_EQ(res.stats().allocs, 1u);
+  res.Deallocate(p, huge);
+  EXPECT_EQ(res.stats().live, 0u);
+}
+
+TEST(PoolAllocatorTest, NullResourceFallsBackToHeap) {
+  // Containers in contexts without a Machine (standalone tests) keep
+  // working with a default-constructed allocator.
+  using Alloc = sim::PoolAllocator<std::pair<const int, int>>;
+  std::map<int, int, std::less<int>, Alloc> m;
+  for (int i = 0; i < 100; ++i) {
+    m[i] = i * i;
+  }
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_EQ(m[9], 81);
+}
+
+TEST(PoolAllocatorTest, PooledMapDrainsItsResource) {
+  sim::PoolResource res("test.map_nodes");
+  {
+    using Alloc = sim::PoolAllocator<std::pair<const int, int>>;
+    std::map<int, int, std::less<int>, Alloc> m{Alloc(&res)};
+    for (int i = 0; i < 1000; ++i) {
+      m[i] = i;
+    }
+    EXPECT_GE(res.stats().live, 1000u);
+  }
+  // The map's teardown returned every node; the leak assert in ~PoolResource
+  // would abort otherwise.
+  EXPECT_EQ(res.stats().live, 0u);
+  EXPECT_EQ(res.stats().allocs, res.stats().frees);
+}
+
+TEST(PoolDeathTest, LeakedBlockAssertsAtTeardown) {
+  EXPECT_DEATH(
+      {
+        sim::Pool<Widget> pool("test.leaky");
+        (void)pool.New();  // never deleted
+      },
+      "slab blocks still live at teardown");
+}
+
+TEST(PoolRegistryTest, MachineRegistryAggregatesVmPools) {
+  for (VmKind kind : {VmKind::kBsd, VmKind::kUvm}) {
+    World w(kind);
+    kern::FleetConfig cfg;
+    cfg.target_ops = 20000;
+    kern::FleetWorkload fleet(*w.kernel, cfg);
+    const kern::FleetCounters& c = fleet.Run();
+    EXPECT_GE(c.ops, cfg.target_ops);
+    sim::PoolStats agg = w.machine.pools().Aggregate();
+    EXPECT_GT(agg.allocs, 0u) << "no metadata allocation went through the pools";
+    EXPECT_GT(agg.slab_refills, 0u);
+    EXPECT_GE(agg.high_water, agg.live);
+    EXPECT_EQ(agg.live, agg.allocs - agg.frees);
+    // Named pools appear in creation order; both VMs pool their map entries.
+    std::set<std::string> names;
+    w.machine.pools().ForEachPool([&](const sim::PoolBase& p) { names.insert(p.name()); });
+    w.machine.pools().ForEachResource(
+        [&](const sim::PoolResource& r) { names.insert(r.name()); });
+    EXPECT_FALSE(names.empty());
+  }
+}
+
+TEST(PoolDeterminismTest, FleetDoubleRunsAreIdentical) {
+  for (VmKind kind : {VmKind::kBsd, VmKind::kUvm}) {
+    std::vector<std::uint64_t> fp;
+    for (int run = 0; run < 2; ++run) {
+      World w(kind);
+      kern::FleetConfig cfg;
+      cfg.target_ops = 20000;
+      kern::FleetWorkload fleet(*w.kernel, cfg);
+      const kern::FleetCounters& c = fleet.Run();
+      sim::PoolStats agg = w.machine.pools().Aggregate();
+      std::vector<std::uint64_t> cur = {
+          c.ops,       c.requests,    c.churns,     c.builds,
+          c.forks,     c.execs,       c.soft_errors, c.workers_respawned,
+          w.machine.clock().now(),    w.machine.stats().faults,
+          agg.allocs,  agg.frees,     agg.slab_refills, agg.high_water,
+      };
+      if (run == 0) {
+        fp = cur;
+      } else {
+        EXPECT_EQ(fp, cur) << "fleet double-run diverged on "
+                           << (kind == VmKind::kBsd ? "bsdvm" : "uvm");
+      }
+    }
+  }
+}
+
+}  // namespace

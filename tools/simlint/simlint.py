@@ -99,6 +99,7 @@ ANNOTATIONS = (
     "SIM_HOST_TIME_OK",
     "SIM_NO_CHARGE_OK",
     "SIM_POOL_FATAL_OK",
+    "SIM_POOL_ALLOC_OK",
     "SIM_POISON_WRITE_OK",
 )
 RULE_ANNOTATION = {
@@ -107,6 +108,7 @@ RULE_ANNOTATION = {
     "det-host-nondet": "SIM_HOST_TIME_OK",
     "cost-no-charge": "SIM_NO_CHARGE_OK",
     "pool-exhaustion-assert": "SIM_POOL_FATAL_OK",
+    "pool-naked-alloc": "SIM_POOL_ALLOC_OK",
     "poison-direct-write": "SIM_POISON_WRITE_OK",
 }
 
@@ -693,6 +695,49 @@ def rule_pool_fatal(repo: Repo) -> list:
     return findings
 
 
+# Metadata types owned by the slab layer (DESIGN.md §14). Inside src/ they
+# must come from their owning sim::Pool — a naked heap allocation bypasses
+# the pool's leak accounting, high-water stats, and deterministic reuse
+# order. bench/ and tests/ stay legal: heap baselines and standalone
+# fixtures construct these types directly on purpose.
+POOLED_TYPES = ("Anon", "Amap", "VmObject")
+POOL_NAKED_NEW_RE = re.compile(
+    r"\bnew\s+(?:uvm::|bsdvm::)?(?:" + "|".join(POOLED_TYPES) + r")\b"
+)
+POOL_NAKED_MAKE_RE = re.compile(
+    r"\bstd::make_unique\s*<\s*(?:uvm::|bsdvm::)?(?:" + "|".join(POOLED_TYPES) + r")\s*>"
+)
+
+
+def rule_pool_naked_alloc(repo: Repo) -> list:
+    """A `new T` / `make_unique<T>` of a pool-owned metadata type in src/.
+    Placement new (the pools' own mechanism) has a '(' after `new` and does
+    not match; AmapImpl / VmObjectIdLess style derived-or-similar names are
+    excluded by the word boundary."""
+    findings = []
+    for rel, sf in sorted(repo.files.items()):
+        if not rel.startswith("src/"):
+            continue
+        for pat in (POOL_NAKED_NEW_RE, POOL_NAKED_MAKE_RE):
+            for m in pat.finditer(sf.stripped):
+                findings.append(
+                    Finding(
+                        rule="pool-naked-alloc",
+                        path=rel,
+                        line=line_of(sf.stripped, m.start()),
+                        message=(
+                            "naked heap allocation of a pool-owned metadata type "
+                            f"({', '.join(POOLED_TYPES)}): allocate through the owning "
+                            "sim::Pool (uvm.anon/uvm.amap/bsd.object) so leak asserts, "
+                            "high-water stats and deterministic reuse order hold "
+                            "(DESIGN.md §14); annotate SIM_POOL_ALLOC_OK(reason) only "
+                            "for objects that genuinely outlive every pool"
+                        ),
+                    )
+                )
+    return findings
+
+
 POISON_WRITE_RE = re.compile(r"(?:\.|->)\s*poisoned\s*=(?![=])")
 
 
@@ -868,6 +913,7 @@ def collect_findings(repo: Repo, engine: str) -> list:
     findings.extend(rule_cost_no_charge(repo))
     findings.extend(rule_layering(repo))
     findings.extend(rule_pool_fatal(repo))
+    findings.extend(rule_pool_naked_alloc(repo))
     findings.extend(rule_poison_write(repo))
 
     kept = []

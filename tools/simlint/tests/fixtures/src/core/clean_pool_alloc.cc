@@ -1,0 +1,31 @@
+// Fixture: allocations near pool-owned type names that must NOT be flagged
+// — pool construction, placement new (the pools' own mechanism), similarly
+// named types, and an annotated naked allocation.
+#include "src/sim/rng.h"
+
+namespace uvm {
+struct Anon {};
+struct AnonRef {};   // similar name: word boundary must exclude it
+class AmapImpl {};   // the per-Amap impl objects are not pool-owned
+}  // namespace uvm
+
+namespace core {
+
+uvm::Anon* PoolNew(void* mem) {
+  return new (mem) uvm::Anon();  // placement new: the pool's own mechanism
+}
+
+uvm::AnonRef* OtherType() {
+  return new uvm::AnonRef();  // not a pooled type
+}
+
+auto MakeImpl() {
+  return std::make_unique<uvm::AmapImpl>();  // impls are unique_ptr-owned
+}
+
+uvm::Anon* BootTimeAnon() {
+  SIM_POOL_ALLOC_OK("boot-time singleton: outlives every pool");
+  return new uvm::Anon();
+}
+
+}  // namespace core

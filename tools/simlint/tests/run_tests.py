@@ -64,6 +64,10 @@ class SimlintFixtureTest(unittest.TestCase):
             self.expect("layer-upward-include", "src/bsdvm/bad_sibling.h", "SIBLING"),
             self.expect("pool-exhaustion-assert", "src/core/bad_pool_assert.cc", "POOL-ASSERT"),
             self.expect("pool-exhaustion-assert", "src/core/bad_pool_assert.cc", "POOL-PANIC"),
+            self.expect("pool-naked-alloc", "src/core/bad_pool_alloc.cc", "NAKED-NEW-ANON"),
+            self.expect("pool-naked-alloc", "src/core/bad_pool_alloc.cc", "NAKED-NEW-AMAP"),
+            self.expect("pool-naked-alloc", "src/core/bad_pool_alloc.cc", "NAKED-NEW-OBJECT"),
+            self.expect("pool-naked-alloc", "src/core/bad_pool_alloc.cc", "NAKED-MAKE-UNIQUE"),
             self.expect("poison-direct-write", "src/core/bad_poison.cc", "POISON-ARROW"),
             self.expect("poison-direct-write", "src/core/bad_poison.cc", "POISON-DOT"),
         }
@@ -80,6 +84,7 @@ class SimlintFixtureTest(unittest.TestCase):
             "src/core/clean_ptr_set.h",
             "src/core/clean_cost.cc",
             "src/core/clean_pool_assert.cc",
+            "src/core/clean_pool_alloc.cc",
             "src/core/clean_poison.cc",
             "src/phys/phys_mem.cc",  # poison-direct-write exempt path
             "src/bsdvm/clean_layering.h",
