@@ -8,11 +8,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 
 #include "bench/bench_common.h"
 #include "src/kern/fleet.h"
 #include "src/sim/machine.h"
 #include "src/sim/pool.h"
+#include "src/sim/report.h"
 
 namespace {
 
@@ -20,7 +22,8 @@ using bench::PrintHeader;
 using bench::VmKind;
 using bench::World;
 
-void RunFleet(VmKind kind, const char* vm_name, const kern::FleetConfig& config) {
+void RunFleet(VmKind kind, const char* vm_name, const kern::FleetConfig& config,
+              bool show_locks) {
   World w(kind);
   bench::TraceRun trace(w, vm_name);
   kern::FleetWorkload fleet(*w.kernel, config);
@@ -51,6 +54,14 @@ void RunFleet(VmKind kind, const char* vm_name, const kern::FleetConfig& config)
               static_cast<unsigned long long>(pools.high_water),
               static_cast<unsigned long long>(s.map_lookup_probes),
               static_cast<unsigned long long>(s.map_hint_hits));
+  if (show_locks) {
+    // Per-lock attribution (DESIGN.md §15). Opt-in so the default stdout —
+    // the byte-compared CI artifact — is unchanged; the table itself is
+    // deterministic and double-run identical too.
+    std::ostringstream locks;
+    sim::ReportLockTable(locks, w.machine);
+    std::fputs(locks.str().c_str(), stdout);
+  }
   std::fprintf(stderr, "[host] %s fleet: %.1f ms\n", vm_name,
                std::chrono::duration<double, std::milli>(t1 - t0).count());
 }
@@ -60,11 +71,14 @@ void RunFleet(VmKind kind, const char* vm_name, const kern::FleetConfig& config)
 int main(int argc, char** argv) {
   bench::Init(argc, argv);
   kern::FleetConfig config;
+  bool show_locks = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--ops=", 6) == 0) {
       config.target_ops = std::strtoull(argv[i] + 6, nullptr, 10);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       config.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--locks") == 0) {
+      show_locks = true;
     }
   }
 
@@ -75,7 +89,7 @@ int main(int argc, char** argv) {
   std::printf("%-6s %9s %8s %7s %7s %6s %6s %8s %7s %11s %9s\n", "vm", "ops", "requests",
               "churns", "builds", "forks", "execs", "soft_err", "respawn", "vtime_ms",
               "faults");
-  RunFleet(VmKind::kUvm, "uvm", config);
-  RunFleet(VmKind::kBsd, "bsdvm", config);
+  RunFleet(VmKind::kUvm, "uvm", config, show_locks);
+  RunFleet(VmKind::kBsd, "bsdvm", config, show_locks);
   return 0;
 }

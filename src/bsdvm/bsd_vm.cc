@@ -21,7 +21,8 @@ constexpr std::size_t kKStackPages = 2;  // kernel stack size
 
 BsdAddressSpace::BsdAddressSpace(BsdVm& vm, bool is_kernel)
     : map_(vm.machine(), is_kernel ? kKernMin : kUserMin, is_kernel ? kKernMax : kUserMax,
-           is_kernel ? vm.config_.kernel_map_entries : 0, &vm.map_entry_pool_),
+           is_kernel ? vm.config_.kernel_map_entries : 0, &vm.map_entry_pool_,
+           is_kernel ? "bsd.kmap" : "bsd.map"),
       pmap_(
           vm.mmu_, is_kernel,
           // BSD VM: the i386 pmap module records each page-table page in the
@@ -66,6 +67,9 @@ BsdVm::BsdVm(sim::Machine& machine, phys::PhysMem& pm, mmu::MmuContext& mmu,
       vnodes_(vnodes),
       swap_(swap),
       config_(config),
+      object_chain_lock_(machine, "bsd.object", sim::LockRank::kObject,
+                         /*acquire_ns=*/nullptr,
+                         sim::SimLock::Attribution::kContext),
       object_pool_("bsd.object", &machine.pools()),
       swap_block_pool_("bsd.swap_blocks", &machine.pools()),
       map_entry_pool_("bsd.map_entries", &machine.pools()),
@@ -849,7 +853,7 @@ int BsdVm::WireRange(BsdAddressSpace& as, sim::Vaddr addr, std::uint64_t len) {
         auto pte = as.pmap_.Extract(va);
         if (!pte.has_value()) {
           // The entry is already marked wired, so the fault wires the page.
-          int err = Fault(as, va, acc);
+          int err = FaultWithMapLocked(as, va, acc);
           if (err != sim::kOk) {
             map.Unlock();
             return err;
@@ -1076,20 +1080,40 @@ int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
 
   VmMap& map = as.map_;
   map.Lock();
+  int err = FaultBody(as, va, access);
+  map.Unlock();
+  return err;
+}
+
+int BsdVm::FaultWithMapLocked(BsdAddressSpace& as, sim::Vaddr va, sim::Access access) {
+  // The wire path faults pages in while it already holds the map lock; the
+  // map lock is not recursive (SimLock panics on re-entry), so this variant
+  // runs the identical fault sequence minus the lock round-trip.
+  SIM_ASSERT(as.map_.IsLocked());
+  sim::ChargeScope scope(machine_, sim::CostCat::kFault, "bsd_fault");
+  machine_.Charge(machine_.cost().fault_entry_ns);
+  ++machine_.stats().faults;
+  va = sim::PageTrunc(va);
+  return FaultBody(as, va, access);
+}
+
+// The locked section of the fault: the caller holds (and releases) the map
+// lock. Early error returns release nothing here, so virtual hold time is
+// identical to the old inline-unlock structure (no charges happen between a
+// return and the caller's Unlock).
+int BsdVm::FaultBody(BsdAddressSpace& as, sim::Vaddr va, sim::Access access) {
+  VmMap& map = as.map_;
   auto it = map.LookupEntry(va);
   if (it == map.entries().end()) {
-    map.Unlock();
     return sim::kErrFault;
   }
   MapEntry& e = *it;
   bool write = access == sim::Access::kWrite;
   sim::Prot need = write ? sim::Prot::kWrite : sim::Prot::kRead;
   if (!sim::ProtIncludes(e.prot, need)) {
-    map.Unlock();
     return sim::kErrProt;
   }
   if (e.object == nullptr) {
-    map.Unlock();
     return sim::kErrFault;  // kernel reservation, not faultable
   }
   // Captured up front: later steps (COW copies, loan breaks) may replace or
@@ -1114,8 +1138,12 @@ int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
   VmObject* found_in = nullptr;
   for (;;) {
     // Each object in the chain has its own lock that must be taken and
-    // dropped while searching (§5.3).
-    machine_.Charge(machine_.cost().object_chain_hop_ns + machine_.cost().object_lock_ns);
+    // dropped while searching (§5.3). One class-level lock stands in for the
+    // per-object locks; its acquire folds the hop cost into the same single
+    // context charge the walk has always made.
+    sim::LockGuard chain(object_chain_lock_,
+                         machine_.cost().object_chain_hop_ns +
+                             machine_.cost().object_lock_ns);
     page = obj->LookupPage(pgi);
     if (page != nullptr && page->poisoned) {
       // hwpoison discovery at fault time. Clean pages are discarded and the
@@ -1123,7 +1151,6 @@ int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
       // chain level, or zero fill) — a transparent refetch. Dirty pages
       // surface kErrMemPoison and the kernel kills the toucher.
       if (int err = ContainPoisonedPage(page); err != sim::kOk) {
-        map.Unlock();
         return err;
       }
       page = nullptr;
@@ -1135,7 +1162,6 @@ int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
     if (obj->pager != nullptr && obj->pager->HasPage(pgi)) {
       page = AllocPageInObject(obj, pgi, /*zero=*/false);
       if (page == nullptr) {
-        map.Unlock();
         return sim::kErrNoMem;
       }
       sim::ChargeScope pagein_scope(machine_, sim::CostCat::kPagein, "bsd_pagein");
@@ -1146,7 +1172,6 @@ int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
         if (err == sim::kErrIO) {
           ++machine_.stats().pagein_errors;
         }
-        map.Unlock();
         return err;
       }
       found_in = obj;
@@ -1163,7 +1188,6 @@ int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
     // Nothing anywhere in the chain: zero-fill in the first object.
     page = AllocPageInObject(first, first_pgi, /*zero=*/true);
     if (page == nullptr) {
-      map.Unlock();
       return sim::kErrNoMem;
     }
     found_in = first;
@@ -1179,9 +1203,26 @@ int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
       // object. The backing page stays where it is — possibly never again
       // accessible (the leak the collapse tries to repair).
       SIM_ASSERT(e.copy_on_write);
+      const std::uint32_t src_gen = page->gen;
       phys::Page* np = AllocPageInObject(first, first_pgi, /*zero=*/false);
       if (np == nullptr) {
-        map.Unlock();
+        return sim::kErrNoMem;
+      }
+      bool stale;
+      {
+        // The allocation may have run the pagedaemon, which can page the
+        // backing copy out from under us — and a TryCollapse triggered from
+        // a concurrent teardown can restructure the chain, so `page` (and
+        // even `found_in`) may be dangling. Re-validate under the page-queue
+        // lock; on staleness back out and let the kernel's pressure-recovery
+        // loop retry the whole fault from the top.
+        sim::LockGuard q(pm_.queue_lock());
+        stale = !pm_.FrameIsCurrent(sim::LockToken(pm_.queue_lock()), page,
+                                    src_gen);
+      }
+      if (stale) {
+        FreeObjectPage(np);
+        ++machine_.stats().fault_stale_page_retries;
         return sim::kErrNoMem;
       }
       pm_.CopyPage(page, np);
@@ -1221,7 +1262,6 @@ int BsdVm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
   if (page->wire_count == 0) {
     pm_.Activate(page);
   }
-  map.Unlock();
   return sim::kOk;
 }
 

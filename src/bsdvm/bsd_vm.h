@@ -19,6 +19,7 @@
 #include "src/vm/vm_iface.h"
 #include "src/mmu/pmap.h"
 #include "src/phys/phys_mem.h"
+#include "src/sim/lock.h"
 #include "src/sim/machine.h"
 #include "src/swap/swap_device.h"
 #include "src/vfs/vnode.h"
@@ -151,6 +152,11 @@ class BsdVm : public kern::VmSystem {
   // invariants, page back-pointers, swap-slot ownership.
   void AuditState(sim::Auditor& auditor) const;
 
+  // Fault() minus the map lock round-trip, for callers (the wire path) that
+  // already hold the map lock; FaultBody is the shared locked section.
+  int FaultWithMapLocked(BsdAddressSpace& as, sim::Vaddr va, sim::Access access);
+  int FaultBody(BsdAddressSpace& as, sim::Vaddr va, sim::Access access);
+
   // Wiring guts shared by Wire()/WireTransient().
   int WireRange(BsdAddressSpace& as, sim::Vaddr addr, std::uint64_t len);
   int UnwireRange(BsdAddressSpace& as, sim::Vaddr addr, std::uint64_t len);
@@ -168,6 +174,11 @@ class BsdVm : public kern::VmSystem {
   vfs::VnodeCache& vnodes_;
   swp::SwapDevice& swap_;
   BsdConfig config_;
+
+  // Class-level stand-in for BSD's per-object locks: the fault chain walk
+  // takes it once per hop, folding the hop cost into the acquire so the
+  // virtual-time charge matches the pre-SimLock model exactly.
+  sim::SimLock object_chain_lock_;
 
   // Metadata slabs (DESIGN.md §14). Declared before kernel_as_ and the
   // object registries: every object/swap-block/map-entry must be freed

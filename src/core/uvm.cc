@@ -20,7 +20,8 @@ constexpr std::size_t kKStackPages = 2;
 
 UvmAddressSpace::UvmAddressSpace(Uvm& vm, bool is_kernel)
     : map_(vm.machine(), is_kernel ? kKernMin : kUserMin, is_kernel ? kKernMax : kUserMax,
-           is_kernel ? vm.config().kernel_map_entries : 0, &vm.map_entry_pool_),
+           is_kernel ? vm.config().kernel_map_entries : 0, &vm.map_entry_pool_,
+           is_kernel ? "uvm.kmap" : "uvm.map"),
       // UVM: the wired state of page-table pages lives only in the pmap
       // (§3.2) — no kernel-map hooks.
       pmap_(vm.mmu_, is_kernel) {}
@@ -33,6 +34,8 @@ Uvm::Uvm(sim::Machine& machine, phys::PhysMem& pm, mmu::MmuContext& mmu, vfs::Vn
       vnodes_(vnodes),
       swap_(swap),
       config_(config),
+      object_lock_(machine, "uvm.object", sim::LockRank::kObject),
+      amap_lock_(machine, "uvm.amap", sim::LockRank::kAmap),
       anon_pool_("uvm.anon", &machine.pools()),
       amap_pool_("uvm.amap", &machine.pools()),
       amap_node_pool_("uvm.amap_nodes", &machine.pools()),
@@ -182,11 +185,14 @@ void Uvm::AmapCopy(UvmMapEntry& e) {
   }
   std::uint64_t n = e.npages();
   Amap* na = NewAmap(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    Anon* a = e.amap->Get(e.amap_slotoff + i);
-    if (a != nullptr) {
-      RefAnon(a);
-      na->Set(i, a);
+  {
+    sim::LockGuard amap_g(amap_lock_);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Anon* a = e.amap->Get(e.amap_slotoff + i);
+      if (a != nullptr) {
+        RefAnon(a);
+        na->Set(i, a);
+      }
     }
   }
   DerefAmap(e.amap);
@@ -691,7 +697,7 @@ int Uvm::WireRange(UvmAddressSpace& as, sim::Vaddr addr, std::uint64_t len) {
         auto pte = as.pmap_.Extract(va);
         if (!pte.has_value()) {
           // The entry is already marked wired, so the fault wires the page.
-          int err = Fault(as, va, acc);
+          int err = FaultWithMapLocked(as, va, acc);
           if (err != sim::kOk) {
             map.Unlock();
             return err;
@@ -1123,6 +1129,9 @@ int Uvm::FaultLocked(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr va, bool wr
   // --- Upper layer: the amap ---
   Anon* anon = nullptr;
   if (e.amap != nullptr) {
+    // The amap layer's own lock (§3): the lookup charge doubles as the
+    // acquire cost, so the guard itself is free.
+    sim::LockGuard amap_g(amap_lock_);
     machine_.Charge(machine_.cost().amap_lookup_ns);
     anon = e.amap->Get(e.SlotOf(va));
   }
@@ -1144,10 +1153,30 @@ int Uvm::FaultLocked(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr va, bool wr
       if (anon->ref_count > 1) {
         // COW anon copy (Figure 3, third column).
         Anon* na = NewAnon();
+        const std::uint32_t src_gen = page->gen;
         na->page = AllocPageOrReclaim(phys::OwnerKind::kUvmAnon, na, 0, /*zero=*/false);
         if (na->page == nullptr) {
           DerefAnon(na);
           return sim::kErrNoMem;
+        }
+        bool current;
+        {
+          sim::LockGuard q(pm_.queue_lock());
+          current = pm_.FrameIsCurrent(sim::LockToken(pm_.queue_lock()), page,
+                                       src_gen);
+        }
+        if (!current) {
+          // The blocking allocation ran the pagedaemon, which swapped the
+          // source anon out and freed its frame (the captured pointer now
+          // names a recycled frame). Bring the source back in and copy from
+          // the fresh page instead.
+          ++machine_.stats().fault_stale_page_retries;
+          SIM_ASSERT(anon->page == nullptr);
+          if (int err = AnonPageIn(anon); err != sim::kOk) {
+            DerefAnon(na);
+            return err;
+          }
+          page = anon->page;
         }
         pm_.CopyPage(page, na->page);
         na->page->dirty = true;
@@ -1175,7 +1204,12 @@ int Uvm::FaultLocked(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr va, bool wr
   } else if (e.uobj != nullptr) {
     // --- Lower layer: the backing object ---
     std::uint64_t pgi = e.ObjIndexOf(va);
-    page = e.uobj->LookupPage(pgi);
+    {
+      // Object-layer lock, dropped before any pagein I/O below (UVM marks
+      // the page busy across I/O rather than holding the object lock).
+      sim::LockGuard obj_g(object_lock_);
+      page = e.uobj->LookupPage(pgi);
+    }
     if (page != nullptr && page->poisoned) {
       if (int err = ContainPoisonedObjPage(page); err != sim::kOk) {
         return err;
@@ -1194,10 +1228,42 @@ int Uvm::FaultLocked(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr va, bool wr
       SIM_ASSERT_MSG(!e.needs_copy, "write fault with needs-copy uncleared");
       EnsureAmap(e);
       Anon* na = NewAnon();
+      std::uint32_t src_gen = page->gen;
       na->page = AllocPageOrReclaim(phys::OwnerKind::kUvmAnon, na, 0, /*zero=*/false);
       if (na->page == nullptr) {
         DerefAnon(na);
         return sim::kErrNoMem;
+      }
+      // The blocking allocation may have run the pagedaemon, which can page
+      // the source frame out from under the captured pointer (activating a
+      // recycled frame here is how the old code panicked with "dequeue of
+      // free page"). Re-validate under the page-queue lock and re-fetch the
+      // source until it stays resident across the check; each retry does
+      // real pagein work, so the loop is bounded.
+      for (int attempt = 0;; ++attempt) {
+        bool current;
+        {
+          sim::LockGuard q(pm_.queue_lock());
+          current = pm_.FrameIsCurrent(sim::LockToken(pm_.queue_lock()), page,
+                                       src_gen);
+        }
+        if (current) {
+          break;
+        }
+        ++machine_.stats().fault_stale_page_retries;
+        if (attempt >= 4) {
+          DerefAnon(na);
+          return sim::kErrNoMem;  // thrashing: let the kernel retry the fault
+        }
+        page = e.uobj->LookupPage(pgi);
+        if (page == nullptr) {
+          if (int err = e.uobj->pgops->Get(*this, *e.uobj, pgi, 1, &page);
+              err != sim::kOk) {
+            DerefAnon(na);
+            return err;
+          }
+        }
+        src_gen = page->gen;
       }
       pm_.CopyPage(page, na->page);
       na->page->dirty = true;
@@ -1328,15 +1394,32 @@ int Uvm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
 
   UvmMap& map = as.map_;
   map.Lock();
+  int err = FaultBody(as, va, access);
+  map.Unlock();
+  return err;
+}
+
+int Uvm::FaultWithMapLocked(UvmAddressSpace& as, sim::Vaddr va, sim::Access access) {
+  // The wire path faults pages in while it already holds the map lock; the
+  // map lock is not recursive (SimLock panics on re-entry), so this variant
+  // runs the identical fault sequence minus the lock round-trip.
+  SIM_ASSERT(as.map_.IsLocked());
+  sim::ChargeScope scope(machine_, sim::CostCat::kFault, "uvm_fault");
+  machine_.Charge(machine_.cost().fault_entry_ns);
+  ++machine_.stats().faults;
+  va = sim::PageTrunc(va);
+  return FaultBody(as, va, access);
+}
+
+int Uvm::FaultBody(UvmAddressSpace& as, sim::Vaddr va, sim::Access access) {
+  UvmMap& map = as.map_;
   auto it = map.LookupEntry(va);
   if (it == map.entries().end()) {
-    map.Unlock();
     return sim::kErrFault;
   }
   bool write = access == sim::Access::kWrite;
   sim::Prot need = write ? sim::Prot::kWrite : sim::Prot::kRead;
   if (!sim::ProtIncludes(it->prot, need)) {
-    map.Unlock();
     return sim::kErrProt;
   }
   int err = FaultLocked(as, *it, va, write);
@@ -1345,7 +1428,6 @@ int Uvm::Fault(kern::AddressSpace& as_, sim::Vaddr va, sim::Access access) {
   } else if (err == sim::kErrIO) {
     ++machine_.stats().pagein_errors;  // surfaced to the faulting process
   }
-  map.Unlock();
   return err;
 }
 

@@ -26,6 +26,7 @@
 #include "src/vm/vm_iface.h"
 #include "src/mmu/pmap.h"
 #include "src/phys/phys_mem.h"
+#include "src/sim/lock.h"
 #include "src/sim/machine.h"
 #include "src/swap/swap_device.h"
 #include "src/vfs/vnode.h"
@@ -188,6 +189,10 @@ class Uvm : public kern::VmSystem {
   void DetachObject(UvmObject* obj);
 
   // --- fault internals ---
+  // Fault() minus the map lock round-trip, for callers (the wire path) that
+  // already hold the map lock; FaultBody is the shared locked section.
+  int FaultWithMapLocked(UvmAddressSpace& as, sim::Vaddr va, sim::Access access);
+  int FaultBody(UvmAddressSpace& as, sim::Vaddr va, sim::Access access);
   int FaultLocked(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr va, bool write);
   void MapNeighbors(UvmAddressSpace& as, UvmMapEntry& e, sim::Vaddr fault_va);
   // Resolve the page for an anon, swapping it in if necessary.
@@ -237,6 +242,13 @@ class Uvm : public kern::VmSystem {
   vfs::VnodeCache& vnodes_;
   swp::SwapDevice& swap_;
   UvmConfig config_;
+
+  // Class-level stand-ins for UVM's per-object and per-amap locks (§3:
+  // UVM's two-layer locking). Zero-cost: the amap/object lookup costs
+  // already model the round-trips, so acquires charge nothing; the locks
+  // exist for rank checking and per-class hold-time attribution.
+  sim::SimLock object_lock_;
+  sim::SimLock amap_lock_;
 
   // Metadata slabs (DESIGN.md §14). Declared before kernel_as_ and every
   // container below: all anons/amaps/map entries must be freed (teardown in

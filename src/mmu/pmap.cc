@@ -14,6 +14,8 @@ constexpr std::uint64_t kPtShift = 22;  // i386: one page-table page maps 4 MB
 
 MmuContext::MmuContext(phys::PhysMem& pm)
     : pm_(pm),
+      pmap_lock_(pm.machine(), "mmu.pmap", sim::LockRank::kPmap),
+      pv_lock_(pm.machine(), "mmu.pv", sim::LockRank::kPv),
       pv_pool_("mmu.pv_entry", &pm.machine().pools()),
       pte_pool_("mmu.pte_nodes", &pm.machine().pools()),
       pv_(pm.total_pages(), nullptr) {
@@ -108,10 +110,12 @@ bool MmuContext::PvContains(sim::Pfn pfn, const Pmap* pmap, sim::Vaddr va) const
 }
 
 void MmuContext::PvAdd(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va) {
+  sim::LockGuard g(pv_lock_);
   pv_[pfn] = pv_pool_.New(PvEntry{pmap, va, pv_[pfn]});
 }
 
 void MmuContext::PvRemove(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va) {
+  sim::LockGuard g(pv_lock_);
   PvEntry** link = FindPvLink(pfn, pmap, va);
   SIM_ASSERT_MSG(*link != nullptr, "pv entry missing on remove");
   PvEntry* e = *link;
@@ -120,6 +124,7 @@ void MmuContext::PvRemove(sim::Pfn pfn, Pmap* pmap, sim::Vaddr va) {
 }
 
 std::size_t MmuContext::PageProtect(phys::Page* page, sim::Prot prot) {
+  sim::LockGuard g(pmap_lock_);
   std::size_t n = MappingCount(page);
   machine().Charge(sim::CostCat::kPmap, machine().cost().pmap_page_protect_ns * (n == 0 ? 1 : n));
   if (prot == sim::Prot::kNone) {
@@ -221,7 +226,10 @@ void Pmap::EnsurePtPage(sim::Vaddr va) {
 void Pmap::Enter(sim::Vaddr va, phys::Page* page, sim::Prot prot, bool wired) {
   SIM_ASSERT_MSG(!page->poisoned, "mapping a poisoned frame");
   va = sim::PageTrunc(va);
+  // PT-page allocation happens outside the pmap lock: it reaches the page
+  // queues and the BSD kmap hook, both of which rank below kPmap.
   EnsurePtPage(va);
+  sim::LockGuard g(ctx_.pmap_lock_);
   ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().pmap_enter_ns);
   if (Pte* pte = LookupPte(va); pte != nullptr) {
     // Replacing an existing mapping.
@@ -260,11 +268,13 @@ void Pmap::RemoveLocked(sim::Vaddr va_page) {
 }
 
 void Pmap::Remove(sim::Vaddr va) {
+  sim::LockGuard g(ctx_.pmap_lock_);
   ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().pmap_remove_ns);
   RemoveLocked(sim::PageTrunc(va));
 }
 
 void Pmap::RemoveRange(sim::Vaddr start, sim::Vaddr end) {
+  sim::LockGuard g(ctx_.pmap_lock_);
   for (sim::Vaddr va = sim::PageTrunc(start); va < end; va += sim::kPageSize) {
     if (ptes_.contains(va)) {
       ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().pmap_remove_ns);
@@ -284,6 +294,7 @@ void Pmap::RemoveAll() {
     vas.push_back(va);
   }
   std::sort(vas.begin(), vas.end());
+  sim::LockGuard g(ctx_.pmap_lock_);
   for (sim::Vaddr va : vas) {
     ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().pmap_remove_ns);
     RemoveLocked(va);
@@ -291,6 +302,7 @@ void Pmap::RemoveAll() {
 }
 
 void Pmap::Protect(sim::Vaddr va, sim::Prot prot) {
+  sim::LockGuard g(ctx_.pmap_lock_);
   Pte* pte = LookupPte(sim::PageTrunc(va));
   if (pte == nullptr) {
     return;
@@ -310,6 +322,7 @@ void Pmap::ProtectRange(sim::Vaddr start, sim::Vaddr end, sim::Prot prot) {
 }
 
 void Pmap::IntersectProtRange(sim::Vaddr start, sim::Vaddr end, sim::Prot prot) {
+  sim::LockGuard g(ctx_.pmap_lock_);
   for (sim::Vaddr va = sim::PageTrunc(start); va < end; va += sim::kPageSize) {
     Pte* pte = LookupPte(va);
     if (pte == nullptr) {
@@ -326,6 +339,7 @@ void Pmap::IntersectProtRange(sim::Vaddr start, sim::Vaddr end, sim::Prot prot) 
 }
 
 void Pmap::ChangeWiring(sim::Vaddr va, bool wired) {
+  sim::LockGuard g(ctx_.pmap_lock_);
   Pte* pte = LookupPte(sim::PageTrunc(va));
   if (pte == nullptr) {
     return;
@@ -337,6 +351,7 @@ void Pmap::ChangeWiring(sim::Vaddr va, bool wired) {
 }
 
 std::optional<Pte> Pmap::Extract(sim::Vaddr va) const {
+  sim::LockGuard g(ctx_.pmap_lock_);  // ctx_ is a non-const reference
   ctx_.machine().Charge(sim::CostCat::kPmap, ctx_.machine().cost().pmap_extract_ns);
   Pte* pte = LookupPte(sim::PageTrunc(va));
   if (pte == nullptr) {

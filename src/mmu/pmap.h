@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/phys/phys_mem.h"
+#include "src/sim/lock.h"
 #include "src/sim/pool.h"
 #include "src/sim/types.h"
 
@@ -90,6 +91,13 @@ class MmuContext {
   void AuditPv(sim::Auditor& auditor) const;
 
   phys::PhysMem& pm_;
+  // Class-level locks shared by every pmap (the real i386 pmap serialized
+  // on one kernel lock too). Both zero-cost: pmap operation costs already
+  // subsume the round-trips. The pmap lock is taken *after* EnsurePtPage —
+  // PT-page allocation reaches down to the page queues (lower rank) and the
+  // BSD kmap-mirroring hook (map rank), both illegal under it.
+  sim::SimLock pmap_lock_;
+  sim::SimLock pv_lock_;  // leaf guarding the pv chains
   // Declared before pv_ and used by every pmap: chains must drain (all
   // pmaps die) before the context, so the teardown leak assert is real.
   sim::Pool<PvEntry> pv_pool_;

@@ -55,6 +55,13 @@ struct Page {
   bool poisoned = false;
   std::uint32_t poison_gen = 0;
 
+  // Reuse generation: bumped every time the frame is freed. Fault paths that
+  // hold a bare Page* across a blocking allocation (which may run the
+  // pagedaemon and free the frame) capture gen beforehand and re-validate
+  // with PhysMem::FrameIsCurrent afterwards instead of touching a recycled
+  // frame (DESIGN.md §15).
+  std::uint32_t gen = 0;
+
   // Intrusive queue linkage (managed by PhysMem only)
   PageQueue queue = PageQueue::kNone;
   Page* q_next = nullptr;

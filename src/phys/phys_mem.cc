@@ -40,7 +40,10 @@ void PageList::Remove(Page* p) {
 }
 
 PhysMem::PhysMem(sim::Machine& machine, std::size_t num_pages)
-    : machine_(machine), pages_(num_pages), bytes_(num_pages * sim::kPageSize) {
+    : machine_(machine),
+      queue_lock_(machine, "phys.pagequeue", sim::LockRank::kPageQueue),
+      pages_(num_pages),
+      bytes_(num_pages * sim::kPageSize) {
   for (std::size_t i = 0; i < num_pages; ++i) {
     pages_[i].pfn = static_cast<sim::Pfn>(i);
     pages_[i].queue = PageQueue::kFree;
@@ -107,6 +110,7 @@ void PhysMem::ReleaseBalloon() {
 }
 
 void PhysMem::SetBalloonTarget(std::size_t target) {
+  sim::LockGuard g(queue_lock_);
   balloon_target_ = target;
   AbsorbBalloon();  // any deficit left is absorbed by future FreePage calls
   ReleaseBalloon();
@@ -114,7 +118,10 @@ void PhysMem::SetBalloonTarget(std::size_t target) {
 
 Page* PhysMem::AllocPage(OwnerKind kind, void* owner, sim::ObjOffset offset, bool zero,
                          AllocPri pri) {
+  // Poll before taking the queue lock: pressure/memfault actuators
+  // (SetBalloonTarget, PoisonPfn) take it themselves.
   machine_.PollPressure();
+  sim::LockGuard g(queue_lock_);
   Page* p = free_.head();
   bool emergency = pri == AllocPri::kEmergency || pageout_depth_ > 0;
   if (p == nullptr || (!emergency && free_.size() <= free_reserve_)) {
@@ -143,6 +150,10 @@ Page* PhysMem::AllocPage(OwnerKind kind, void* owner, sim::ObjOffset offset, boo
 void PhysMem::FreePage(Page* p) {
   SIM_ASSERT_MSG(p->wire_count == 0, "freeing wired page");
   SIM_ASSERT_MSG(p->loan_count == 0, "freeing loaned page");
+  sim::LockGuard g(queue_lock_);
+  // The frame's identity dies here: anyone still holding a Page* captured
+  // before a blocking call sees the bump through FrameIsCurrent.
+  ++p->gen;
   if (p->queue != PageQueue::kNone) {
     if (p->queue == PageQueue::kActive) {
       active_.Remove(p);
@@ -154,7 +165,7 @@ void PhysMem::FreePage(Page* p) {
   }
   if (p->poisoned) {
     p->queue = PageQueue::kNone;
-    RetirePage(p);
+    RetirePageLocked(p);
     return;
   }
   p->owner_kind = OwnerKind::kNone;
@@ -175,18 +186,29 @@ void PhysMem::FreePage(Page* p) {
 }
 
 void PhysMem::Activate(Page* p) {
-  Dequeue(p);
+  sim::LockGuard g(queue_lock_);
+  ActivateLocked(p);
+}
+
+void PhysMem::ActivateLocked(Page* p) {
+  DequeueLocked(p);
   p->queue = PageQueue::kActive;
   active_.PushTail(p);
 }
 
 void PhysMem::Deactivate(Page* p) {
-  Dequeue(p);
+  sim::LockGuard g(queue_lock_);
+  DequeueLocked(p);
   p->queue = PageQueue::kInactive;
   inactive_.PushTail(p);
 }
 
 void PhysMem::Dequeue(Page* p) {
+  sim::LockGuard g(queue_lock_);
+  DequeueLocked(p);
+}
+
+void PhysMem::DequeueLocked(Page* p) {
   switch (p->queue) {
     case PageQueue::kNone:
       return;
@@ -203,18 +225,27 @@ void PhysMem::Dequeue(Page* p) {
 }
 
 void PhysMem::Wire(Page* p) {
+  sim::LockGuard g(queue_lock_);
   if (p->wire_count == 0) {
-    Dequeue(p);
+    DequeueLocked(p);
   }
   ++p->wire_count;
 }
 
 void PhysMem::Unwire(Page* p) {
+  sim::LockGuard g(queue_lock_);
   SIM_ASSERT(p->wire_count > 0);
   --p->wire_count;
   if (p->wire_count == 0) {
-    Activate(p);
+    ActivateLocked(p);
   }
+}
+
+bool PhysMem::FrameIsCurrent(const sim::LockToken& token, const Page* p,
+                             std::uint32_t gen) const {
+  SIM_ASSERT_MSG(&token.lock() == &queue_lock_,
+                 "FrameIsCurrent requires the page-queue lock");
+  return p->gen == gen;
 }
 
 std::span<std::byte, sim::kPageSize> PhysMem::Data(Page* p) {
@@ -254,22 +285,32 @@ bool PhysMem::PoisonPfn(sim::Pfn pfn) {
   p->poison_gen = ++poison_gen_;
   ++poisoned_count_;
   ++machine_.stats().frames_poisoned;
-  if (p->queue == PageQueue::kFree) {
-    // Idle frame: retire on the spot, before the allocator can hand it out.
-    free_.Remove(p);
-    p->queue = PageQueue::kNone;
-    ++retired_count_;
-    return true;
+  {
+    sim::LockGuard g(queue_lock_);
+    if (p->queue == PageQueue::kFree) {
+      // Idle frame: retire on the spot, before the allocator can hand it
+      // out. An idle retirement kills the frame's identity just as a free
+      // does.
+      free_.Remove(p);
+      p->queue = PageQueue::kNone;
+      ++p->gen;
+      ++retired_count_;
+      return true;
+    }
+    auto it = std::find(balloon_.begin(), balloon_.end(), p);
+    if (it != balloon_.end()) {
+      // Ballooned frame: retire it and let the balloon absorb a replacement
+      // so the scripted pressure level is preserved.
+      balloon_.erase(it);
+      ++p->gen;
+      ++retired_count_;
+      AbsorbBalloon();
+      return true;
+    }
   }
-  auto it = std::find(balloon_.begin(), balloon_.end(), p);
-  if (it != balloon_.end()) {
-    // Ballooned frame: retire it and let the balloon absorb a replacement
-    // so the scripted pressure level is preserved.
-    balloon_.erase(it);
-    ++retired_count_;
-    AbsorbBalloon();
-    return true;
-  }
+  // The queue guard is released before the machine-check hooks fire: they
+  // call back into the MMU and VM layers (PageProtect, loan revocation),
+  // which re-enter the queue entry points.
   // Frames holding live data stay put: the owning VM contains them when the
   // poison is discovered (fault path or pagedaemon scan). Fire the
   // machine-check hooks so the layers above can unmap the frame everywhere
@@ -316,6 +357,12 @@ void PhysMem::PoisonRandom(std::uint64_t count, sim::Rng& rng) {
 }
 
 void PhysMem::RetirePage(Page* p) {
+  sim::LockGuard g(queue_lock_);
+  ++p->gen;  // retirement from a containment path is the frame's free
+  RetirePageLocked(p);
+}
+
+void PhysMem::RetirePageLocked(Page* p) {
   SIM_ASSERT_MSG(p->poisoned, "retiring an unpoisoned page");
   SIM_ASSERT(p->wire_count == 0 && p->loan_count == 0);
   SIM_ASSERT(p->queue == PageQueue::kNone);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/phys/page.h"
+#include "src/sim/lock.h"
 #include "src/sim/machine.h"
 #include "src/sim/pressure.h"
 #include "src/sim/rng.h"
@@ -110,6 +111,19 @@ class PhysMem {
   void Wire(Page* p);
   void Unwire(Page* p);
 
+  // The page-queue lock. Every queue-mutating entry point takes it
+  // internally; callers acquire it only to mint the LockToken that
+  // FrameIsCurrent demands.
+  sim::SimLock& queue_lock() { return queue_lock_; }
+
+  // True iff the frame has not been freed (and possibly reallocated) since
+  // the caller captured `gen`. Fault paths holding a bare Page* across a
+  // blocking allocation re-validate with this before touching the frame.
+  // The token proves the caller holds the queue lock, so the answer cannot
+  // rot before it acts on it.
+  bool FrameIsCurrent(const sim::LockToken& token, const Page* p,
+                      std::uint32_t gen) const;
+
   // Contents access.
   std::span<std::byte, sim::kPageSize> Data(Page* p);
   std::span<const std::byte, sim::kPageSize> Data(const Page* p) const;
@@ -155,6 +169,13 @@ class PhysMem {
  private:
   friend class PageoutScope;
 
+  // Bodies of the queue-mutating entry points, for internal nesting
+  // (Activate/Wire dequeue first, Unwire re-activates, FreePage retires a
+  // poisoned frame) without re-entering the non-recursive queue lock.
+  void ActivateLocked(Page* p);
+  void DequeueLocked(Page* p);
+  void RetirePageLocked(Page* p);
+
   // Registered with sim::Auditor: pool accounting (queue tags vs list
   // membership vs Stats) and poison retirement invariants.
   void AuditPool(sim::Auditor& auditor) const;
@@ -167,6 +188,11 @@ class PhysMem {
   void ReleaseBalloon();  // balloon -> free list, down to target
 
   sim::Machine& machine_;
+  // Guards the free list, the paging queues, wire counts, the balloon, and
+  // frame generations. Zero acquire cost: the paper's model charges lock
+  // costs only at the map/object level, and adding a cost here would change
+  // every bench byte (DESIGN.md §15).
+  sim::SimLock queue_lock_;
   std::vector<Page> pages_;
   std::vector<std::byte> bytes_;
   PageList free_;

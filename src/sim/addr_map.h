@@ -52,6 +52,7 @@
 
 #include "src/sim/annotations.h"
 #include "src/sim/assert.h"
+#include "src/sim/lock.h"
 #include "src/sim/machine.h"
 #include "src/sim/pool.h"
 #include "src/sim/types.h"
@@ -71,38 +72,32 @@ class AddrMap {
   // fixed entry pool and exhausting it is fatal in a real kernel (§3.2).
   // `entry_pool`, when given, supplies the slab storage for entry nodes
   // (shared across a VM's maps); otherwise the map carries its own.
+  // `lock_name` names the map's SimLock in the registry's per-class
+  // attribution table ("uvm.map", "bsd.kmap", ...).
   AddrMap(Machine& machine, Vaddr min_addr, Vaddr max_addr, std::size_t max_entries,
-          PoolResource* entry_pool = nullptr)
+          PoolResource* entry_pool = nullptr, const char* lock_name = "map")
       : machine_(machine),
         min_addr_(min_addr),
         max_addr_(max_addr),
         max_entries_(max_entries),
         own_pool_("map.entries", &machine.pools()),
-        entries_(PoolAllocator<Entry>(entry_pool != nullptr ? entry_pool : &own_pool_)) {}
+        entries_(PoolAllocator<Entry>(entry_pool != nullptr ? entry_pool : &own_pool_)),
+        lock_(machine, lock_name, LockRank::kMap, &machine.cost().map_lock_ns) {}
 
   AddrMap(const AddrMap&) = delete;
   AddrMap& operator=(const AddrMap&) = delete;
 
   // Lock metering. The "lock" is advisory (the simulator is single
-  // threaded) but acquisitions and virtual hold time are recorded.
-  void Lock() {
-    if (lock_depth_ == 0) {
-      machine_.Charge(CostCat::kLock, machine_.cost().map_lock_ns);
-      ++machine_.stats().map_lock_acquisitions;
-      lock_start_ = machine_.clock().now();
-    }
-    ++lock_depth_;
-  }
+  // threaded) but it is a real sim::SimLock: acquisitions and virtual hold
+  // time are recorded per lock, the global rank order is validated, and
+  // re-entrant acquisition panics (the paper's map lock is not recursive).
+  void Lock() SIM_ACQUIRE(lock_) { lock_.Acquire(); }
 
-  void Unlock() {
-    SIM_ASSERT(lock_depth_ > 0);
-    --lock_depth_;
-    if (lock_depth_ == 0) {
-      machine_.stats().map_lock_hold_ns += machine_.clock().now() - lock_start_;
-    }
-  }
+  void Unlock() SIM_RELEASE(lock_) { lock_.Release(); }
 
-  bool IsLocked() const { return lock_depth_ > 0; }
+  bool IsLocked() const { return lock_.IsHeld(); }
+
+  SimLock& lock() SIM_RETURN_CAPABILITY(lock_) { return lock_; }
 
   // Find the entry containing `va`; entries().end() if unmapped. Charges
   // the modeled linear-scan cost (rank of the entry), not the host cost.
@@ -438,8 +433,9 @@ class AddrMap {
   // keeps rank (the modeled probe count) a byproduct of the search.
   std::vector<Vaddr> starts_;
   std::vector<iterator> iters_;
-  int lock_depth_ = 0;
-  Nanoseconds lock_start_ = 0;
+  // The map lock (rank kMap): charges map_lock_ns per acquire, mirrors the
+  // legacy stats counters, and participates in the global rank validator.
+  SimLock lock_;
   // Last-lookup hint: entry + its modeled rank at the time of the hit.
   bool hint_valid_ = false;
   iterator hint_it_{};

@@ -1,0 +1,192 @@
+// sim::SimLock — the lock-discipline capability layer (DESIGN.md §15).
+//
+// The paper's Section 3 credits UVM's fine-grained, per-object locking for
+// its scalability over the giant-lock BSD VM. This layer turns every lock
+// round-trip the cost model charges into a *named, ranked* lock object:
+//
+//  - Acquire/Release charge exactly the legacy `map_lock_ns` /
+//    `object_lock_ns` model (zero-cost locks charge nothing at all, so the
+//    eight paper benches stay byte-identical to the anonymous-charge era).
+//  - A deterministic runtime rank validator panics on out-of-order or
+//    re-entrant acquisition: a lock may only be taken while every held lock
+//    has an equal or lower LockRank (see lock_registry.h for the table).
+//  - Per-lock acquire counts and virtual hold time accumulate in the lock,
+//    in aggregate Stats counters, and per-class in the LockRegistry — the
+//    contention-accounting substrate for the deterministic-SMP work.
+//  - Clang Thread Safety Analysis attributes (via annotations.h) make the
+//    discipline statically checkable under the `tsa` CMake preset.
+//
+// SimLock::Acquire is the ONLY sanctioned `CostCat::kLock` charge site;
+// simlint rule `naked-lock-charge` flags any other (escape hatch
+// SIM_LOCK_CHARGE_OK).
+#ifndef SRC_SIM_LOCK_H_
+#define SRC_SIM_LOCK_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "src/sim/annotations.h"
+#include "src/sim/assert.h"
+#include "src/sim/lock_registry.h"
+#include "src/sim/machine.h"
+
+namespace sim {
+
+class SIM_CAPABILITY("mutex") SimLock {
+ public:
+  // Where an acquire's virtual cost is attributed. kLeaf charges
+  // CostCat::kLock directly (the map lock: lock round-trips keep their own
+  // category). kContext charges the innermost ChargeScope's category — the
+  // BSD object-chain lock folds its cost into the enclosing fault charge,
+  // exactly as the pre-SimLock code charged hop+lock in one call.
+  enum class Attribution : std::uint8_t { kLeaf, kContext };
+
+  // `acquire_ns` points into the machine's (immutable) cost model; null
+  // means the lock itself costs nothing — its layer's operation costs
+  // already subsume the round-trip, and a zero charge would still perturb
+  // the printed CostBreakdown charge counts.
+  SimLock(Machine& machine, const char* name, LockRank rank,
+          const Nanoseconds* acquire_ns = nullptr,
+          Attribution attribution = Attribution::kLeaf)
+      : machine_(machine),
+        name_(name),
+        rank_(rank),
+        acquire_ns_(acquire_ns),
+        attribution_(attribution) {
+    machine_.locks().Register(this, name_, rank_);
+  }
+
+  ~SimLock() {
+    SIM_ASSERT_MSG(!held_, "lock destroyed while held");
+    machine_.locks().Unregister(this, name_, rank_, acquisitions_, hold_ns_);
+  }
+
+  SimLock(const SimLock&) = delete;
+  SimLock& operator=(const SimLock&) = delete;
+
+  // Acquire the lock, charging `*acquire_ns_ + extra_ns` virtual time (the
+  // extra covers call sites that fold a companion cost into the same charge,
+  // e.g. the BSD chain walk's per-hop cost). Panics deterministically on
+  // re-entrant acquisition and on rank-order violations.
+  void Acquire(Nanoseconds extra_ns = 0) SIM_ACQUIRE() {
+    if (held_) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "re-entrant acquire of lock %s", name_);
+      SIM_PANIC(buf);
+    }
+    if (const SimLock* top = machine_.locks().innermost();
+        top != nullptr && rank_ < top->rank_) {
+      char buf[192];
+      std::snprintf(buf, sizeof buf,
+                    "lock rank violation: acquiring %s (rank %s) while holding %s (rank %s)",
+                    name_, LockRankName(rank_), top->name_, LockRankName(top->rank_));
+      SIM_PANIC(buf);
+    }
+    const Nanoseconds ns = (acquire_ns_ != nullptr ? *acquire_ns_ : 0) + extra_ns;
+    if (ns > 0) {
+      if (attribution_ == Attribution::kContext) {
+        machine_.Charge(ns);
+      } else {
+        machine_.Charge(CostCat::kLock, ns);
+      }
+      if (machine_.tracer().enabled()) {
+        // Instant (not span) events: a lock may legally be released after an
+        // enclosing ChargeScope closes, which would mis-nest span pairs.
+        machine_.tracer().Instant(CostCat::kLock, name_, machine_.clock().now());
+      }
+    }
+    held_ = true;
+    acquired_at_ = machine_.clock().now();
+    ++acquisitions_;
+    ++machine_.stats().lock_acquisitions;
+    if (rank_ == LockRank::kMap) {
+      // Legacy counters predate SimLock and are printed by ReportStats;
+      // every map-rank lock mirrors into them so output stays identical.
+      ++machine_.stats().map_lock_acquisitions;
+    }
+    machine_.locks().PushHeld(this);
+  }
+
+  void Release() SIM_RELEASE() {
+    SIM_ASSERT_MSG(held_, "release of a lock that is not held");
+    const Nanoseconds delta = machine_.clock().now() - acquired_at_;
+    hold_ns_ += delta;
+    machine_.stats().lock_hold_ns += delta;
+    if (rank_ == LockRank::kMap) {
+      machine_.stats().map_lock_hold_ns += delta;
+    }
+    held_ = false;
+    machine_.locks().PopHeld(this);
+  }
+
+  bool IsHeld() const { return held_; }
+  const char* name() const { return name_; }
+  LockRank rank() const { return rank_; }
+  std::uint64_t acquisitions() const { return acquisitions_; }
+  Nanoseconds hold_ns() const { return hold_ns_; }
+
+ private:
+  Machine& machine_;
+  const char* name_;
+  LockRank rank_;
+  const Nanoseconds* acquire_ns_;
+  Attribution attribution_;
+  bool held_ = false;
+  Nanoseconds acquired_at_ = 0;
+  std::uint64_t acquisitions_ = 0;
+  Nanoseconds hold_ns_ = 0;
+};
+
+// RAII guard: the preferred acquire form (simlint rule
+// `unbalanced-lock-scope` flags bare Acquire()/Lock() calls without a
+// paired release in the same function).
+class SIM_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(SimLock& lock, Nanoseconds extra_ns = 0) SIM_ACQUIRE(lock) : lock_(lock) {
+    lock_.Acquire(extra_ns);
+  }
+  ~LockGuard() SIM_RELEASE() { lock_.Release(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  SimLock& lock_;
+};
+
+// A witness that a particular lock is held *right now*: constructed only
+// from a held lock, passed by value to functions whose contract requires
+// the caller to hold it (e.g. PhysMem::FrameIsCurrent wants the page-queue
+// lock). Purely an asserted capability token — it neither acquires nor
+// releases anything.
+class LockToken {
+ public:
+  explicit LockToken(const SimLock& lock) SIM_REQUIRES(lock) : lock_(&lock) {
+    SIM_ASSERT_MSG(lock.IsHeld(), "LockToken over a lock that is not held");
+  }
+  const SimLock& lock() const { return *lock_; }
+
+ private:
+  const SimLock* lock_;
+};
+
+// Merged per-lock-class table: retired totals plus every live lock's
+// current counters, in first-registration order (deterministic).
+inline std::vector<LockClassTotals> LockTable(const LockRegistry& registry) {
+  std::vector<LockClassTotals> table = registry.retired();
+  for (const SimLock* l : registry.locks()) {
+    for (LockClassTotals& t : table) {
+      if (std::strcmp(t.name, l->name()) == 0) {
+        t.acquisitions += l->acquisitions();
+        t.hold_ns += l->hold_ns();
+        break;
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace sim
+
+#endif  // SRC_SIM_LOCK_H_

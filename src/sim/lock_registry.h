@@ -1,0 +1,136 @@
+// Registry of every live sim::SimLock plus the stack of currently-held
+// locks (DESIGN.md §15). Machine owns one LockRegistry; SimLock registers
+// itself on construction and folds its counters into the per-class retired
+// totals on destruction, so per-lock-class attribution survives the locks
+// themselves (per-address-space map locks die with their process).
+//
+// This header is deliberately free of any Machine dependency so machine.h
+// can hold a LockRegistry by value; all rank/charge logic lives in
+// src/sim/lock.h.
+#ifndef SRC_SIM_LOCK_REGISTRY_H_
+#define SRC_SIM_LOCK_REGISTRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/sim/assert.h"
+
+namespace sim {
+
+class SimLock;
+
+// Global lock rank table (paper §3: the map lock is the outermost lock in
+// every VM operation; each layer below has its own finer lock). A lock may
+// only be acquired while every held lock has an equal or *lower* rank —
+// equal rank covers the legal same-layer pairs (two maps during extract /
+// fork, the BSD kernel map under a locked process map for PT-page mirroring).
+// kPv and kSwap extend the paper's five-entry table downward: pv-chain and
+// swap-slot locks are leaves acquired under everything else.
+enum class LockRank : std::uint8_t {
+  kMap = 0,
+  kObject = 1,
+  kAmap = 2,
+  kPageQueue = 3,
+  kPmap = 4,
+  kPv = 5,
+  kSwap = 6,
+};
+
+inline const char* LockRankName(LockRank r) {
+  switch (r) {
+    case LockRank::kMap:
+      return "map";
+    case LockRank::kObject:
+      return "object";
+    case LockRank::kAmap:
+      return "amap";
+    case LockRank::kPageQueue:
+      return "page-queue";
+    case LockRank::kPmap:
+      return "pmap";
+    case LockRank::kPv:
+      return "pv";
+    case LockRank::kSwap:
+      return "swap";
+  }
+  return "?";
+}
+
+// Per-lock-class counter totals, aggregated by lock name. For live locks
+// the numbers come straight from the lock; destroyed locks contribute via
+// the retired table.
+struct LockClassTotals {
+  const char* name;
+  LockRank rank;
+  std::uint64_t locks = 0;  // distinct SimLock instances ever registered
+  std::uint64_t acquisitions = 0;
+  std::uint64_t hold_ns = 0;
+};
+
+class LockRegistry {
+ public:
+  LockRegistry() = default;
+  LockRegistry(const LockRegistry&) = delete;
+  LockRegistry& operator=(const LockRegistry&) = delete;
+
+  void Register(SimLock* l, const char* name, LockRank rank) {
+    locks_.push_back(l);
+    RetiredSlot(name, rank).locks += 1;
+  }
+
+  // Called from ~SimLock with the lock's final counters; the per-name
+  // totals outlive the lock object itself.
+  void Unregister(SimLock* l, const char* name, LockRank rank, std::uint64_t acquisitions,
+                  std::uint64_t hold_ns) {
+    auto it = std::find(locks_.begin(), locks_.end(), l);
+    SIM_ASSERT_MSG(it != locks_.end(), "unregistering a lock that was never registered");
+    locks_.erase(it);
+    LockClassTotals& t = RetiredSlot(name, rank);
+    t.acquisitions += acquisitions;
+    t.hold_ns += hold_ns;
+  }
+
+  void PushHeld(SimLock* l) { held_.push_back(l); }
+
+  // Release order need not be LIFO (a fault may unlock the map before the
+  // object lock on an error path), so erase wherever the lock sits.
+  void PopHeld(SimLock* l) {
+    for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+      if (*it == l) {
+        held_.erase(std::next(it).base());
+        return;
+      }
+    }
+    SIM_PANIC("releasing a lock that is not on the held stack");
+  }
+
+  SimLock* innermost() const { return held_.empty() ? nullptr : held_.back(); }
+  const std::vector<SimLock*>& held() const { return held_; }
+  const std::vector<SimLock*>& locks() const { return locks_; }
+
+  // Retired (and partially live: `locks` counts registrations) per-class
+  // totals in first-registration order — deterministic. sim::LockTable()
+  // in lock.h merges in the live locks' current counters.
+  const std::vector<LockClassTotals>& retired() const { return retired_; }
+
+ private:
+  LockClassTotals& RetiredSlot(const char* name, LockRank rank) {
+    for (LockClassTotals& t : retired_) {
+      if (std::strcmp(t.name, name) == 0) {
+        return t;
+      }
+    }
+    retired_.push_back(LockClassTotals{name, rank, 0, 0, 0});
+    return retired_.back();
+  }
+
+  std::vector<SimLock*> locks_;   // live locks, registration order
+  std::vector<SimLock*> held_;    // acquisition-ordered held stack
+  std::vector<LockClassTotals> retired_;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_LOCK_REGISTRY_H_

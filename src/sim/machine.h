@@ -12,6 +12,7 @@
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/fault.h"
+#include "src/sim/lock_registry.h"
 #include "src/sim/pool.h"
 #include "src/sim/pressure.h"
 #include "src/sim/stats.h"
@@ -42,6 +43,8 @@ class Machine {
   const Auditor& auditor() const { return auditor_; }
   PoolRegistry& pools() { return pools_; }
   const PoolRegistry& pools() const { return pools_; }
+  LockRegistry& locks() { return locks_; }
+  const LockRegistry& locks() const { return locks_; }
   const CostBreakdown& breakdown() const { return breakdown_; }
   CostBreakdown& breakdown() { return breakdown_; }
 
@@ -96,6 +99,9 @@ class Machine {
   // registry only holds non-owning pointers, registered pools must die
   // before the machine.
   PoolRegistry pools_;
+  // Same non-owning contract for locks: every sim::SimLock registers here
+  // and must be destroyed (unheld) before the machine.
+  LockRegistry locks_;
   FaultInjector faults_;
   PressureEngine pressure_;
   Auditor auditor_;

@@ -4,6 +4,8 @@
 #include <locale>
 #include <sstream>
 
+#include "src/sim/lock.h"
+
 namespace sim {
 
 namespace {
@@ -86,6 +88,20 @@ void ReportIoLine(std::ostream& os, const Machine& machine) {
   std::ostringstream out = ClassicStream();
   out << "faults=" << s.faults << " disk_ops=" << s.disk_ops << " swap_ops=" << s.swap_ops
       << " copied=" << s.pages_copied << " t=" << FormatSeconds(machine.clock().now()) << "s";
+  os << out.str();
+}
+
+void ReportLockTable(std::ostream& os, const Machine& machine) {
+  std::ostringstream out = ClassicStream();
+  out << "lock table (per class, registration order):\n"
+      << "  " << std::left << std::setw(16) << "name" << std::setw(12) << "rank" << std::right
+      << std::setw(8) << "locks" << std::setw(12) << "acquires" << std::setw(16) << "hold_ns"
+      << "\n";
+  for (const LockClassTotals& t : LockTable(machine.locks())) {
+    out << "  " << std::left << std::setw(16) << t.name << std::setw(12) << LockRankName(t.rank)
+        << std::right << std::setw(8) << t.locks << std::setw(12) << t.acquisitions
+        << std::setw(16) << t.hold_ns << "\n";
+  }
   os << out.str();
 }
 

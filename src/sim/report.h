@@ -28,6 +28,13 @@ void ReportCostBreakdown(std::ostream& os, const Machine& machine);
 // One-line I/O summary ("faults=... disk_ops=... swap_ops=...").
 void ReportIoLine(std::ostream& os, const Machine& machine);
 
+// Per-lock-class attribution table (DESIGN.md §15): every lock class ever
+// registered with the machine's LockRegistry, in first-registration order,
+// with instance counts, acquisitions, and virtual hold time. Deliberately
+// NOT part of ReportStats: existing report output stays byte-identical, and
+// callers opt in (e.g. `bench_fleet --locks`).
+void ReportLockTable(std::ostream& os, const Machine& machine);
+
 }  // namespace sim
 
 #endif  // SRC_SIM_REPORT_H_

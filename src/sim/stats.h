@@ -66,6 +66,10 @@ struct Stats {
   // Lock metering (§3.1: BSD holds the map lock across object teardown)
   std::uint64_t map_lock_acquisitions = 0;
   std::uint64_t map_lock_hold_ns = 0;
+  // All sim::SimLock instances combined (map locks included); per-lock-class
+  // attribution lives in the machine's LockRegistry (DESIGN.md §15).
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t lock_hold_ns = 0;
 
   // Pathology accounting
   std::uint64_t leaked_pages_detected = 0;  // inaccessible pages found in chains
@@ -76,6 +80,10 @@ struct Stats {
   std::uint64_t emergency_page_allocs = 0;  // pageout/PT-page allocs that dipped into reserve
   std::uint64_t alloc_retries = 0;          // extra daemon-and-retry passes on the alloc path
   std::uint64_t fault_retries = 0;          // kernel-level fault retries under pressure
+  // Fault paths that found their captured Page* freed (generation bumped)
+  // by a pagedaemon run inside a blocking allocation, and backed out or
+  // re-looked-up instead of touching the recycled frame.
+  std::uint64_t fault_stale_page_retries = 0;
   std::uint64_t swap_full_events = 0;       // pageout wanted a swap slot and none was free
   std::uint64_t swap_reserve_allocs = 0;    // slot allocs that dipped into the pageout reserve
   std::uint64_t vnode_table_full = 0;       // vnode table exhausted with nothing recyclable

@@ -14,7 +14,10 @@ constexpr int kMaxRemapAttempts = 8;
 }  // namespace
 
 std::int32_t SwapDevice::AllocSlot(bool emergency) {
+  // Poll first: the pressure actuator (SetBalloonTarget) takes the slot
+  // lock itself.
   disk_.machine().PollPressure();
+  sim::LockGuard g(slot_lock_);
   if (!emergency && free_slots() <= reserved_slots_) {
     return kNoSlot;  // only the pageout reserve remains
   }
@@ -53,6 +56,7 @@ std::int32_t SwapDevice::ScanContig(std::size_t from, std::size_t to, std::size_
 
 std::int32_t SwapDevice::AllocContig(std::size_t want, bool emergency) {
   disk_.machine().PollPressure();
+  sim::LockGuard g(slot_lock_);
   const std::size_t n = used_.size();
   if (want == 0 || want > n) {
     return kNoSlot;
@@ -78,6 +82,7 @@ std::int32_t SwapDevice::AllocContig(std::size_t want, bool emergency) {
 }
 
 void SwapDevice::SetBalloonTarget(std::size_t target) {
+  sim::LockGuard g(slot_lock_);
   balloon_target_ = target < used_.size() ? target : used_.size();
   AbsorbBalloon();  // any deficit left is absorbed by future FreeSlot calls
   ReleaseBalloon();
@@ -121,6 +126,7 @@ void SwapDevice::ReleaseBalloon() {
 }
 
 void SwapDevice::FreeSlot(std::int32_t slot) {
+  sim::LockGuard g(slot_lock_);
   auto i = static_cast<std::size_t>(slot);
   SIM_ASSERT(slot >= 0 && i < used_.size());
   SIM_ASSERT_MSG(used_[i], "double free of swap slot");
@@ -142,6 +148,7 @@ void SwapDevice::FreeRange(std::int32_t first, std::size_t n) {
 }
 
 void SwapDevice::RetireSlot(std::int32_t slot) {
+  sim::LockGuard g(slot_lock_);
   auto i = static_cast<std::size_t>(slot);
   SIM_ASSERT(slot >= 0 && i < used_.size());
   SIM_ASSERT(used_[i] && !bad_[i]);

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "src/sim/lock.h"
 #include "src/sim/machine.h"
 #include "src/sim/types.h"
 #include "src/vfs/disk.h"
@@ -31,6 +32,7 @@ class SwapDevice {
  public:
   SwapDevice(sim::Machine& machine, std::size_t num_slots)
       : disk_(machine, vfs::Disk::Kind::kSwap),
+        slot_lock_(machine, "swap.slots", sim::LockRank::kSwap),
         used_(num_slots, false),
         bad_(num_slots, false),
         bytes_(num_slots * sim::kPageSize) {
@@ -114,6 +116,10 @@ class SwapDevice {
   void ReleaseBalloon();  // balloon -> free slots, down to target
 
   vfs::Disk disk_;
+  // Guards the slot bitmap, counts, hint, and balloon. Zero-cost (the I/O
+  // costs dominate and the paper charges no swap-map lock); rank kSwap is
+  // the bottom of the order, legal under any fault- or pageout-path lock.
+  sim::SimLock slot_lock_;
   std::vector<bool> used_;
   std::vector<bool> bad_;
   std::vector<std::byte> bytes_;

@@ -1,0 +1,221 @@
+// The lock-discipline capability layer (src/sim/lock.h, DESIGN.md §15):
+// charge semantics, per-lock and aggregate counters, the runtime rank
+// validator's panics, LockToken witnesses, registry retirement, the frame
+// generation tag behind FrameIsCurrent, and whole-fleet lock attribution
+// (every registered lock class is exercised; double runs are identical).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/world.h"
+#include "src/kern/fleet.h"
+#include "src/sim/lock.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+using harness::VmKind;
+using harness::World;
+
+TEST(LockTest, AcquireChargesTheConfiguredCost) {
+  sim::Machine m;
+  const sim::Nanoseconds cost = 123;
+  sim::SimLock lock(m, "t.costed", sim::LockRank::kMap, &cost);
+  {
+    sim::LockGuard g(lock);
+    EXPECT_EQ(123u, m.clock().now());
+    EXPECT_TRUE(lock.IsHeld());
+  }
+  EXPECT_FALSE(lock.IsHeld());
+  EXPECT_EQ(1u, lock.acquisitions());
+  EXPECT_EQ(1u, m.stats().lock_acquisitions);
+}
+
+TEST(LockTest, ZeroCostLockNeverTouchesTheClock) {
+  sim::Machine m;
+  sim::SimLock lock(m, "t.free", sim::LockRank::kPageQueue);
+  sim::LockGuard g(lock);
+  EXPECT_EQ(0u, m.clock().now());
+  // No charge was issued at all: a zero-ns Charge() would still perturb the
+  // printed CostBreakdown charge counts.
+  EXPECT_EQ(0u, m.breakdown().charges_of(sim::CostCat::kLock));
+}
+
+TEST(LockTest, HoldTimeIsVirtualTimeUnderTheLock) {
+  sim::Machine m;
+  sim::SimLock lock(m, "t.hold", sim::LockRank::kObject);
+  lock.Acquire();
+  m.Charge(500);
+  lock.Release();
+  EXPECT_EQ(500u, lock.hold_ns());
+  EXPECT_EQ(500u, m.stats().lock_hold_ns);
+}
+
+TEST(LockTest, MapRankMirrorsLegacyCounters) {
+  sim::Machine m;
+  sim::SimLock lock(m, "t.map", sim::LockRank::kMap);
+  lock.Acquire();
+  m.Charge(77);
+  lock.Release();
+  EXPECT_EQ(1u, m.stats().map_lock_acquisitions);
+  EXPECT_EQ(77u, m.stats().map_lock_hold_ns);
+}
+
+TEST(LockTest, DescendingAndEqualRankNestingIsLegal) {
+  sim::Machine m;
+  sim::SimLock map_a(m, "t.map_a", sim::LockRank::kMap);
+  sim::SimLock map_b(m, "t.map_b", sim::LockRank::kMap);
+  sim::SimLock obj(m, "t.obj", sim::LockRank::kObject);
+  sim::SimLock swap(m, "t.swap", sim::LockRank::kSwap);
+  sim::LockGuard g1(map_a);
+  sim::LockGuard g2(map_b);  // equal rank: the two-map extract/fork case
+  sim::LockGuard g3(obj);
+  sim::LockGuard g4(swap);
+  EXPECT_EQ(4u, m.locks().held().size());
+}
+
+TEST(LockTest, NonLifoReleaseIsLegal) {
+  sim::Machine m;
+  sim::SimLock map(m, "t.map", sim::LockRank::kMap);
+  sim::SimLock obj(m, "t.obj", sim::LockRank::kObject);
+  map.Acquire();
+  obj.Acquire();
+  map.Release();  // error paths may drop the map before the object lock
+  EXPECT_TRUE(obj.IsHeld());
+  obj.Release();
+  EXPECT_TRUE(m.locks().held().empty());
+}
+
+TEST(LockTest, TokenWitnessesAHeldLock) {
+  sim::Machine m;
+  sim::SimLock lock(m, "t.tok", sim::LockRank::kPageQueue);
+  sim::LockGuard g(lock);
+  sim::LockToken token(lock);
+  EXPECT_EQ(&lock, &token.lock());
+}
+
+TEST(LockTest, RetiredTotalsSurviveTheLockObject) {
+  sim::Machine m;
+  {
+    sim::SimLock lock(m, "t.transient", sim::LockRank::kMap);
+    lock.Acquire();
+    m.Charge(40);
+    lock.Release();
+  }
+  // Per-address-space map locks die with their process; the per-class
+  // totals must not.
+  bool found = false;
+  for (const sim::LockClassTotals& t : sim::LockTable(m.locks())) {
+    if (std::string(t.name) == "t.transient") {
+      found = true;
+      EXPECT_EQ(1u, t.locks);
+      EXPECT_EQ(1u, t.acquisitions);
+      EXPECT_EQ(40u, t.hold_ns);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LockDeathTest, ReentrantAcquirePanics) {
+  sim::Machine m;
+  sim::SimLock lock(m, "t.reent", sim::LockRank::kMap);
+  lock.Acquire();
+  EXPECT_DEATH(lock.Acquire(), "re-entrant acquire of lock t.reent");
+  lock.Release();
+}
+
+TEST(LockDeathTest, RankOrderViolationPanics) {
+  sim::Machine m;
+  sim::SimLock pmap(m, "t.pmap", sim::LockRank::kPmap);
+  sim::SimLock map(m, "t.map", sim::LockRank::kMap);
+  pmap.Acquire();
+  EXPECT_DEATH(
+      map.Acquire(),
+      "lock rank violation: acquiring t.map \\(rank map\\) while holding t.pmap \\(rank pmap\\)");
+  pmap.Release();
+}
+
+TEST(LockDeathTest, TokenOverUnheldLockAsserts) {
+  sim::Machine m;
+  sim::SimLock lock(m, "t.unheld", sim::LockRank::kMap);
+  EXPECT_DEATH(sim::LockToken token(lock), "LockToken over a lock that is not held");
+}
+
+TEST(LockDeathTest, UnbalancedReleaseAsserts) {
+  sim::Machine m;
+  sim::SimLock lock(m, "t.unbal", sim::LockRank::kMap);
+  EXPECT_DEATH(lock.Release(), "release of a lock that is not held");
+}
+
+// The generation tag behind the stale-page protocol: freeing a frame (here
+// via its owning object) retires the identity a raw Page* captured before a
+// blocking allocation, and FrameIsCurrent — under the queue lock — says so.
+TEST(FrameGenerationTest, FreeingAFrameRetiresItsGeneration) {
+  World w(VmKind::kUvm);
+  phys::Page* p = w.pm.AllocPage(phys::OwnerKind::kKernel, &w, 0, /*zero=*/false);
+  ASSERT_NE(nullptr, p);
+  const std::uint32_t gen = p->gen;
+  {
+    sim::LockGuard q(w.pm.queue_lock());
+    EXPECT_TRUE(w.pm.FrameIsCurrent(sim::LockToken(w.pm.queue_lock()), p, gen));
+  }
+  w.pm.FreePage(p);
+  {
+    sim::LockGuard q(w.pm.queue_lock());
+    EXPECT_FALSE(w.pm.FrameIsCurrent(sim::LockToken(w.pm.queue_lock()), p, gen));
+  }
+}
+
+// Completeness: a fleet workload under memory pressure must touch every
+// registered lock class — a class with zero acquisitions would mean some
+// charge site escaped the capability layer. RAM is sized down so the
+// pagedaemon actually pushes to swap, and one boot-entry reservation
+// exercises the kernel map (UVM's kmap is otherwise only a pressure path).
+TEST(LockTableTest, FleetTouchesEveryLockClass) {
+  for (VmKind kind : {VmKind::kBsd, VmKind::kUvm}) {
+    World w(kind);
+    // Shrink RAM under the running fleet (the CI gate's pressure shape) so
+    // the pagedaemon must push anonymous pages to swap.
+    w.InstallPressurePlan("@1ms phys-=7600");
+    w.kernel->ReserveKernelBootEntries(1);
+    kern::FleetConfig cfg;
+    cfg.target_ops = 20000;
+    kern::FleetWorkload fleet(*w.kernel, cfg);
+    fleet.Run();
+    const std::vector<sim::LockClassTotals> table = sim::LockTable(w.machine.locks());
+    EXPECT_FALSE(table.empty());
+    for (const sim::LockClassTotals& t : table) {
+      EXPECT_GT(t.acquisitions, 0u)
+          << "lock class '" << t.name << "' was never acquired on "
+          << (kind == VmKind::kBsd ? "bsdvm" : "uvm");
+    }
+  }
+}
+
+TEST(LockDeterminismTest, FleetLockCountersAreIdenticalAcrossRuns) {
+  for (VmKind kind : {VmKind::kBsd, VmKind::kUvm}) {
+    std::vector<std::string> fp;
+    for (int run = 0; run < 2; ++run) {
+      World w(kind);
+      kern::FleetConfig cfg;
+      cfg.target_ops = 20000;
+      kern::FleetWorkload fleet(*w.kernel, cfg);
+      fleet.Run();
+      std::vector<std::string> cur;
+      for (const sim::LockClassTotals& t : sim::LockTable(w.machine.locks())) {
+        cur.push_back(std::string(t.name) + ":" + std::to_string(t.locks) + ":" +
+                      std::to_string(t.acquisitions) + ":" + std::to_string(t.hold_ns));
+      }
+      if (run == 0) {
+        fp = cur;
+      } else {
+        EXPECT_EQ(fp, cur) << "per-lock counters diverged on "
+                           << (kind == VmKind::kBsd ? "bsdvm" : "uvm");
+      }
+    }
+  }
+}
+
+}  // namespace

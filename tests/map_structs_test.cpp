@@ -154,13 +154,14 @@ TEST_F(BsdMapStructTest, LockMeteringAccumulatesHoldTime) {
   EXPECT_GE(machine.stats().map_lock_hold_ns, 1000u);
 }
 
-TEST_F(BsdMapStructTest, NestedLockCountsOnce) {
+TEST_F(BsdMapStructTest, NestedLockPanics) {
+  // The map lock is a real capability now, not a recursion counter: code
+  // that faults while holding the map lock must use the *WithMapLocked
+  // entry points instead of re-locking.
   std::uint64_t acq = machine.stats().map_lock_acquisitions;
   map.Lock();
-  map.Lock();
   EXPECT_TRUE(map.IsLocked());
-  map.Unlock();
-  EXPECT_TRUE(map.IsLocked());
+  EXPECT_DEATH(map.Lock(), "re-entrant acquire of lock map");
   map.Unlock();
   EXPECT_FALSE(map.IsLocked());
   EXPECT_EQ(acq + 1, machine.stats().map_lock_acquisitions);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """simlint — static-analysis gate for the UVM simulator's reproducibility invariants.
 
-Three rule families (see DESIGN.md §10):
+Five rule families (see DESIGN.md §10, §12–§15):
 
   determinism      det-unordered-iter   iteration over std::unordered_* in
                                         observable (src/) code
@@ -31,14 +31,27 @@ Three rule families (see DESIGN.md §10):
                                         containment hooks, generation tag,
                                         and counters stay in sync
                                         (DESIGN.md §13)
+  lock discipline  naked-lock-charge    a Charge(CostCat::kLock, ...) outside
+                                        src/sim/lock.h: every lock round-trip
+                                        must go through a named, ranked
+                                        sim::SimLock so per-lock attribution
+                                        and the rank validator see it
+                                        (DESIGN.md §15)
+                   unbalanced-lock-scope a receiver.Lock()/receiver.Acquire()
+                                        with no receiver.Unlock()/.Release()
+                                        anywhere in the same function: either
+                                        use sim::LockGuard or keep the pair
+                                        in one scope (DESIGN.md §15)
 
 Engine: libclang (python bindings) refines the unordered-iteration rule when
 available; everything else — and everything, when libclang is absent — runs
 on a comment/string-stripped token scanner. Both engines honour the escape
 hatches from src/sim/annotations.h (SIM_ORDERED_OK, SIM_HOST_TIME_OK,
-SIM_NO_CHARGE_OK): a finding is suppressed when the matching token appears
-on the flagged line or the two lines above it (SIM_NO_CHARGE_OK anywhere in
-the flagged function body).
+SIM_NO_CHARGE_OK, SIM_POOL_FATAL_OK, SIM_POOL_ALLOC_OK,
+SIM_POISON_WRITE_OK, SIM_LOCK_CHARGE_OK, SIM_LOCK_BALANCE_OK): a finding
+is suppressed when the matching token appears on the flagged line or the
+two lines above it (SIM_NO_CHARGE_OK anywhere in the flagged function
+body).
 
 Usage:
   simlint.py --all                  lint the whole repo (CI gate mode)
@@ -101,6 +114,8 @@ ANNOTATIONS = (
     "SIM_POOL_FATAL_OK",
     "SIM_POOL_ALLOC_OK",
     "SIM_POISON_WRITE_OK",
+    "SIM_LOCK_CHARGE_OK",
+    "SIM_LOCK_BALANCE_OK",
 )
 RULE_ANNOTATION = {
     "det-unordered-iter": "SIM_ORDERED_OK",
@@ -110,6 +125,8 @@ RULE_ANNOTATION = {
     "pool-exhaustion-assert": "SIM_POOL_FATAL_OK",
     "pool-naked-alloc": "SIM_POOL_ALLOC_OK",
     "poison-direct-write": "SIM_POISON_WRITE_OK",
+    "naked-lock-charge": "SIM_LOCK_CHARGE_OK",
+    "unbalanced-lock-scope": "SIM_LOCK_BALANCE_OK",
 }
 
 # The one module allowed to flip Page::poisoned directly: the injection /
@@ -767,6 +784,85 @@ def rule_poison_write(repo: Repo) -> list:
     return findings
 
 
+# The one sanctioned kLock charge site: sim::SimLock::Acquire. Everything
+# else must hold a named, ranked lock so the charge is attributable and the
+# rank validator sees the acquire (DESIGN.md §15).
+LOCK_CHARGE_RE = re.compile(r"\bCharge\s*\(\s*(?:sim::)?CostCat::kLock\b")
+LOCK_CHARGE_EXEMPT = {os.path.join("src", "sim", "lock.h")}
+
+
+def rule_naked_lock_charge(repo: Repo) -> list:
+    exempt = {p.replace(os.sep, "/") for p in LOCK_CHARGE_EXEMPT}
+    findings = []
+    for rel, sf in sorted(repo.files.items()):
+        if rel in exempt:
+            continue
+        for m in LOCK_CHARGE_RE.finditer(sf.stripped):
+            findings.append(
+                Finding(
+                    rule="naked-lock-charge",
+                    path=rel,
+                    line=line_of(sf.stripped, m.start()),
+                    message=(
+                        "bare CostCat::kLock charge outside src/sim/lock.h: lock "
+                        "round-trips must go through a named sim::SimLock so per-lock "
+                        "attribution, hold-time stats and the rank validator cover them "
+                        "(DESIGN.md §15); annotate SIM_LOCK_CHARGE_OK(reason) only when "
+                        "deliberately modelling an anonymous lock"
+                    ),
+                )
+            )
+    return findings
+
+
+# An explicit acquire is `recv.Lock()` / `recv.Acquire()` with EMPTY parens:
+# SimLock::Acquire(extra_ns) call sites use sim::LockGuard, and unrelated
+# Acquire(args...) methods (e.g. ClipReservation::Acquire) take arguments.
+# Releases are matched leniently (any argument list).
+LOCK_ACQ_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*(Lock|Acquire)\s*\(\s*\)")
+LOCK_REL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*(?:Unlock|Release)\s*\(")
+# Forwarding wrappers (AddressMap::Lock -> lock_.Acquire()) are the pairing
+# mechanism itself, not users of it. A declaration whose trailing token is a
+# TSA attribute macro (`void Lock() SIM_ACQUIRE(lock_) { ... }`) gets
+# segmented under the macro's name, so those are skipped the same way.
+LOCK_SCOPE_SKIP_FUNCS = {"Lock", "Unlock", "Acquire", "Release"}
+LOCK_SCOPE_SKIP_RE = re.compile(r"SIM_[A-Z_]+")
+
+
+def rule_unbalanced_lock_scope(repo: Repo) -> list:
+    """A receiver-matched acquire with no release on the same receiver in the
+    same function body. sim::LockGuard sites never match (no explicit
+    .Acquire() text), so RAII usage is clean by construction."""
+    lock_h = "src/sim/lock.h"
+    findings = []
+    for fn in repo.functions:
+        if fn.path == lock_h or fn.name in LOCK_SCOPE_SKIP_FUNCS:
+            continue
+        if LOCK_SCOPE_SKIP_RE.fullmatch(fn.name):
+            continue
+        released = {m.group(1) for m in LOCK_REL_RE.finditer(fn.body)}
+        sf = repo.files[fn.path]
+        for m in LOCK_ACQ_RE.finditer(fn.body):
+            recv = m.group(1)
+            if recv in released:
+                continue
+            findings.append(
+                Finding(
+                    rule="unbalanced-lock-scope",
+                    path=fn.path,
+                    line=line_of(sf.stripped, fn.body_start + m.start()),
+                    message=(
+                        f"'{fn.name}' acquires '{recv}' with no matching Unlock/Release "
+                        "on any path in the same function: use sim::LockGuard or keep "
+                        "the pair in one scope (DESIGN.md §15); annotate "
+                        "SIM_LOCK_BALANCE_OK(reason) only for deliberate hand-over-hand "
+                        "transfer where a callee provably releases"
+                    ),
+                )
+            )
+    return findings
+
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
 
@@ -915,6 +1011,8 @@ def collect_findings(repo: Repo, engine: str) -> list:
     findings.extend(rule_pool_fatal(repo))
     findings.extend(rule_pool_naked_alloc(repo))
     findings.extend(rule_poison_write(repo))
+    findings.extend(rule_naked_lock_charge(repo))
+    findings.extend(rule_unbalanced_lock_scope(repo))
 
     kept = []
     for f in findings:

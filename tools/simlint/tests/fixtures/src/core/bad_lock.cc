@@ -1,0 +1,41 @@
+// Fixture: lock-discipline violations. Expect one naked-lock-charge finding
+// on the bare kLock charge and one unbalanced-lock-scope finding per acquire
+// that has no same-receiver release in its function.
+#include <cstdint>
+
+namespace sim {
+enum class CostCat { kLock };
+struct Machine {
+  void Charge(CostCat c, std::uint64_t ns);
+};
+struct SimLock {
+  void Acquire();
+  void Release();
+};
+}  // namespace sim
+
+namespace core {
+
+struct Map {
+  void Lock();
+  void Unlock();
+};
+
+// A lock round-trip charged directly, bypassing every named SimLock: no
+// attribution, no rank check, invisible to the lock table.
+void BadAnonymousLockCharge(sim::Machine& machine) {
+  machine.Charge(sim::CostCat::kLock, 40);  // LINE-NAKED-CHARGE
+}
+
+// Acquire with no Release and no guard anywhere in the function.
+void BadDanglingAcquire(sim::SimLock& lk) {
+  lk.Acquire();  // LINE-DANGLING-ACQUIRE
+}
+
+// Lock()-style spelling of the same mistake.
+int BadDanglingLock(Map& map, int x) {
+  map.Lock();  // LINE-DANGLING-LOCK
+  return x + 1;
+}
+
+}  // namespace core

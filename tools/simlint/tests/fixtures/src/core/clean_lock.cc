@@ -1,0 +1,56 @@
+// Fixture: lock usage the lock-discipline rules must accept — balanced
+// explicit pairs (including multi-exit functions), RAII guards, and both
+// escape hatches.
+#include <cstdint>
+
+namespace sim {
+enum class CostCat { kLock };
+struct Machine {
+  void Charge(CostCat c, std::uint64_t ns);
+};
+struct SimLock {
+  void Acquire();
+  void Release();
+};
+struct LockGuard {
+  explicit LockGuard(SimLock& lk);
+};
+}  // namespace sim
+
+namespace core {
+
+struct Map {
+  void Lock();
+  void Unlock();
+};
+
+void BalancedExplicitPair(Map& map) {
+  map.Lock();
+  map.Unlock();
+}
+
+int BalancedEarlyReturn(Map& map, int x) {
+  map.Lock();
+  if (x < 0) {
+    map.Unlock();
+    return -1;
+  }
+  map.Unlock();
+  return x;
+}
+
+void GuardedAcquire(sim::SimLock& lk) {
+  sim::LockGuard g(lk);
+}
+
+void AnnotatedAnonymousCharge(sim::Machine& machine) {
+  // SIM_LOCK_CHARGE_OK: fixture models an anonymous lock on purpose.
+  machine.Charge(sim::CostCat::kLock, 40);
+}
+
+void AnnotatedHandOff(sim::SimLock& lk) {
+  // SIM_LOCK_BALANCE_OK: the caller releases after the hand-over.
+  lk.Acquire();
+}
+
+}  // namespace core

@@ -70,6 +70,9 @@ class SimlintFixtureTest(unittest.TestCase):
             self.expect("pool-naked-alloc", "src/core/bad_pool_alloc.cc", "NAKED-MAKE-UNIQUE"),
             self.expect("poison-direct-write", "src/core/bad_poison.cc", "POISON-ARROW"),
             self.expect("poison-direct-write", "src/core/bad_poison.cc", "POISON-DOT"),
+            self.expect("naked-lock-charge", "src/core/bad_lock.cc", "NAKED-CHARGE"),
+            self.expect("unbalanced-lock-scope", "src/core/bad_lock.cc", "DANGLING-ACQUIRE"),
+            self.expect("unbalanced-lock-scope", "src/core/bad_lock.cc", "DANGLING-LOCK"),
         }
         extra = self.found - expected
         self.assertFalse(
@@ -86,6 +89,7 @@ class SimlintFixtureTest(unittest.TestCase):
             "src/core/clean_pool_assert.cc",
             "src/core/clean_pool_alloc.cc",
             "src/core/clean_poison.cc",
+            "src/core/clean_lock.cc",
             "src/phys/phys_mem.cc",  # poison-direct-write exempt path
             "src/bsdvm/clean_layering.h",
             "src/sim/rng.h",  # det-host-nondet exempt path
