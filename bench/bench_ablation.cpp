@@ -143,6 +143,7 @@ void CompareLockHold() {
 
 int main(int argc, char** argv) {
   bench::Init(argc, argv);
+  bench::RejectUnknownArgs();  // session flags only; a typo must not run a silent default
   bench::PrintHeader("Ablations of UVM/BSD design choices");
   AblateLookahead();
   AblateClustering();

@@ -13,13 +13,16 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <cerrno>
 #include <clocale>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <locale>
 #include <string>
+#include <vector>
 
 #include "src/harness/world.h"
 #include "src/sim/assert.h"
@@ -144,21 +147,107 @@ class TraceSession {
   int next_pid_ = 1;
 };
 
-// Pin the locale and parse bench-wide flags. Unknown arguments are left for
-// the bench's own parsing.
+// Strict command-line handling. Every bench argument is either consumed by
+// Init (the session-wide flags) or by the bench's own ConsumeFlag /
+// ConsumeValue calls; whatever is left is a typo, and RejectUnknownArgs
+// exits nonzero instead of silently running a different benchmark than the
+// user asked for (`--lcoks` must not quietly drop the lock table).
+class ArgSession {
+ public:
+  static ArgSession& Get() {
+    static ArgSession session;
+    return session;
+  }
+
+  void Capture(int argc, char** argv) {
+    prog_ = argc > 0 ? argv[0] : "bench";
+    args_.assign(argv + 1, argv + argc);
+    used_.assign(args_.size(), false);
+  }
+
+  // Exact-match flag ("--locks"); true (and consumed) when present.
+  bool ConsumeFlag(const char* name) {
+    bool found = false;
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (!used_[i] && args_[i] == name) {
+        used_[i] = true;
+        found = true;
+      }
+    }
+    return found;
+  }
+
+  // Prefix-match value flag ("--ops=" -> text after '='); nullptr when
+  // absent. The last occurrence wins, all occurrences are consumed.
+  const char* ConsumeValue(const char* prefix) {
+    const char* value = nullptr;
+    const std::size_t n = std::strlen(prefix);
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (!used_[i] && args_[i].compare(0, n, prefix) == 0) {
+        used_[i] = true;
+        value = args_[i].c_str() + n;
+      }
+    }
+    return value;
+  }
+
+  void RejectUnknown() const {
+    bool bad = false;
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (!used_[i]) {
+        std::fprintf(stderr, "%s: unknown argument '%s'\n", prog_.c_str(), args_[i].c_str());
+        bad = true;
+      }
+    }
+    if (bad) {
+      std::exit(2);
+    }
+  }
+
+ private:
+  ArgSession() = default;
+  std::string prog_;
+  std::vector<std::string> args_;
+  std::vector<bool> used_;
+};
+
+// Strict decimal parse for --flag=N values. Rejects empty text, trailing
+// junk, signs, and out-of-range values with a nonzero exit — strtoull's
+// silent garbage-to-0 mapping turned typos into differently-parameterized
+// (but plausible-looking) benchmark runs.
+inline std::uint64_t ParseUint64(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (*text == '\0' || *end != '\0' || errno == ERANGE || text[0] == '-' || text[0] == '+') {
+    std::fprintf(stderr, "bench: %s expects an unsigned decimal number, got '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+// Called by every bench main after its own flags are consumed.
+inline void RejectUnknownArgs() { ArgSession::Get().RejectUnknown(); }
+
+// Pin the locale and parse the session-wide flags. Bench-specific flags are
+// consumed afterwards via ArgSession; each main ends its parsing with
+// RejectUnknownArgs().
 inline void Init(int argc, char** argv) {
   std::setlocale(LC_ALL, "C");
   std::locale::global(std::locale::classic());
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      TraceSession::Get().SetPath(argv[i] + 8);
-    } else if (std::strncmp(argv[i], "--pressure=", 11) == 0) {
-      PressureSession::Get().SetSpec(argv[i] + 11);
-    } else if (std::strncmp(argv[i], "--memfault=", 11) == 0) {
-      MemfaultSession::Get().SetSpec(argv[i] + 11);
-    } else if (std::strncmp(argv[i], "--audit=", 8) == 0) {
-      AuditSession::Get().SetEveryMs(std::strtol(argv[i] + 8, nullptr, 10));
-    }
+  ArgSession& args = ArgSession::Get();
+  args.Capture(argc, argv);
+  if (const char* v = args.ConsumeValue("--trace=")) {
+    TraceSession::Get().SetPath(v);
+  }
+  if (const char* v = args.ConsumeValue("--pressure=")) {
+    PressureSession::Get().SetSpec(v);
+  }
+  if (const char* v = args.ConsumeValue("--memfault=")) {
+    MemfaultSession::Get().SetSpec(v);
+  }
+  if (const char* v = args.ConsumeValue("--audit=")) {
+    AuditSession::Get().SetEveryMs(static_cast<long>(ParseUint64("--audit", v)));
   }
 }
 

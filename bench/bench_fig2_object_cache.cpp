@@ -53,6 +53,7 @@ double Run(VmKind kind, std::size_t nfiles) {
 
 int main(int argc, char** argv) {
   bench::Init(argc, argv);
+  bench::RejectUnknownArgs();  // session flags only; a typo must not run a silent default
   bench::PrintHeader("Figure 2: object cache effect on repeated file access");
   std::printf("%8s %14s %14s   (time to re-read N 64KB files, virtual sec)\n", "files", "BSD sec",
               "UVM sec");

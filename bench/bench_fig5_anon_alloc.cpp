@@ -42,6 +42,7 @@ Result Run(VmKind kind, std::size_t mbytes) {
 
 int main(int argc, char** argv) {
   bench::Init(argc, argv);
+  bench::RejectUnknownArgs();  // session flags only; a typo must not run a silent default
   bench::PrintHeader("Figure 5: anonymous memory allocation time (32 MB RAM)");
   std::printf("%8s %12s %12s %12s %12s   (virtual sec; swap I/O ops)\n", "MB", "BSD sec",
               "UVM sec", "BSD ops", "UVM ops");

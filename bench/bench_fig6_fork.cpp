@@ -52,6 +52,7 @@ double Run(VmKind kind, std::size_t mbytes, bool touch) {
 
 int main(int argc, char** argv) {
   bench::Init(argc, argv);
+  bench::RejectUnknownArgs();  // session flags only; a typo must not run a silent default
   bench::PrintHeader("Figure 6: fork-and-wait time vs anonymous memory (virtual usec)");
   std::printf("%6s %14s %14s %14s %14s\n", "MB", "BSD touched", "UVM touched", "BSD", "UVM");
   for (std::size_t mb : {1, 2, 4, 6, 8, 10, 12, 14, 15}) {

@@ -71,21 +71,37 @@ void RunFleet(VmKind kind, const char* vm_name, const kern::FleetConfig& config,
 int main(int argc, char** argv) {
   bench::Init(argc, argv);
   kern::FleetConfig config;
-  bool show_locks = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--ops=", 6) == 0) {
-      config.target_ops = std::strtoull(argv[i] + 6, nullptr, 10);
-    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
-      config.seed = std::strtoull(argv[i] + 7, nullptr, 10);
-    } else if (std::strcmp(argv[i], "--locks") == 0) {
-      show_locks = true;
+  bench::ArgSession& args = bench::ArgSession::Get();
+  if (const char* v = args.ConsumeValue("--ops=")) {
+    config.target_ops = bench::ParseUint64("--ops", v);
+  }
+  if (const char* v = args.ConsumeValue("--seed=")) {
+    config.seed = bench::ParseUint64("--seed", v);
+  }
+  if (const char* v = args.ConsumeValue("--cpus=")) {
+    config.cpus = static_cast<std::size_t>(bench::ParseUint64("--cpus", v));
+    if (config.cpus < 1 || config.cpus > 64) {
+      std::fprintf(stderr, "bench_fleet: --cpus must be in [1, 64], got %zu\n", config.cpus);
+      return 2;
     }
+  }
+  const bool show_locks = args.ConsumeFlag("--locks");
+  bench::RejectUnknownArgs();
+  // Every CPU needs at least one worker; scale the fleet up for wide runs.
+  if (config.workers < config.cpus) {
+    config.workers = config.cpus;
   }
 
   PrintHeader("Server-fleet workload engine (deterministic; host time on stderr)");
-  std::printf("%llu kernel ops per VM, %zu workers, seed %llu\n\n",
+  std::printf("%llu kernel ops per VM, %zu workers, seed %llu\n",
               static_cast<unsigned long long>(config.target_ops), config.workers,
               static_cast<unsigned long long>(config.seed));
+  if (config.cpus > 1) {
+    // Only multi-CPU worlds print the extra line: the default (single-CPU)
+    // stdout is byte-compared against the pre-SMP era in CI.
+    std::printf("%zu virtual cpus, seeded round-robin schedule\n", config.cpus);
+  }
+  std::printf("\n");
   std::printf("%-6s %9s %8s %7s %7s %6s %6s %8s %7s %11s %9s\n", "vm", "ops", "requests",
               "churns", "builds", "forks", "execs", "soft_err", "respawn", "vtime_ms",
               "faults");

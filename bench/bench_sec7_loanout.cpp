@@ -44,6 +44,7 @@ Pair Run(std::size_t npages) {
 
 int main(int argc, char** argv) {
   bench::Init(argc, argv);
+  bench::RejectUnknownArgs();  // session flags only; a typo must not run a silent default
   bench::PrintHeader("Section 7: socket send, data copy vs page loanout (virtual usec)");
   std::printf("%8s %12s %12s %10s   (paper: 26%% less at 1 page, 78%% less at 256)\n", "pages",
               "copy us", "loan us", "saving");

@@ -46,6 +46,7 @@ std::size_t RunOperation(VmKind kind, int op) {
 
 int main(int argc, char** argv) {
   bench::Init(argc, argv);
+  bench::RejectUnknownArgs();  // session flags only; a typo must not run a silent default
   PrintHeader("Table 1: allocated map entries for common operations");
   struct Row {
     const char* name;

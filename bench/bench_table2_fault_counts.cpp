@@ -6,6 +6,7 @@
 
 int main(int argc, char** argv) {
   bench::Init(argc, argv);
+  bench::RejectUnknownArgs();  // session flags only; a typo must not run a silent default
   bench::PrintHeader("Table 2: page fault counts per command");
   std::printf("%-16s %10s %10s %12s %12s\n", "Command", "BSD", "UVM", "paper BSD", "paper UVM");
   for (const kern::TraceSpec& spec : kern::Table2Traces()) {

@@ -81,6 +81,7 @@ CaseResult RunCase(VmKind kind, const Case& c) {
 
 int main(int argc, char** argv) {
   bench::Init(argc, argv);
+  bench::RejectUnknownArgs();  // session flags only; a typo must not run a silent default
   bench::PrintHeader("Table 3: single-page map-fault-unmap time (virtual usec)");
   std::printf("%-20s %10s %10s %8s | %10s %10s %8s\n", "Fault/mapping", "BSD us", "UVM us",
               "UVM/BSD", "paper BSD", "paper UVM", "ratio");

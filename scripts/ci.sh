@@ -100,6 +100,19 @@ cmp build/fleet_a.txt build/fleet_b.txt
   > build/fleet_pressure_b.txt
 cmp build/fleet_pressure_a.txt build/fleet_pressure_b.txt
 
+# Deterministic SMP (DESIGN.md §16): the same fleet across 4 virtual CPUs,
+# with the per-lock contention table on stdout. Multi-CPU worlds must be
+# exactly as byte-reproducible as single-CPU ones — plain and
+# pressure-soaked double runs are compared byte-for-byte.
+./build/bench/bench_fleet --cpus=4 --locks > build/fleet_smp_a.txt
+./build/bench/bench_fleet --cpus=4 --locks > build/fleet_smp_b.txt
+cmp build/fleet_smp_a.txt build/fleet_smp_b.txt
+./build/bench/bench_fleet --cpus=4 --locks \
+  --pressure='@1ms phys-=7600; @30s phys+=2000' > build/fleet_smp_pressure_a.txt
+./build/bench/bench_fleet --cpus=4 --locks \
+  --pressure='@1ms phys-=7600; @30s phys+=2000' > build/fleet_smp_pressure_b.txt
+cmp build/fleet_smp_pressure_a.txt build/fleet_smp_pressure_b.txt
+
 # Host-perf gate: deterministic fields must match the committed baseline
 # exactly, micro speedups must clear their floors, and host timings must
 # stay within the regression tolerance (UVM_HOST_TOLERANCE, default +25%).

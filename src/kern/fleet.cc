@@ -26,10 +26,28 @@ std::string CacheFileName(std::size_t i) { return "fleet/cache" + std::to_string
 FleetWorkload::FleetWorkload(Kernel& kernel, const FleetConfig& config)
     : kernel_(kernel), config_(config), rng_(config.seed) {
   SIM_ASSERT(config_.workers > 0 && config_.scratch_slots > 0);
+  SIM_ASSERT_MSG(config_.cpus >= 1 && config_.cpus <= config_.workers,
+                 "fleet: cpus must be in [1, workers] so every cpu has a worker");
   for (std::size_t i = 0; i < config_.cache_files; ++i) {
     kernel_.fs().CreateFilePattern(CacheFileName(i), config_.file_pages * sim::kPageSize);
   }
   workers_.resize(config_.workers);
+  cpu_workers_.resize(config_.cpus);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_[i].cpu = i % config_.cpus;
+    cpu_workers_[workers_[i].cpu].push_back(i);
+  }
+  // Per-CPU decision streams: stream c is seeded seed + c*gamma (the
+  // splitmix64 stream-split construction), so stream 0 is exactly the
+  // classic rng_ and higher streams are decorrelated from it.
+  for (std::size_t c = 1; c < config_.cpus; ++c) {
+    cpu_rngs_.emplace_back(config_.seed + 0x9e3779b97f4a7c15ull * c);
+  }
+  kernel_.machine().scheduler().Configure(config_.cpus, config_.seed);
+}
+
+sim::Rng& FleetWorkload::CpuRng(std::size_t cpu) {
+  return cpu == 0 ? rng_ : cpu_rngs_[cpu - 1];
 }
 
 bool FleetWorkload::Op(int err) {
@@ -46,7 +64,7 @@ sim::Vaddr FleetWorkload::SlotBase(std::size_t slot) const {
 }
 
 void FleetWorkload::SpawnWorker(Worker& w) {
-  w.proc = kernel_.Spawn();
+  w.proc = kernel_.Spawn(w.cpu);
   w.heap = kHeapBase;
   w.slot_mapped.assign(config_.scratch_slots, false);
   ++counters_.ops;  // spawn
@@ -67,8 +85,9 @@ void FleetWorkload::ReleaseWorker(Worker& w) {
   }
 }
 
-FleetWorkload::Worker& FleetWorkload::PickWorker() {
-  Worker& w = workers_[rng_.Below(workers_.size())];
+FleetWorkload::Worker& FleetWorkload::PickWorker(std::size_t cpu, sim::Rng& rng) {
+  const std::vector<std::size_t>& mine = cpu_workers_[cpu];
+  Worker& w = workers_[mine[rng.Below(mine.size())]];
   if (w.proc == nullptr) {
     SpawnWorker(w);
   } else if (!w.proc->alive) {
@@ -84,8 +103,8 @@ FleetWorkload::Worker& FleetWorkload::PickWorker() {
 // One request: map a scratch arena, build the response in it (page-by-page
 // writes), consult a few hot heap pages, then tear the arena down. Roughly
 // what a forked server worker does per connection.
-void FleetWorkload::RequestBurst(Worker& w) {
-  const std::size_t slot = rng_.Below(config_.scratch_slots);
+void FleetWorkload::RequestBurst(Worker& w, sim::Rng& rng) {
+  const std::size_t slot = rng.Below(config_.scratch_slots);
   sim::Vaddr base = SlotBase(slot);
   const std::uint64_t bytes = config_.scratch_pages * sim::kPageSize;
   if (w.slot_mapped[slot]) {
@@ -99,19 +118,19 @@ void FleetWorkload::RequestBurst(Worker& w) {
     return;
   }
   w.slot_mapped[slot] = true;
-  const std::size_t touched = rng_.Range(2, config_.scratch_pages);
+  const std::size_t touched = rng.Range(2, config_.scratch_pages);
   for (std::size_t pg = 0; pg < touched; ++pg) {
     if (!Op(kernel_.TouchWrite(w.proc, base + pg * sim::kPageSize, 1, std::byte{0xa7}))) {
       break;
     }
   }
   for (int i = 0; i < 3; ++i) {
-    sim::Vaddr hot = w.heap + rng_.Below(config_.heap_pages / 2) * sim::kPageSize;
+    sim::Vaddr hot = w.heap + rng.Below(config_.heap_pages / 2) * sim::kPageSize;
     Op(kernel_.TouchRead(w.proc, hot, 1));
   }
   // Most requests release the arena immediately; a few keep it mapped so
   // the address space stays fragmented like a long-lived server's.
-  if (!rng_.Chance(1, 8)) {
+  if (!rng.Chance(1, 8)) {
     w.slot_mapped[slot] = false;
     Op(kernel_.Munmap(w.proc, base, bytes));
   }
@@ -121,21 +140,21 @@ void FleetWorkload::RequestBurst(Worker& w) {
 // One cache cycle: map a file from the rotating working set, scan part of
 // it, occasionally write it back, unmap. With more files than cached
 // vnodes this recycles vnodes and their object/pager metadata every cycle.
-void FleetWorkload::CacheChurn(Worker& w) {
-  const std::size_t file = rng_.Below(config_.cache_files);
+void FleetWorkload::CacheChurn(Worker& w, sim::Rng& rng) {
+  const std::size_t file = rng.Below(config_.cache_files);
   sim::Vaddr base = kFileBase;
   const std::uint64_t bytes = config_.file_pages * sim::kPageSize;
   MapAttrs attrs;
   if (!Op(kernel_.Mmap(w.proc, &base, bytes, CacheFileName(file), 0, attrs))) {
     return;
   }
-  const std::size_t scanned = rng_.Range(1, config_.file_pages);
+  const std::size_t scanned = rng.Range(1, config_.file_pages);
   for (std::size_t pg = 0; pg < scanned; ++pg) {
     if (!Op(kernel_.TouchRead(w.proc, base + pg * sim::kPageSize, 1))) {
       break;
     }
   }
-  if (rng_.Chance(1, 4)) {
+  if (rng.Chance(1, 4)) {
     Op(kernel_.TouchWrite(w.proc, base, 1, std::byte{0xc3}));
     Op(kernel_.Msync(w.proc, base, sim::kPageSize));
   }
@@ -146,7 +165,7 @@ void FleetWorkload::CacheChurn(Worker& w) {
 // One build job: fork the worker, let the child dirty COW heap pages,
 // occasionally exec a fresh image in it, and exit. Fork storms are where
 // amap/anon and pv-chain metadata churn hardest.
-void FleetWorkload::BuildStorm(Worker& w) {
+void FleetWorkload::BuildStorm(Worker& w, sim::Rng& rng) {
   Proc* child = kernel_.Fork(w.proc);
   ++counters_.ops;  // fork
   if (child == nullptr) {
@@ -154,14 +173,14 @@ void FleetWorkload::BuildStorm(Worker& w) {
     return;
   }
   ++counters_.forks;
-  const std::size_t writes = rng_.Range(2, config_.heap_pages / 2);
+  const std::size_t writes = rng.Range(2, config_.heap_pages / 2);
   for (std::size_t i = 0; i < writes; ++i) {
-    sim::Vaddr va = w.heap + rng_.Below(config_.heap_pages / 2) * sim::kPageSize;
+    sim::Vaddr va = w.heap + rng.Below(config_.heap_pages / 2) * sim::kPageSize;
     if (!Op(kernel_.TouchWrite(child, va, 1, std::byte{0xb4}))) {
       break;
     }
   }
-  if (rng_.Chance(1, 6) && child->alive) {
+  if (rng.Chance(1, 6) && child->alive) {
     Exec(kernel_, child, CatImage());
     ++counters_.ops;  // exec (its internal calls are not itemized)
     ++counters_.execs;
@@ -172,20 +191,31 @@ void FleetWorkload::BuildStorm(Worker& w) {
 }
 
 const FleetCounters& FleetWorkload::Run() {
+  sim::Scheduler& scheduler = kernel_.machine().scheduler();
   const std::uint64_t budget = counters_.ops + config_.target_ops;
   while (counters_.ops < budget) {
-    Worker& w = PickWorker();
+    // The scheduler decides which CPU issues this turn; that CPU's stream
+    // makes every decision, so per-CPU sequences are independent of how
+    // turns interleave. Single-CPU worlds: cpu 0, the classic stream.
+    const std::size_t cpu = scheduler.NextTurnCpu();
+    sim::Rng& rng = CpuRng(cpu);
+    Worker& w = PickWorker(cpu, rng);
     if (w.proc == nullptr || !w.proc->alive) {
       continue;  // spawn itself failed under pressure; retry another worker
     }
-    const std::uint64_t pick = rng_.Below(100);
+    const std::uint64_t pick = rng.Below(100);
     if (pick < 60) {
-      RequestBurst(w);
+      RequestBurst(w, rng);
     } else if (pick < 85) {
-      CacheChurn(w);
+      CacheChurn(w, rng);
     } else {
-      BuildStorm(w);
+      BuildStorm(w, rng);
     }
+  }
+  // Barrier: idle CPUs spin up to the slowest one, so the virtual time the
+  // bench prints is the parallel completion time (the makespan).
+  if (scheduler.smp()) {
+    scheduler.Join();
   }
   return counters_;
 }

@@ -10,9 +10,16 @@
 //   - build storms: fork/exec/exit cycles over worker heaps (amap copies,
 //     pv-chain setup and teardown, process-resource churn).
 //
-// All decisions come from one sim::Rng, so a given (seed, target_ops) pair
-// issues the identical kernel-call sequence on every run and the summary
-// counters — like every virtual-time figure in this repo — are byte-stable.
+// With cpus == 1 (the default) all decisions come from one sim::Rng, so a
+// given (seed, target_ops) pair issues the identical kernel-call sequence
+// on every run and the summary counters — like every virtual-time figure in
+// this repo — are byte-stable. With cpus > 1 the workers are partitioned
+// across that many virtual CPUs (DESIGN.md §16): each CPU draws from its
+// own splitmix64 stream (stream c is seeded seed + c·gamma; stream 0 IS
+// the classic single-CPU stream), the sim::Scheduler's seeded round-robin
+// decides which CPU issues each turn, and Run() ends with a Join() barrier
+// so the reported virtual time is the parallel makespan. Multi-CPU runs are
+// exactly as deterministic as single-CPU ones — same seed, same bytes.
 // Typed errors (pool exhaustion, out-of-swap kills under --pressure, poison
 // kills under --memfault) are absorbed: the fleet backs off, releases what
 // it held, respawns dead workers, and keeps serving.
@@ -32,6 +39,10 @@ struct FleetConfig {
   std::uint64_t seed = 1;
   std::uint64_t target_ops = 1'000'000;  // kernel calls to issue
   std::size_t workers = 6;
+  // Virtual CPUs the workers are partitioned across (worker i runs on CPU
+  // i % cpus, forked children inherit it). Must be <= workers so every CPU
+  // has at least one worker. 1 = the classic single-CPU world.
+  std::size_t cpus = 1;
   std::size_t heap_pages = 32;    // per-worker persistent heap (COW source)
   std::size_t scratch_slots = 8;  // per-worker request-arena slots
   std::size_t scratch_pages = 16;
@@ -64,26 +75,33 @@ class FleetWorkload {
   struct Worker {
     Proc* proc = nullptr;
     sim::Vaddr heap = 0;
+    std::size_t cpu = 0;            // processor affinity (i % cpus)
     std::vector<bool> slot_mapped;  // scratch arenas currently mapped
   };
 
   // One kernel call issued (bumps the op budget); true when it succeeded.
   bool Op(int err);
-  Worker& PickWorker();
+  // The decision stream for `cpu`: stream 0 is the classic rng_, so
+  // single-CPU runs replay the pre-SMP sequence bit for bit.
+  sim::Rng& CpuRng(std::size_t cpu);
+  Worker& PickWorker(std::size_t cpu, sim::Rng& rng);
   void SpawnWorker(Worker& w);
   void ReleaseWorker(Worker& w);
 
-  void RequestBurst(Worker& w);
-  void CacheChurn(Worker& w);
-  void BuildStorm(Worker& w);
+  void RequestBurst(Worker& w, sim::Rng& rng);
+  void CacheChurn(Worker& w, sim::Rng& rng);
+  void BuildStorm(Worker& w, sim::Rng& rng);
 
   sim::Vaddr SlotBase(std::size_t slot) const;
 
   Kernel& kernel_;
   FleetConfig config_;
   FleetCounters counters_;
-  sim::Rng rng_;
+  sim::Rng rng_;                    // CPU 0's decision stream
+  std::vector<sim::Rng> cpu_rngs_;  // streams for CPUs 1..cpus-1
   std::vector<Worker> workers_;
+  // Worker indices per CPU: cpu_workers_[c] lists the workers pinned to c.
+  std::vector<std::vector<std::size_t>> cpu_workers_;
 };
 
 }  // namespace kern

@@ -6,6 +6,7 @@
 #include "src/sim/annotations.h"
 #include "src/sim/assert.h"
 #include "src/sim/retry.h"
+#include "src/sim/scheduler.h"
 
 namespace kern {
 
@@ -43,10 +44,12 @@ Kernel::~Kernel() {
 // ---------------------------------------------------------------------------
 // Processes
 
-Proc* Kernel::Spawn() {
+Proc* Kernel::Spawn(std::size_t cpu) {
+  sim::CpuScope on_cpu(machine_.scheduler(), cpu);
   machine_.PollAudit();
   auto proc = std::make_unique<Proc>();
   proc->pid = next_pid_++;
+  proc->cpu = cpu;
   proc->as = vm_.CreateAddressSpace();
   if (vm_.AllocProcResources(&proc->kres) != sim::kOk) {
     vm_.DestroyAddressSpace(proc->as);
@@ -58,12 +61,14 @@ Proc* Kernel::Spawn() {
 }
 
 Proc* Kernel::Fork(Proc* parent) {
+  sim::CpuScope on_cpu(machine_.scheduler(), parent->cpu);
   if (!parent->alive) {
     return nullptr;  // the parent's address space is already gone
   }
   machine_.PollAudit();
   auto proc = std::make_unique<Proc>();
   proc->pid = next_pid_++;
+  proc->cpu = parent->cpu;
   proc->as = vm_.Fork(*parent->as);
   if (vm_.AllocProcResources(&proc->kres) != sim::kOk) {
     vm_.DestroyAddressSpace(proc->as);
@@ -75,12 +80,14 @@ Proc* Kernel::Fork(Proc* parent) {
 }
 
 Proc* Kernel::Vfork(Proc* parent) {
+  sim::CpuScope on_cpu(machine_.scheduler(), parent->cpu);
   if (!parent->alive) {
     return nullptr;
   }
   machine_.PollAudit();
   auto proc = std::make_unique<Proc>();
   proc->pid = next_pid_++;
+  proc->cpu = parent->cpu;
   proc->as = parent->as;  // borrowed, not copied
   proc->shares_as = true;
   if (vm_.AllocProcResources(&proc->kres) != sim::kOk) {
@@ -92,18 +99,21 @@ Proc* Kernel::Vfork(Proc* parent) {
 }
 
 void Kernel::SwapOutProc(Proc* p) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   SIM_ASSERT(!p->swapped_out);
   vm_.SwapOutProcResources(p->kres);
   p->swapped_out = true;
 }
 
 void Kernel::SwapInProc(Proc* p) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   SIM_ASSERT(p->swapped_out);
   vm_.SwapInProcResources(p->kres);
   p->swapped_out = false;
 }
 
 void Kernel::Exit(Proc* p) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   machine_.PollAudit();
   if (!p->alive) {
     procs_.erase(p->pid);  // reap the zombie shell left by a kill
@@ -130,6 +140,7 @@ void Kernel::Exit(Proc* p) {
 
 int Kernel::Mmap(Proc* p, sim::Vaddr* addr, std::uint64_t len, const std::string& file,
                  sim::ObjOffset off, const MapAttrs& attrs) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -146,6 +157,7 @@ int Kernel::Mmap(Proc* p, sim::Vaddr* addr, std::uint64_t len, const std::string
 }
 
 int Kernel::MmapAnon(Proc* p, sim::Vaddr* addr, std::uint64_t len, const MapAttrs& attrs) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -154,6 +166,7 @@ int Kernel::MmapAnon(Proc* p, sim::Vaddr* addr, std::uint64_t len, const MapAttr
 }
 
 int Kernel::Munmap(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -162,6 +175,7 @@ int Kernel::Munmap(Proc* p, sim::Vaddr addr, std::uint64_t len) {
 }
 
 int Kernel::Mprotect(Proc* p, sim::Vaddr addr, std::uint64_t len, sim::Prot prot) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -169,6 +183,7 @@ int Kernel::Mprotect(Proc* p, sim::Vaddr addr, std::uint64_t len, sim::Prot prot
 }
 
 int Kernel::Minherit(Proc* p, sim::Vaddr addr, std::uint64_t len, sim::Inherit inherit) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -176,6 +191,7 @@ int Kernel::Minherit(Proc* p, sim::Vaddr addr, std::uint64_t len, sim::Inherit i
 }
 
 int Kernel::Madvise(Proc* p, sim::Vaddr addr, std::uint64_t len, sim::Advice advice) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -183,6 +199,7 @@ int Kernel::Madvise(Proc* p, sim::Vaddr addr, std::uint64_t len, sim::Advice adv
 }
 
 int Kernel::Msync(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -191,6 +208,7 @@ int Kernel::Msync(Proc* p, sim::Vaddr addr, std::uint64_t len) {
 }
 
 int Kernel::Mlock(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -198,6 +216,7 @@ int Kernel::Mlock(Proc* p, sim::Vaddr addr, std::uint64_t len) {
 }
 
 int Kernel::Munlock(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -205,6 +224,7 @@ int Kernel::Munlock(Proc* p, sim::Vaddr addr, std::uint64_t len) {
 }
 
 int Kernel::MadvFree(Proc* p, sim::Vaddr addr, std::uint64_t len) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -212,6 +232,7 @@ int Kernel::MadvFree(Proc* p, sim::Vaddr addr, std::uint64_t len) {
 }
 
 int Kernel::Mincore(Proc* p, sim::Vaddr addr, std::uint64_t len, std::vector<bool>* out) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -223,6 +244,7 @@ int Kernel::Mincore(Proc* p, sim::Vaddr addr, std::uint64_t len, std::vector<boo
 
 int Kernel::Access(Proc* p, sim::Vaddr va, std::uint64_t len, bool write, std::byte* buf,
                    std::byte fill, bool use_fill) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     // Zombie shell: the killer already tore this address space down; the
     // caller observes why instead of dereferencing freed memory.
@@ -383,6 +405,7 @@ int Kernel::TouchWrite(Proc* p, sim::Vaddr va, std::uint64_t len, std::byte fill
 // Transient-wiring services (§3.2)
 
 int Kernel::Sysctl(Proc* p, sim::Vaddr buf, std::uint64_t len) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -407,6 +430,7 @@ int Kernel::Sysctl(Proc* p, sim::Vaddr buf, std::uint64_t len) {
 }
 
 int Kernel::Physio(Proc* p, sim::Vaddr buf, std::uint64_t len, bool is_write) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -447,6 +471,7 @@ int Kernel::Physio(Proc* p, sim::Vaddr buf, std::uint64_t len, bool is_write) {
 // Data movement (§7)
 
 int Kernel::SocketSendCopy(Proc* p, sim::Vaddr va, std::uint64_t len) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -465,6 +490,7 @@ int Kernel::SocketSendCopy(Proc* p, sim::Vaddr va, std::uint64_t len) {
 }
 
 int Kernel::SocketSendLoan(Proc* p, sim::Vaddr va, std::uint64_t len) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -485,6 +511,7 @@ int Kernel::SocketSendLoan(Proc* p, sim::Vaddr va, std::uint64_t len) {
 
 int Kernel::PageTransfer(Proc* src, sim::Vaddr va, std::uint64_t len, Proc* dst,
                          sim::Vaddr* out) {
+  sim::CpuScope on_cpu(machine_.scheduler(), src->cpu);
   if (!src->alive) {
     return src->kill_err;
   }
@@ -505,6 +532,7 @@ int Kernel::PageTransfer(Proc* src, sim::Vaddr va, std::uint64_t len, Proc* dst,
 
 int Kernel::ExtractRange(Proc* src, sim::Vaddr va, std::uint64_t len, Proc* dst, sim::Vaddr* out,
                          ExtractMode mode) {
+  sim::CpuScope on_cpu(machine_.scheduler(), src->cpu);
   if (!src->alive) {
     return src->kill_err;
   }
@@ -542,6 +570,7 @@ kern::DeviceMem* Kernel::RegisterDevice(const std::string& name, std::size_t npa
 }
 
 int Kernel::MmapDevice(Proc* p, sim::Vaddr* addr, DeviceMem* dev, const MapAttrs& attrs) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -568,6 +597,7 @@ int Kernel::ShmCreate(std::size_t npages, int* shmid) {
 }
 
 int Kernel::ShmAttach(Proc* p, int shmid, sim::Vaddr* addr) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }
@@ -584,6 +614,7 @@ int Kernel::ShmAttach(Proc* p, int shmid, sim::Vaddr* addr) {
 }
 
 int Kernel::ShmDetach(Proc* p, int shmid, sim::Vaddr addr) {
+  sim::CpuScope on_cpu(machine_.scheduler(), p->cpu);
   if (!p->alive) {
     return p->kill_err;
   }

@@ -41,6 +41,11 @@ struct Proc {
   // kErrMemPoison for hwpoison late-kill): every syscall on the zombie
   // shell returns this instead of touching the freed address space.
   int kill_err = sim::kErrNoMem;
+  // Processor affinity (DESIGN.md §16): every syscall this process issues
+  // runs on this virtual CPU — the kernel enters a sim::CpuScope at each
+  // operation boundary. Forked children inherit the parent's CPU; in
+  // single-CPU worlds everyone stays on cpu 0 and the scope is inert.
+  std::size_t cpu = 0;
 };
 
 class Kernel {
@@ -56,7 +61,8 @@ class Kernel {
   // Spawn/Fork/Vfork return nullptr when per-process kernel resources
   // (u-area + kernel stack pages or kernel-map entries) cannot be
   // allocated; under no resource pressure they never fail.
-  Proc* Spawn();              // create a fresh process (like kernel exec'ing init)
+  // create a fresh process (like kernel exec'ing init), pinned to `cpu`
+  Proc* Spawn(std::size_t cpu = 0);
   Proc* Fork(Proc* parent);   // fork(2)
   // vfork(2): the child shares the parent's address space outright — no
   // entry copying, no write protection, no COW faults (the paper's §5.3

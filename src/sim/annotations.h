@@ -49,6 +49,12 @@
 //                    or RAII guard in the same function — legal only when
 //                    the release provably happens on every path in a callee
 //                    or sibling (hand-over-hand locking) — see DESIGN.md §15.
+//  SIM_SCHED_SWITCH_OK a raw scheduler/clock mutation (Scheduler::SwitchTo,
+//                    Clock::SetNow, LockRegistry::SetCurrentCpu) outside
+//                    src/sim/ — legal only in tests that deliberately drive
+//                    the scheduler by hand. Kernel code changes CPU solely
+//                    via sim::CpuScope, which pairs every switch with its
+//                    restore at an operation boundary — see DESIGN.md §16.
 #ifndef SRC_SIM_ANNOTATIONS_H_
 #define SRC_SIM_ANNOTATIONS_H_
 
@@ -74,6 +80,9 @@
   do {                             \
   } while (false)
 #define SIM_LOCK_BALANCE_OK(reason) \
+  do {                              \
+  } while (false)
+#define SIM_SCHED_SWITCH_OK(reason) \
   do {                              \
   } while (false)
 

@@ -4,8 +4,10 @@
 #ifndef SRC_SIM_ASSERT_H_
 #define SRC_SIM_ASSERT_H_
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 namespace sim {
 
@@ -14,9 +16,26 @@ namespace sim {
   std::abort();
 }
 
+// printf-style panic. The message is sized from the actual arguments (a
+// measuring vsnprintf pass, then a second pass into an exact-fit buffer),
+// so long lock names or paths never truncate the diagnostic.
+[[noreturn]] inline void PanicAtF(const char* file, int line, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::vector<char> buf(n > 0 ? static_cast<std::size_t>(n) + 1 : 1, '\0');
+  std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+  va_end(ap2);
+  PanicAt(file, line, buf.data());
+}
+
 }  // namespace sim
 
 #define SIM_PANIC(msg) ::sim::PanicAt(__FILE__, __LINE__, (msg))
+#define SIM_PANICF(...) ::sim::PanicAtF(__FILE__, __LINE__, __VA_ARGS__)
 
 #define SIM_ASSERT(cond)                                 \
   do {                                                   \

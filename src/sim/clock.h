@@ -19,6 +19,11 @@ class Clock {
   Nanoseconds now() const { return now_ns_; }
   void Advance(Nanoseconds ns) { now_ns_ += ns; }
   void Reset() { now_ns_ = 0; }
+  // Jump to an absolute virtual time. Reserved for sim::Scheduler, which
+  // multiplexes per-CPU local clocks over this one shared clock by saving
+  // and restoring `now` at context-switch boundaries (DESIGN.md §16);
+  // simlint rule `scheduler-raw-switch` flags any call outside src/sim/.
+  void SetNow(Nanoseconds ns) { now_ns_ = ns; }
 
   double now_seconds() const { return static_cast<double>(now_ns_) * 1e-9; }
   double now_micros() const { return static_cast<double>(now_ns_) * 1e-3; }

@@ -59,7 +59,8 @@ class SIM_CAPABILITY("mutex") SimLock {
 
   ~SimLock() {
     SIM_ASSERT_MSG(!held_, "lock destroyed while held");
-    machine_.locks().Unregister(this, name_, rank_, acquisitions_, hold_ns_);
+    machine_.locks().Unregister(this, name_, rank_, acquisitions_, hold_ns_,
+                                contended_acquires_, wait_ns_);
   }
 
   SimLock(const SimLock&) = delete;
@@ -70,18 +71,47 @@ class SIM_CAPABILITY("mutex") SimLock {
   // e.g. the BSD chain walk's per-hop cost). Panics deterministically on
   // re-entrant acquisition and on rank-order violations.
   void Acquire(Nanoseconds extra_ns = 0) SIM_ACQUIRE() {
+    const std::size_t cpu = machine_.locks().current_cpu();
     if (held_) {
-      char buf[128];
-      std::snprintf(buf, sizeof buf, "re-entrant acquire of lock %s", name_);
-      SIM_PANIC(buf);
+      if (owner_cpu_ == cpu) {
+        SIM_PANICF("re-entrant acquire of lock %s", name_);
+      }
+      // CPUs context-switch only at operation boundaries with empty held
+      // stacks, so a lock still held by a *descheduled* CPU can never be
+      // released while this CPU spins on it: a guaranteed deadlock, caught
+      // deterministically (DESIGN.md §16).
+      SIM_PANICF("deadlock: cpu%zu acquiring lock %s held by descheduled cpu%zu", cpu, name_,
+                 owner_cpu_);
     }
-    if (const SimLock* top = machine_.locks().innermost();
-        top != nullptr && rank_ < top->rank_) {
-      char buf[192];
-      std::snprintf(buf, sizeof buf,
-                    "lock rank violation: acquiring %s (rank %s) while holding %s (rank %s)",
-                    name_, LockRankName(rank_), top->name_, LockRankName(top->rank_));
-      SIM_PANIC(buf);
+    // Validate against the *maximum* rank over every held lock, not just the
+    // innermost: PopHeld permits non-LIFO release, so after an out-of-order
+    // release the back of the stack may no longer be the max-rank lock and
+    // checking it alone would let a genuine rank inversion through.
+    const SimLock* top = nullptr;
+    for (const SimLock* h : machine_.locks().held()) {
+      if (top == nullptr || h->rank_ > top->rank_) {
+        top = h;
+      }
+    }
+    if (top != nullptr && rank_ < top->rank_) {
+      SIM_PANICF("lock rank violation: acquiring %s (rank %s) while holding %s (rank %s)",
+                 name_, LockRankName(rank_), top->name_, LockRankName(top->rank_));
+    }
+    // Contention charging: if another CPU released this lock at a local time
+    // *ahead* of ours, we would have found it held and spun — charge the gap
+    // as queueing delay (the holder's remaining hold time from our local
+    // "now" to its release). Inert in single-CPU worlds.
+    if (machine_.scheduler().smp() && last_owner_cpu_ != kNoCpu && last_owner_cpu_ != cpu &&
+        last_release_ns_ > machine_.clock().now()) {
+      const Nanoseconds wait = last_release_ns_ - machine_.clock().now();
+      machine_.Charge(CostCat::kLock, wait);
+      ++contended_acquires_;
+      wait_ns_ += wait;
+      ++machine_.stats().lock_contended_acquires;
+      machine_.stats().lock_wait_ns += wait;
+      if (machine_.tracer().enabled()) {
+        machine_.tracer().Instant(CostCat::kLock, "contended", machine_.clock().now());
+      }
     }
     const Nanoseconds ns = (acquire_ns_ != nullptr ? *acquire_ns_ : 0) + extra_ns;
     if (ns > 0) {
@@ -97,6 +127,7 @@ class SIM_CAPABILITY("mutex") SimLock {
       }
     }
     held_ = true;
+    owner_cpu_ = cpu;
     acquired_at_ = machine_.clock().now();
     ++acquisitions_;
     ++machine_.stats().lock_acquisitions;
@@ -117,6 +148,11 @@ class SIM_CAPABILITY("mutex") SimLock {
       machine_.stats().map_lock_hold_ns += delta;
     }
     held_ = false;
+    // Remember the release point for the contention model: a later acquire
+    // by a CPU whose local clock is still behind this release is charged
+    // the difference as queueing delay.
+    last_release_ns_ = machine_.clock().now();
+    last_owner_cpu_ = owner_cpu_;
     machine_.locks().PopHeld(this);
   }
 
@@ -125,8 +161,12 @@ class SIM_CAPABILITY("mutex") SimLock {
   LockRank rank() const { return rank_; }
   std::uint64_t acquisitions() const { return acquisitions_; }
   Nanoseconds hold_ns() const { return hold_ns_; }
+  std::uint64_t contended_acquires() const { return contended_acquires_; }
+  Nanoseconds wait_ns() const { return wait_ns_; }
 
  private:
+  static constexpr std::size_t kNoCpu = static_cast<std::size_t>(-1);
+
   Machine& machine_;
   const char* name_;
   LockRank rank_;
@@ -136,6 +176,12 @@ class SIM_CAPABILITY("mutex") SimLock {
   Nanoseconds acquired_at_ = 0;
   std::uint64_t acquisitions_ = 0;
   Nanoseconds hold_ns_ = 0;
+  // SMP contention state (DESIGN.md §16); inert on a single CPU.
+  std::size_t owner_cpu_ = kNoCpu;       // valid while held_
+  std::size_t last_owner_cpu_ = kNoCpu;  // CPU of the most recent release
+  Nanoseconds last_release_ns_ = 0;      // its local release time
+  std::uint64_t contended_acquires_ = 0;
+  Nanoseconds wait_ns_ = 0;
 };
 
 // RAII guard: the preferred acquire form (simlint rule
@@ -180,6 +226,8 @@ inline std::vector<LockClassTotals> LockTable(const LockRegistry& registry) {
       if (std::strcmp(t.name, l->name()) == 0) {
         t.acquisitions += l->acquisitions();
         t.hold_ns += l->hold_ns();
+        t.contended_acquires += l->contended_acquires();
+        t.wait_ns += l->wait_ns();
         break;
       }
     }

@@ -60,13 +60,18 @@ inline const char* LockRankName(LockRank r) {
 
 // Per-lock-class counter totals, aggregated by lock name. For live locks
 // the numbers come straight from the lock; destroyed locks contribute via
-// the retired table.
+// the retired table. The contention pair counts SMP queueing (DESIGN.md
+// §16): acquires that found the class's last release ahead of the acquiring
+// CPU's local clock, and the total delay charged for them. Both stay zero
+// in single-CPU worlds.
 struct LockClassTotals {
   const char* name;
   LockRank rank;
   std::uint64_t locks = 0;  // distinct SimLock instances ever registered
   std::uint64_t acquisitions = 0;
   std::uint64_t hold_ns = 0;
+  std::uint64_t contended_acquires = 0;
+  std::uint64_t wait_ns = 0;
 };
 
 class LockRegistry {
@@ -83,31 +88,60 @@ class LockRegistry {
   // Called from ~SimLock with the lock's final counters; the per-name
   // totals outlive the lock object itself.
   void Unregister(SimLock* l, const char* name, LockRank rank, std::uint64_t acquisitions,
-                  std::uint64_t hold_ns) {
+                  std::uint64_t hold_ns, std::uint64_t contended_acquires,
+                  std::uint64_t wait_ns) {
     auto it = std::find(locks_.begin(), locks_.end(), l);
     SIM_ASSERT_MSG(it != locks_.end(), "unregistering a lock that was never registered");
     locks_.erase(it);
     LockClassTotals& t = RetiredSlot(name, rank);
     t.acquisitions += acquisitions;
     t.hold_ns += hold_ns;
+    t.contended_acquires += contended_acquires;
+    t.wait_ns += wait_ns;
   }
 
-  void PushHeld(SimLock* l) { held_.push_back(l); }
+  // The held stack is per virtual CPU: each CPU tracks the locks it holds
+  // and validates rank order against its own stack only (cross-CPU conflict
+  // is the contention model's job, not the rank validator's). The scheduler
+  // flips the current CPU at context switches; single-CPU worlds never
+  // leave cpu 0.
+  void SetCurrentCpu(std::size_t cpu, std::size_t ncpus) {
+    SIM_ASSERT(cpu < ncpus);
+    if (held_.size() < ncpus) {
+      held_.resize(ncpus);
+    }
+    cpu_ = cpu;
+  }
+  std::size_t current_cpu() const { return cpu_; }
+
+  void PushHeld(SimLock* l) { held_[cpu_].push_back(l); }
 
   // Release order need not be LIFO (a fault may unlock the map before the
   // object lock on an error path), so erase wherever the lock sits.
   void PopHeld(SimLock* l) {
-    for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+    std::vector<SimLock*>& held = held_[cpu_];
+    for (auto it = held.rbegin(); it != held.rend(); ++it) {
       if (*it == l) {
-        held_.erase(std::next(it).base());
+        held.erase(std::next(it).base());
         return;
       }
     }
-    SIM_PANIC("releasing a lock that is not on the held stack");
+    SIM_PANIC("releasing a lock that is not on the current cpu's held stack");
   }
 
-  SimLock* innermost() const { return held_.empty() ? nullptr : held_.back(); }
-  const std::vector<SimLock*>& held() const { return held_; }
+  const std::vector<SimLock*>& held() const { return held_[cpu_]; }
+  const std::vector<SimLock*>& held(std::size_t cpu) const {
+    SIM_ASSERT(cpu < held_.size());
+    return held_[cpu];
+  }
+  bool NoLocksHeldAnywhere() const {
+    for (const std::vector<SimLock*>& h : held_) {
+      if (!h.empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
   const std::vector<SimLock*>& locks() const { return locks_; }
 
   // Retired (and partially live: `locks` counts registrations) per-class
@@ -122,12 +156,14 @@ class LockRegistry {
         return t;
       }
     }
-    retired_.push_back(LockClassTotals{name, rank, 0, 0, 0});
+    retired_.push_back(LockClassTotals{name, rank, 0, 0, 0, 0, 0});
     return retired_.back();
   }
 
-  std::vector<SimLock*> locks_;   // live locks, registration order
-  std::vector<SimLock*> held_;    // acquisition-ordered held stack
+  std::vector<SimLock*> locks_;  // live locks, registration order
+  // Per-CPU acquisition-ordered held stacks; cpu_ indexes the running CPU's.
+  std::vector<std::vector<SimLock*>> held_{1};
+  std::size_t cpu_ = 0;
   std::vector<LockClassTotals> retired_;
 };
 

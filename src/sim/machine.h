@@ -15,6 +15,7 @@
 #include "src/sim/lock_registry.h"
 #include "src/sim/pool.h"
 #include "src/sim/pressure.h"
+#include "src/sim/scheduler.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
 
@@ -45,6 +46,8 @@ class Machine {
   const PoolRegistry& pools() const { return pools_; }
   LockRegistry& locks() { return locks_; }
   const LockRegistry& locks() const { return locks_; }
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
   const CostBreakdown& breakdown() const { return breakdown_; }
   CostBreakdown& breakdown() { return breakdown_; }
 
@@ -102,6 +105,9 @@ class Machine {
   // Same non-owning contract for locks: every sim::SimLock registers here
   // and must be destroyed (unheld) before the machine.
   LockRegistry locks_;
+  // Declared after the clock and lock registry it multiplexes. Inert
+  // (single-CPU) unless Configure(ncpus > 1, seed) is called.
+  Scheduler scheduler_{clock_, locks_};
   FaultInjector faults_;
   PressureEngine pressure_;
   Auditor auditor_;

@@ -96,11 +96,13 @@ void ReportLockTable(std::ostream& os, const Machine& machine) {
   out << "lock table (per class, registration order):\n"
       << "  " << std::left << std::setw(16) << "name" << std::setw(12) << "rank" << std::right
       << std::setw(8) << "locks" << std::setw(12) << "acquires" << std::setw(16) << "hold_ns"
+      << std::setw(12) << "contended" << std::setw(16) << "wait_ns"
       << "\n";
   for (const LockClassTotals& t : LockTable(machine.locks())) {
     out << "  " << std::left << std::setw(16) << t.name << std::setw(12) << LockRankName(t.rank)
         << std::right << std::setw(8) << t.locks << std::setw(12) << t.acquisitions
-        << std::setw(16) << t.hold_ns << "\n";
+        << std::setw(16) << t.hold_ns << std::setw(12) << t.contended_acquires
+        << std::setw(16) << t.wait_ns << "\n";
   }
   os << out.str();
 }

@@ -1,0 +1,175 @@
+// sim::Scheduler — deterministic SMP over the virtual clock (DESIGN.md §16).
+//
+// N virtual CPUs are multiplexed over the one shared sim::Clock: each CPU
+// owns a *local* virtual time, and a context switch saves the clock into the
+// outgoing CPU's slot and restores the incoming CPU's. Between switches all
+// charges land on the current CPU's local clock, so per-CPU timelines
+// advance independently and the makespan (the max over local clocks, see
+// Join()) is the parallel completion time. Switches happen only at kernel
+// operation boundaries — quiescent points where the switching CPU holds no
+// locks — which is what keeps a backwards clock jump safe: no ClockSpan or
+// lock hold interval ever straddles a switch on the same CPU.
+//
+// The schedule itself is seeded round-robin with short random bursts (1–3
+// turns per CPU from the scheduler's own Rng stream, independent of every
+// workload stream), so a given seed replays the identical interleaving on
+// every run: multi-CPU worlds are exactly as byte-reproducible as
+// single-CPU ones.
+//
+// With ncpus == 1 (the default) the scheduler is inert: SwitchTo is the
+// identity, NextTurnCpu returns 0 without consuming randomness, and Join
+// has nothing to barrier — single-CPU worlds are byte-identical to the
+// pre-scheduler era by construction.
+//
+// Direct state mutation (SwitchTo / Clock::SetNow / SetCurrentCpu) outside
+// src/sim/ is forbidden by simlint rule `scheduler-raw-switch`; kernel code
+// switches only via the CpuScope RAII below (escape hatch
+// SIM_SCHED_SWITCH_OK for tests that deliberately drive the scheduler).
+#ifndef SRC_SIM_SCHEDULER_H_
+#define SRC_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/assert.h"
+#include "src/sim/clock.h"
+#include "src/sim/lock_registry.h"
+#include "src/sim/rng.h"
+#include "src/sim/types.h"
+
+namespace sim {
+
+class Scheduler {
+ public:
+  Scheduler(Clock& clock, LockRegistry& locks) : clock_(clock), locks_(locks) {}
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Bring `ncpus` virtual CPUs online, all synchronized at the current
+  // virtual time, with a seeded schedule. Reconfiguring mid-run is legal at
+  // any quiescent point (no locks held); the fleet engine configures once
+  // per workload.
+  void Configure(std::size_t ncpus, std::uint64_t seed) {
+    SIM_ASSERT_MSG(ncpus >= 1 && ncpus <= kMaxCpus, "Scheduler: cpu count out of range");
+    SIM_ASSERT_MSG(locks_.NoLocksHeldAnywhere(), "Scheduler: reconfigure with locks held");
+    slots_.assign(ncpus, clock_.now());
+    current_ = 0;
+    locks_.SetCurrentCpu(0, ncpus);
+    rng_ = Rng(seed ^ kScheduleStream);
+    turn_ = 0;
+    burst_left_ = 0;
+  }
+
+  std::size_t ncpus() const { return slots_.size(); }
+  bool smp() const { return slots_.size() > 1; }
+  std::size_t current() const { return current_; }
+  std::uint64_t switches() const { return switches_; }
+
+  // A CPU's local virtual time (the shared clock if it is running now).
+  Nanoseconds local_now(std::size_t cpu) const {
+    SIM_ASSERT(cpu < slots_.size());
+    return cpu == current_ ? clock_.now() : slots_[cpu];
+  }
+
+  // Context switch: save the shared clock into the outgoing CPU's slot,
+  // restore the incoming CPU's. The incoming CPU may be *behind* the
+  // outgoing one — local clocks are independent; only lock hand-offs
+  // (contention charging in SimLock::Acquire) order them against each other.
+  void SwitchTo(std::size_t cpu) {
+    SIM_ASSERT_MSG(cpu < slots_.size(), "SwitchTo: no such cpu");
+    if (cpu == current_) {
+      return;
+    }
+    slots_[current_] = clock_.now();
+    current_ = cpu;
+    clock_.SetNow(slots_[cpu]);
+    locks_.SetCurrentCpu(cpu, slots_.size());
+    ++switches_;
+  }
+
+  // The next CPU to run one workload turn: round-robin with a 1–3 turn
+  // burst per CPU, drawn from the scheduler's own stream. Single-CPU
+  // worlds return 0 without touching the Rng.
+  std::size_t NextTurnCpu() {
+    if (!smp()) {
+      return 0;
+    }
+    if (burst_left_ == 0) {
+      turn_ = (turn_ + 1) % slots_.size();
+      burst_left_ = 1 + static_cast<std::size_t>(rng_.Below(3));
+    }
+    --burst_left_;
+    return turn_;
+  }
+
+  // The parallel completion time: max over all local clocks.
+  Nanoseconds makespan() const {
+    Nanoseconds m = clock_.now();
+    for (std::size_t cpu = 0; cpu < slots_.size(); ++cpu) {
+      if (local_now(cpu) > m) {
+        m = local_now(cpu);
+      }
+    }
+    return m;
+  }
+
+  // Barrier: every CPU (and the shared clock) advances to the makespan, as
+  // if each idle CPU spun until the last one finished. After Join the
+  // world's virtual time reads as the parallel completion time.
+  void Join() {
+    const Nanoseconds m = makespan();
+    slots_.assign(slots_.size(), m);
+    clock_.SetNow(m);
+  }
+
+ private:
+  static constexpr std::size_t kMaxCpus = 64;
+  // Decorrelates the schedule stream from workload streams seeded with the
+  // same user seed (splitmix64 golden gamma).
+  static constexpr std::uint64_t kScheduleStream = 0x9e3779b97f4a7c15ull;
+
+  Clock& clock_;
+  LockRegistry& locks_;
+  // Local clocks, one per CPU; [current_] is stale while that CPU runs.
+  // (Parenthesized count-value form: a braced {1, 0} would be a 2-element
+  // initializer list and a fresh Machine would claim two CPUs.)
+  std::vector<Nanoseconds> slots_ = std::vector<Nanoseconds>(1, Nanoseconds{0});
+  std::size_t current_ = 0;
+  std::uint64_t switches_ = 0;
+  Rng rng_{0};
+  std::size_t turn_ = 0;        // round-robin position
+  std::size_t burst_left_ = 0;  // turns left in the current burst
+};
+
+// RAII processor affinity: run the enclosed kernel operation on `cpu`,
+// then switch back. Entered at operation boundaries only (no locks held on
+// the way in or out — the rank validator's held stack is per-CPU, so a
+// violation panics deterministically). In single-CPU worlds both switches
+// are the identity and the only cost is one branch.
+class CpuScope {
+ public:
+  CpuScope(Scheduler& scheduler, std::size_t cpu)
+      : scheduler_(scheduler), prev_(scheduler.current()) {
+    if (scheduler_.smp()) {
+      scheduler_.SwitchTo(cpu);
+    }
+  }
+
+  CpuScope(const CpuScope&) = delete;
+  CpuScope& operator=(const CpuScope&) = delete;
+
+  ~CpuScope() {
+    if (scheduler_.smp()) {
+      scheduler_.SwitchTo(prev_);
+    }
+  }
+
+ private:
+  Scheduler& scheduler_;
+  std::size_t prev_;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_SCHEDULER_H_

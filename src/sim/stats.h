@@ -70,6 +70,12 @@ struct Stats {
   // attribution lives in the machine's LockRegistry (DESIGN.md §15).
   std::uint64_t lock_acquisitions = 0;
   std::uint64_t lock_hold_ns = 0;
+  // SMP contention (DESIGN.md §16): acquires that paid queueing delay and
+  // the total delay charged. Always zero in single-CPU worlds; not printed
+  // by ReportStats (the per-class lock table reports them) so the eight
+  // paper benches stay byte-identical.
+  std::uint64_t lock_contended_acquires = 0;
+  std::uint64_t lock_wait_ns = 0;
 
   // Pathology accounting
   std::uint64_t leaked_pages_detected = 0;  // inaccessible pages found in chains

@@ -137,6 +137,26 @@ TEST(LockDeathTest, RankOrderViolationPanics) {
   pmap.Release();
 }
 
+// Regression for the held-stack validator hole: rank order must be checked
+// against the *maximum* rank over all held locks. PopHeld permits non-LIFO
+// release, so after map -> object -> release(map) the back of the held
+// stack is not necessarily the max-rank lock; a validator that only looked
+// at the innermost entry could let a second map acquire slip under the
+// still-held object lock.
+TEST(LockDeathTest, RankCheckedAgainstAllHeldLocksAfterNonLifoRelease) {
+  sim::Machine m;
+  sim::SimLock map_a(m, "t.map_a", sim::LockRank::kMap);
+  sim::SimLock obj(m, "t.obj", sim::LockRank::kObject);
+  sim::SimLock map_b(m, "t.map_b", sim::LockRank::kMap);
+  map_a.Acquire();
+  obj.Acquire();
+  map_a.Release();  // non-LIFO: the object lock stays held
+  EXPECT_DEATH(
+      map_b.Acquire(),
+      "lock rank violation: acquiring t.map_b \\(rank map\\) while holding t.obj \\(rank object\\)");
+  obj.Release();
+}
+
 TEST(LockDeathTest, TokenOverUnheldLockAsserts) {
   sim::Machine m;
   sim::SimLock lock(m, "t.unheld", sim::LockRank::kMap);

@@ -1,0 +1,227 @@
+// Deterministic SMP (src/sim/scheduler.h, DESIGN.md §16): per-CPU local
+// clocks multiplexed over the shared sim::Clock, contention charging on
+// cross-CPU SimLock hand-offs, the Join() makespan barrier, same-seed
+// byte-identity of multi-CPU fleet runs, and the two-CPU deadlock detector.
+//
+// Tests that drive the scheduler by hand (SwitchTo outside a CpuScope) are
+// exactly what simlint rule `scheduler-raw-switch` exists to flag; each such
+// line carries a SIM_SCHED_SWITCH_OK annotation with the reason.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/world.h"
+#include "src/kern/fleet.h"
+#include "src/sim/lock.h"
+#include "src/sim/machine.h"
+#include "src/sim/scheduler.h"
+
+namespace {
+
+using harness::VmKind;
+using harness::World;
+
+TEST(SchedulerTest, DefaultWorldIsSingleCpuAndInert) {
+  sim::Machine m;
+  EXPECT_EQ(1u, m.scheduler().ncpus());
+  EXPECT_FALSE(m.scheduler().smp());
+  // NextTurnCpu in a single-CPU world returns 0 without consuming the
+  // schedule stream, so the pre-SMP op sequence replays bit for bit.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(0u, m.scheduler().NextTurnCpu());
+  }
+  EXPECT_EQ(0u, m.scheduler().switches());
+}
+
+TEST(SchedulerTest, SwitchSavesAndRestoresLocalClocks) {
+  sim::Machine m;
+  m.scheduler().Configure(2, 1);
+  m.Charge(100);  // cpu 0 advances to 100
+  // SIM_SCHED_SWITCH_OK: test drives the scheduler by hand.
+  m.scheduler().SwitchTo(1);
+  EXPECT_EQ(0u, m.clock().now());  // cpu 1 synchronized at Configure time
+  m.Charge(30);
+  EXPECT_EQ(30u, m.clock().now());
+  EXPECT_EQ(100u, m.scheduler().local_now(0));
+  // SIM_SCHED_SWITCH_OK: test drives the scheduler by hand.
+  m.scheduler().SwitchTo(0);
+  EXPECT_EQ(100u, m.clock().now());
+  EXPECT_EQ(30u, m.scheduler().local_now(1));
+  EXPECT_EQ(100u, m.scheduler().makespan());
+  EXPECT_EQ(2u, m.scheduler().switches());
+}
+
+TEST(SchedulerTest, JoinBarriersEveryCpuToTheMakespan) {
+  sim::Machine m;
+  m.scheduler().Configure(3, 9);
+  m.Charge(50);
+  // SIM_SCHED_SWITCH_OK: test drives the scheduler by hand.
+  m.scheduler().SwitchTo(1);
+  m.Charge(200);
+  // SIM_SCHED_SWITCH_OK: test drives the scheduler by hand.
+  m.scheduler().SwitchTo(2);
+  m.Charge(5);
+  m.scheduler().Join();
+  EXPECT_EQ(200u, m.clock().now());
+  for (std::size_t cpu = 0; cpu < 3; ++cpu) {
+    EXPECT_EQ(200u, m.scheduler().local_now(cpu));
+  }
+}
+
+TEST(SchedulerTest, CpuScopeRestoresThePreviousCpu) {
+  sim::Machine m;
+  m.scheduler().Configure(2, 1);
+  {
+    sim::CpuScope on(m.scheduler(), 1);
+    EXPECT_EQ(1u, m.scheduler().current());
+  }
+  EXPECT_EQ(0u, m.scheduler().current());
+}
+
+// The contention model: CPU 1's local clock is behind the point where CPU 0
+// released the lock, so CPU 1 would have found it held and spun — it is
+// charged the gap (the holder's remaining hold time) as CostCat::kLock
+// queueing delay, and its local clock lands exactly on the release point.
+TEST(SchedulerTest, CrossCpuAcquireBehindTheReleaseChargesTheGap) {
+  sim::Machine m;
+  m.scheduler().Configure(2, 7);
+  sim::SimLock lock(m, "t.shared", sim::LockRank::kObject);
+  lock.Acquire();
+  m.Charge(100);
+  lock.Release();  // cpu 0 releases at local time 100
+  const std::uint64_t lock_ns_before = m.breakdown().ns_of(sim::CostCat::kLock);
+  // SIM_SCHED_SWITCH_OK: test drives the scheduler by hand.
+  m.scheduler().SwitchTo(1);
+  ASSERT_EQ(0u, m.clock().now());  // cpu 1 is 100ns behind the release
+  lock.Acquire();
+  EXPECT_EQ(100u, m.clock().now());  // spun up to the release point
+  EXPECT_EQ(1u, lock.contended_acquires());
+  EXPECT_EQ(100u, lock.wait_ns());
+  EXPECT_EQ(1u, m.stats().lock_contended_acquires);
+  EXPECT_EQ(100u, m.stats().lock_wait_ns);
+  EXPECT_EQ(100u, m.breakdown().ns_of(sim::CostCat::kLock) - lock_ns_before);
+  lock.Release();
+  // A re-acquire on the same CPU is never contention.
+  lock.Acquire();
+  EXPECT_EQ(1u, lock.contended_acquires());
+  lock.Release();
+  // SIM_SCHED_SWITCH_OK: test drives the scheduler by hand.
+  m.scheduler().SwitchTo(0);
+}
+
+// An acquire whose local clock is already *ahead* of the release point lost
+// no time to the holder: no contention charge.
+TEST(SchedulerTest, CrossCpuAcquireAheadOfTheReleaseIsFree) {
+  sim::Machine m;
+  m.scheduler().Configure(2, 7);
+  sim::SimLock lock(m, "t.shared", sim::LockRank::kObject);
+  lock.Acquire();
+  m.Charge(50);
+  lock.Release();  // released at 50 on cpu 0
+  // SIM_SCHED_SWITCH_OK: test drives the scheduler by hand.
+  m.scheduler().SwitchTo(1);
+  m.Charge(200);  // cpu 1 is far past the release point
+  lock.Acquire();
+  EXPECT_EQ(200u, m.clock().now());
+  EXPECT_EQ(0u, lock.contended_acquires());
+  EXPECT_EQ(0u, m.stats().lock_wait_ns);
+  lock.Release();
+  // SIM_SCHED_SWITCH_OK: test drives the scheduler by hand.
+  m.scheduler().SwitchTo(0);
+}
+
+// CPUs switch only at operation boundaries with empty held stacks, so a
+// lock still held by a descheduled CPU can never be released while another
+// CPU wants it: deterministic deadlock, caught at the acquire.
+TEST(SchedulerDeathTest, CrossCpuAcquireOfAHeldLockPanics) {
+  sim::Machine m;
+  m.scheduler().Configure(2, 1);
+  sim::SimLock lock(m, "t.dead", sim::LockRank::kMap);
+  lock.Acquire();
+  // SIM_SCHED_SWITCH_OK: deliberately yields with a lock held to prove the
+  // cross-CPU deadlock detector fires.
+  m.scheduler().SwitchTo(1);
+  EXPECT_DEATH(lock.Acquire(), "deadlock: cpu1 acquiring lock t.dead held by descheduled cpu0");
+  // SIM_SCHED_SWITCH_OK: back to the owner to release cleanly.
+  m.scheduler().SwitchTo(0);
+  lock.Release();
+}
+
+// Conservation: every nanosecond of queueing delay charged by the
+// contention model is attributed to exactly one lock class — the per-class
+// wait_ns/contended_acquires columns must sum to the machine-wide Stats
+// counters, including classes whose locks died mid-run (retired totals).
+TEST(SchedulerTest, FleetWaitNsIsConservedAcrossTheLockTable) {
+  for (VmKind kind : {VmKind::kBsd, VmKind::kUvm}) {
+    World w(kind);
+    kern::FleetConfig cfg;
+    cfg.target_ops = 20000;
+    cfg.cpus = 4;
+    kern::FleetWorkload fleet(*w.kernel, cfg);
+    fleet.Run();
+    std::uint64_t wait = 0;
+    std::uint64_t contended = 0;
+    for (const sim::LockClassTotals& t : sim::LockTable(w.machine.locks())) {
+      wait += t.wait_ns;
+      contended += t.contended_acquires;
+    }
+    EXPECT_EQ(w.machine.stats().lock_wait_ns, wait);
+    EXPECT_EQ(w.machine.stats().lock_contended_acquires, contended);
+    EXPECT_GT(contended, 0u) << "a 4-cpu fleet should contend somewhere";
+  }
+}
+
+// Single-CPU worlds never pay contention: the counters stay exactly zero,
+// which is half of the byte-identity guarantee (the other half is CI's
+// byte-compare of bench outputs against the pre-SMP era).
+TEST(SchedulerTest, SingleCpuFleetNeverContends) {
+  World w(VmKind::kUvm);
+  kern::FleetConfig cfg;
+  cfg.target_ops = 20000;
+  kern::FleetWorkload fleet(*w.kernel, cfg);
+  fleet.Run();
+  EXPECT_EQ(0u, w.machine.stats().lock_contended_acquires);
+  EXPECT_EQ(0u, w.machine.stats().lock_wait_ns);
+}
+
+// Same-seed double runs of multi-CPU fleets must agree on *everything*
+// observable: fleet counters, virtual completion time, fault counts, and
+// the full per-class lock table including the contention columns.
+TEST(SchedulerDeterminismTest, SmpFleetDoubleRunsAreIdentical) {
+  for (std::size_t cpus : {2u, 4u, 8u}) {
+    for (VmKind kind : {VmKind::kBsd, VmKind::kUvm}) {
+      std::vector<std::string> fp;
+      for (int run = 0; run < 2; ++run) {
+        World w(kind);
+        kern::FleetConfig cfg;
+        cfg.target_ops = 20000;
+        cfg.workers = 8;  // >= cpus so every cpu has a worker
+        cfg.cpus = cpus;
+        kern::FleetWorkload fleet(*w.kernel, cfg);
+        const kern::FleetCounters& c = fleet.Run();
+        std::vector<std::string> cur;
+        cur.push_back("ops:" + std::to_string(c.ops) + " req:" + std::to_string(c.requests) +
+                      " churn:" + std::to_string(c.churns) + " build:" + std::to_string(c.builds) +
+                      " soft:" + std::to_string(c.soft_errors));
+        cur.push_back("t:" + std::to_string(w.machine.clock().now()) +
+                      " faults:" + std::to_string(w.machine.stats().faults) +
+                      " switches:" + std::to_string(w.machine.scheduler().switches()));
+        for (const sim::LockClassTotals& t : sim::LockTable(w.machine.locks())) {
+          cur.push_back(std::string(t.name) + ":" + std::to_string(t.acquisitions) + ":" +
+                        std::to_string(t.hold_ns) + ":" + std::to_string(t.contended_acquires) +
+                        ":" + std::to_string(t.wait_ns));
+        }
+        if (run == 0) {
+          fp = cur;
+        } else {
+          EXPECT_EQ(fp, cur) << "smp fleet diverged: cpus=" << cpus << " on "
+                             << (kind == VmKind::kBsd ? "bsdvm" : "uvm");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -42,13 +42,21 @@ Five rule families (see DESIGN.md §10, §12–§15):
                                         anywhere in the same function: either
                                         use sim::LockGuard or keep the pair
                                         in one scope (DESIGN.md §15)
+  scheduler        scheduler-raw-switch a raw scheduler/clock mutation
+                                        (SwitchTo / SetNow / SetCurrentCpu)
+                                        outside src/sim/: kernel code must
+                                        change CPU only via sim::CpuScope so
+                                        every switch is paired with its
+                                        restore at an operation boundary
+                                        (DESIGN.md §16)
 
 Engine: libclang (python bindings) refines the unordered-iteration rule when
 available; everything else — and everything, when libclang is absent — runs
 on a comment/string-stripped token scanner. Both engines honour the escape
 hatches from src/sim/annotations.h (SIM_ORDERED_OK, SIM_HOST_TIME_OK,
 SIM_NO_CHARGE_OK, SIM_POOL_FATAL_OK, SIM_POOL_ALLOC_OK,
-SIM_POISON_WRITE_OK, SIM_LOCK_CHARGE_OK, SIM_LOCK_BALANCE_OK): a finding
+SIM_POISON_WRITE_OK, SIM_LOCK_CHARGE_OK, SIM_LOCK_BALANCE_OK,
+SIM_SCHED_SWITCH_OK): a finding
 is suppressed when the matching token appears on the flagged line or the
 two lines above it (SIM_NO_CHARGE_OK anywhere in the flagged function
 body).
@@ -116,6 +124,7 @@ ANNOTATIONS = (
     "SIM_POISON_WRITE_OK",
     "SIM_LOCK_CHARGE_OK",
     "SIM_LOCK_BALANCE_OK",
+    "SIM_SCHED_SWITCH_OK",
 )
 RULE_ANNOTATION = {
     "det-unordered-iter": "SIM_ORDERED_OK",
@@ -127,6 +136,7 @@ RULE_ANNOTATION = {
     "poison-direct-write": "SIM_POISON_WRITE_OK",
     "naked-lock-charge": "SIM_LOCK_CHARGE_OK",
     "unbalanced-lock-scope": "SIM_LOCK_BALANCE_OK",
+    "scheduler-raw-switch": "SIM_SCHED_SWITCH_OK",
 }
 
 # The one module allowed to flip Page::poisoned directly: the injection /
@@ -815,6 +825,42 @@ def rule_naked_lock_charge(repo: Repo) -> list:
     return findings
 
 
+# Raw scheduler-state mutators (DESIGN.md §16). Method-call form only, so a
+# local function named SwitchTo would not match; all three names are unique
+# to the scheduler machinery (Scheduler::SwitchTo, Clock::SetNow,
+# LockRegistry::SetCurrentCpu).
+SCHED_SWITCH_RE = re.compile(r"(?:\.|->)\s*(?:SwitchTo|SetNow|SetCurrentCpu)\s*\(")
+SCHED_SWITCH_EXEMPT_PREFIX = "src/sim/"
+
+
+def rule_scheduler_raw_switch(repo: Repo) -> list:
+    """A raw context switch / clock write / held-stack retarget outside the
+    scheduler machinery itself. Kernel code must switch CPUs via the
+    sim::CpuScope RAII, which guarantees the restore and keeps switches at
+    operation boundaries; tests that drive the scheduler by hand annotate
+    SIM_SCHED_SWITCH_OK(reason)."""
+    findings = []
+    for rel, sf in sorted(repo.files.items()):
+        if rel.replace(os.sep, "/").startswith(SCHED_SWITCH_EXEMPT_PREFIX):
+            continue
+        for m in SCHED_SWITCH_RE.finditer(sf.stripped):
+            findings.append(
+                Finding(
+                    rule="scheduler-raw-switch",
+                    path=rel,
+                    line=line_of(sf.stripped, m.start()),
+                    message=(
+                        "raw scheduler/clock mutation outside src/sim/: switch CPUs "
+                        "via sim::CpuScope so every switch pairs with its restore at "
+                        "an operation boundary (DESIGN.md §16); annotate "
+                        "SIM_SCHED_SWITCH_OK(reason) only in tests that deliberately "
+                        "drive the scheduler by hand"
+                    ),
+                )
+            )
+    return findings
+
+
 # An explicit acquire is `recv.Lock()` / `recv.Acquire()` with EMPTY parens:
 # SimLock::Acquire(extra_ns) call sites use sim::LockGuard, and unrelated
 # Acquire(args...) methods (e.g. ClipReservation::Acquire) take arguments.
@@ -1013,6 +1059,7 @@ def collect_findings(repo: Repo, engine: str) -> list:
     findings.extend(rule_poison_write(repo))
     findings.extend(rule_naked_lock_charge(repo))
     findings.extend(rule_unbalanced_lock_scope(repo))
+    findings.extend(rule_scheduler_raw_switch(repo))
 
     kept = []
     for f in findings:

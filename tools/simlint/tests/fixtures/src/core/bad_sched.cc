@@ -1,0 +1,39 @@
+// Fixture: raw scheduler-state mutation outside src/sim/. Expect one
+// scheduler-raw-switch finding per raw SwitchTo / SetNow / SetCurrentCpu
+// call — kernel code must switch CPUs via the sim::CpuScope RAII.
+#include <cstddef>
+#include <cstdint>
+
+namespace sim {
+struct Scheduler {
+  void SwitchTo(std::size_t cpu);
+};
+struct Clock {
+  void SetNow(std::uint64_t ns);
+};
+struct LockRegistry {
+  void SetCurrentCpu(std::size_t cpu, std::size_t ncpus);
+};
+}  // namespace sim
+
+namespace core {
+
+// A one-way switch: nothing restores the previous CPU, so every later
+// charge in the caller lands on the wrong local clock.
+void BadRawSwitch(sim::Scheduler& scheduler) {
+  scheduler.SwitchTo(1);  // LINE-RAW-SWITCH
+}
+
+// Writing the shared clock directly tears the per-CPU timeline invariant
+// (local clocks are only ever moved by the scheduler's save/restore).
+void BadRawSetNow(sim::Clock& clock) {
+  clock.SetNow(0);  // LINE-RAW-SETNOW
+}
+
+// Retargeting the held-lock stacks without switching the clock splits the
+// rank validator from the CPU that is actually running.
+void BadRawSetCurrentCpu(sim::LockRegistry& locks) {
+  locks.SetCurrentCpu(1, 2);  // LINE-RAW-SETCPU
+}
+
+}  // namespace core

@@ -1,0 +1,30 @@
+// Fixture: scheduler use the scheduler-raw-switch rule must accept — the
+// CpuScope RAII (the sanctioned way to run an operation on a CPU) and an
+// annotated raw call in test-style code that drives the scheduler by hand.
+#include <cstddef>
+
+namespace sim {
+struct Scheduler {
+  void SwitchTo(std::size_t cpu);
+  std::size_t current() const;
+  bool smp() const;
+};
+struct CpuScope {
+  CpuScope(Scheduler& scheduler, std::size_t cpu);
+};
+}  // namespace sim
+
+namespace core {
+
+// The sanctioned form: the scope restores the previous CPU on exit, and in
+// single-CPU worlds both switches are the identity.
+void ScopedSwitch(sim::Scheduler& scheduler) {
+  sim::CpuScope on_cpu(scheduler, 1);
+}
+
+void AnnotatedRawSwitch(sim::Scheduler& scheduler) {
+  // SIM_SCHED_SWITCH_OK: fixture drives the scheduler by hand on purpose.
+  scheduler.SwitchTo(1);
+}
+
+}  // namespace core

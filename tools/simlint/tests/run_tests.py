@@ -73,6 +73,9 @@ class SimlintFixtureTest(unittest.TestCase):
             self.expect("naked-lock-charge", "src/core/bad_lock.cc", "NAKED-CHARGE"),
             self.expect("unbalanced-lock-scope", "src/core/bad_lock.cc", "DANGLING-ACQUIRE"),
             self.expect("unbalanced-lock-scope", "src/core/bad_lock.cc", "DANGLING-LOCK"),
+            self.expect("scheduler-raw-switch", "src/core/bad_sched.cc", "RAW-SWITCH"),
+            self.expect("scheduler-raw-switch", "src/core/bad_sched.cc", "RAW-SETNOW"),
+            self.expect("scheduler-raw-switch", "src/core/bad_sched.cc", "RAW-SETCPU"),
         }
         extra = self.found - expected
         self.assertFalse(
@@ -90,6 +93,7 @@ class SimlintFixtureTest(unittest.TestCase):
             "src/core/clean_pool_alloc.cc",
             "src/core/clean_poison.cc",
             "src/core/clean_lock.cc",
+            "src/core/clean_sched.cc",
             "src/phys/phys_mem.cc",  # poison-direct-write exempt path
             "src/bsdvm/clean_layering.h",
             "src/sim/rng.h",  # det-host-nondet exempt path
