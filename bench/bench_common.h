@@ -26,6 +26,7 @@
 
 #include "src/harness/world.h"
 #include "src/sim/assert.h"
+#include "src/sim/chaos.h"
 #include "src/sim/trace.h"
 
 namespace bench {
@@ -69,6 +70,94 @@ class MemfaultSession {
   std::string spec_;
 };
 
+// Composed chaos storm for a whole bench process (DESIGN.md §17). Inactive
+// (and entirely free) unless --chaos=SPEC was given; the spec is validated
+// at parse time, so a bad one exits 2 before any World is built.
+class ChaosSession {
+ public:
+  static ChaosSession& Get() {
+    static ChaosSession session;
+    return session;
+  }
+
+  bool enabled() const { return !spec_.empty(); }
+  const std::string& spec() const { return spec_; }
+  void SetSpec(std::string spec) { spec_ = std::move(spec); }
+
+ private:
+  ChaosSession() = default;
+  std::string spec_;
+};
+
+// Schedule-fuzzing strategy for a whole bench process (DESIGN.md §17).
+// Inactive unless --sched=SPEC was given. The session only parses and
+// holds the spec; scheduler-driven workloads (the fleet, bench_chaos)
+// install it after they Configure() the scheduler — benches that never
+// take scheduler turns accept the flag but are unaffected by it.
+class SchedSession {
+ public:
+  static SchedSession& Get() {
+    static SchedSession session;
+    return session;
+  }
+
+  bool enabled() const { return enabled_; }
+  const sim::SchedSpec& spec() const { return spec_; }
+  void Set(const sim::SchedSpec& spec) {
+    spec_ = spec;
+    enabled_ = true;
+  }
+
+ private:
+  SchedSession() = default;
+  sim::SchedSpec spec_;
+  bool enabled_ = false;
+};
+
+// Minimal-repro capture (DESIGN.md §17). Init() serializes the bench name
+// and its post- --repro argument vector into one repro string and registers
+// it with the panic path, so ANY fatal failure — assert, audit violation,
+// deadlock, chaos-induced crash — prints a "repro: uvmchaos/v1|..." line on
+// stderr. Feeding that string back via --repro=STR replays the exact same
+// argument vector, which (everything else being a pure function of the
+// CLI) replays the run byte-identically.
+class ReproSession {
+ public:
+  static ReproSession& Get() {
+    static ReproSession session;
+    return session;
+  }
+
+  // Serialize and register. --trace= is excluded (observer-only); if any
+  // argument contains '|' (unrepresentable in the repro grammar) capture is
+  // skipped rather than recording a string that replays a different run.
+  void Arm(const std::string& bench, const std::vector<std::string>& args) {
+    std::vector<std::pair<std::string, std::string>> kv;
+    kv.emplace_back("bench", bench);
+    std::size_t i = 0;
+    for (const std::string& a : args) {
+      if (a.rfind("--trace=", 0) == 0) {
+        continue;
+      }
+      if (a.find('|') != std::string::npos) {
+        return;
+      }
+      std::string key = "a";
+      key += std::to_string(i++);
+      kv.emplace_back(std::move(key), a);
+    }
+    repro_ = sim::FormatRepro(kv);
+    sim::SetPanicRepro(repro_.c_str());
+  }
+
+  bool armed() const { return !repro_.empty(); }
+  const std::string& repro() const { return repro_; }
+
+ private:
+  ReproSession() = default;
+  std::string repro_;  // owns the registered string for process lifetime
+};
+
 // Periodic cross-layer audit interval for a whole bench process. Inactive
 // unless --audit=N (virtual milliseconds) was given; the shutdown audit in
 // harness::World runs regardless.
@@ -101,6 +190,9 @@ class World : public harness::World {
     }
     if (MemfaultSession::Get().enabled()) {
       InstallMemfaultPlan(MemfaultSession::Get().spec());
+    }
+    if (ChaosSession::Get().enabled()) {
+      InstallChaosPlan(ChaosSession::Get().spec());
     }
     if (AuditSession::Get().enabled()) {
       machine.auditor().set_interval(AuditSession::Get().every());
@@ -191,6 +283,21 @@ class ArgSession {
     return value;
   }
 
+  // The captured arguments (consumed or not) and program basename; used by
+  // the repro capture to serialize this run's full CLI.
+  const std::vector<std::string>& all() const { return args_; }
+  std::string prog_base() const {
+    const std::size_t slash = prog_.find_last_of('/');
+    return slash == std::string::npos ? prog_ : prog_.substr(slash + 1);
+  }
+
+  // Replace the argument vector (the --repro replay path): subsequent
+  // Consume* calls parse the replayed CLI instead of the typed one.
+  void Replace(std::vector<std::string> args) {
+    args_ = std::move(args);
+    used_.assign(args_.size(), false);
+  }
+
   void RejectUnknown() const {
     bool bad = false;
     for (std::size_t i = 0; i < args_.size(); ++i) {
@@ -231,20 +338,76 @@ inline void RejectUnknownArgs() { ArgSession::Get().RejectUnknown(); }
 
 // Pin the locale and parse the session-wide flags. Bench-specific flags are
 // consumed afterwards via ArgSession; each main ends its parsing with
-// RejectUnknownArgs().
+// RejectUnknownArgs(). Every plan-valued flag is validated here, at parse
+// time: a malformed --pressure/--memfault/--chaos/--sched exits 2 with the
+// parser's message instead of panicking mid-run (the World installers stay
+// as a programmatic backstop).
 inline void Init(int argc, char** argv) {
   std::setlocale(LC_ALL, "C");
   std::locale::global(std::locale::classic());
   ArgSession& args = ArgSession::Get();
   args.Capture(argc, argv);
+  if (const char* v = args.ConsumeValue("--repro=")) {
+    // Replay: swap in the argument vector recorded in the repro string.
+    std::vector<std::pair<std::string, std::string>> kv;
+    std::string error;
+    if (!sim::ParseRepro(v, &kv, &error)) {
+      std::fprintf(stderr, "bench: bad --repro string: %s\n", error.c_str());
+      std::exit(2);
+    }
+    const std::string* bench = sim::ReproValue(kv, "bench");
+    if (bench == nullptr || *bench != args.prog_base()) {
+      std::fprintf(stderr, "bench: --repro string is for '%s', this is '%s'\n",
+                   bench == nullptr ? "?" : bench->c_str(), args.prog_base().c_str());
+      std::exit(2);
+    }
+    std::vector<std::string> replay;
+    for (const auto& [key, value] : kv) {
+      if (key != "bench") {
+        replay.push_back(value);
+      }
+    }
+    args.Replace(std::move(replay));
+  }
+  ReproSession::Get().Arm(args.prog_base(), args.all());
   if (const char* v = args.ConsumeValue("--trace=")) {
     TraceSession::Get().SetPath(v);
   }
   if (const char* v = args.ConsumeValue("--pressure=")) {
+    sim::PressurePlan plan;
+    std::string error;
+    if (!sim::ParsePressurePlan(v, &plan, &error)) {
+      std::fprintf(stderr, "bench: bad --pressure plan: %s\n", error.c_str());
+      std::exit(2);
+    }
     PressureSession::Get().SetSpec(v);
   }
   if (const char* v = args.ConsumeValue("--memfault=")) {
+    sim::MemFaultPlan plan;
+    std::string error;
+    if (!sim::ParseMemFaultPlan(v, &plan, &error)) {
+      std::fprintf(stderr, "bench: bad --memfault plan: %s\n", error.c_str());
+      std::exit(2);
+    }
     MemfaultSession::Get().SetSpec(v);
+  }
+  if (const char* v = args.ConsumeValue("--chaos=")) {
+    sim::ChaosSpec spec;
+    std::string error;
+    if (!sim::ParseChaosSpec(v, &spec, &error)) {
+      std::fprintf(stderr, "bench: bad --chaos plan: %s\n", error.c_str());
+      std::exit(2);
+    }
+    ChaosSession::Get().SetSpec(v);
+  }
+  if (const char* v = args.ConsumeValue("--sched=")) {
+    sim::SchedSpec spec;
+    std::string error;
+    if (!sim::ParseSchedSpec(v, &spec, &error)) {
+      std::fprintf(stderr, "bench: bad --sched spec: %s\n", error.c_str());
+      std::exit(2);
+    }
+    SchedSession::Get().Set(spec);
   }
   if (const char* v = args.ConsumeValue("--audit=")) {
     AuditSession::Get().SetEveryMs(static_cast<long>(ParseUint64("--audit", v)));

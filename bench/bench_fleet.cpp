@@ -54,6 +54,12 @@ void RunFleet(VmKind kind, const char* vm_name, const kern::FleetConfig& config,
               static_cast<unsigned long long>(pools.high_water),
               static_cast<unsigned long long>(s.map_lookup_probes),
               static_cast<unsigned long long>(s.map_hint_hits));
+  if (config.shared_storm) {
+    // Extra line only in storm mode: the default table — the byte-compared
+    // CI artifact — is unchanged.
+    std::printf("       shared: storms %llu\n",
+                static_cast<unsigned long long>(c.shared_storms));
+  }
   if (show_locks) {
     // Per-lock attribution (DESIGN.md §15). Opt-in so the default stdout —
     // the byte-compared CI artifact — is unchanged; the table itself is
@@ -86,10 +92,14 @@ int main(int argc, char** argv) {
     }
   }
   const bool show_locks = args.ConsumeFlag("--locks");
+  config.shared_storm = args.ConsumeFlag("--shared");
   bench::RejectUnknownArgs();
   // Every CPU needs at least one worker; scale the fleet up for wide runs.
   if (config.workers < config.cpus) {
     config.workers = config.cpus;
+  }
+  if (bench::SchedSession::Get().enabled()) {
+    config.sched = bench::SchedSession::Get().spec();
   }
 
   PrintHeader("Server-fleet workload engine (deterministic; host time on stderr)");
@@ -98,8 +108,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(config.seed));
   if (config.cpus > 1) {
     // Only multi-CPU worlds print the extra line: the default (single-CPU)
-    // stdout is byte-compared against the pre-SMP era in CI.
-    std::printf("%zu virtual cpus, seeded round-robin schedule\n", config.cpus);
+    // stdout is byte-compared against the pre-SMP era in CI. The legacy
+    // wording is kept verbatim for the default round-robin schedule.
+    if (config.sched == sim::SchedSpec{}) {
+      std::printf("%zu virtual cpus, seeded round-robin schedule\n", config.cpus);
+    } else {
+      std::printf("%zu virtual cpus, %s schedule\n", config.cpus,
+                  sim::FormatSchedSpec(config.sched).c_str());
+    }
+  } else if (!(config.sched == sim::SchedSpec{})) {
+    std::printf("1 virtual cpu, %s schedule\n", sim::FormatSchedSpec(config.sched).c_str());
+  }
+  if (config.shared_storm) {
+    std::printf("shared-map fault storm: %zu workers converge on one mapping\n",
+                config.workers);
   }
   std::printf("\n");
   std::printf("%-6s %9s %8s %7s %7s %6s %6s %8s %7s %11s %9s\n", "vm", "ops", "requests",

@@ -113,6 +113,63 @@ cmp build/fleet_smp_a.txt build/fleet_smp_b.txt
   --pressure='@1ms phys-=7600; @30s phys+=2000' > build/fleet_smp_pressure_b.txt
 cmp build/fleet_smp_pressure_a.txt build/fleet_smp_pressure_b.txt
 
+# Chaos engine (DESIGN.md §17): the fleet under a composed fault storm with
+# a fuzzed schedule, on a fixed op budget, once per schedule strategy. Every
+# armed run must be exactly as byte-reproducible as the happy path — the
+# double-run compare is the whole point of deterministic chaos. On failure
+# the repro string is printed: a panic's own `repro:` stderr line if there
+# is one, otherwise the scenario CLI (which is the repro payload).
+chaos_run() {
+  tag=$1
+  shift
+  if ! ./build/bench/bench_chaos "$@" \
+      > "build/chaos_${tag}_a.txt" 2> "build/chaos_${tag}_err.txt"; then
+    echo "ci.sh: chaos run '${tag}' failed; repro:" >&2
+    grep '^repro: ' "build/chaos_${tag}_err.txt" >&2 \
+      || echo "ci.sh:   bench_chaos $*" >&2
+    return 1
+  fi
+  if ! ./build/bench/bench_chaos "$@" \
+      > "build/chaos_${tag}_b.txt" 2> /dev/null; then
+    echo "ci.sh: chaos rerun '${tag}' failed; repro: bench_chaos $*" >&2
+    return 1
+  fi
+  if ! cmp "build/chaos_${tag}_a.txt" "build/chaos_${tag}_b.txt"; then
+    echo "ci.sh: chaos double-run '${tag}' diverged; repro: bench_chaos $*" >&2
+    return 1
+  fi
+}
+i=0
+for sched in rr random:3 burst:5 pct3:7 pb16; do
+  i=$((i + 1))
+  chaos_run "sched${i}" --ops=60000 --cpus=4 --shared --sched="$sched"
+done
+
+# The plan shrinker, subprocess-free: a synthetic failure predicate the
+# shrinker must reduce to its minimal scenario, deterministically enough to
+# byte-compare, ending in a well-formed repro string.
+./build/bench/bench_chaos --shrink-demo > build/chaos_shrink_a.txt
+./build/bench/bench_chaos --shrink-demo > build/chaos_shrink_b.txt
+cmp build/chaos_shrink_a.txt build/chaos_shrink_b.txt
+grep -q '^repro: uvmchaos/v1|' build/chaos_shrink_a.txt
+
+# Malformed plan flags must be rejected at parse time with exit 2 and a
+# parser message — never half-armed or silently ignored.
+for bad in "--pressure=@1ms warp" "--memfault=@1ms poison wat" \
+    "--chaos=wat=3" "--sched=warp9"; do
+  rc=0
+  ./build/bench/bench_fleet "$bad" > /dev/null 2> build/chaos_cli_err.txt || rc=$?
+  if [ "$rc" != 2 ]; then
+    echo "ci.sh: bench_fleet '$bad' exited $rc, want 2" >&2
+    cat build/chaos_cli_err.txt >&2
+    exit 1
+  fi
+  if ! [ -s build/chaos_cli_err.txt ]; then
+    echo "ci.sh: bench_fleet '$bad' rejected without a message" >&2
+    exit 1
+  fi
+done
+
 # Host-perf gate: deterministic fields must match the committed baseline
 # exactly, micro speedups must clear their floors, and host timings must
 # stay within the regression tolerance (UVM_HOST_TOLERANCE, default +25%).

@@ -13,6 +13,7 @@
 #include "src/kern/kernel.h"
 #include "src/mmu/pmap.h"
 #include "src/phys/phys_mem.h"
+#include "src/sim/chaos.h"
 #include "src/sim/machine.h"
 #include "src/swap/swap_device.h"
 #include "src/vfs/filesystem.h"
@@ -39,6 +40,11 @@ struct WorldConfig {
   // audits (the shutdown audit always runs but charges nothing).
   std::string memfault_plan;        // "@TIME poison PFN|random:N; ..." or empty
   sim::Nanoseconds audit_every = 0;  // periodic audit interval, 0 = off
+  // Chaos-engine knob (DESIGN.md §17): a --chaos storm spec
+  // ("io=4,pressure=2:seed=9:span=80ms" — see sim::ParseChaosSpec) expanded
+  // into composed I/O-fault, pressure, and poison plans scaled to this
+  // machine's pool geometry. Empty = inert.
+  std::string chaos_plan;
   bsdvm::BsdConfig bsd;
   uvm::UvmConfig uvm;
 };
@@ -64,6 +70,9 @@ class World {
     }
     if (!config.memfault_plan.empty()) {
       InstallMemfaultPlan(config.memfault_plan);
+    }
+    if (!config.chaos_plan.empty()) {
+      InstallChaosPlan(config.chaos_plan);
     }
     if (config.audit_every != 0) {
       machine.auditor().set_interval(config.audit_every);
@@ -96,16 +105,7 @@ class World {
       std::fprintf(stderr, "bad pressure plan: %s\n", error.c_str());
       SIM_PANIC("invalid pressure plan spec");
     }
-    if (pm.free_reserve() == 0) {
-      pm.set_free_reserve(pm.total_pages() / 256 + 4);
-    }
-    if (pm.free_min() == 0) {
-      pm.set_free_min(pm.total_pages() / 64 + 8);
-    }
-    if (swap.reserved_slots() == 0) {
-      swap.set_reserved_slots(32);
-    }
-    kernel->set_oom_killer(true);
+    ArmPressureDefaults();
     machine.pressure().SetPlan(plan);
   }
 
@@ -120,6 +120,51 @@ class World {
       SIM_PANIC("invalid memfault plan spec");
     }
     machine.faults().SetMemPlan(plan);
+  }
+
+  // Arm a composed chaos storm (see sim::ParseChaosSpec for the grammar).
+  // The spec expands into concrete pressure/poison/I/O-fault plans scaled
+  // to this World's pool geometry; a storm with pressure events gets the
+  // same watermark defaults as a hand-written pressure plan.
+  void InstallChaosPlan(const std::string& spec) {
+    sim::ChaosSpec chaos;
+    std::string error;
+    if (!sim::ParseChaosSpec(spec, &chaos, &error)) {
+      std::fprintf(stderr, "bad chaos plan: %s\n", error.c_str());
+      SIM_PANIC("invalid chaos plan spec");
+    }
+    sim::ChaosGeometry geom;
+    geom.phys_pages = pm.total_pages();
+    geom.swap_slots = swap.total_slots();
+    const sim::ChaosStorm storm = sim::BuildChaosStorm(chaos, geom);
+    if (!storm.pressure.empty()) {
+      ArmPressureDefaults();
+      machine.pressure().SetPlan(storm.pressure);
+    }
+    if (!storm.mem.empty()) {
+      machine.faults().SetMemPlan(storm.mem);
+    }
+    if (chaos.io != 0) {
+      machine.faults().Reseed(chaos.seed);
+      machine.faults().SetPlan(sim::IoDevice::kFilesystemDisk, storm.io_fs);
+      machine.faults().SetPlan(sim::IoDevice::kSwapDisk, storm.io_swap);
+    }
+  }
+
+  // Watermark/reserve defaults shared by every pressure-capable plan:
+  // running one without an emergency pool would turn the first deep shrink
+  // into a daemon deadlock.
+  void ArmPressureDefaults() {
+    if (pm.free_reserve() == 0) {
+      pm.set_free_reserve(pm.total_pages() / 256 + 4);
+    }
+    if (pm.free_min() == 0) {
+      pm.set_free_min(pm.total_pages() / 64 + 8);
+    }
+    if (swap.reserved_slots() == 0) {
+      swap.set_reserved_slots(32);
+    }
+    kernel->set_oom_killer(true);
   }
 
   sim::Machine machine;

@@ -18,6 +18,11 @@ constexpr sim::Vaddr kHeapBase = 0x6000'0000;
 constexpr sim::Vaddr kScratchBase = 0x6400'0000;
 constexpr sim::Vaddr kFileBase = 0x6800'0000;
 constexpr sim::Vaddr kGuardPages = 4;
+// The one shared-storm mapping (config.shared_storm): every worker maps the
+// same file at the same fixed address, so all CPUs fault into one map/object.
+constexpr sim::Vaddr kSharedBase = 0x7000'0000;
+constexpr std::size_t kSharedPages = 64;
+constexpr const char* kSharedFileName = "fleet/shared";
 
 std::string CacheFileName(std::size_t i) { return "fleet/cache" + std::to_string(i); }
 
@@ -30,6 +35,9 @@ FleetWorkload::FleetWorkload(Kernel& kernel, const FleetConfig& config)
                  "fleet: cpus must be in [1, workers] so every cpu has a worker");
   for (std::size_t i = 0; i < config_.cache_files; ++i) {
     kernel_.fs().CreateFilePattern(CacheFileName(i), config_.file_pages * sim::kPageSize);
+  }
+  if (config_.shared_storm) {
+    kernel_.fs().CreateFilePattern(kSharedFileName, kSharedPages * sim::kPageSize);
   }
   workers_.resize(config_.workers);
   cpu_workers_.resize(config_.cpus);
@@ -44,6 +52,16 @@ FleetWorkload::FleetWorkload(Kernel& kernel, const FleetConfig& config)
     cpu_rngs_.emplace_back(config_.seed + 0x9e3779b97f4a7c15ull * c);
   }
   kernel_.machine().scheduler().Configure(config_.cpus, config_.seed);
+  // Schedule fuzzing (DESIGN.md §17): a non-default spec replaces the
+  // seeded round-robin Configure() installed. Spec seed 0 inherits the
+  // workload seed, so "--sched=pct3" alone is fully determined by --seed.
+  if (!(config_.sched == sim::SchedSpec{})) {
+    sim::SchedSpec spec = config_.sched;
+    if (spec.seed == 0) {
+      spec.seed = config_.seed;
+    }
+    kernel_.machine().scheduler().SetStrategy(spec);
+  }
 }
 
 sim::Rng& FleetWorkload::CpuRng(std::size_t cpu) {
@@ -67,6 +85,7 @@ void FleetWorkload::SpawnWorker(Worker& w) {
   w.proc = kernel_.Spawn(w.cpu);
   w.heap = kHeapBase;
   w.slot_mapped.assign(config_.scratch_slots, false);
+  w.shared_mapped = false;  // a respawned worker remaps the storm target
   ++counters_.ops;  // spawn
   MapAttrs attrs;
   if (Op(kernel_.MmapAnon(w.proc, &w.heap, config_.heap_pages * sim::kPageSize, attrs))) {
@@ -190,6 +209,39 @@ void FleetWorkload::BuildStorm(Worker& w, sim::Rng& rng) {
   ++counters_.builds;
 }
 
+// One storm round: fault a random window of the single shared mapping,
+// mapping it first if this worker (or its respawned successor) hasn't yet.
+// Every worker on every CPU converges on the same map entry, object, and
+// page set — the "parallel fault storm targeting one shared map" of ROADMAP
+// item 1, and the natural prey for chaos schedules hunting lock bugs.
+void FleetWorkload::SharedStorm(Worker& w, sim::Rng& rng) {
+  const std::uint64_t bytes = kSharedPages * sim::kPageSize;
+  if (!w.shared_mapped) {
+    sim::Vaddr base = kSharedBase;
+    MapAttrs attrs;
+    attrs.shared = true;
+    attrs.fixed = true;
+    if (!Op(kernel_.Mmap(w.proc, &base, bytes, kSharedFileName, 0, attrs))) {
+      return;
+    }
+    w.shared_mapped = true;
+  }
+  const std::size_t touches = rng.Range(4, 12);
+  for (std::size_t i = 0; i < touches; ++i) {
+    const sim::Vaddr va = kSharedBase + rng.Below(kSharedPages) * sim::kPageSize;
+    const bool ok = rng.Chance(1, 3)
+                        ? Op(kernel_.TouchWrite(w.proc, va, 1, std::byte{0xee}))
+                        : Op(kernel_.TouchRead(w.proc, va, 1));
+    if (!ok) {
+      break;
+    }
+  }
+  if (rng.Chance(1, 16)) {
+    Op(kernel_.Msync(w.proc, kSharedBase, bytes));
+  }
+  ++counters_.shared_storms;
+}
+
 const FleetCounters& FleetWorkload::Run() {
   sim::Scheduler& scheduler = kernel_.machine().scheduler();
   const std::uint64_t budget = counters_.ops + config_.target_ops;
@@ -204,7 +256,20 @@ const FleetCounters& FleetWorkload::Run() {
       continue;  // spawn itself failed under pressure; retry another worker
     }
     const std::uint64_t pick = rng.Below(100);
-    if (pick < 60) {
+    if (config_.shared_storm) {
+      // Storm mix: the classic families shrink to make room for a 30%
+      // shared-map storm share. Only reachable with the flag set, so the
+      // classic mix (and its byte-identical output) is untouched.
+      if (pick < 35) {
+        RequestBurst(w, rng);
+      } else if (pick < 55) {
+        CacheChurn(w, rng);
+      } else if (pick < 70) {
+        BuildStorm(w, rng);
+      } else {
+        SharedStorm(w, rng);
+      }
+    } else if (pick < 60) {
       RequestBurst(w, rng);
     } else if (pick < 85) {
       CacheChurn(w, rng);

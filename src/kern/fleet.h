@@ -31,6 +31,7 @@
 
 #include "src/kern/kernel.h"
 #include "src/sim/rng.h"
+#include "src/sim/scheduler.h"
 #include "src/sim/types.h"
 
 namespace kern {
@@ -48,6 +49,16 @@ struct FleetConfig {
   std::size_t scratch_pages = 16;
   std::size_t cache_files = 24;  // rotating file working set
   std::size_t file_pages = 16;
+  // Schedule-fuzzing strategy (DESIGN.md §17). The default (round-robin,
+  // seed 0) leaves the scheduler exactly as Configure() set it, so classic
+  // runs stay byte-identical; any other spec is installed after Configure
+  // (spec.seed == 0 inherits the workload seed).
+  sim::SchedSpec sched;
+  // Shared-map fault storm (ROADMAP item 1 follow-on): adds a fourth
+  // scenario family in which every worker faults pages of ONE shared file
+  // mapping, converging all CPUs on the same map/object locks. Off by
+  // default — the classic three-way scenario mix is untouched.
+  bool shared_storm = false;
 };
 
 struct FleetCounters {
@@ -59,6 +70,7 @@ struct FleetCounters {
   std::uint64_t execs = 0;
   std::uint64_t soft_errors = 0;        // typed errors absorbed
   std::uint64_t workers_respawned = 0;  // workers replaced after a kill
+  std::uint64_t shared_storms = 0;      // shared-map fault-storm rounds
 };
 
 class FleetWorkload {
@@ -77,6 +89,7 @@ class FleetWorkload {
     sim::Vaddr heap = 0;
     std::size_t cpu = 0;            // processor affinity (i % cpus)
     std::vector<bool> slot_mapped;  // scratch arenas currently mapped
+    bool shared_mapped = false;     // the one shared storm mapping
   };
 
   // One kernel call issued (bumps the op budget); true when it succeeded.
@@ -91,6 +104,7 @@ class FleetWorkload {
   void RequestBurst(Worker& w, sim::Rng& rng);
   void CacheChurn(Worker& w, sim::Rng& rng);
   void BuildStorm(Worker& w, sim::Rng& rng);
+  void SharedStorm(Worker& w, sim::Rng& rng);
 
   sim::Vaddr SlotBase(std::size_t slot) const;
 

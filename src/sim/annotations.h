@@ -55,6 +55,13 @@
 //                    the scheduler by hand. Kernel code changes CPU solely
 //                    via sim::CpuScope, which pairs every switch with its
 //                    restore at an operation boundary — see DESIGN.md §16.
+//  SIM_CHAOS_STREAM_OK an Rng constructed in the chaos engine or scheduler
+//                    without a decorrelated stream constant in its seed
+//                    expression. Schedule/plan perturbation randomness must
+//                    come from seeded splitmix64 streams offset by golden-
+//                    gamma multiples (seed ^ kFooStream); a raw Rng(seed)
+//                    silently correlates two components' event sequences,
+//                    breaking independent shrinking — see DESIGN.md §17.
 #ifndef SRC_SIM_ANNOTATIONS_H_
 #define SRC_SIM_ANNOTATIONS_H_
 
@@ -83,6 +90,9 @@
   do {                              \
   } while (false)
 #define SIM_SCHED_SWITCH_OK(reason) \
+  do {                              \
+  } while (false)
+#define SIM_CHAOS_STREAM_OK(reason) \
   do {                              \
   } while (false)
 

@@ -11,8 +11,24 @@
 
 namespace sim {
 
+// Minimal-repro capture (DESIGN.md §17). A harness that knows how to replay
+// the current run from a single string (seed + strategy + plans + cpus)
+// registers it here; every panic then prints it, so any fatal assert, audit
+// failure, or chaos-induced crash is reproducible from its own stderr. The
+// registered pointer must stay valid for the process lifetime (the bench
+// sessions own the string). Null (the default) prints nothing — non-chaos
+// panics are byte-identical to the pre-chaos era.
+inline const char*& PanicReproSlot() {
+  static const char* repro = nullptr;
+  return repro;
+}
+inline void SetPanicRepro(const char* repro) { PanicReproSlot() = repro; }
+
 [[noreturn]] inline void PanicAt(const char* file, int line, const char* msg) {
   std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+  if (PanicReproSlot() != nullptr) {
+    std::fprintf(stderr, "repro: %s\n", PanicReproSlot());
+  }
   std::abort();
 }
 

@@ -1,0 +1,147 @@
+// sim::Chaos — the deterministic chaos engine (DESIGN.md §17). Three
+// mechanisms, all pure functions of their seeds:
+//
+//   - schedule fuzzing: --sched=STRAT[PARAM][:SEED] parses into a
+//     sim::SchedSpec (strategies live in src/sim/scheduler.h) so bench CLIs
+//     can explore interleavings beyond the default round-robin;
+//   - composed fault storms: --chaos=SPEC parses into a ChaosSpec, and
+//     BuildChaosStorm expands it into concrete PressureEngine /
+//     FaultInjector plans (I/O faults, pressure shrinks, poison events)
+//     whose timings, targets and amounts are drawn from per-component
+//     splitmix64 streams decorrelated by golden-gamma multiples of the
+//     storm seed — the same spec always builds the same storm;
+//   - minimal-repro capture and shrinking: a failing run prints one repro
+//     string ("uvmchaos/v1|key=value|..."), --repro=STR replays it
+//     byte-identically, and ShrinkScenario bisects a failing scenario down
+//     to a minimal one by greedy, deterministic simplification.
+//
+// Everything here is inert unless armed: no spec, no storm, no randomness,
+// no charge — the eight paper benches and the fleet stay byte-identical.
+#ifndef SRC_SIM_CHAOS_H_
+#define SRC_SIM_CHAOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/fault.h"
+#include "src/sim/pressure.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/types.h"
+
+namespace sim {
+
+// --- Schedule-strategy specs (--sched=) -----------------------------------
+
+// Parse "STRAT[PARAM][:SEED]": STRAT is rr | random | burst | pct | pb; an
+// optional decimal PARAM glued to the name (pct3, pb16) is k preemption
+// points for pct and the turn bound for pb; an optional ":SEED" reseeds the
+// schedule stream (0/absent = inherit the workload seed). Returns false and
+// fills *error on malformed input.
+bool ParseSchedSpec(const std::string& spec, SchedSpec* out, std::string* error);
+
+// Canonical round-trip form ("pct3:9"); ParseSchedSpec(FormatSchedSpec(s))
+// reproduces s exactly.
+std::string FormatSchedSpec(const SchedSpec& spec);
+
+const char* SchedStrategyName(SchedStrategy s);
+
+// --- Composed fault storms (--chaos=) -------------------------------------
+
+// A parsed --chaos=SPEC: event counts per component plus the storm seed and
+// the virtual-time span events are scattered over.
+//
+//   SPEC := COMP ("," COMP)* (":" OPT)*
+//   COMP := ("io" | "pressure" | "poison") "=" COUNT
+//   OPT  := "seed=" U64 | "span=" TIME     (TIME takes ns/us/ms/s suffixes)
+//
+// e.g. "io=4,pressure=2,poison=2:seed=9:span=80ms". Unlisted components
+// default to 0 events; seed defaults to 1, span to 50ms.
+struct ChaosSpec {
+  std::uint64_t io = 0;        // I/O fault intensity (scheduled + Bernoulli)
+  std::uint64_t pressure = 0;  // scripted pool shrink/set events
+  std::uint64_t poison = 0;    // scripted random-frame poison events
+  std::uint64_t seed = 1;
+  Nanoseconds span = 50'000'000;  // 50ms
+
+  bool armed() const { return io != 0 || pressure != 0 || poison != 0; }
+  bool operator==(const ChaosSpec&) const = default;
+};
+
+bool ParseChaosSpec(const std::string& spec, ChaosSpec* out, std::string* error);
+
+// Canonical round-trip form ("io=4,pressure=2:seed=9:span=80ms"; zero
+// components omitted, seed/span always printed).
+std::string FormatChaosSpec(const ChaosSpec& spec);
+
+// Pool geometry the storm scales its pressure amounts to; the harness fills
+// this from the World's configuration.
+struct ChaosGeometry {
+  std::uint64_t phys_pages = 0;
+  std::uint64_t swap_slots = 0;
+};
+
+// The concrete plans one ChaosSpec expands to. Timings, devices, amounts
+// and fault probabilities come from three decorrelated splitmix64 streams
+// (seed ^ i*gamma), so components can be dropped or shrunk independently
+// without perturbing each other's events — which is what makes shrinking
+// converge.
+struct ChaosStorm {
+  PressurePlan pressure;
+  MemFaultPlan mem;
+  FaultPlan io_fs;
+  FaultPlan io_swap;
+};
+
+ChaosStorm BuildChaosStorm(const ChaosSpec& spec, const ChaosGeometry& geom);
+
+// --- Repro strings --------------------------------------------------------
+
+// A repro string is "uvmchaos/v1|key=value|key=value|...". Keys are bare
+// identifiers; values may contain anything except '|' (plan grammars never
+// use it). Pair order is preserved; later duplicate keys win at lookup.
+inline constexpr const char* kReproPrefix = "uvmchaos/v1";
+
+std::string FormatRepro(const std::vector<std::pair<std::string, std::string>>& kv);
+bool ParseRepro(const std::string& repro,
+                std::vector<std::pair<std::string, std::string>>* out, std::string* error);
+
+// Last value for `key`, or nullptr.
+const std::string* ReproValue(const std::vector<std::pair<std::string, std::string>>& kv,
+                              const std::string& key);
+
+// --- Scenario shrinking ---------------------------------------------------
+
+// Everything that parameterizes one chaos run of the fleet workload: the
+// unit the shrinker minimizes and the repro string round-trips.
+struct ChaosScenario {
+  std::size_t cpus = 1;
+  // Fleet workers driving the scenario; 0 = the engine's default sizing
+  // (never shrunk). Nonzero values must be >= cpus so every CPU has one.
+  std::size_t workers = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t seed = 1;
+  bool shared_storm = false;  // the shared-map fault-storm fleet scenario
+  SchedSpec sched;
+  ChaosSpec chaos;
+
+  bool operator==(const ChaosScenario&) const = default;
+};
+
+// Greedy deterministic shrink: repeatedly try a fixed list of
+// simplifications (halve ops, drop/halve each storm component, halve the
+// storm span, halve workers/cpus, simplify the schedule strategy, disable the
+// shared storm) and keep any candidate for which `still_fails` returns
+// true, until a whole pass accepts nothing or `max_probes` is exhausted.
+// Returns the minimal failing scenario; *probes (optional) counts predicate
+// invocations. `still_fails(start)` must be true — callers check before
+// shrinking.
+ChaosScenario ShrinkScenario(const ChaosScenario& start,
+                             const std::function<bool(const ChaosScenario&)>& still_fails,
+                             std::size_t* probes = nullptr, std::size_t max_probes = 512);
+
+}  // namespace sim
+
+#endif  // SRC_SIM_CHAOS_H_

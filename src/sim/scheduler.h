@@ -16,6 +16,13 @@
 // every run: multi-CPU worlds are exactly as byte-reproducible as
 // single-CPU ones.
 //
+// Beyond the default, the chaos engine (DESIGN.md §17) installs *schedule
+// strategies* via SetStrategy: uniform-random turn picking, random bursts,
+// PCT-style priority scheduling with k preemption points, and a
+// preemption-bounded sweep step. Every strategy draws only from the
+// scheduler's own seeded stream (never the workload streams), so fuzzed
+// schedules replay byte-identically from (strategy, seed) alone.
+//
 // With ncpus == 1 (the default) the scheduler is inert: SwitchTo is the
 // identity, NextTurnCpu returns 0 without consuming randomness, and Join
 // has nothing to barrier — single-CPU worlds are byte-identical to the
@@ -28,6 +35,7 @@
 #ifndef SRC_SIM_SCHEDULER_H_
 #define SRC_SIM_SCHEDULER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -38,6 +46,28 @@
 #include "src/sim/types.h"
 
 namespace sim {
+
+// Which schedule strategy NextTurnCpu plays (DESIGN.md §17). The default is
+// the PR 9 seeded round-robin-with-bursts; every other strategy exists for
+// schedule fuzzing and is armed explicitly (--sched=... in the bench CLIs).
+enum class SchedStrategy : std::uint8_t {
+  kRoundRobin = 0,  // round-robin, 1-3 turn bursts (the inert default)
+  kRandom,          // uniform-random CPU every turn
+  kRandomBurst,     // random CPU, random 1-8 turn burst
+  kPct,             // PCT-style: random priorities, k preemption points
+  kPreemptBound,    // fixed bound b: switch every b turns, zero randomness
+};
+
+// A parsed --sched=STRAT[PARAM][:SEED] spec (grammar + parser in
+// src/sim/chaos.h). `param` is k for kPct and the bound for kPreemptBound;
+// 0 picks the strategy default. `seed` 0 means "inherit the workload seed".
+struct SchedSpec {
+  SchedStrategy strat = SchedStrategy::kRoundRobin;
+  std::uint64_t param = 0;
+  std::uint64_t seed = 0;
+
+  bool operator==(const SchedSpec&) const = default;
+};
 
 class Scheduler {
  public:
@@ -59,7 +89,54 @@ class Scheduler {
     rng_ = Rng(seed ^ kScheduleStream);
     turn_ = 0;
     burst_left_ = 0;
+    strat_ = SchedStrategy::kRoundRobin;
+    param_ = 0;
+    pct_order_.clear();
+    pct_points_.clear();
+    pct_next_ = 0;
+    pct_turns_ = 0;
   }
+
+  // Install a schedule strategy (chaos engine, DESIGN.md §17). Legal at any
+  // quiescent point; restarts the schedule stream from `spec.seed` (a seed
+  // of 0 here is literal — resolve "inherit" before calling). Installing
+  // {kRoundRobin, 0, s} after Configure(n, s) reproduces Configure's state
+  // exactly, so the default strategy stays byte-identical by construction.
+  void SetStrategy(const SchedSpec& spec) {
+    SIM_ASSERT_MSG(locks_.NoLocksHeldAnywhere(), "Scheduler: strategy change with locks held");
+    rng_ = Rng(spec.seed ^ kScheduleStream);
+    turn_ = 0;
+    burst_left_ = 0;
+    strat_ = spec.strat;
+    param_ = spec.param;
+    pct_order_.clear();
+    pct_points_.clear();
+    pct_next_ = 0;
+    pct_turns_ = 0;
+    if (strat_ == SchedStrategy::kPct && smp()) {
+      // Random priority order (front = highest) via Fisher-Yates from the
+      // schedule stream, then k preemption points over a fixed horizon of
+      // operation boundaries, sorted ascending. At each point the running
+      // (highest-priority) CPU is demoted below everyone — classic PCT,
+      // with kernel-op boundaries as the preemption granularity.
+      for (std::size_t cpu = 0; cpu < slots_.size(); ++cpu) {
+        pct_order_.push_back(cpu);
+      }
+      for (std::size_t i = pct_order_.size() - 1; i > 0; --i) {
+        const std::size_t j = static_cast<std::size_t>(rng_.Below(i + 1));
+        const std::size_t tmp = pct_order_[i];
+        pct_order_[i] = pct_order_[j];
+        pct_order_[j] = tmp;
+      }
+      const std::uint64_t k = param_ != 0 ? param_ : kPctDefaultPoints;
+      for (std::uint64_t i = 0; i < k; ++i) {
+        pct_points_.push_back(1 + rng_.Below(kPctHorizon));
+      }
+      std::sort(pct_points_.begin(), pct_points_.end());
+    }
+  }
+
+  SchedStrategy strategy() const { return strat_; }
 
   std::size_t ncpus() const { return slots_.size(); }
   bool smp() const { return slots_.size() > 1; }
@@ -88,19 +165,54 @@ class Scheduler {
     ++switches_;
   }
 
-  // The next CPU to run one workload turn: round-robin with a 1–3 turn
-  // burst per CPU, drawn from the scheduler's own stream. Single-CPU
-  // worlds return 0 without touching the Rng.
+  // The next CPU to run one workload turn, per the installed strategy.
+  // Single-CPU worlds return 0 without touching the Rng regardless of
+  // strategy, so paper benches stay byte-identical under any --sched.
   std::size_t NextTurnCpu() {
     if (!smp()) {
       return 0;
     }
-    if (burst_left_ == 0) {
-      turn_ = (turn_ + 1) % slots_.size();
-      burst_left_ = 1 + static_cast<std::size_t>(rng_.Below(3));
+    switch (strat_) {
+      case SchedStrategy::kRoundRobin:
+        // The PR 9 default: round-robin with a 1-3 turn burst per CPU.
+        if (burst_left_ == 0) {
+          turn_ = (turn_ + 1) % slots_.size();
+          burst_left_ = 1 + static_cast<std::size_t>(rng_.Below(3));
+        }
+        --burst_left_;
+        return turn_;
+      case SchedStrategy::kRandom:
+        turn_ = static_cast<std::size_t>(rng_.Below(slots_.size()));
+        return turn_;
+      case SchedStrategy::kRandomBurst:
+        if (burst_left_ == 0) {
+          turn_ = static_cast<std::size_t>(rng_.Below(slots_.size()));
+          burst_left_ = 1 + static_cast<std::size_t>(rng_.Below(8));
+        }
+        --burst_left_;
+        return turn_;
+      case SchedStrategy::kPct:
+        ++pct_turns_;
+        while (pct_next_ < pct_points_.size() && pct_turns_ >= pct_points_[pct_next_]) {
+          // Preemption point: demote the running CPU below every other.
+          ++pct_next_;
+          const std::size_t demoted = pct_order_.front();
+          pct_order_.erase(pct_order_.begin());
+          pct_order_.push_back(demoted);
+        }
+        turn_ = pct_order_.front();
+        return turn_;
+      case SchedStrategy::kPreemptBound:
+        // Deterministic sweep step: exactly `param` turns per CPU, then the
+        // next CPU — no randomness, so a bound sweep enumerates schedules.
+        if (burst_left_ == 0) {
+          turn_ = (turn_ + 1) % slots_.size();
+          burst_left_ = static_cast<std::size_t>(param_ != 0 ? param_ : kPreemptBoundDefault);
+        }
+        --burst_left_;
+        return turn_;
     }
-    --burst_left_;
-    return turn_;
+    return 0;  // unreachable: every enumerator returns above
   }
 
   // The parallel completion time: max over all local clocks.
@@ -128,6 +240,12 @@ class Scheduler {
   // Decorrelates the schedule stream from workload streams seeded with the
   // same user seed (splitmix64 golden gamma).
   static constexpr std::uint64_t kScheduleStream = 0x9e3779b97f4a7c15ull;
+  // PCT defaults: preemption points drawn over a fixed horizon of kernel-op
+  // boundaries. Past the horizon the priority order is frozen — extreme
+  // starvation tails are exactly what PCT exists to explore.
+  static constexpr std::uint64_t kPctDefaultPoints = 3;
+  static constexpr std::uint64_t kPctHorizon = 4096;
+  static constexpr std::uint64_t kPreemptBoundDefault = 4;
 
   Clock& clock_;
   LockRegistry& locks_;
@@ -138,8 +256,15 @@ class Scheduler {
   std::size_t current_ = 0;
   std::uint64_t switches_ = 0;
   Rng rng_{0};
-  std::size_t turn_ = 0;        // round-robin position
+  std::size_t turn_ = 0;        // round-robin position / last-picked CPU
   std::size_t burst_left_ = 0;  // turns left in the current burst
+  SchedStrategy strat_ = SchedStrategy::kRoundRobin;
+  std::uint64_t param_ = 0;  // k (kPct) / bound (kPreemptBound); 0 = default
+  // PCT state: priority order (front runs), preemption points, turn count.
+  std::vector<std::size_t> pct_order_;
+  std::vector<std::uint64_t> pct_points_;
+  std::size_t pct_next_ = 0;
+  std::uint64_t pct_turns_ = 0;
 };
 
 // RAII processor affinity: run the enclosed kernel operation on `cpu`,

@@ -137,6 +137,7 @@ RULE_ANNOTATION = {
     "naked-lock-charge": "SIM_LOCK_CHARGE_OK",
     "unbalanced-lock-scope": "SIM_LOCK_BALANCE_OK",
     "scheduler-raw-switch": "SIM_SCHED_SWITCH_OK",
+    "chaos-undecorrelated-stream": "SIM_CHAOS_STREAM_OK",
 }
 
 # The one module allowed to flip Page::poisoned directly: the injection /
@@ -861,6 +862,51 @@ def rule_scheduler_raw_switch(repo: Repo) -> list:
     return findings
 
 
+# Chaos/schedule perturbation randomness (DESIGN.md §17). Matches Rng
+# construction sites ("Rng name(...)" declarations and "= Rng(...)"
+# assignments) but not references ("Rng& rng"), constructor declarations
+# ("explicit Rng(...)"), calls to *Rng helpers, or brace-initialized
+# members ("Rng rng_{0}", the reseeded-before-use scheduler member).
+CHAOS_RNG_RE = re.compile(r"\bRng\s+\w+\s*\(|=\s*Rng\s*\(")
+# A decorrelated seed expression references a named stream constant, the
+# golden gamma (by name or literal), or a gamma multiple.
+CHAOS_DECOR_RE = re.compile(r"Stream|[Gg]amma|0x9e3779b97f4a7c15")
+CHAOS_STREAM_PREFIXES = ("src/sim/chaos", "src/sim/scheduler")
+
+
+def rule_chaos_undecorrelated_stream(repo: Repo) -> list:
+    """An Rng constructed inside the chaos engine or the scheduler whose seed
+    expression does not reference a decorrelated stream constant. Schedule
+    and plan perturbation randomness must come from seeded splitmix64
+    streams offset by golden-gamma multiples (seed ^ kFooStream): a raw
+    Rng(seed) correlates two components' event sequences, which silently
+    breaks independent shrinking and can synchronize 'independent' storms.
+    Annotate SIM_CHAOS_STREAM_OK(reason) for deliberate exceptions."""
+    findings = []
+    for rel, sf in sorted(repo.files.items()):
+        norm = rel.replace(os.sep, "/")
+        if not norm.startswith(CHAOS_STREAM_PREFIXES):
+            continue
+        for i, line in enumerate(sf.stripped.splitlines(), start=1):
+            if CHAOS_RNG_RE.search(line) and not CHAOS_DECOR_RE.search(line):
+                findings.append(
+                    Finding(
+                        rule="chaos-undecorrelated-stream",
+                        path=rel,
+                        line=i,
+                        message=(
+                            "Rng in schedule/plan perturbation code without a "
+                            "decorrelated stream constant: seed it as "
+                            "seed ^ kFooStream (golden-gamma multiple) so storm "
+                            "components stay independent and shrinkable "
+                            "(DESIGN.md §17); annotate SIM_CHAOS_STREAM_OK(reason) "
+                            "for deliberate exceptions"
+                        ),
+                    )
+                )
+    return findings
+
+
 # An explicit acquire is `recv.Lock()` / `recv.Acquire()` with EMPTY parens:
 # SimLock::Acquire(extra_ns) call sites use sim::LockGuard, and unrelated
 # Acquire(args...) methods (e.g. ClipReservation::Acquire) take arguments.
@@ -1060,6 +1106,7 @@ def collect_findings(repo: Repo, engine: str) -> list:
     findings.extend(rule_naked_lock_charge(repo))
     findings.extend(rule_unbalanced_lock_scope(repo))
     findings.extend(rule_scheduler_raw_switch(repo))
+    findings.extend(rule_chaos_undecorrelated_stream(repo))
 
     kept = []
     for f in findings:

@@ -1,0 +1,36 @@
+// Fixture: undecorrelated randomness inside the chaos engine's path scope.
+// Expect one chaos-undecorrelated-stream finding per Rng built without a
+// stream constant / golden-gamma in its seed expression — correlated storm
+// components shrink together and defeat minimal-repro bisection.
+#include <cstdint>
+
+namespace sim {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  std::uint64_t Next();
+};
+}  // namespace sim
+
+namespace sim {
+
+// The raw workload seed: the pressure stream would replay the io stream.
+std::uint64_t BadSharedSeed(std::uint64_t seed) {
+  Rng rng(seed);  // LINE-RAW-SEED
+  return rng.Next();
+}
+
+// A constant seed: every storm built from any spec draws the same events.
+std::uint64_t BadFixedSeed() {
+  Rng rng(12345);  // LINE-FIXED-SEED
+  return rng.Next();
+}
+
+// Assignment form is a construction site too.
+std::uint64_t BadReseed(std::uint64_t seed) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  rng = Rng(seed + 1);  // LINE-RESEED
+  return rng.Next();
+}
+
+}  // namespace sim

@@ -1,0 +1,38 @@
+// Fixture: chaos-engine randomness the chaos-undecorrelated-stream rule
+// must accept — stream constants, golden-gamma multiples (by name or
+// literal), references/helper calls (not construction sites), and an
+// annotated deliberate exception.
+#include <cstdint>
+
+namespace sim {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  std::uint64_t Next();
+};
+
+constexpr std::uint64_t kChaosGamma = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kIoStream = kChaosGamma * 1;
+
+// Named stream constant: the sanctioned form.
+std::uint64_t GoodStreamSeed(std::uint64_t seed) {
+  Rng rng(seed ^ kIoStream);
+  return rng.Next();
+}
+
+// Gamma multiple spelled with the literal.
+std::uint64_t GoodGammaLiteral(std::uint64_t seed) {
+  Rng rng(seed + 0x9e3779b97f4a7c15ull * 2);
+  return rng.Next();
+}
+
+// References and helper calls are not construction sites.
+std::uint64_t GoodReference(Rng& rng) { return rng.Next(); }
+
+std::uint64_t GoodAnnotated(std::uint64_t seed) {
+  // SIM_CHAOS_STREAM_OK: fixture models a legacy single-stream consumer.
+  Rng rng(seed);
+  return rng.Next();
+}
+
+}  // namespace sim

@@ -76,6 +76,9 @@ class SimlintFixtureTest(unittest.TestCase):
             self.expect("scheduler-raw-switch", "src/core/bad_sched.cc", "RAW-SWITCH"),
             self.expect("scheduler-raw-switch", "src/core/bad_sched.cc", "RAW-SETNOW"),
             self.expect("scheduler-raw-switch", "src/core/bad_sched.cc", "RAW-SETCPU"),
+            self.expect("chaos-undecorrelated-stream", "src/sim/chaos_bad.cc", "RAW-SEED"),
+            self.expect("chaos-undecorrelated-stream", "src/sim/chaos_bad.cc", "FIXED-SEED"),
+            self.expect("chaos-undecorrelated-stream", "src/sim/chaos_bad.cc", "RESEED"),
         }
         extra = self.found - expected
         self.assertFalse(
@@ -97,6 +100,7 @@ class SimlintFixtureTest(unittest.TestCase):
             "src/phys/phys_mem.cc",  # poison-direct-write exempt path
             "src/bsdvm/clean_layering.h",
             "src/sim/rng.h",  # det-host-nondet exempt path
+            "src/sim/chaos_clean.cc",
         }
         dirty = {p for _, p, _ in self.found if p in clean}
         self.assertFalse(dirty, f"clean fixtures produced findings: {sorted(dirty)}")
